@@ -1,0 +1,25 @@
+"""Artifact recording for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures/scenarios. Besides
+timing it, the harness writes the regenerated artifact (the operator
+sequence, the mapping text, the deployment plan, the measured series) to
+``benchmarks/artifacts/<experiment>.txt`` so EXPERIMENTS.md can point at
+concrete reproduction evidence.
+"""
+
+import os
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def record(experiment_id: str, text: str) -> str:
+    """Write (and print) the regenerated artifact for an experiment."""
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, f"{experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    print(f"\n--- {experiment_id} ---")
+    print(text)
+    return path

@@ -1,0 +1,80 @@
+"""FIG6 — the Filter stage's OHM representation.
+
+Regenerates the Figure 6 template for a k-output Filter stage:
+SPLIT + one FILTER (→ BASIC PROJECT) per output dataset, including the
+row-only-once mode where "the predicates for each output dataset need to
+be combined with the (negated) predicates of previous output [datasets]".
+The benchmark times compiling filter stages across output counts.
+"""
+
+import pytest
+
+from repro.compile import compile_job
+from repro.etl import FilterOutput, FilterStage, Job, TableSource, TableTarget
+from repro.schema import relation
+
+from _artifacts import record
+
+REL = relation(
+    "R", ("id", "int", False), ("v", "float", False), ("kind", "varchar", False)
+)
+
+
+def filter_job(n_outputs: int, row_only_once: bool) -> Job:
+    job = Job(f"filter{n_outputs}")
+    source = job.add(TableSource(REL))
+    outputs = [
+        FilterOutput(
+            f"v > {i * 10}",
+            columns=[("id", "id"), ("v", "v")] if i % 2 else None,
+        )
+        for i in range(n_outputs)
+    ]
+    stage = job.add(FilterStage(outputs, row_only_once=row_only_once))
+    job.link(source, stage)
+    for i in range(n_outputs):
+        out_rel = (
+            relation(f"Out{i}", ("id", "int"), ("v", "float"))
+            if i % 2
+            else REL.renamed(f"Out{i}")
+        )
+        target = job.add(TableTarget(out_rel))
+        job.link(stage, target, src_port=i)
+    return job
+
+
+@pytest.mark.parametrize("n_outputs", [1, 2, 4, 8])
+def test_bench_fig6_filter_compilation(benchmark, n_outputs):
+    job = filter_job(n_outputs, row_only_once=False)
+    graph = benchmark(compile_job, job, cleanup=False)
+    kinds = [k for k in graph.kinds_in_order() if k not in ("SOURCE", "TARGET")]
+    if n_outputs == 1:
+        assert "SPLIT" not in kinds  # "SPLIT is not needed if ... single output"
+    else:
+        assert kinds.count("SPLIT") == 1
+        assert kinds.count("FILTER") == n_outputs
+        # simple projections appear only where configured
+        assert kinds.count("BASIC PROJECT") == sum(
+            1 for i in range(n_outputs) if i % 2
+        )
+
+
+def test_bench_fig6_row_only_once_predicates(benchmark):
+    job = filter_job(3, row_only_once=True)
+    graph = benchmark(compile_job, job, cleanup=False)
+    filters = graph.operators_of_kind("FILTER")
+    conditions = sorted(
+        (len(f.condition.to_sql()), f.condition.to_sql()) for f in filters
+    )
+    lines = ["Figure 6 — Filter stage template in OHM:"]
+    lines.append("  shape (3 outputs): " + " | ".join(
+        k for k in graph.kinds_in_order() if k not in ("SOURCE", "TARGET")
+    ))
+    lines.append("  row-only-once predicates (negations of earlier outputs"
+                 " folded in):")
+    for _length, condition in conditions:
+        lines.append(f"    {condition}")
+    record("FIG6", "\n".join(lines))
+    # output i's predicate conjoins the negations of outputs < i
+    longest = conditions[-1][1]
+    assert "(v <= 0)" in longest and "(v <= 10)" in longest

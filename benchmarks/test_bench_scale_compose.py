@@ -1,0 +1,80 @@
+"""SCALE-M — mapping composition scaling and materialization points.
+
+Two series: composition time as the OHM graph grows (long chains compose
+into ONE mapping — the view-unfolding workhorse), and residual mapping
+count as the SPLIT fan-out grows (each branch of a fanout job adds one
+routing mapping around the single materialization point at the SPLIT's
+input edge).
+"""
+
+import time
+
+import pytest
+
+from repro.compile import compile_job
+from repro.mapping import ohm_to_mappings
+from repro.workloads import build_chain_job, build_fanout_job
+
+from _artifacts import record
+
+CHAIN_SIZES = [10, 40, 160]
+FANOUT_SIZES = [2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("n_stages", CHAIN_SIZES)
+def test_bench_scale_compose_chain(benchmark, n_stages):
+    graph = compile_job(build_chain_job(n_stages))
+    mappings = benchmark(ohm_to_mappings, graph)
+    # the whole chain composes into a single mapping: no grouping, no
+    # splits, no black boxes along the way
+    assert len(mappings) == 1
+
+
+@pytest.mark.parametrize("n_branches", FANOUT_SIZES)
+def test_bench_scale_compose_fanout(benchmark, n_branches):
+    graph = compile_job(build_fanout_job(n_branches))
+    mappings = benchmark(ohm_to_mappings, graph)
+    # one prepare mapping into the materialization point + one routing
+    # mapping per SPLIT branch
+    assert len(mappings) == n_branches + 1
+    assert len(mappings.intermediate_relation_names()) == 1
+
+
+def test_bench_scale_compose_series(benchmark):
+    def measure():
+        chain_series = []
+        for n_stages in CHAIN_SIZES:
+            graph = compile_job(build_chain_job(n_stages))
+            started = time.perf_counter()
+            mappings = ohm_to_mappings(graph)
+            chain_series.append(
+                (n_stages, time.perf_counter() - started, len(mappings))
+            )
+        fanout_series = []
+        for n_branches in FANOUT_SIZES:
+            graph = compile_job(build_fanout_job(n_branches))
+            mappings = ohm_to_mappings(graph)
+            fanout_series.append(
+                (
+                    n_branches,
+                    len(mappings),
+                    len(mappings.intermediate_relation_names()),
+                )
+            )
+        return chain_series, fanout_series
+
+    chain_series, fanout_series = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    lines = ["mapping composition over chains (everything composes):"]
+    lines.append(f"  {'stages':>8} {'ms':>10} {'mappings':>9}")
+    for n_stages, elapsed, count in chain_series:
+        lines.append(f"  {n_stages:>8} {elapsed * 1000:>10.2f} {count:>9}")
+    lines.append("")
+    lines.append("fanout jobs (each SPLIT output is a residual mapping):")
+    lines.append(
+        f"  {'branches':>9} {'mappings':>9} {'materialization points':>24}"
+    )
+    for n_branches, count, points in fanout_series:
+        lines.append(f"  {n_branches:>9} {count:>9} {points:>24}")
+    record("SCALE-M", "\n".join(lines))

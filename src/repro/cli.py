@@ -1,0 +1,149 @@
+"""Command-line interface: convert between ETL jobs and mappings.
+
+::
+
+    orchid etl-to-mappings job.xml -o mappings.json
+    orchid mappings-to-etl mappings.json -o job.xml
+    orchid show job.xml              # render the OHM instance
+    orchid pushdown job.xml          # print the hybrid SQL + ETL plan
+    orchid optimize job.xml -o job2.xml   # OHM-level rewrites, redeployed
+    orchid export-ohm job.xml -o g.json   # persist the abstract layer
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.fasttrack.orchid import Orchid
+
+
+def _read(path: str) -> str:
+    with open(path, "r") as handle:
+        return handle.read()
+
+
+def _write(text: str, path: Optional[str]) -> None:
+    if path:
+        with open(path, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="orchid",
+        description="Convert between ETL jobs and schema mappings via the "
+        "Operator Hub Model.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "etl-to-mappings", help="compile a job XML into composed mappings"
+    )
+    p.add_argument("job", help="path to the job XML document")
+    p.add_argument("-o", "--output", help="write mappings JSON here")
+    p.add_argument(
+        "--notation",
+        choices=["json", "query", "logic"],
+        default="json",
+        help="output notation (default: json)",
+    )
+
+    p = sub.add_parser(
+        "mappings-to-etl", help="deploy a mappings JSON document as a job"
+    )
+    p.add_argument("mappings", help="path to the mappings JSON document")
+    p.add_argument("-o", "--output", help="write job XML here")
+    p.add_argument(
+        "--plan", action="store_true", help="also print the deployment plan"
+    )
+
+    p = sub.add_parser("show", help="print the OHM instance of a job")
+    p.add_argument("job", help="path to the job XML document")
+    p.add_argument(
+        "--dot", action="store_true", help="emit GraphViz instead of text"
+    )
+
+    p = sub.add_parser(
+        "pushdown", help="print the hybrid SQL + ETL deployment of a job"
+    )
+    p.add_argument("job", help="path to the job XML document")
+
+    p = sub.add_parser(
+        "optimize",
+        help="import a job, rewrite it at the OHM level, redeploy it",
+    )
+    p.add_argument("job", help="path to the job XML document")
+    p.add_argument("-o", "--output", help="write the optimized job XML here")
+
+    p = sub.add_parser(
+        "export-ohm", help="persist a job's OHM instance as JSON"
+    )
+    p.add_argument("job", help="path to the job XML document")
+    p.add_argument("-o", "--output", help="write the OHM JSON here")
+
+    args = parser.parse_args(argv)
+    orchid = Orchid()
+
+    if args.command == "etl-to-mappings":
+        mappings = orchid.etl_to_mappings(_read(args.job))
+        if args.notation == "query":
+            _write(mappings.to_text(), args.output)
+        elif args.notation == "logic":
+            _write(
+                "\n".join(m.to_logical_notation() for m in mappings),
+                args.output,
+            )
+        else:
+            _write(Orchid.export_mappings_json(mappings), args.output)
+        return 0
+
+    if args.command == "mappings-to-etl":
+        job, plan = orchid.mappings_to_etl(_read(args.mappings))
+        if args.plan:
+            sys.stderr.write(plan.describe() + "\n")
+        _write(Orchid.export_etl_xml(job), args.output)
+        return 0
+
+    if args.command == "show":
+        graph = orchid.import_etl(_read(args.job))
+        if args.dot:
+            _write(graph.to_dot(), None)
+        else:
+            lines = [f"OHM instance {graph.name!r}:"]
+            for op in graph.topological_order():
+                lines.append(f"  {op!r}")
+            _write("\n".join(lines), None)
+        return 0
+
+    if args.command == "pushdown":
+        graph = orchid.import_etl(_read(args.job))
+        _write(orchid.to_hybrid(graph).describe(), None)
+        return 0
+
+    if args.command == "optimize":
+        graph = orchid.import_etl(_read(args.job))
+        report = orchid.optimize(graph)
+        sys.stderr.write(f"{report!r}\n")
+        job, _plan = orchid.to_etl(graph)
+        _write(Orchid.export_etl_xml(job), args.output)
+        return 0
+
+    if args.command == "export-ohm":
+        from repro.ohm import graph_to_json
+
+        graph = orchid.import_etl(_read(args.job))
+        _write(graph_to_json(graph), args.output)
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""The ETL→OHM compilation driver (paper section V-A, step 2).
+
+"Orchid traverses the Intermediate layer graph and, for each node,
+invokes a specific compiler for the stage wrapped by the node. ...
+Compilation proceeds by connecting together the OHM subgraphs created by
+compiling each stage visited during the traversal."
+
+Boundary edges between stage subgraphs inherit the ETL link names
+(``DSLink10`` in the job stays ``DSLink10`` in the OHM instance — that is
+how the paper's materialization point gets its name); edges internal to a
+stage's subgraph carry stage-derived names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.compile.registry import (
+    CompiledStage,
+    CompilerRegistry,
+    DEFAULT_COMPILERS,
+    Port,
+)
+import repro.compile.stages  # noqa: F401 — registers the built-in compilers
+from repro.errors import CompilationError
+from repro.etl.model import Job
+from repro.intermediate import IntermediateGraph, from_job
+from repro.ohm.graph import OhmGraph
+from repro.rewrite.optimizer import cleanup as cleanup_pass
+
+
+def compile_intermediate(
+    graph: IntermediateGraph,
+    cleanup: bool = True,
+    registry: Optional[CompilerRegistry] = None,
+) -> OhmGraph:
+    """Compile an intermediate-layer graph into an OHM instance."""
+    registry = registry or DEFAULT_COMPILERS
+    graph.propagate_schemas()
+    ohm = OhmGraph(graph.name)
+    # producing OHM port for each ETL link, filled as stages are compiled
+    producers: Dict[str, Port] = {}
+    for node in graph.topological_order():
+        stage = node.stage
+        in_edges = graph.in_edges(node.uid)
+        out_edges = graph.out_edges(node.uid)
+        compiled = registry.lookup(stage).compile(
+            stage,
+            [e.schema for e in in_edges],
+            [e.name for e in in_edges],
+            [e.name for e in out_edges],
+            ohm,
+        )
+        if compiled.is_passthrough:
+            if len(in_edges) != 1 or len(out_edges) != 1:
+                raise CompilationError(
+                    f"stage {stage.name!r} compiled to a pass-through but has "
+                    f"{len(in_edges)} inputs / {len(out_edges)} outputs"
+                )
+            producers[out_edges[0].name] = producers[in_edges[0].name]
+            continue
+        if len(compiled.inputs) != len(in_edges):
+            raise CompilationError(
+                f"stage {stage.name!r}: compiler wired {len(compiled.inputs)} "
+                f"inputs for {len(in_edges)} links"
+            )
+        if len(compiled.outputs) != len(out_edges):
+            raise CompilationError(
+                f"stage {stage.name!r}: compiler produced "
+                f"{len(compiled.outputs)} outputs for {len(out_edges)} links"
+            )
+        for edge, (operator, port) in zip(in_edges, compiled.inputs):
+            src_operator, src_port = producers[edge.name]
+            ohm.connect(
+                src_operator,
+                operator,
+                src_port=src_port,
+                dst_port=port,
+                name=edge.name,
+            )
+        for edge, producer in zip(out_edges, compiled.outputs):
+            producers[edge.name] = producer
+    ohm.propagate_schemas()
+    if cleanup:
+        cleanup_pass(ohm)
+    return ohm
+
+
+def compile_job(
+    job: Job,
+    cleanup: bool = True,
+    registry: Optional[CompilerRegistry] = None,
+) -> OhmGraph:
+    """Compile an ETL job into an OHM instance (both import steps:
+    wrap into the intermediate layer, then compile each stage)."""
+    return compile_intermediate(from_job(job), cleanup=cleanup, registry=registry)
+
+
+__all__ = ["compile_job", "compile_intermediate"]

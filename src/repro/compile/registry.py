@@ -1,0 +1,135 @@
+"""Plugin registry for stage compilers.
+
+"Orchid uses a plug-in architecture and each compiler is a dynamically
+detected plug-in that follows an established interface. ... because there
+is often an overlap in the semantics of the stages, compilers can be
+designed to form a hierarchy of compiler classes; more specific stages
+use compilers that are subclasses of compilers for more general stages"
+(paper section V-A).
+
+Compilers register against a stage *class*; lookup walks the stage's MRO
+so a compiler for a base stage also serves its subclasses unless a more
+specific compiler is registered (e.g. the TableSource compiler handles
+SequentialFileSource for free).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import CompilationError
+from repro.etl.model import Stage
+from repro.ohm.graph import OhmGraph
+from repro.ohm.operators import Operator
+from repro.schema.model import Relation
+
+#: An attachment point inside the emitted subgraph: (operator, port).
+Port = Tuple[Operator, int]
+
+
+class CompiledStage:
+    """The result of compiling one stage: where its input links should be
+    wired into the emitted OHM subgraph, and which operator ports produce
+    each output link.
+
+    A *wire-through* output — a stage with no transformation semantics on
+    that path (Sort, Peek) — is expressed by pointing the output entry at
+    the same (operator, port) pair as an input entry via
+    :meth:`passthrough`.
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[Port],
+        outputs: Sequence[Port],
+    ):
+        self.inputs: List[Port] = list(inputs)
+        self.outputs: List[Port] = list(outputs)
+
+    @classmethod
+    def passthrough(cls) -> "CompiledStage":
+        """A stage compiled away entirely: its single input link feeds its
+        single output link directly."""
+        result = cls([], [])
+        result.is_passthrough = True
+        return result
+
+    is_passthrough = False
+
+
+class StageCompiler:
+    """Base compiler interface.
+
+    :meth:`compile` receives the stage, the schemas on its input links,
+    and the graph to emit operators into; it returns a
+    :class:`CompiledStage` describing the subgraph's boundary ports.
+    """
+
+    def compile(
+        self,
+        stage: Stage,
+        input_schemas: Sequence[Relation],
+        input_names: Sequence[str],
+        output_names: Sequence[str],
+        graph: OhmGraph,
+    ) -> CompiledStage:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class CompilerRegistry:
+    """Stage class → compiler instance, with MRO fallback."""
+
+    def __init__(self):
+        self._compilers: Dict[Type[Stage], StageCompiler] = {}
+
+    def register(
+        self, stage_class: Type[Stage], compiler: StageCompiler, replace: bool = False
+    ) -> None:
+        if not replace and stage_class in self._compilers:
+            raise CompilationError(
+                f"compiler already registered for {stage_class.__name__}"
+            )
+        self._compilers[stage_class] = compiler
+
+    def lookup(self, stage: Stage) -> StageCompiler:
+        for klass in type(stage).__mro__:
+            compiler = self._compilers.get(klass)
+            if compiler is not None:
+                return compiler
+        raise CompilationError(
+            f"no compiler registered for stage type "
+            f"{stage.STAGE_TYPE!r} ({type(stage).__name__})"
+        )
+
+    def supported_stage_classes(self) -> List[Type[Stage]]:
+        return list(self._compilers)
+
+
+#: The default registry, populated by :mod:`repro.compile.stages` at import.
+DEFAULT_COMPILERS = CompilerRegistry()
+
+
+def compiler_for(*stage_classes: Type[Stage], registry: Optional[CompilerRegistry] = None):
+    """Class decorator registering (an instance of) a compiler for the
+    given stage classes."""
+
+    def decorate(compiler_class: Type[StageCompiler]) -> Type[StageCompiler]:
+        instance = compiler_class()
+        for stage_class in stage_classes:
+            (registry or DEFAULT_COMPILERS).register(stage_class, instance)
+        return compiler_class
+
+    return decorate
+
+
+__all__ = [
+    "Port",
+    "CompiledStage",
+    "StageCompiler",
+    "CompilerRegistry",
+    "DEFAULT_COMPILERS",
+    "compiler_for",
+]

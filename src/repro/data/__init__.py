@@ -1,0 +1,19 @@
+"""In-memory data model: rows, datasets (bags), instances, CSV I/O."""
+
+from repro.data.csvio import (
+    dataset_from_csv_text,
+    dataset_to_csv_text,
+    read_csv,
+    write_csv,
+)
+from repro.data.dataset import Dataset, Instance, Row
+
+__all__ = [
+    "Dataset",
+    "Instance",
+    "Row",
+    "read_csv",
+    "write_csv",
+    "dataset_from_csv_text",
+    "dataset_to_csv_text",
+]

@@ -1,0 +1,154 @@
+"""CSV import/export for datasets.
+
+ETL jobs in the wild read and write delimited files; the examples and
+benchmarks use this module to move data in and out of the engines. Values
+are parsed according to the relation's attribute types; empty fields are
+NULL.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import io
+from typing import Iterable, List, Optional, TextIO, Union
+
+from repro.data.dataset import Dataset
+from repro.errors import SerializationError
+from repro.schema.model import Relation
+from repro.schema.types import (
+    BOOLEAN,
+    DATE,
+    DECIMAL,
+    FLOAT,
+    INTEGER,
+    STRING,
+    TIMESTAMP,
+    AtomicType,
+)
+
+
+def _parse_cell(dtype: AtomicType, text: str):
+    if text == "":
+        return None
+    try:
+        if dtype is INTEGER:
+            return int(text)
+        if dtype in (FLOAT, DECIMAL):
+            return float(text)
+        if dtype is BOOLEAN:
+            lowered = text.strip().lower()
+            if lowered in ("true", "t", "1", "yes"):
+                return True
+            if lowered in ("false", "f", "0", "no"):
+                return False
+            raise ValueError(f"bad boolean {text!r}")
+        if dtype is DATE:
+            return datetime.date.fromisoformat(text)
+        if dtype is TIMESTAMP:
+            return datetime.datetime.fromisoformat(text)
+        return text
+    except ValueError as exc:
+        raise SerializationError(f"cannot parse {text!r} as {dtype!r}: {exc}") from exc
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return str(value)
+
+
+def read_csv(
+    source: Union[str, TextIO],
+    relation: Relation,
+    has_header: bool = True,
+) -> Dataset:
+    """Read a CSV file (path or open text file) into a dataset.
+
+    With ``has_header`` the header row selects/reorders columns; without,
+    columns are taken positionally in relation order."""
+    close = False
+    if isinstance(source, str):
+        handle: TextIO = open(source, "r", newline="")
+        close = True
+    else:
+        handle = source
+    try:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    finally:
+        if close:
+            handle.close()
+    if not relation.is_flat():
+        raise SerializationError(
+            f"relation {relation.name!r} is nested; CSV supports flat relations"
+        )
+    if has_header:
+        if not rows:
+            return Dataset(relation)
+        header, data_rows = rows[0], rows[1:]
+        unknown = set(header) - set(relation.attribute_names)
+        if unknown:
+            raise SerializationError(
+                f"CSV header columns {sorted(unknown)} not in relation "
+                f"{relation.name!r}"
+            )
+        columns = header
+    else:
+        data_rows = rows
+        columns = list(relation.attribute_names)
+    dataset = Dataset(relation)
+    for line_number, cells in enumerate(data_rows, start=2 if has_header else 1):
+        if len(cells) != len(columns):
+            raise SerializationError(
+                f"line {line_number}: expected {len(columns)} cells, "
+                f"got {len(cells)}"
+            )
+        row = {
+            name: _parse_cell(relation.attribute(name).dtype, cell)
+            for name, cell in zip(columns, cells)
+        }
+        dataset.append(row)
+    return dataset
+
+
+def write_csv(dataset: Dataset, target: Union[str, TextIO]) -> None:
+    """Write a dataset as CSV with a header row."""
+    close = False
+    if isinstance(target, str):
+        handle: TextIO = open(target, "w", newline="")
+        close = True
+    else:
+        handle = target
+    try:
+        writer = csv.writer(handle)
+        names = list(dataset.relation.attribute_names)
+        writer.writerow(names)
+        for row in dataset:
+            writer.writerow([_format_cell(row.get(n)) for n in names])
+    finally:
+        if close:
+            handle.close()
+
+
+def dataset_from_csv_text(text: str, relation: Relation) -> Dataset:
+    """Parse CSV from an in-memory string (tests and examples)."""
+    return read_csv(io.StringIO(text), relation)
+
+
+def dataset_to_csv_text(dataset: Dataset) -> str:
+    buffer = io.StringIO()
+    write_csv(dataset, buffer)
+    return buffer.getvalue()
+
+
+__all__ = [
+    "read_csv",
+    "write_csv",
+    "dataset_from_csv_text",
+    "dataset_to_csv_text",
+]

@@ -1,0 +1,218 @@
+"""In-memory datasets and instances.
+
+Rows are plain dicts (column name → Python value, ``None`` = NULL); a
+:class:`Dataset` is an ordered *bag* of rows conforming to a
+:class:`~repro.schema.model.Relation`. Bag semantics match both ETL links
+(streams of records, duplicates allowed) and the default behaviour of OHM
+operators.
+
+An :class:`Instance` names several datasets — the input or output of a
+job, an OHM graph, or a set of mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.schema.model import Relation
+from repro.schema.types import coerce_value
+
+Row = Dict[str, object]
+
+
+class Dataset:
+    """An ordered bag of rows over a relation schema."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        rows: Iterable[Mapping] = (),
+        validate: bool = True,
+    ):
+        self._relation = relation
+        self._rows: List[Row] = []
+        for row in rows:
+            self.append(row, validate=validate)
+
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def rows(self) -> List[Row]:
+        return self._rows
+
+    @property
+    def name(self) -> str:
+        return self._relation.name
+
+    def append(self, row: Mapping, validate: bool = True) -> None:
+        """Append a row. When ``validate`` is set, unknown columns raise,
+        missing columns become NULL, and values are checked (with lossless
+        numeric coercion) against the attribute types."""
+        if validate:
+            unknown = set(row) - set(self._relation.attribute_names)
+            if unknown:
+                raise SchemaError(
+                    f"row has columns {sorted(unknown)} not in relation "
+                    f"{self._relation.name!r}"
+                )
+            normalized: Row = {}
+            for attr in self._relation:
+                value = row.get(attr.name)
+                if value is None:
+                    if not attr.nullable:
+                        raise SchemaError(
+                            f"NULL in non-nullable column "
+                            f"{self._relation.name}.{attr.name}"
+                        )
+                    normalized[attr.name] = None
+                else:
+                    normalized[attr.name] = coerce_value(attr.dtype, value)
+            self._rows.append(normalized)
+        else:
+            self._rows.append(dict(row))
+
+    def extend(self, rows: Iterable[Mapping], validate: bool = True) -> None:
+        for row in rows:
+            self.append(row, validate=validate)
+
+    def renamed(self, new_name: str) -> "Dataset":
+        """Same rows over the relation renamed to ``new_name``."""
+        out = Dataset(self._relation.renamed(new_name), validate=False)
+        out._rows = [dict(r) for r in self._rows]
+        return out
+
+    def with_relation(self, relation: Relation) -> "Dataset":
+        """Same rows, re-validated against ``relation``."""
+        return Dataset(relation, self._rows)
+
+    def head(self, n: int = 5) -> List[Row]:
+        return self._rows[:n]
+
+    def column(self, name: str) -> List[object]:
+        self._relation.attribute(name)  # raise on unknown column
+        return [row[name] for row in self._rows]
+
+    def sort_key(self) -> List[Tuple]:
+        """Canonical sortable projection of all rows, for bag comparison."""
+        names = self._relation.attribute_names
+        return sorted(
+            tuple(_orderable(row.get(n)) for n in names) for row in self._rows
+        )
+
+    def same_bag(self, other: "Dataset") -> bool:
+        """True when both datasets hold the same bag of rows (column
+        order and row order are ignored; NULLs compare equal)."""
+        if set(self._relation.attribute_names) != set(
+            other._relation.attribute_names
+        ):
+            return False
+        names = self._relation.attribute_names
+        mine = sorted(
+            tuple(_orderable(row.get(n)) for n in names) for row in self._rows
+        )
+        theirs = sorted(
+            tuple(_orderable(row.get(n)) for n in names) for row in other._rows
+        )
+        return mine == theirs
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Dataset({self._relation.name!r}, {len(self._rows)} rows)"
+
+    def to_table(self, limit: int = 20) -> str:
+        """Pretty-print as an aligned text table (for examples & debug)."""
+        names = list(self._relation.attribute_names)
+        rows = [
+            ["NULL" if row.get(n) is None else str(row.get(n)) for n in names]
+            for row in self._rows[:limit]
+        ]
+        widths = [
+            max([len(n)] + [len(r[i]) for r in rows]) for i, n in enumerate(names)
+        ]
+        def fmt(cells):
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        lines = [fmt(names), "-+-".join("-" * w for w in widths)]
+        lines += [fmt(r) for r in rows]
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+def _orderable(value: object) -> Tuple:
+    """Map a value into a tuple orderable across types (None sorts first,
+    then by type name, then value). Floats that equal ints compare equal."""
+    if value is None:
+        return (0, "", "")
+    if isinstance(value, bool):
+        return (1, "bool", value)
+    if isinstance(value, (int, float)):
+        return (1, "num", float(value))
+    return (1, type(value).__name__, str(value))
+
+
+class Instance:
+    """A named collection of datasets (e.g. 'the source database')."""
+
+    def __init__(self, datasets: Iterable[Dataset] = ()):
+        self._datasets: Dict[str, Dataset] = {}
+        for dataset in datasets:
+            self.add(dataset)
+
+    def add(self, dataset: Dataset) -> "Instance":
+        if dataset.name in self._datasets:
+            raise SchemaError(f"instance already holds dataset {dataset.name!r}")
+        self._datasets[dataset.name] = dataset
+        return self
+
+    def put(self, dataset: Dataset) -> "Instance":
+        """Add or replace."""
+        self._datasets[dataset.name] = dataset
+        return self
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise SchemaError(
+                f"instance has no dataset {name!r}; has {sorted(self._datasets)}"
+            ) from None
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self._datasets.values())
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def same_bags(self, other: "Instance") -> bool:
+        """True when both instances hold the same dataset names and each
+        pair is bag-equal."""
+        if set(self.names) != set(other.names):
+            return False
+        return all(
+            self._datasets[name].same_bag(other.dataset(name))
+            for name in self._datasets
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}({len(ds)})" for name, ds in sorted(self._datasets.items())
+        )
+        return f"Instance({inner})"
+
+
+__all__ = ["Row", "Dataset", "Instance"]

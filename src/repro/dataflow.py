@@ -1,0 +1,329 @@
+"""Generic port-based dataflow graphs.
+
+Both layers of Orchid that hold dataflows — OHM instances (abstract
+layer) and ETL jobs (intermediate layer) — are DAGs of nodes connected
+through ordered input/output ports, with a schema annotation per edge.
+This module holds the machinery common to both;
+:class:`repro.ohm.graph.OhmGraph` and :class:`repro.etl.model.Job`
+specialize it.
+
+A node must provide:
+
+* ``uid`` — graph-unique identifier,
+* ``KIND`` — display name for diagnostics,
+* ``check_port_counts(n_in, n_out)`` — multiplicity validation,
+* ``validate(input_schemas)`` and
+  ``output_relations(input_schemas, out_names)`` — schema propagation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import GraphError, ValidationError
+from repro.schema.model import Relation
+
+_edge_counter = itertools.count(1)
+
+NodeT = TypeVar("NodeT")
+
+
+class Edge:
+    """A schema-annotated dataflow edge between two node ports. Each edge
+    carries a name (e.g. a DataStage link name like ``DSLink10``) which
+    doubles as the name of the relation flowing along it."""
+
+    __slots__ = ("src", "src_port", "dst", "dst_port", "name", "schema")
+
+    def __init__(
+        self,
+        src: str,
+        src_port: int,
+        dst: str,
+        dst_port: int,
+        name: Optional[str] = None,
+        schema: Optional[Relation] = None,
+    ):
+        self.src = src
+        self.src_port = src_port
+        self.dst = dst
+        self.dst_port = dst_port
+        self.name = name or f"Link{next(_edge_counter)}"
+        self.schema = schema
+
+    def __repr__(self) -> str:
+        schema = "" if self.schema is None else f" :: {self.schema!r}"
+        return (
+            f"{self.src}[{self.src_port}] -> {self.dst}[{self.dst_port}] "
+            f"({self.name}){schema}"
+        )
+
+
+class DataflowGraph(Generic[NodeT]):
+    """A directed acyclic multigraph of nodes wired port-to-port."""
+
+    #: what nodes are called in diagnostics ("operator", "stage").
+    node_noun = "node"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._nodes: Dict[str, NodeT] = {}
+        self._edges: List[Edge] = []
+        # adjacency indexes so neighbourhood lookups stay O(degree)
+        self._out: Dict[str, List[Edge]] = {}
+        self._in: Dict[str, List[Edge]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, node: NodeT) -> NodeT:
+        if node.uid in self._nodes:
+            raise GraphError(f"duplicate {self.node_noun} uid {node.uid!r}")
+        self._nodes[node.uid] = node
+        return node
+
+    def connect(
+        self,
+        src,
+        dst,
+        src_port: int = 0,
+        dst_port: int = 0,
+        name: Optional[str] = None,
+    ) -> Edge:
+        src_id = src if isinstance(src, str) else src.uid
+        dst_id = dst if isinstance(dst, str) else dst.uid
+        for node_id in (src_id, dst_id):
+            if node_id not in self._nodes:
+                raise GraphError(f"unknown {self.node_noun} {node_id!r}")
+        for edge in self._out.get(src_id, ()):
+            if edge.src_port == src_port:
+                raise GraphError(
+                    f"output port {src_id}[{src_port}] already connected"
+                )
+        for edge in self._in.get(dst_id, ()):
+            if edge.dst_port == dst_port:
+                raise GraphError(
+                    f"input port {dst_id}[{dst_port}] already connected"
+                )
+        edge = Edge(src_id, src_port, dst_id, dst_port, name)
+        self._insert_edge(edge)
+        return edge
+
+    def _insert_edge(self, edge: Edge) -> None:
+        self._edges.append(edge)
+        self._out.setdefault(edge.src, []).append(edge)
+        self._in.setdefault(edge.dst, []).append(edge)
+
+    def _delete_edge(self, edge: Edge) -> None:
+        self._edges.remove(edge)
+        self._out[edge.src].remove(edge)
+        self._in[edge.dst].remove(edge)
+
+    def chain(self, *nodes: NodeT, names: Sequence[str] = ()) -> List[Edge]:
+        """Add (if absent) and connect nodes in a linear pipeline."""
+        edges = []
+        for node in nodes:
+            if node.uid not in self._nodes:
+                self.add(node)
+        for i in range(len(nodes) - 1):
+            name = names[i] if i < len(names) else None
+            edges.append(self.connect(nodes[i], nodes[i + 1], name=name))
+        return edges
+
+    def remove_node(self, uid: str) -> None:
+        """Remove a node and all its edges."""
+        if uid not in self._nodes:
+            raise GraphError(f"unknown {self.node_noun} {uid!r}")
+        del self._nodes[uid]
+        for edge in list(self._out.get(uid, ())) + list(self._in.get(uid, ())):
+            if edge in self._edges:
+                self._delete_edge(edge)
+        self._out.pop(uid, None)
+        self._in.pop(uid, None)
+
+    def remove_edge(self, edge: Edge) -> None:
+        self._delete_edge(edge)
+
+    def add_edge_object(self, edge: Edge) -> Edge:
+        """Insert a pre-built edge (rewrites use this for fine control)."""
+        self._insert_edge(edge)
+        return edge
+
+    def shallow_copy(self) -> "DataflowGraph":
+        """A structural copy: nodes are shared, edges are fresh objects.
+        Used where a transformation must not disturb the original graph's
+        wiring (deployment normalization, optimization what-ifs)."""
+        clone = type(self)(self.name)
+        clone._nodes = dict(self._nodes)
+        for e in self._edges:
+            clone._insert_edge(
+                Edge(e.src, e.src_port, e.dst, e.dst_port, e.name, e.schema)
+            )
+        return clone
+
+    def splice_out(self, uid: str) -> None:
+        """Remove a 1-in/1-out node, reconnecting producer to consumer.
+
+        The *outgoing* edge's name and schema survive: consumers may
+        reference their input edge by name (qualified conditions, a
+        JOIN's dotted collision columns), while producers never reference
+        their output edge — so the consumer-facing identity is the one
+        that must be preserved."""
+        incoming = self.in_edges(uid)
+        outgoing = self.out_edges(uid)
+        if len(incoming) != 1 or len(outgoing) != 1:
+            raise GraphError(
+                f"cannot splice {uid!r}: needs exactly one input and one "
+                f"output edge, has {len(incoming)}/{len(outgoing)}"
+            )
+        before, after = incoming[0], outgoing[0]
+        del self._nodes[uid]
+        self._delete_edge(before)
+        self._delete_edge(after)
+        self._insert_edge(
+            Edge(
+                before.src,
+                before.src_port,
+                after.dst,
+                after.dst_port,
+                after.name,
+                after.schema,
+            )
+        )
+
+    # -- lookup -------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[NodeT]:
+        return list(self._nodes.values())
+
+    @property
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def node(self, uid: str) -> NodeT:
+        try:
+            return self._nodes[uid]
+        except KeyError:
+            raise GraphError(f"unknown {self.node_noun} {uid!r}") from None
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def in_edges(self, uid: str) -> List[Edge]:
+        found = list(self._in.get(uid, ()))
+        found.sort(key=lambda e: e.dst_port)
+        return found
+
+    def out_edges(self, uid: str) -> List[Edge]:
+        found = list(self._out.get(uid, ()))
+        found.sort(key=lambda e: e.src_port)
+        return found
+
+    def predecessors(self, uid: str) -> List[NodeT]:
+        return [self._nodes[e.src] for e in self.in_edges(uid)]
+
+    def successors(self, uid: str) -> List[NodeT]:
+        return [self._nodes[e.dst] for e in self.out_edges(uid)]
+
+    def edge_between(self, src_uid: str, dst_uid: str) -> Edge:
+        for edge in self._edges:
+            if edge.src == src_uid and edge.dst == dst_uid:
+                return edge
+        raise GraphError(f"no edge {src_uid} -> {dst_uid}")
+
+    def find_edge(self, name: str) -> Edge:
+        for edge in self._edges:
+            if edge.name == name:
+                return edge
+        raise GraphError(f"no edge named {name!r}")
+
+    # -- analysis -----------------------------------------------------------
+
+    def topological_order(self) -> List[NodeT]:
+        """Nodes in dataflow order; raises :class:`GraphError` on cycles."""
+        indegree: Dict[str, int] = {uid: 0 for uid in self._nodes}
+        for edge in self._edges:
+            indegree[edge.dst] += 1
+        ready = sorted(uid for uid, deg in indegree.items() if deg == 0)
+        order: List[NodeT] = []
+        while ready:
+            uid = ready.pop(0)
+            order.append(self._nodes[uid])
+            for edge in self.out_edges(uid):
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self._nodes):
+            stuck = sorted(set(self._nodes) - {n.uid for n in order})
+            raise GraphError(f"graph has a cycle involving {stuck}")
+        return order
+
+    def validate_structure(self) -> None:
+        """Port multiplicities honoured, contiguous ports, acyclic."""
+        self.topological_order()
+        for uid, node in self._nodes.items():
+            incoming = self.in_edges(uid)
+            outgoing = self.out_edges(uid)
+            node.check_port_counts(len(incoming), len(outgoing))
+            for kind, edges, port_of in (
+                ("input", incoming, lambda e: e.dst_port),
+                ("output", outgoing, lambda e: e.src_port),
+            ):
+                ports = sorted(port_of(e) for e in edges)
+                if ports != list(range(len(ports))):
+                    raise ValidationError(
+                        f"{node.KIND} {uid}: non-contiguous {kind} ports {ports}"
+                    )
+
+    def propagate_schemas(self) -> None:
+        """Compute every edge's schema annotation source→target order,
+        validating each node against its input schemas."""
+        self.validate_structure()
+        for node in self.topological_order():
+            in_edges = self.in_edges(node.uid)
+            inputs = []
+            for edge in in_edges:
+                if edge.schema is None:
+                    raise GraphError(
+                        f"edge {edge!r} has no schema after propagation; "
+                        "graph is not connected to sources"
+                    )
+                inputs.append(edge.schema)
+            node.validate(inputs)
+            out_edges = self.out_edges(node.uid)
+            if not out_edges:
+                continue
+            outputs = node.output_relations(inputs, [e.name for e in out_edges])
+            for edge, schema in zip(out_edges, outputs):
+                edge.schema = schema
+
+    def kinds_in_order(self) -> List[str]:
+        """Node kinds in topological order — handy in tests asserting a
+        graph's shape against the paper's figures."""
+        return [node.KIND for node in self.topological_order()]
+
+    def to_dot(self) -> str:
+        """GraphViz rendering."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for uid, node in self._nodes.items():
+            label = getattr(node, "label", None) or node.KIND
+            if label != node.KIND:
+                label = f"{node.KIND}\\n{label}"
+            lines.append(f'  "{uid}" [label="{label}", shape=box];')
+        for edge in self._edges:
+            lines.append(f'  "{edge.src}" -> "{edge.dst}" [label="{edge.name}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, {len(self._nodes)} "
+            f"{self.node_noun}s, {len(self._edges)} edges)"
+        )
+
+
+__all__ = ["Edge", "DataflowGraph"]

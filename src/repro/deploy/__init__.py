@@ -1,0 +1,49 @@
+"""Deployment of OHM instances to runtime platforms (paper section VI-B):
+the RP framework, the DataStage platform, the SQL platform, and the
+hybrid pushdown planner."""
+
+from repro.deploy.datastage import (
+    DATASTAGE,
+    build_datastage_platform,
+    build_minimal_platform,
+    deploy_to_job,
+)
+from repro.deploy.platform import (
+    Box,
+    DeploymentPlan,
+    RpOperator,
+    RuntimePlatform,
+    plan_deployment,
+)
+from repro.deploy.pushdown import HybridPlan, plan_pushdown
+from repro.deploy.shapes import BoxShape, analyze_box
+from repro.deploy.sql import (
+    DEFAULT_DIALECT,
+    SqliteDialect,
+    SqliteRunner,
+    mapping_to_select,
+    mappings_to_select,
+    run_mapping_as_sql,
+)
+
+__all__ = [
+    "DATASTAGE",
+    "build_datastage_platform",
+    "build_minimal_platform",
+    "deploy_to_job",
+    "Box",
+    "DeploymentPlan",
+    "RpOperator",
+    "RuntimePlatform",
+    "plan_deployment",
+    "HybridPlan",
+    "plan_pushdown",
+    "BoxShape",
+    "analyze_box",
+    "DEFAULT_DIALECT",
+    "SqliteDialect",
+    "SqliteRunner",
+    "mapping_to_select",
+    "mappings_to_select",
+    "run_mapping_as_sql",
+]

@@ -1,0 +1,205 @@
+"""The runtime-platform framework and the deployment planner.
+
+Paper section VI-B: "Orchid first assigns each operator to a RP ... When
+a runtime platform is registered in Orchid, it must declare a number of
+available runtime operators. ... Every such runtime operator specifies
+which OHM operator(s) it can fully implement. ... The next step is to
+merge neighboring RP operator boxes to capture more complex processing
+tasks that span multiple OHM operators. ... we merge RP operator boxes as
+much as possible, thus preferring solutions that have less RP operators
+... we use a greedy strategy for combining boxes, starting with the
+operators closest to the data sources and attempting to combine them with
+adjacent operators until this is no longer possible. Finally, Orchid
+chooses the RP operator for boxes that contain multiple alternatives."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.deploy.shapes import BoxShape, analyze_box
+from repro.errors import DeploymentError
+from repro.ohm.graph import OhmGraph
+from repro.ohm.operators import Operator, Source, Target
+
+
+class RpOperator:
+    """One runtime-platform operator (e.g. the DataStage Filter stage).
+
+    :ivar name: the runtime operator's name.
+    :ivar priority: tie-break when several RP operators can implement a
+        box — higher wins ("a Filter stage would be the natural choice,
+        because ... no complex projection operations ... are required").
+    """
+
+    name = "rp-operator"
+    priority = 0
+
+    def matches(self, graph: OhmGraph, shape: BoxShape) -> bool:
+        """Can this runtime operator fully implement the box?"""
+        raise NotImplementedError
+
+    def build(self, graph: OhmGraph, shape: BoxShape, box: "Box"):
+        """Construct the configured runtime stage for a matched box.
+        Returns the platform's stage object."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<RpOperator {self.name}>"
+
+
+class RuntimePlatform:
+    """A registered runtime platform with its operator repertoire."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.operators: List[RpOperator] = []
+
+    def register(self, operator: RpOperator) -> RpOperator:
+        self.operators.append(operator)
+        return operator
+
+    def candidates(self, graph: OhmGraph, uids: Set[str]) -> List[RpOperator]:
+        """RP operators able to implement the box, best-priority first."""
+        shape = analyze_box(graph, uids)
+        if shape is None:
+            return []
+        found = [op for op in self.operators if op.matches(graph, shape)]
+        found.sort(key=lambda op: -op.priority)
+        return found
+
+    def __repr__(self) -> str:
+        return f"RuntimePlatform({self.name!r}, {[o.name for o in self.operators]})"
+
+
+class Box:
+    """A set of OHM operators to be implemented by one RP operator."""
+
+    def __init__(self, uids: Set[str]):
+        self.uids = set(uids)
+        self.candidates: List[RpOperator] = []
+
+    @property
+    def chosen(self) -> RpOperator:
+        if not self.candidates:
+            raise DeploymentError(f"box {sorted(self.uids)} has no RP operator")
+        return self.candidates[0]
+
+    def __repr__(self) -> str:
+        names = [c.name for c in self.candidates]
+        return f"Box({sorted(self.uids)}, candidates={names})"
+
+
+class DeploymentPlan:
+    """The result of planning: boxes in dataflow order, plus the access
+    operators that bypass boxing (SOURCE/TARGET)."""
+
+    def __init__(
+        self,
+        graph: OhmGraph,
+        boxes: List[Box],
+        platform: RuntimePlatform,
+    ):
+        self.graph = graph
+        self.boxes = boxes
+        self.platform = platform
+        self._box_of: Dict[str, Box] = {}
+        for box in boxes:
+            for uid in box.uids:
+                self._box_of[uid] = box
+
+    def box_of(self, uid: str) -> Optional[Box]:
+        return self._box_of.get(uid)
+
+    def boundary_edges(self):
+        """Edges crossing between boxes or between a box and an access
+        operator — these become job links."""
+        for edge in self.graph.edges:
+            src_box = self._box_of.get(edge.src)
+            dst_box = self._box_of.get(edge.dst)
+            if src_box is None or dst_box is None or src_box is not dst_box:
+                yield edge
+
+    def describe(self) -> str:
+        """Human-readable plan summary (the Figure 10 boxes)."""
+        lines = [f"deployment plan for {self.graph.name!r} on {self.platform.name}:"]
+        for i, box in enumerate(self.boxes, 1):
+            kinds = " + ".join(
+                self.graph.operator(uid).KIND
+                for uid in sorted(
+                    box.uids,
+                    key=lambda u: [o.uid for o in self.graph.topological_order()].index(u),
+                )
+            )
+            alternatives = ", ".join(c.name for c in box.candidates)
+            lines.append(f"  box {i}: [{kinds}] -> {box.chosen.name} "
+                         f"(alternatives: {alternatives})")
+        return "\n".join(lines)
+
+
+def plan_deployment(
+    graph: OhmGraph, platform: RuntimePlatform, merge: bool = True
+) -> DeploymentPlan:
+    """Assign every non-access operator to a box, then greedily merge
+    neighbouring boxes source→target while a single RP operator still
+    implements the union.
+
+    ``merge=False`` skips the merging step (one RP operator per OHM
+    operator) — the ablation the paper's "preferring solutions that have
+    less RP operators" heuristic is measured against."""
+    graph.propagate_schemas()
+    order = graph.topological_order()
+    boxes: List[Box] = []
+    box_of: Dict[str, Box] = {}
+    for op in order:
+        if isinstance(op, (Source, Target)):
+            continue
+        box = Box({op.uid})
+        box.candidates = platform.candidates(graph, box.uids)
+        if not box.candidates:
+            raise DeploymentError(
+                f"platform {platform.name!r} has no runtime operator for "
+                f"{op.KIND} {op.uid} ({op.label})"
+            )
+        boxes.append(box)
+        box_of[op.uid] = box
+
+    changed = merge
+    while changed:
+        changed = False
+        for box in list(boxes):
+            if box not in boxes:
+                continue
+            for edge in list(graph.edges):
+                if edge.src not in box.uids:
+                    continue
+                neighbour = box_of.get(edge.dst)
+                if neighbour is None or neighbour is box:
+                    continue
+                merged_uids = box.uids | neighbour.uids
+                candidates = platform.candidates(graph, merged_uids)
+                if not candidates:
+                    continue
+                box.uids = merged_uids
+                box.candidates = candidates
+                boxes.remove(neighbour)
+                for uid in neighbour.uids:
+                    box_of[uid] = box
+                changed = True
+                break
+            if changed:
+                break
+
+    # order boxes by the topological position of their first operator
+    position = {op.uid: i for i, op in enumerate(order)}
+    boxes.sort(key=lambda b: min(position[uid] for uid in b.uids))
+    return DeploymentPlan(graph, boxes, platform)
+
+
+__all__ = [
+    "RpOperator",
+    "RuntimePlatform",
+    "Box",
+    "DeploymentPlan",
+    "plan_deployment",
+]

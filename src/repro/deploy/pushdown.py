@@ -1,0 +1,288 @@
+"""Pushdown analysis: hybrid SQL + ETL deployment (paper section VI-B).
+
+"Orchid pushes as much processing as possible to the DBMS by identifying
+maximal OHM operator subgraphs that process data originating from the
+same source and assigning the operators to the DBMS platform, if the
+operator is supported by the DBMS. In our example scenario, Orchid
+identifies the operators up to and including the GROUP operator as
+operators to be pushed into the DBMS."
+
+Which operators are pushable mirrors the mapping-composition rules: a
+maximal pushed region is exactly a region whose composed mapping is one
+single-block SELECT (or a UNION ALL of them). The *frontier* edges — the
+cuts between the pushed region and the residual ETL job — become SQL
+statements; the residual graph deploys to the ETL platform as usual.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.data.dataset import Dataset, Instance
+from repro.dataflow import Edge
+from repro.deploy.datastage import DATASTAGE, deploy_to_job
+from repro.deploy.platform import RuntimePlatform
+from repro.deploy.sql import (
+    DEFAULT_DIALECT,
+    SqliteDialect,
+    SqliteRunner,
+    mappings_to_select,
+)
+from repro.errors import DeploymentError
+from repro.etl.engine import run_job
+from repro.etl.model import Job
+from repro.expr.ast import ColumnRef
+from repro.mapping.from_ohm import ohm_to_mappings
+from repro.ohm.graph import OhmGraph
+from repro.ohm.operators import (
+    Filter,
+    Group,
+    Join,
+    Operator,
+    Project,
+    Source,
+    Split,
+    Target,
+    Union,
+    Unknown,
+)
+from repro.ohm.subtypes import KeyGen
+
+
+class _PushState:
+    __slots__ = ("pushable", "grouped")
+
+    def __init__(self, pushable: bool, grouped: bool = False):
+        self.pushable = pushable
+        self.grouped = grouped
+
+
+def _classify(
+    graph: OhmGraph, dialect: SqliteDialect
+) -> Dict[str, _PushState]:
+    """Pushability per operator, tracking the same 'grouped' composition
+    blocker the mapping extraction uses."""
+    states: Dict[str, _PushState] = {}
+    for op in graph.topological_order():
+        inputs = [states[e.src] for e in graph.in_edges(op.uid)]
+        if isinstance(op, Source):
+            states[op.uid] = _PushState(op.provider is None)
+            continue
+        if isinstance(op, Target) or not inputs:
+            states[op.uid] = _PushState(False)
+            continue
+        if not all(s.pushable for s in inputs):
+            states[op.uid] = _PushState(False)
+            continue
+        states[op.uid] = self_state = _PushState(False)
+        if isinstance(op, KeyGen):
+            continue  # surrogate keys are an engine-side feature
+        if isinstance(op, Filter):
+            if not inputs[0].grouped and dialect.supports_expression(
+                op.condition
+            ):
+                self_state.pushable = True
+                self_state.grouped = inputs[0].grouped
+            continue
+        if isinstance(op, Project):
+            supported = all(
+                dialect.supports_expression(e) for _c, e in op.derivations
+            )
+            is_rename = all(
+                isinstance(e, ColumnRef) for _c, e in op.derivations
+            )
+            if supported and (not inputs[0].grouped or is_rename):
+                self_state.pushable = True
+                self_state.grouped = inputs[0].grouped
+            continue
+        if isinstance(op, Join):
+            if (
+                op.kind == "inner"
+                and not any(s.grouped for s in inputs)
+                and dialect.supports_expression(op.condition)
+            ):
+                self_state.pushable = True
+            continue
+        if isinstance(op, Group):
+            supported = all(
+                dialect.supports_expression(agg) for _c, agg in op.aggregates
+            )
+            if not inputs[0].grouped and supported:
+                self_state.pushable = True
+                self_state.grouped = True
+            continue
+        if isinstance(op, Union):
+            # each branch becomes its own SELECT in a UNION ALL
+            self_state.pushable = True
+            self_state.grouped = op.distinct
+            continue
+        # SPLIT, UNKNOWN, NEST, UNNEST: never pushed
+    return states
+
+
+class HybridPlan:
+    """A combined deployment: SQL statements computing the frontier
+    relations on the DBMS, plus the residual ETL job reading them.
+
+    :ivar statements: frontier relation name → SELECT statement.
+    :ivar frontier_schemas: frontier relation name → relation.
+    :ivar job: the residual ETL job (its sources include the frontier
+        relations).
+    :ivar pushed_operator_uids: which OHM operators were pushed.
+    """
+
+    def __init__(
+        self,
+        statements: Dict[str, str],
+        frontier_schemas: Dict[str, object],
+        job: Job,
+        pushed_operator_uids: Set[str],
+        plan,
+    ):
+        self.statements = statements
+        self.frontier_schemas = frontier_schemas
+        self.job = job
+        self.pushed_operator_uids = pushed_operator_uids
+        self.etl_plan = plan
+
+    def execute(self, instance: Instance) -> Instance:
+        """Run the hybrid: SQL on the (sqlite) DBMS holding the source
+        data, then the residual ETL job over the query results plus any
+        base relations the residual job still reads directly."""
+        runner = SqliteRunner(instance)
+        try:
+            enriched = Instance()
+            for dataset in instance:
+                enriched.put(dataset)
+            for name, sql in self.statements.items():
+                enriched.put(runner.query(sql, self.frontier_schemas[name]))
+            return run_job(self.job, enriched)
+        finally:
+            runner.close()
+
+    def describe(self) -> str:
+        lines = ["hybrid SQL + ETL deployment:"]
+        for name, sql in self.statements.items():
+            lines.append(f"  -- {name} (pushed to the DBMS)")
+            for line in sql.splitlines():
+                lines.append(f"     {line}")
+        lines.append(
+            f"  residual ETL job {self.job.name!r} with stages: "
+            f"{[s.name for s in self.job.stages]}"
+        )
+        return "\n".join(lines)
+
+
+def plan_pushdown(
+    graph: OhmGraph,
+    platform: Optional[RuntimePlatform] = None,
+    dialect: Optional[SqliteDialect] = None,
+) -> HybridPlan:
+    """Compute the maximal pushdown plan for an OHM instance."""
+    dialect = dialect or DEFAULT_DIALECT
+    work = graph.shallow_copy()
+    work.propagate_schemas()
+    states = _classify(work, dialect)
+    pushed = {uid for uid, s in states.items() if s.pushable}
+    # drop pushed operators none of whose consumers exist (defensive) and
+    # find the frontier: edges from pushed to not-pushed
+    frontier: List[Edge] = [
+        e for e in work.edges
+        if e.src in pushed and e.dst not in pushed
+    ]
+    if not frontier:
+        raise DeploymentError("nothing can be pushed down in this graph")
+    # only keep pushed operators that actually feed a frontier edge
+    feeding: Set[str] = set()
+    to_visit = [e.src for e in frontier]
+    while to_visit:
+        uid = to_visit.pop()
+        if uid in feeding:
+            continue
+        feeding.add(uid)
+        to_visit.extend(
+            e.src for e in work.in_edges(uid) if e.src in pushed
+        )
+    pushed = feeding
+
+    statements: Dict[str, str] = {}
+    frontier_schemas: Dict[str, object] = {}
+    for edge in frontier:
+        sub = _pushed_subgraph(work, pushed, edge)
+        mappings = ohm_to_mappings(sub)
+        producers = mappings.producers_of(edge.name)
+        if len(producers) != len(mappings.mappings) or not producers:
+            raise DeploymentError(
+                f"pushed region at {edge.name} did not compose into a "
+                "single SQL block; this is a bug in the pushability rules"
+            )
+        statements[edge.name] = mappings_to_select(producers, dialect)
+        frontier_schemas[edge.name] = edge.schema
+
+    residual = _residual_graph(work, pushed, frontier)
+    job, plan = deploy_to_job(
+        residual, platform, name=f"{graph.name}_residual"
+    )
+    return HybridPlan(statements, frontier_schemas, job, pushed, plan)
+
+
+def _pushed_subgraph(
+    graph: OhmGraph, pushed: Set[str], frontier_edge: Edge
+) -> OhmGraph:
+    """The cone of pushed operators feeding one frontier edge, terminated
+    by a TARGET carrying the frontier relation."""
+    cone: Set[str] = set()
+    to_visit = [frontier_edge.src]
+    while to_visit:
+        uid = to_visit.pop()
+        if uid in cone:
+            continue
+        cone.add(uid)
+        to_visit.extend(
+            e.src for e in graph.in_edges(uid) if e.src in pushed
+        )
+    sub = OhmGraph(f"pushed:{frontier_edge.name}")
+    for uid in cone:
+        sub.add(graph.operator(uid))
+    for edge in graph.edges:
+        if edge.src in cone and edge.dst in cone:
+            sub.add_edge_object(
+                Edge(edge.src, edge.src_port, edge.dst, edge.dst_port,
+                     edge.name, edge.schema)
+            )
+    target = Target(frontier_edge.schema)
+    sub.add(target)
+    sub.add_edge_object(
+        Edge(frontier_edge.src, frontier_edge.src_port, target.uid, 0,
+             frontier_edge.name, frontier_edge.schema)
+    )
+    return sub
+
+
+def _residual_graph(
+    graph: OhmGraph, pushed: Set[str], frontier: List[Edge]
+) -> OhmGraph:
+    """The not-pushed remainder, reading the frontier relations through
+    fresh SOURCE operators."""
+    residual = OhmGraph(f"{graph.name}_residual")
+    for op in graph.operators:
+        if op.uid not in pushed:
+            residual.add(op)
+    for edge in graph.edges:
+        if edge.src not in pushed and edge.dst not in pushed:
+            residual.add_edge_object(
+                Edge(edge.src, edge.src_port, edge.dst, edge.dst_port,
+                     edge.name, edge.schema)
+            )
+    for edge in frontier:
+        source = Source(edge.schema, label=edge.name)
+        residual.add(source)
+        residual.add_edge_object(
+            Edge(source.uid, 0, edge.dst, edge.dst_port, edge.name,
+                 edge.schema)
+        )
+    residual.propagate_schemas()
+    return residual
+
+
+__all__ = ["HybridPlan", "plan_pushdown"]

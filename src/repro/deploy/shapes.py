@@ -1,0 +1,208 @@
+"""Shape analysis of OHM operator boxes.
+
+Deployment planning (paper section VI-B) encloses OHM operators in "RP
+operator boxes" and merges neighbouring boxes when a single runtime
+platform operator can implement the union. Whether it can is a *template*
+question: "Each RP operator registers a template OHM subgraph that
+represents its transformation semantics ... the Aggregator template
+starts with a GROUP operator and cannot match a subgraph that starts with
+BASIC PROJECT."
+
+This module canonicalizes a candidate box (a connected set of operator
+uids) into one of a small set of shapes the RP operator templates are
+written against:
+
+* ``linear``  — a single chain of 1-in/1-out operators,
+* ``fanout``  — a SPLIT at the entry, each output followed by a linear
+  chain (the Figure 6 shape),
+* ``join``    — a JOIN at the entry, optionally followed by a chain,
+* ``union``   — a UNION at the entry, optionally followed by a chain,
+* ``opaque``  — a single UNKNOWN.
+
+``None`` means the box has no recognizable shape (so no RP operator can
+claim it and the merge is rejected).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.ohm.graph import OhmGraph
+from repro.ohm.operators import (
+    Filter,
+    Group,
+    Join,
+    Operator,
+    Project,
+    Source,
+    Split,
+    Target,
+    Union,
+    Unknown,
+)
+
+
+class BoxShape:
+    """Canonical structure of a box.
+
+    :ivar kind: ``linear`` / ``fanout`` / ``join`` / ``union`` / ``opaque``.
+    :ivar head: the entry operator for non-linear kinds (SPLIT/JOIN/UNION/
+        UNKNOWN), else None.
+    :ivar branches: for ``fanout``: one operator chain per SPLIT output
+        (possibly empty); for the other kinds a single chain (the
+        operators after the head, or the whole box for ``linear``).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        head: Optional[Operator],
+        branches: List[List[Operator]],
+    ):
+        self.kind = kind
+        self.head = head
+        self.branches = branches
+
+    @property
+    def chain(self) -> List[Operator]:
+        """The single chain of a non-fanout shape."""
+        return self.branches[0] if self.branches else []
+
+    def __repr__(self) -> str:
+        inner = "; ".join(
+            " -> ".join(op.KIND for op in branch) for branch in self.branches
+        )
+        head = f"{self.head.KIND} | " if self.head else ""
+        return f"BoxShape({self.kind}: {head}{inner})"
+
+
+def _internal_out_edges(graph: OhmGraph, uids: Set[str], uid: str):
+    return [e for e in graph.out_edges(uid) if e.dst in uids]
+
+
+def _internal_in_edges(graph: OhmGraph, uids: Set[str], uid: str):
+    return [e for e in graph.in_edges(uid) if e.src in uids]
+
+
+def _follow_chain(
+    graph: OhmGraph, uids: Set[str], start_uid: Optional[str]
+) -> Optional[List[Operator]]:
+    """Walk a linear chain of box members starting at ``start_uid``;
+    every member must be 1-in/1-out within the graph. Returns None when
+    the walk branches or revisits."""
+    chain: List[Operator] = []
+    current = start_uid
+    seen: Set[str] = set()
+    while current is not None:
+        if current in seen:
+            return None
+        seen.add(current)
+        op = graph.operator(current)
+        chain.append(op)
+        internal_next = _internal_out_edges(graph, uids, current)
+        if len(internal_next) > 1:
+            return None
+        current = internal_next[0].dst if internal_next else None
+    return chain
+
+
+def analyze_box(graph: OhmGraph, uids: Set[str]) -> Optional[BoxShape]:
+    """Canonicalize the box into a :class:`BoxShape`, or None."""
+    uids = set(uids)
+    if not uids:
+        return None
+    ops = [graph.operator(uid) for uid in uids]
+    if any(isinstance(op, (Source, Target)) for op in ops):
+        return None
+    entries = [
+        op for op in ops
+        if any(e.src not in uids for e in graph.in_edges(op.uid))
+        or not graph.in_edges(op.uid)
+    ]
+    if len(entries) != 1:
+        return None
+    entry = entries[0]
+    # every other member must be reachable from the entry inside the box
+    if isinstance(entry, Unknown):
+        if len(uids) != 1:
+            return None
+        return BoxShape("opaque", entry, [[]])
+    if isinstance(entry, Split):
+        branches: List[List[Operator]] = []
+        for edge in graph.out_edges(entry.uid):
+            if edge.dst in uids:
+                chain = _follow_chain(graph, uids, edge.dst)
+                if chain is None:
+                    return None
+                branches.append(chain)
+            else:
+                branches.append([])
+        members = {entry.uid} | {
+            op.uid for branch in branches for op in branch
+        }
+        if members != uids:
+            return None
+        if not _branches_are_simple(graph, branches, uids):
+            return None
+        return BoxShape("fanout", entry, branches)
+    if isinstance(entry, (Join, Union)):
+        internal_next = _internal_out_edges(graph, uids, entry.uid)
+        if len(graph.out_edges(entry.uid)) != 1:
+            return None
+        if internal_next:
+            chain = _follow_chain(graph, uids, internal_next[0].dst)
+            if chain is None:
+                return None
+        else:
+            chain = []
+        members = {entry.uid} | {op.uid for op in chain}
+        if members != uids:
+            return None
+        if not _branches_are_simple(graph, [chain], uids):
+            return None
+        kind = "join" if isinstance(entry, Join) else "union"
+        return BoxShape(kind, entry, [chain])
+    # linear: entry itself starts the chain
+    chain = _follow_chain(graph, uids, entry.uid)
+    if chain is None:
+        return None
+    if {op.uid for op in chain} != uids:
+        return None
+    if not _branches_are_simple(graph, [chain], uids):
+        return None
+    return BoxShape("linear", None, [chain])
+
+
+def _branches_are_simple(
+    graph: OhmGraph, branches: List[List[Operator]], uids: Set[str]
+) -> bool:
+    """Chain members must be plain 1-in/1-out operators (FILTER/PROJECT
+    family, GROUP) — no nested splits/joins inside a chain."""
+    for branch in branches:
+        for op in branch:
+            if isinstance(op, (Split, Join, Union, Unknown, Source, Target)):
+                return False
+            if len(graph.in_edges(op.uid)) != 1:
+                return False
+            if len(graph.out_edges(op.uid)) > 1:
+                return False
+    return True
+
+
+def chain_matches(
+    chain: Sequence[Operator], pattern: Sequence[Tuple[type, bool]]
+) -> bool:
+    """Match a chain against an ordered pattern of ``(operator class,
+    optional)`` pairs — how RP templates express e.g. FILTER? → PROJECT?.
+    Subclass instances match their base class entry unless a more
+    specific entry exists earlier in the pattern."""
+    i = 0
+    for klass, optional in pattern:
+        if i < len(chain) and isinstance(chain[i], klass):
+            i += 1
+        elif not optional:
+            return False
+    return i == len(chain)
+
+
+__all__ = ["BoxShape", "analyze_box", "chain_matches"]

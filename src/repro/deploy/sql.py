@@ -1,0 +1,336 @@
+"""SQL runtime platform: SQL generation and a DBMS runner.
+
+Paper section VI-B: "An interesting case occurs when one of the RP is the
+DBMS managing the source data. Orchid can use the deployment algorithm to
+do a pushdown analysis, allowing the left-most part of the operator graph
+to be deployed as an SQL query that retrieves the filtered and joined
+data. ... In effect, the SQL statement is slowly built as the OHM graph
+is visited from left-to-right."
+
+Our SQL statements are built from the same composition machinery the
+mapping extraction uses: a composed (partial) mapping *is* a single-block
+SELECT — sources = FROM, where = WHERE, group-by = GROUP BY, derivations
+= the select list; several mappings sharing a target become UNION ALL
+branches. The paper's DB2 is substituted by Python's bundled sqlite3
+(see DESIGN.md), which executes the generated statements so pushdown
+plans can be verified end-to-end.
+"""
+
+from __future__ import annotations
+
+import datetime
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.dataset import Dataset, Instance
+from repro.errors import DeploymentError, ExecutionError
+from repro.expr.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.mapping.model import Mapping, MappingSet
+from repro.schema.model import Relation
+from repro.schema.types import BOOLEAN, DATE, TIMESTAMP, AtomicType
+
+
+class SqliteDialect:
+    """Renders expressions to SQLite SQL and declares which functions and
+    aggregates the DBMS supports (the pushdown analysis consults this:
+    "if the operator is supported by the DBMS")."""
+
+    #: scalar functions renderable natively (by the same name)
+    NATIVE_FUNCTIONS = {
+        "UPPER", "LOWER", "TRIM", "LTRIM", "RTRIM", "LENGTH", "SUBSTR",
+        "REPLACE", "INSTR", "ABS", "ROUND", "COALESCE", "IFNULL", "NULLIF",
+    }
+    #: functions with special renderings
+    SPECIAL_FUNCTIONS = {
+        "CONCAT", "ADD_DAYS", "YEARS_BETWEEN", "TO_STRING", "TO_INTEGER",
+        "TO_FLOAT", "MOD",
+    }
+    SUPPORTED_AGGREGATES = {"SUM", "COUNT", "AVG", "MIN", "MAX"}
+
+    def supports_function(self, name: str) -> bool:
+        name = name.upper()
+        return name in self.NATIVE_FUNCTIONS or name in self.SPECIAL_FUNCTIONS
+
+    def supports_expression(self, expr: Expr) -> bool:
+        """True when every node of the expression is renderable."""
+        for node in expr.walk():
+            if isinstance(node, FunctionCall) and not self.supports_function(
+                node.name
+            ):
+                return False
+            if isinstance(node, AggregateCall):
+                if node.func not in self.SUPPORTED_AGGREGATES:
+                    return False
+        return True
+
+    # -- rendering ----------------------------------------------------------------
+
+    def quote_identifier(self, name: str) -> str:
+        escaped = name.replace('"', '""')
+        return f'"{escaped}"'
+
+    def render_literal(self, value) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, str):
+            return "'" + value.replace("'", "''") + "'"
+        if isinstance(value, datetime.datetime):
+            return "'" + value.isoformat(sep=" ") + "'"
+        if isinstance(value, datetime.date):
+            return "'" + value.isoformat() + "'"
+        return repr(value)
+
+    def render(self, expr: Expr) -> str:
+        if isinstance(expr, Literal):
+            return self.render_literal(expr.value)
+        if isinstance(expr, ColumnRef):
+            rendered = self.quote_identifier(expr.name)
+            if expr.qualifier:
+                return f"{self.quote_identifier(expr.qualifier)}.{rendered}"
+            return rendered
+        if isinstance(expr, BinaryOp):
+            left, right = self.render(expr.left), self.render(expr.right)
+            return f"({left} {expr.op} {right})"
+        if isinstance(expr, UnaryOp):
+            inner = self.render(expr.operand)
+            return f"(NOT {inner})" if expr.op == "NOT" else f"(-{inner})"
+        if isinstance(expr, FunctionCall):
+            return self._render_function(expr)
+        if isinstance(expr, AggregateCall):
+            if expr.arg is None:
+                return "COUNT(*)"
+            prefix = "DISTINCT " if expr.distinct else ""
+            return f"{expr.func}({prefix}{self.render(expr.arg)})"
+        if isinstance(expr, Case):
+            parts = ["CASE"]
+            for cond, value in expr.whens:
+                parts.append(
+                    f"WHEN {self.render(cond)} THEN {self.render(value)}"
+                )
+            if expr.default is not None:
+                parts.append(f"ELSE {self.render(expr.default)}")
+            parts.append("END")
+            return "(" + " ".join(parts) + ")"
+        if isinstance(expr, IsNull):
+            middle = "IS NOT NULL" if expr.negated else "IS NULL"
+            return f"({self.render(expr.operand)} {middle})"
+        if isinstance(expr, InList):
+            items = ", ".join(self.render(i) for i in expr.items)
+            middle = "NOT IN" if expr.negated else "IN"
+            return f"({self.render(expr.operand)} {middle} ({items}))"
+        if isinstance(expr, Between):
+            middle = "NOT BETWEEN" if expr.negated else "BETWEEN"
+            return (
+                f"({self.render(expr.operand)} {middle} "
+                f"{self.render(expr.low)} AND {self.render(expr.high)})"
+            )
+        if isinstance(expr, Like):
+            middle = "NOT LIKE" if expr.negated else "LIKE"
+            return (
+                f"({self.render(expr.operand)} {middle} "
+                f"{self.render(expr.pattern)})"
+            )
+        raise DeploymentError(f"cannot render {expr!r} as SQL")
+
+    def _render_function(self, call: FunctionCall) -> str:
+        name = call.name
+        args = [self.render(a) for a in call.args]
+        if name in self.NATIVE_FUNCTIONS:
+            return f"{name}({', '.join(args)})"
+        if name == "CONCAT":
+            return "(" + " || ".join(args) + ")"
+        if name == "MOD":
+            return f"({args[0]} % {args[1]})"
+        if name == "TO_STRING":
+            return f"CAST({args[0]} AS TEXT)"
+        if name == "TO_INTEGER":
+            return f"CAST({args[0]} AS INTEGER)"
+        if name == "TO_FLOAT":
+            return f"CAST({args[0]} AS REAL)"
+        if name == "ADD_DAYS":
+            return f"date({args[0]}, '+' || CAST({args[1]} AS TEXT) || ' days')"
+        if name == "YEARS_BETWEEN":
+            return (
+                f"CAST((julianday({args[0]}) - julianday({args[1]})) "
+                "/ 365.2425 AS INTEGER)"
+            )
+        raise DeploymentError(f"SQL dialect does not support function {name}")
+
+
+DEFAULT_DIALECT = SqliteDialect()
+
+
+def mapping_to_select(
+    mapping: Mapping, dialect: Optional[SqliteDialect] = None
+) -> str:
+    """One mapping → one single-block SELECT statement."""
+    dialect = dialect or DEFAULT_DIALECT
+    if mapping.is_opaque:
+        raise DeploymentError(
+            f"opaque mapping {mapping.name} cannot be deployed as SQL"
+        )
+    select_items = []
+    for col, expr in mapping.derivations:
+        if not dialect.supports_expression(expr):
+            raise DeploymentError(
+                f"{mapping.name}: derivation {col!r} uses a function the "
+                "SQL platform does not support"
+            )
+        select_items.append(
+            f"{dialect.render(expr)} AS {dialect.quote_identifier(col)}"
+        )
+    from_items = [
+        f"{dialect.quote_identifier(b.relation.name)} AS "
+        f"{dialect.quote_identifier(b.var)}"
+        for b in mapping.sources
+    ]
+    sql = "SELECT " + ", ".join(select_items)
+    sql += " FROM " + ", ".join(from_items)
+    conjuncts = mapping.where_conjuncts()
+    if conjuncts:
+        for c in conjuncts:
+            if not dialect.supports_expression(c):
+                raise DeploymentError(
+                    f"{mapping.name}: predicate uses an unsupported function"
+                )
+        sql += " WHERE " + " AND ".join(dialect.render(c) for c in conjuncts)
+    if mapping.group_by:
+        sql += " GROUP BY " + ", ".join(
+            dialect.render(e) for e in mapping.group_by
+        )
+    return sql
+
+
+def mappings_to_select(
+    producers: Sequence[Mapping], dialect: Optional[SqliteDialect] = None
+) -> str:
+    """Several mappings sharing one target → a UNION ALL of SELECTs."""
+    statements = [mapping_to_select(m, dialect) for m in producers]
+    return "\nUNION ALL\n".join(statements)
+
+
+# --- sqlite execution -------------------------------------------------------------
+
+
+def _to_sql_value(value):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat(sep=" ") if isinstance(
+            value, datetime.datetime
+        ) else value.isoformat()
+    return value
+
+
+def _from_sql_value(dtype: AtomicType, value):
+    if value is None:
+        return None
+    if dtype is BOOLEAN:
+        return bool(value)
+    if dtype is DATE:
+        return datetime.date.fromisoformat(str(value))
+    if dtype is TIMESTAMP:
+        return datetime.datetime.fromisoformat(str(value))
+    return value
+
+
+class SqliteRunner:
+    """Loads an :class:`Instance` into an in-memory sqlite database and
+    executes generated SELECT statements against it — the stand-in for
+    "the DBMS managing the source data"."""
+
+    def __init__(self, instance: Instance):
+        self.connection = sqlite3.connect(":memory:")
+        for dataset in instance:
+            self._create_table(dataset)
+
+    def _create_table(self, dataset: Dataset) -> None:
+        dialect = DEFAULT_DIALECT
+        rel = dataset.relation
+        columns = ", ".join(
+            f"{dialect.quote_identifier(a.name)} {_sqlite_type(a.dtype)}"
+            for a in rel
+        )
+        name = dialect.quote_identifier(rel.name)
+        self.connection.execute(f"CREATE TABLE {name} ({columns})")
+        placeholders = ", ".join("?" for _ in rel.attributes)
+        rows = [
+            tuple(_to_sql_value(row.get(a.name)) for a in rel)
+            for row in dataset
+        ]
+        self.connection.executemany(
+            f"INSERT INTO {name} VALUES ({placeholders})", rows
+        )
+
+    def query(self, sql: str, result_relation: Relation) -> Dataset:
+        """Run a SELECT; rows are coerced back to the relation's types."""
+        try:
+            cursor = self.connection.execute(sql)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"sqlite rejected generated SQL: {exc}\n{sql}")
+        names = [d[0] for d in cursor.description]
+        result = Dataset(result_relation, validate=False)
+        for row in cursor.fetchall():
+            values = dict(zip(names, row))
+            result.append(
+                {
+                    a.name: _from_sql_value(a.dtype, values.get(a.name))
+                    for a in result_relation
+                },
+                validate=False,
+            )
+        return result
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def _sqlite_type(dtype) -> str:
+    from repro.schema.types import FLOAT, DECIMAL, INTEGER, STRING
+
+    if dtype is INTEGER or dtype is BOOLEAN:
+        return "INTEGER"
+    if dtype in (FLOAT, DECIMAL):
+        return "REAL"
+    return "TEXT"
+
+
+def run_mapping_as_sql(
+    mapping: Mapping,
+    instance: Instance,
+    dialect: Optional[SqliteDialect] = None,
+) -> Dataset:
+    """Generate SQL for one mapping and execute it on sqlite — the
+    one-shot verification path used by tests and benchmarks."""
+    runner = SqliteRunner(instance)
+    try:
+        return runner.query(
+            mapping_to_select(mapping, dialect), mapping.target
+        )
+    finally:
+        runner.close()
+
+
+__all__ = [
+    "SqliteDialect",
+    "DEFAULT_DIALECT",
+    "mapping_to_select",
+    "mappings_to_select",
+    "SqliteRunner",
+    "run_mapping_as_sql",
+]

@@ -1,0 +1,74 @@
+"""Shared exception hierarchy for the Orchid reproduction.
+
+Every error raised by this library derives from :class:`OrchidError`, so
+callers can catch a single base class. Subclasses are grouped by subsystem;
+each carries a human-readable message and, where useful, the offending
+object so programmatic callers can inspect it.
+"""
+
+from __future__ import annotations
+
+
+class OrchidError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(OrchidError):
+    """A schema is malformed, or two schemas are incompatible."""
+
+
+class TypeCheckError(SchemaError):
+    """An expression does not type-check against a schema."""
+
+
+class ExpressionError(OrchidError):
+    """An expression cannot be parsed or evaluated."""
+
+
+class ParseError(ExpressionError):
+    """Syntax error while parsing an expression.
+
+    :ivar text: the full text being parsed.
+    :ivar position: character offset at which the error occurred.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class EvaluationError(ExpressionError):
+    """Runtime error while evaluating an expression against a row."""
+
+
+class GraphError(OrchidError):
+    """An OHM or ETL dataflow graph is structurally invalid."""
+
+
+class ValidationError(GraphError):
+    """A graph, operator, or stage fails semantic validation."""
+
+
+class CompilationError(OrchidError):
+    """An ETL stage cannot be compiled into OHM operators."""
+
+
+class MappingError(OrchidError):
+    """A mapping is malformed or an OHM graph cannot be mapped."""
+
+
+class CompositionError(MappingError):
+    """Two mappings cannot be composed (e.g. across grouping)."""
+
+
+class DeploymentError(OrchidError):
+    """An OHM graph cannot be deployed to the requested platform(s)."""
+
+
+class ExecutionError(OrchidError):
+    """A runtime engine failed while executing a job, graph, or mapping."""
+
+
+class SerializationError(OrchidError):
+    """An external-format document cannot be read or written."""

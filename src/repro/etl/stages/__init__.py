@@ -1,0 +1,91 @@
+"""The DataStage-like stage library (15 processing stage types plus
+source/target access stages)."""
+
+from repro.etl.stages.access import (
+    RowGenerator,
+    SequentialFileSource,
+    SequentialFileTarget,
+    TableSource,
+    TableTarget,
+)
+from repro.etl.stages.custom import CustomStage
+from repro.etl.stages.flow import (
+    CopyStage,
+    FilterOutput,
+    FilterStage,
+    FunnelStage,
+    PeekStage,
+    SwitchStage,
+)
+from repro.etl.stages.restructure import CombineRecords, PromoteSubrecord
+from repro.etl.stages.relational import (
+    AGG_FUNCTIONS,
+    AggregatorStage,
+    JoinStage,
+    LookupStage,
+    RemoveDuplicatesStage,
+    SortStage,
+)
+from repro.etl.stages.transform import (
+    Modify,
+    OutputLink,
+    SurrogateKey,
+    Transformer,
+)
+
+#: All concrete stage classes, keyed by STAGE_TYPE (used by the XML layer
+#: and the compiler registry).
+STAGE_CLASSES = {
+    cls.STAGE_TYPE: cls
+    for cls in (
+        TableSource,
+        TableTarget,
+        SequentialFileSource,
+        SequentialFileTarget,
+        RowGenerator,
+        Transformer,
+        Modify,
+        SurrogateKey,
+        FilterStage,
+        SwitchStage,
+        CopyStage,
+        FunnelStage,
+        PeekStage,
+        JoinStage,
+        LookupStage,
+        AggregatorStage,
+        SortStage,
+        RemoveDuplicatesStage,
+        CombineRecords,
+        PromoteSubrecord,
+        CustomStage,
+    )
+}
+
+__all__ = [
+    "AGG_FUNCTIONS",
+    "AggregatorStage",
+    "CombineRecords",
+    "CopyStage",
+    "CustomStage",
+    "FilterOutput",
+    "FilterStage",
+    "FunnelStage",
+    "JoinStage",
+    "LookupStage",
+    "Modify",
+    "OutputLink",
+    "PeekStage",
+    "PromoteSubrecord",
+    "RemoveDuplicatesStage",
+    "RowGenerator",
+    "SequentialFileSource",
+    "SequentialFileTarget",
+    "SortStage",
+    "SurrogateKey",
+    "SwitchStage",
+    "STAGE_CLASSES",
+    "TableSource",
+    "TableTarget",
+    "Transformer",
+]

@@ -1,0 +1,142 @@
+"""Restructure stages: nesting and flattening (NF²).
+
+DataStage's restructure stages (Combine Records, Promote Subrecord, Make
+Vector, …) move between flat and nested record layouts. These two stages
+give the OHM NEST/UNNEST operators (paper section IV: "OHM ... supports
+nested data structures through the NEST and UNNEST operators, similar to
+operators defined in the NF² data model") a genuine ETL counterpart:
+
+* :class:`CombineRecords` groups rows by key columns and packs the
+  remaining columns of each group into a set-valued subrecord column,
+* :class:`PromoteSubrecord` flattens such a column back into rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.dataset import Dataset
+from repro.errors import ValidationError
+from repro.etl.model import Stage
+from repro.schema.model import Attribute, Relation
+from repro.schema.types import RecordType, SetType
+
+
+class CombineRecords(Stage):
+    """Nest: group by ``keys``, pack ``nested`` columns into ``into``."""
+
+    STAGE_TYPE = "CombineRecords"
+
+    def __init__(
+        self,
+        keys: Sequence[str],
+        nested: Sequence[str],
+        into: str,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if not keys:
+            raise ValidationError("CombineRecords needs at least one key")
+        if not nested:
+            raise ValidationError(
+                "CombineRecords needs at least one nested column"
+            )
+        self.keys = list(keys)
+        self.nested = list(nested)
+        self.into = into
+        if into in self.keys:
+            raise ValidationError(
+                f"CombineRecords: {into!r} collides with a key column"
+            )
+
+    def validate(self, inputs: Sequence[Relation]) -> None:
+        (incoming,) = inputs
+        for col in self.keys + self.nested:
+            incoming.attribute(col)
+
+    def output_relations(self, inputs, out_names):
+        (incoming,) = inputs
+        element = RecordType(
+            (c, incoming.attribute(c).dtype) for c in self.nested
+        )
+        attrs = [incoming.attribute(k) for k in self.keys]
+        attrs.append(Attribute(self.into, SetType(element), nullable=False))
+        return [Relation(out_names[0], attrs)]
+
+    def execute(self, inputs, out_relations, registry):
+        (data,) = inputs
+        groups: Dict[tuple, List[dict]] = {}
+        order: List[tuple] = []
+        for row in data:
+            key = tuple(_key_value(row[k]) for k in self.keys)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        result = Dataset(out_relations[0], validate=False)
+        for key in order:
+            members = groups[key]
+            out_row = {k: members[0][k] for k in self.keys}
+            out_row[self.into] = [
+                {c: member[c] for c in self.nested} for member in members
+            ]
+            result.append(out_row, validate=False)
+        return [result]
+
+    def to_config(self):
+        return {"keys": self.keys, "nested": self.nested, "into": self.into}
+
+
+class PromoteSubrecord(Stage):
+    """Unnest: flatten the set-valued column ``attr`` into rows; rows
+    whose set is empty (or NULL) produce no output rows."""
+
+    STAGE_TYPE = "PromoteSubrecord"
+
+    def __init__(self, attr: str, **kwargs):
+        super().__init__(**kwargs)
+        self.attr = attr
+
+    def validate(self, inputs: Sequence[Relation]) -> None:
+        (incoming,) = inputs
+        set_attr = incoming.attribute(self.attr)
+        if not isinstance(set_attr.dtype, SetType) or not isinstance(
+            set_attr.dtype.element_type, RecordType
+        ):
+            raise ValidationError(
+                f"PromoteSubrecord: {self.attr!r} must be a set of records"
+            )
+
+    def output_relations(self, inputs, out_names):
+        (incoming,) = inputs
+        element: RecordType = incoming.attribute(self.attr).dtype.element_type
+        attrs = [a for a in incoming if a.name != self.attr]
+        attrs += [Attribute(name, dtype) for name, dtype in element.fields]
+        return [Relation(out_names[0], attrs)]
+
+    def execute(self, inputs, out_relations, registry):
+        (data,) = inputs
+        scalars = [a.name for a in data.relation if a.name != self.attr]
+        result = Dataset(out_relations[0], validate=False)
+        for row in data:
+            for element in row.get(self.attr) or []:
+                out_row = {n: row[n] for n in scalars}
+                out_row.update(element)
+                result.append(out_row, validate=False)
+        return [result]
+
+    def to_config(self):
+        return {"attr": self.attr}
+
+
+def _key_value(value) -> tuple:
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", float(value))
+    return (type(value).__name__, str(value))
+
+
+__all__ = ["CombineRecords", "PromoteSubrecord"]

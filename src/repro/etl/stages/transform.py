@@ -1,0 +1,344 @@
+"""Transformation stages: Transformer, Modify, SurrogateKey.
+
+The Transformer is DataStage's workhorse stage: per-output column
+derivations, per-output constraints, stage variables, and an "otherwise"
+link catching rows no constrained output accepted. The paper's example
+uses it as the "Prepare Customers" stage computing agegroup/endDate/years
+(Figure 3 / Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.data.dataset import Dataset
+from repro.errors import ValidationError
+from repro.etl.model import Stage
+from repro.expr.ast import Expr
+from repro.expr.evaluator import Environment, evaluate, evaluate_predicate
+from repro.expr.parser import parse
+from repro.expr.typecheck import TypeContext, check_boolean, infer_type
+from repro.schema.model import Attribute, Relation
+from repro.schema.types import INTEGER, atomic
+
+
+class OutputLink:
+    """One Transformer output: derivations plus an optional constraint.
+
+    :ivar derivations: ``(output column, expression)`` pairs.
+    :ivar constraint: boolean expression gating the output, or ``None``.
+    :ivar otherwise: when True the link receives rows that satisfied no
+        constrained link (DataStage "otherwise" link).
+    """
+
+    def __init__(
+        self,
+        derivations: Sequence[Tuple[str, Union[Expr, str]]],
+        constraint: Union[Expr, str, None] = None,
+        otherwise: bool = False,
+    ):
+        if not derivations:
+            raise ValidationError("Transformer output link needs derivations")
+        self.derivations: List[Tuple[str, Expr]] = [
+            (name, parse(expr) if isinstance(expr, str) else expr)
+            for name, expr in derivations
+        ]
+        names = [n for n, _ in self.derivations]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate output columns in link: {names}")
+        if isinstance(constraint, str):
+            constraint = parse(constraint)
+        self.constraint = constraint
+        self.otherwise = bool(otherwise)
+        if otherwise and constraint is not None:
+            raise ValidationError("an otherwise link cannot carry a constraint")
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "derivations": [[n, e.to_sql()] for n, e in self.derivations],
+            "constraint": None if self.constraint is None else self.constraint.to_sql(),
+            "otherwise": self.otherwise,
+        }
+
+    @classmethod
+    def from_config(cls, config: Dict[str, object]) -> "OutputLink":
+        return cls(
+            [(n, e) for n, e in config["derivations"]],
+            config.get("constraint"),
+            config.get("otherwise", False),
+        )
+
+
+class Transformer(Stage):
+    """Row-wise transformation with derivations, constraints, stage
+    variables, and multiple outputs."""
+
+    STAGE_TYPE = "Transformer"
+    min_outputs = 1
+    max_outputs = None
+
+    def __init__(
+        self,
+        outputs: Sequence[OutputLink],
+        stage_variables: Sequence[Tuple[str, Union[Expr, str]]] = (),
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if not outputs:
+            raise ValidationError("Transformer needs at least one output link")
+        self.outputs = list(outputs)
+        self.stage_variables: List[Tuple[str, Expr]] = [
+            (name, parse(expr) if isinstance(expr, str) else expr)
+            for name, expr in stage_variables
+        ]
+        if sum(1 for o in self.outputs if o.otherwise) > 1:
+            raise ValidationError("at most one otherwise link")
+
+    @classmethod
+    def single(
+        cls,
+        derivations: Sequence[Tuple[str, Union[Expr, str]]],
+        constraint: Union[Expr, str, None] = None,
+        **kwargs,
+    ) -> "Transformer":
+        """The common one-output Transformer."""
+        return cls([OutputLink(derivations, constraint)], **kwargs)
+
+    def check_port_counts(self, n_inputs: int, n_outputs: int) -> None:
+        super().check_port_counts(n_inputs, n_outputs)
+        if n_outputs != len(self.outputs):
+            raise ValidationError(
+                f"Transformer {self.name!r}: {n_outputs} links wired but "
+                f"{len(self.outputs)} output specs configured"
+            )
+
+    def _context(self, incoming: Relation) -> TypeContext:
+        context = TypeContext(incoming).bind(incoming.name, incoming)
+        # stage variables become pseudo-columns for downstream typing
+        var_attrs = []
+        for name, expr in self.stage_variables:
+            var_attrs.append(Attribute(name, infer_type(expr, context)))
+            context = TypeContext(
+                Relation(incoming.name, list(incoming.attributes) + var_attrs)
+            ).bind(incoming.name, incoming)
+        return context
+
+    def validate(self, inputs: Sequence[Relation]) -> None:
+        (incoming,) = inputs
+        context = self._context(incoming)
+        for link in self.outputs:
+            for _name, expr in link.derivations:
+                infer_type(expr, context)
+            if link.constraint is not None:
+                check_boolean(link.constraint, context)
+
+    def output_relations(self, inputs, out_names):
+        from repro.expr.ast import ColumnRef
+
+        (incoming,) = inputs
+        context = self._context(incoming)
+        relations = []
+        for link, name in zip(self.outputs, out_names):
+            attrs = []
+            for col, expr in link.derivations:
+                if isinstance(expr, ColumnRef) and incoming.has_attribute(
+                    expr.name
+                ):
+                    # passthrough columns keep nullability/key metadata
+                    attrs.append(incoming.attribute(expr.name).renamed(col))
+                else:
+                    attrs.append(Attribute(col, infer_type(expr, context)))
+            relations.append(Relation(name, attrs))
+        return relations
+
+    def execute(self, inputs, out_relations, registry):
+        (data,) = inputs
+        results = [Dataset(rel, validate=False) for rel in out_relations]
+        constrained = [
+            i for i, link in enumerate(self.outputs) if link.constraint is not None
+        ]
+        otherwise_index = next(
+            (i for i, link in enumerate(self.outputs) if link.otherwise), None
+        )
+        for row in data:
+            env = Environment(dict(row)).bind(data.relation.name, row)
+            for name, expr in self.stage_variables:
+                env.bindings[None][name] = evaluate(expr, env, registry)
+            matched_any = False
+            for i, link in enumerate(self.outputs):
+                if link.otherwise:
+                    continue
+                if link.constraint is not None and not evaluate_predicate(
+                    link.constraint, env, registry
+                ):
+                    continue
+                if link.constraint is not None:
+                    matched_any = True
+                results[i].append(
+                    {
+                        col: evaluate(expr, env, registry)
+                        for col, expr in link.derivations
+                    },
+                    validate=False,
+                )
+            if otherwise_index is not None and constrained and not matched_any:
+                link = self.outputs[otherwise_index]
+                results[otherwise_index].append(
+                    {
+                        col: evaluate(expr, env, registry)
+                        for col, expr in link.derivations
+                    },
+                    validate=False,
+                )
+        return results
+
+    def to_config(self):
+        return {
+            "outputs": [o.to_config() for o in self.outputs],
+            "stage_variables": [
+                [n, e.to_sql()] for n, e in self.stage_variables
+            ],
+        }
+
+    @classmethod
+    def from_config(cls, name, config, annotations=None):
+        return cls(
+            [OutputLink.from_config(o) for o in config["outputs"]],
+            [(n, e) for n, e in config.get("stage_variables", [])],
+            name=name,
+            annotations=annotations,
+        )
+
+
+class Modify(Stage):
+    """Column surgery: keep/drop/rename/convert (DataStage Modify stage).
+
+    Operations apply in this order: ``keep`` (when given), then ``drop``,
+    then ``rename`` (new ← old), then ``convert`` (column → type name).
+    """
+
+    STAGE_TYPE = "Modify"
+
+    def __init__(
+        self,
+        keep: Optional[Sequence[str]] = None,
+        drop: Sequence[str] = (),
+        rename: Optional[Dict[str, str]] = None,
+        convert: Optional[Dict[str, str]] = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.keep = list(keep) if keep is not None else None
+        self.drop = list(drop)
+        self.rename = dict(rename or {})
+        self.convert = dict(convert or {})
+
+    def _result_attributes(self, incoming: Relation) -> List[Attribute]:
+        names = list(self.keep) if self.keep is not None else list(
+            incoming.attribute_names
+        )
+        for name in self.drop:
+            if name in names:
+                names.remove(name)
+        old_to_new = {old: new for new, old in self.rename.items()}
+        attrs = []
+        for name in names:
+            attr = incoming.attribute(name)
+            if name in old_to_new:
+                attr = attr.renamed(old_to_new[name])
+            if attr.name in self.convert:
+                attr = attr.with_type(atomic(self.convert[attr.name]))
+            attrs.append(attr)
+        return attrs
+
+    def validate(self, inputs: Sequence[Relation]) -> None:
+        (incoming,) = inputs
+        for name in (self.keep or []) + list(self.drop):
+            incoming.attribute(name)
+        for _new, old in self.rename.items():
+            incoming.attribute(old)
+        self._result_attributes(incoming)
+
+    def output_relations(self, inputs, out_names):
+        (incoming,) = inputs
+        return [Relation(out_names[0], self._result_attributes(incoming))]
+
+    def execute(self, inputs, out_relations, registry):
+        (data,) = inputs
+        out = out_relations[0]
+        old_of = {}
+        old_to_new = {old: new for new, old in self.rename.items()}
+        for attr in data.relation:
+            new_name = old_to_new.get(attr.name, attr.name)
+            old_of[new_name] = attr.name
+        result = Dataset(out, validate=False)
+        for row in data:
+            new_row = {}
+            for attr in out:
+                value = row[old_of[attr.name]]
+                if attr.name in self.convert and value is not None:
+                    value = _convert_value(value, self.convert[attr.name])
+                new_row[attr.name] = value
+            result.append(new_row, validate=False)
+        return [result]
+
+    def to_config(self):
+        return {
+            "keep": self.keep,
+            "drop": self.drop,
+            "rename": self.rename,
+            "convert": self.convert,
+        }
+
+
+def _convert_value(value, type_name: str):
+    target = atomic(type_name)
+    from repro.schema.types import FLOAT, DECIMAL, INTEGER, STRING
+
+    if target is INTEGER:
+        return int(value)
+    if target in (FLOAT, DECIMAL):
+        return float(value)
+    if target is STRING:
+        return str(value)
+    return value
+
+
+class SurrogateKey(Stage):
+    """Appends a generated monotone key column (DataStage Surrogate Key
+    Generator stage)."""
+
+    STAGE_TYPE = "SurrogateKey"
+
+    def __init__(self, generated_column: str, start: int = 1, **kwargs):
+        super().__init__(**kwargs)
+        self.generated_column = generated_column
+        self.start = int(start)
+
+    def validate(self, inputs: Sequence[Relation]) -> None:
+        (incoming,) = inputs
+        if incoming.has_attribute(self.generated_column):
+            raise ValidationError(
+                f"SurrogateKey: column {self.generated_column!r} already exists"
+            )
+
+    def output_relations(self, inputs, out_names):
+        (incoming,) = inputs
+        attrs = list(incoming.attributes)
+        attrs.append(Attribute(self.generated_column, INTEGER, nullable=False))
+        return [Relation(out_names[0], attrs)]
+
+    def execute(self, inputs, out_relations, registry):
+        (data,) = inputs
+        result = Dataset(out_relations[0], validate=False)
+        for i, row in enumerate(data):
+            new_row = dict(row)
+            new_row[self.generated_column] = self.start + i
+            result.append(new_row, validate=False)
+        return [result]
+
+    def to_config(self):
+        return {"generated_column": self.generated_column, "start": self.start}
+
+
+__all__ = ["OutputLink", "Transformer", "Modify", "SurrogateKey"]

@@ -1,0 +1,104 @@
+"""SQL-subset expression language (paper section IV).
+
+OHM operator properties hold expressions — boolean conditions and scalar
+column derivations — written in a subset of SQL with an extensible
+function set. This package provides the AST, parser, evaluator (SQL
+three-valued logic), static type checker, and the symbolic algebra the
+translation layers rely on.
+"""
+
+from repro.expr.ast import (
+    AGGREGATE_FUNCTIONS,
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FALSE,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    NULL_LITERAL,
+    TRUE,
+    UnaryOp,
+)
+from repro.expr.algebra import (
+    conjoin,
+    disjoin,
+    is_join_condition,
+    is_simple_rename,
+    is_trivially_true,
+    negate,
+    qualify,
+    references_only,
+    rename_qualifiers,
+    split_conjuncts,
+    strip_qualifiers,
+    substitute,
+    substitute_by_name,
+    transform,
+)
+from repro.expr.evaluator import (
+    Environment,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_predicate,
+)
+from repro.expr.functions import (
+    DEFAULT_REGISTRY,
+    FunctionRegistry,
+    ScalarFunction,
+    register,
+    scalar_function,
+)
+from repro.expr.parser import parse
+from repro.expr.typecheck import TypeContext, check_boolean, infer_type
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "AggregateCall",
+    "Between",
+    "BinaryOp",
+    "Case",
+    "ColumnRef",
+    "Expr",
+    "FALSE",
+    "FunctionCall",
+    "InList",
+    "IsNull",
+    "Like",
+    "Literal",
+    "NULL_LITERAL",
+    "TRUE",
+    "UnaryOp",
+    "conjoin",
+    "disjoin",
+    "is_join_condition",
+    "is_simple_rename",
+    "is_trivially_true",
+    "negate",
+    "qualify",
+    "references_only",
+    "rename_qualifiers",
+    "split_conjuncts",
+    "strip_qualifiers",
+    "substitute",
+    "substitute_by_name",
+    "transform",
+    "Environment",
+    "evaluate",
+    "evaluate_aggregate",
+    "evaluate_predicate",
+    "DEFAULT_REGISTRY",
+    "FunctionRegistry",
+    "ScalarFunction",
+    "register",
+    "scalar_function",
+    "parse",
+    "TypeContext",
+    "check_boolean",
+    "infer_type",
+]

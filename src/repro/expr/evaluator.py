@@ -1,0 +1,373 @@
+"""Expression evaluation with SQL three-valued logic.
+
+Values are plain Python objects; SQL ``NULL`` is Python ``None``. Boolean
+expressions evaluate to ``True``, ``False``, or ``None`` (unknown), with
+the usual SQL rules:
+
+* any comparison with NULL is unknown,
+* ``unknown AND false = false``, ``unknown OR true = true``,
+* ``NOT unknown = unknown``,
+* a FILTER keeps a row only when its predicate is ``True`` (so unknown
+  behaves like false at filtering boundaries — the same convention SQL
+  WHERE clauses use).
+
+Aggregates are evaluated over *groups* by :func:`evaluate_aggregate`; the
+row-level :func:`evaluate` refuses aggregate nodes.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import EvaluationError
+from repro.expr.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
+
+
+class Environment:
+    """Name resolution context for one row (or a pair of joined rows).
+
+    ``bindings`` maps qualifier → row-dict. The anonymous qualifier
+    ``None`` holds the current unqualified row. An unqualified column is
+    looked up in the anonymous row first, then in each named row (an
+    ambiguous hit across named rows raises)."""
+
+    __slots__ = ("bindings",)
+
+    def __init__(self, row: Optional[Mapping] = None, **named_rows: Mapping):
+        self.bindings: Dict[Optional[str], Mapping] = {}
+        if row is not None:
+            self.bindings[None] = row
+        for name, named_row in named_rows.items():
+            self.bindings[name] = named_row
+
+    def bind(self, qualifier: Optional[str], row: Mapping) -> "Environment":
+        self.bindings[qualifier] = row
+        return self
+
+    def lookup(self, ref: ColumnRef):
+        if ref.qualifier is not None:
+            row = self.bindings.get(ref.qualifier)
+            if row is not None and ref.name in row:
+                return row[ref.name]
+            # fall through: a qualified name may refer to a column of the
+            # anonymous row that kept its qualifier through a join
+            anon = self.bindings.get(None)
+            if anon is not None:
+                dotted = f"{ref.qualifier}.{ref.name}"
+                if dotted in anon:
+                    return anon[dotted]
+                if ref.name in anon:
+                    return anon[ref.name]
+            raise EvaluationError(
+                f"unbound column {ref.to_sql()}; "
+                f"qualifiers available: {sorted(k for k in self.bindings if k)}"
+            )
+        anon = self.bindings.get(None)
+        if anon is not None and ref.name in anon:
+            return anon[ref.name]
+        hits = [
+            (qualifier, row)
+            for qualifier, row in self.bindings.items()
+            if qualifier is not None and ref.name in row
+        ]
+        if len(hits) == 1:
+            return hits[0][1][ref.name]
+        if len(hits) > 1:
+            raise EvaluationError(
+                f"ambiguous column {ref.name!r}: bound in "
+                f"{sorted(q for q, _ in hits)}"
+            )
+        raise EvaluationError(f"unbound column {ref.name!r}")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_comparable(left, right, op: str):
+    if _is_number(left) and _is_number(right):
+        return
+    if type(left) is type(right):
+        return
+    if isinstance(left, datetime.date) and isinstance(right, datetime.date):
+        return
+    raise EvaluationError(
+        f"cannot apply {op} to {type(left).__name__} and {type(right).__name__}"
+    )
+
+
+def _compare(op: str, left, right):
+    if left is None or right is None:
+        return None
+    _check_comparable(left, right, op)
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise EvaluationError(f"unknown comparison {op!r}")
+
+
+def _arith(op: str, left, right):
+    if left is None or right is None:
+        return None
+    if not (_is_number(left) and _is_number(right)):
+        raise EvaluationError(
+            f"arithmetic {op!r} needs numbers, got {left!r} and {right!r}"
+        )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise EvaluationError("division by zero")
+        result = left / right
+        if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+            return left // right
+        return result
+    if op == "%":
+        if right == 0:
+            raise EvaluationError("modulo by zero")
+        return left % right
+    raise EvaluationError(f"unknown arithmetic operator {op!r}")
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern":
+    parts = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$", re.DOTALL)
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern"] = {}
+
+
+def evaluate(
+    expr: Expr,
+    env: "Environment | Mapping",
+    registry: Optional[FunctionRegistry] = None,
+):
+    """Evaluate ``expr`` against ``env`` (an :class:`Environment` or a bare
+    row mapping). Returns a Python value; ``None`` encodes SQL NULL and,
+    for boolean expressions, the *unknown* truth value."""
+    if not isinstance(env, Environment):
+        env = Environment(env)
+    registry = registry or DEFAULT_REGISTRY
+    return _eval(expr, env, registry)
+
+
+def _eval(expr: Expr, env: Environment, registry: FunctionRegistry):
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return env.lookup(expr)
+    if isinstance(expr, BinaryOp):
+        return _eval_binary(expr, env, registry)
+    if isinstance(expr, UnaryOp):
+        value = _eval(expr.operand, env, registry)
+        if expr.op == "NOT":
+            return None if value is None else (not _as_bool(value))
+        if value is None:
+            return None
+        if not _is_number(value):
+            raise EvaluationError(f"unary minus needs a number, got {value!r}")
+        return -value
+    if isinstance(expr, FunctionCall):
+        function = registry.lookup(expr.name)
+        function.check_arity(len(expr.args))
+        args = [_eval(a, env, registry) for a in expr.args]
+        if function.null_propagating and any(a is None for a in args):
+            return None
+        return function(*args)
+    if isinstance(expr, Case):
+        for cond, value in expr.whens:
+            if _eval(cond, env, registry) is True:
+                return _eval(value, env, registry)
+        if expr.default is not None:
+            return _eval(expr.default, env, registry)
+        return None
+    if isinstance(expr, IsNull):
+        value = _eval(expr.operand, env, registry)
+        result = value is None
+        return (not result) if expr.negated else result
+    if isinstance(expr, InList):
+        value = _eval(expr.operand, env, registry)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            item_value = _eval(item, env, registry)
+            if item_value is None:
+                saw_null = True
+            elif _compare("=", value, item_value) is True:
+                return False if expr.negated else True
+        if saw_null:
+            return None
+        return True if expr.negated else False
+    if isinstance(expr, Between):
+        value = _eval(expr.operand, env, registry)
+        low = _eval(expr.low, env, registry)
+        high = _eval(expr.high, env, registry)
+        ge_low = _compare(">=", value, low)
+        le_high = _compare("<=", value, high)
+        result = _and3(ge_low, le_high)
+        if result is None:
+            return None
+        return (not result) if expr.negated else result
+    if isinstance(expr, Like):
+        value = _eval(expr.operand, env, registry)
+        pattern = _eval(expr.pattern, env, registry)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise EvaluationError("LIKE needs string operands")
+        compiled = _LIKE_CACHE.get(pattern)
+        if compiled is None:
+            compiled = _like_to_regex(pattern)
+            _LIKE_CACHE[pattern] = compiled
+        result = compiled.match(value) is not None
+        return (not result) if expr.negated else result
+    if isinstance(expr, AggregateCall):
+        raise EvaluationError(
+            f"aggregate {expr.to_sql()} cannot be evaluated per-row; "
+            "use evaluate_aggregate over a group"
+        )
+    raise EvaluationError(f"cannot evaluate node {expr!r}")
+
+
+def _as_bool(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise EvaluationError(f"expected a boolean, got {value!r}")
+
+
+def _and3(a, b):
+    """Three-valued AND."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return _as_bool(a) and _as_bool(b)
+
+
+def _or3(a, b):
+    """Three-valued OR."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return _as_bool(a) or _as_bool(b)
+
+
+def _eval_binary(expr: BinaryOp, env: Environment, registry: FunctionRegistry):
+    op = expr.op
+    if op == "AND":
+        return _and3(
+            _eval(expr.left, env, registry), _eval(expr.right, env, registry)
+        )
+    if op == "OR":
+        return _or3(
+            _eval(expr.left, env, registry), _eval(expr.right, env, registry)
+        )
+    left = _eval(expr.left, env, registry)
+    right = _eval(expr.right, env, registry)
+    if op == "||":
+        if left is None or right is None:
+            return None
+        return str(left) + str(right)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    return _arith(op, left, right)
+
+
+def evaluate_predicate(
+    expr: Expr,
+    env: "Environment | Mapping",
+    registry: Optional[FunctionRegistry] = None,
+) -> bool:
+    """Evaluate a boolean expression at a filtering boundary: returns True
+    only when the predicate is definitely true (SQL WHERE semantics)."""
+    return evaluate(expr, env, registry) is True
+
+
+def evaluate_aggregate(
+    agg: AggregateCall,
+    rows: Sequence[Mapping],
+    registry: Optional[FunctionRegistry] = None,
+):
+    """Evaluate an aggregate call over a group of rows.
+
+    SQL semantics: NULL inputs are skipped; SUM/AVG/MIN/MAX over an empty
+    (or all-NULL) group yield NULL; COUNT yields 0. ``COUNT(*)`` counts
+    rows including those where the argument would be NULL."""
+    registry = registry or DEFAULT_REGISTRY
+    if agg.arg is None:  # COUNT(*)
+        return len(rows)
+    if agg.func in ("FIRST", "LAST"):
+        if not rows:
+            return None
+        row = rows[0] if agg.func == "FIRST" else rows[-1]
+        return evaluate(agg.arg, row, registry)
+    values = []
+    for row in rows:
+        value = evaluate(agg.arg, row, registry)
+        if value is not None:
+            values.append(value)
+    if agg.distinct:
+        deduped = []
+        for value in values:
+            if value not in deduped:
+                deduped.append(value)
+        values = deduped
+    if agg.func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if agg.func == "SUM":
+        return sum(values)
+    if agg.func == "AVG":
+        return sum(values) / len(values)
+    if agg.func == "MIN":
+        return min(values)
+    if agg.func == "MAX":
+        return max(values)
+    raise EvaluationError(f"unknown aggregate {agg.func!r}")
+
+
+__all__ = [
+    "Environment",
+    "evaluate",
+    "evaluate_predicate",
+    "evaluate_aggregate",
+]

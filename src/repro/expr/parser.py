@@ -1,0 +1,336 @@
+"""Pratt (top-down operator precedence) parser for the expression language.
+
+Grammar (informally, precedence low → high)::
+
+    expr      := or
+    or        := and (OR and)*
+    and       := not (AND not)*
+    not       := NOT not | predicate
+    predicate := additive ( compare additive
+                          | IS [NOT] NULL
+                          | [NOT] IN '(' expr, ... ')'
+                          | [NOT] BETWEEN additive AND additive
+                          | [NOT] LIKE additive )?
+    additive  := multiplicative (('+'|'-'|'||') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary     := '-' unary | primary
+    primary   := literal | column | function-call | aggregate | CASE | '(' expr ')'
+
+Aggregates (SUM/COUNT/AVG/MIN/MAX) parse into
+:class:`~repro.expr.ast.AggregateCall`; all other names followed by ``(``
+parse into :class:`~repro.expr.ast.FunctionCall` — the function registry
+validates them at type-check/evaluation time, keeping the set extensible.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.expr import lexer
+from repro.expr.ast import (
+    AGGREGATE_FUNCTIONS,
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.expr.lexer import (
+    COMMA,
+    DOT,
+    EOF,
+    IDENT,
+    KEYWORD,
+    LPAREN,
+    NUMBER,
+    OP,
+    RPAREN,
+    STAR,
+    STRING,
+    Token,
+)
+
+_COMPARE_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = lexer.tokenize(text)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.upper != text.upper()):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted}, found {token.text or 'end of input'!r}",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == KEYWORD and token.upper in words
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.at_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        token = self.peek()
+        if token.kind != EOF:
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}", self.text, token.position
+            )
+        return expr
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at_keyword("OR"):
+            self.advance()
+            left = BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.at_keyword("AND"):
+            self.advance()
+            left = BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.at_keyword("NOT"):
+            self.advance()
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == OP and token.text in _COMPARE_OPS:
+            self.advance()
+            return BinaryOp(token.text, left, self.parse_additive())
+        if self.at_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT")
+            self.expect(KEYWORD, "NULL")
+            return IsNull(left, negated)
+        negated = False
+        if self.at_keyword("NOT") and self.peek(1).upper in ("IN", "BETWEEN", "LIKE"):
+            self.advance()
+            negated = True
+        if self.at_keyword("IN"):
+            self.advance()
+            self.expect(LPAREN)
+            items = [self.parse_or()]
+            while self.peek().kind == COMMA:
+                self.advance()
+                items.append(self.parse_or())
+            self.expect(RPAREN)
+            return InList(left, items, negated)
+        if self.at_keyword("BETWEEN"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect(KEYWORD, "AND")
+            high = self.parse_additive()
+            return Between(left, low, high, negated)
+        if self.at_keyword("LIKE"):
+            self.advance()
+            return Like(left, self.parse_additive(), negated)
+        if negated:
+            token = self.peek()
+            raise ParseError("dangling NOT", self.text, token.position)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == OP and token.text in ("+", "-", "||"):
+                self.advance()
+                left = BinaryOp(token.text, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == STAR or (token.kind == OP and token.text in ("/", "%")):
+                self.advance()
+                op = "*" if token.kind == STAR else token.text
+                left = BinaryOp(op, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == OP and token.text == "-":
+            self.advance()
+            operand = self.parse_unary()
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == NUMBER:
+            self.advance()
+            return Literal(_parse_number(token.text))
+        if token.kind == STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.kind == LPAREN:
+            self.advance()
+            inner = self.parse_or()
+            self.expect(RPAREN)
+            return inner
+        if token.kind == KEYWORD:
+            return self.parse_keyword_primary()
+        if token.kind == IDENT:
+            return self.parse_name()
+        raise ParseError(
+            f"unexpected {token.text or 'end of input'!r}", self.text, token.position
+        )
+
+    def parse_keyword_primary(self) -> Expr:
+        token = self.peek()
+        word = token.upper
+        if word == "TRUE":
+            self.advance()
+            return Literal(True)
+        if word == "FALSE":
+            self.advance()
+            return Literal(False)
+        if word == "NULL":
+            self.advance()
+            return Literal(None)
+        if word == "DATE":
+            self.advance()
+            value = self.expect(STRING)
+            return Literal(_parse_date(value.text, self.text, value.position))
+        if word == "TIMESTAMP":
+            self.advance()
+            value = self.expect(STRING)
+            return Literal(_parse_timestamp(value.text, self.text, value.position))
+        if word == "CASE":
+            return self.parse_case()
+        raise ParseError(
+            f"unexpected keyword {token.text!r}", self.text, token.position
+        )
+
+    def parse_case(self) -> Expr:
+        self.expect(KEYWORD, "CASE")
+        whens: List[Tuple[Expr, Expr]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_or()
+            self.expect(KEYWORD, "THEN")
+            whens.append((cond, self.parse_or()))
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_or()
+        self.expect(KEYWORD, "END")
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN", self.text, self.peek().position)
+        return Case(whens, default)
+
+    def parse_name(self) -> Expr:
+        first = self.expect(IDENT)
+        if self.peek().kind == LPAREN:
+            return self.parse_call(first.text)
+        if self.peek().kind == DOT:
+            self.advance()
+            second = self.expect(IDENT)
+            return ColumnRef(second.text, qualifier=first.text)
+        return ColumnRef(first.text)
+
+    def parse_call(self, name: str) -> Expr:
+        self.expect(LPAREN)
+        upper = name.upper()
+        if upper in AGGREGATE_FUNCTIONS:
+            if self.peek().kind == STAR:
+                if upper != "COUNT":
+                    token = self.peek()
+                    raise ParseError(
+                        f"{upper}(*) is not legal", self.text, token.position
+                    )
+                self.advance()
+                self.expect(RPAREN)
+                return AggregateCall("COUNT", None)
+            distinct = self.accept_keyword("DISTINCT")
+            arg = self.parse_or()
+            self.expect(RPAREN)
+            return AggregateCall(upper, arg, distinct)
+        args: List[Expr] = []
+        if self.peek().kind != RPAREN:
+            args.append(self.parse_or())
+            while self.peek().kind == COMMA:
+                self.advance()
+                args.append(self.parse_or())
+        self.expect(RPAREN)
+        return FunctionCall(name, args)
+
+
+def _parse_number(text: str) -> object:
+    if any(c in text for c in ".eE"):
+        return float(text)
+    return int(text)
+
+
+def _parse_date(text: str, source: str, position: int) -> datetime.date:
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError:
+        raise ParseError(f"bad DATE literal {text!r}", source, position) from None
+
+
+def _parse_timestamp(text: str, source: str, position: int) -> datetime.datetime:
+    try:
+        return datetime.datetime.fromisoformat(text)
+    except ValueError:
+        raise ParseError(f"bad TIMESTAMP literal {text!r}", source, position) from None
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into an :class:`~repro.expr.ast.Expr`.
+
+    >>> parse("Accounts.type <> 'L'").to_sql()
+    "(Accounts.type <> 'L')"
+    """
+    if isinstance(text, Expr):
+        return text
+    return _Parser(text).parse()
+
+
+__all__ = ["parse"]

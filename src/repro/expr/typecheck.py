@@ -1,0 +1,254 @@
+"""Static type checking of expressions against relation schemas.
+
+Used by OHM schema propagation (to compute edge schemas from operator
+properties) and by the mapping compiler (to type intermediate relations
+such as ``DSLink10``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.errors import TypeCheckError
+from repro.expr.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
+from repro.schema.model import Relation
+from repro.schema.types import (
+    ANY,
+    BOOLEAN,
+    DataType,
+    FLOAT,
+    INTEGER,
+    NULL,
+    STRING,
+    AtomicType,
+    common_type,
+    python_value_type,
+)
+
+
+class TypeContext:
+    """Column → type resolution over one or more relations.
+
+    Mirrors :class:`repro.expr.evaluator.Environment`: qualified lookups go
+    to the named relation; unqualified lookups consult the anonymous
+    relation first and must be unambiguous across named relations."""
+
+    def __init__(
+        self,
+        relation: Optional[Relation] = None,
+        **named: Relation,
+    ):
+        self._anonymous = relation
+        self._named: Dict[str, Relation] = dict(named)
+
+    @classmethod
+    def of(cls, *relations: Relation) -> "TypeContext":
+        """Context over several relations, each addressable by its name."""
+        context = cls()
+        for rel in relations:
+            context.bind(rel.name, rel)
+        return context
+
+    def bind(self, name: str, rel: Relation) -> "TypeContext":
+        self._named[name] = rel
+        return self
+
+    def resolve(self, ref: ColumnRef) -> DataType:
+        if ref.qualifier is not None:
+            rel = self._named.get(ref.qualifier)
+            if rel is not None and rel.has_attribute(ref.name):
+                return rel.attribute(ref.name).dtype
+            if self._anonymous is not None:
+                dotted = f"{ref.qualifier}.{ref.name}"
+                if self._anonymous.has_attribute(dotted):
+                    return self._anonymous.attribute(dotted).dtype
+                if self._anonymous.has_attribute(ref.name):
+                    return self._anonymous.attribute(ref.name).dtype
+            raise TypeCheckError(f"unknown column {ref.to_sql()}")
+        if self._anonymous is not None and self._anonymous.has_attribute(ref.name):
+            return self._anonymous.attribute(ref.name).dtype
+        hits = [
+            rel for rel in self._named.values() if rel.has_attribute(ref.name)
+        ]
+        if len(hits) == 1:
+            return hits[0].attribute(ref.name).dtype
+        if len(hits) > 1:
+            raise TypeCheckError(
+                f"ambiguous column {ref.name!r} across "
+                f"{sorted(r.name for r in hits)}"
+            )
+        raise TypeCheckError(f"unknown column {ref.name!r}")
+
+
+def infer_type(
+    expr: Expr,
+    context: Union[TypeContext, Relation],
+    registry: Optional[FunctionRegistry] = None,
+    allow_aggregates: bool = False,
+) -> DataType:
+    """Infer the type of ``expr``; raises :class:`TypeCheckError` on any
+    ill-typed construct or unknown column/function."""
+    if isinstance(context, Relation):
+        context = TypeContext(context)
+    registry = registry or DEFAULT_REGISTRY
+    return _infer(expr, context, registry, allow_aggregates)
+
+
+def _numeric(t: DataType, what: str) -> None:
+    if t is NULL or t is ANY:
+        return
+    if not (isinstance(t, AtomicType) and t.is_numeric):
+        raise TypeCheckError(f"{what} requires a numeric operand, got {t!r}")
+
+
+def _infer(
+    expr: Expr,
+    context: TypeContext,
+    registry: FunctionRegistry,
+    allow_aggregates: bool,
+) -> DataType:
+    if isinstance(expr, Literal):
+        return python_value_type(expr.value)
+    if isinstance(expr, ColumnRef):
+        return context.resolve(expr)
+    if isinstance(expr, BinaryOp):
+        left = _infer(expr.left, context, registry, allow_aggregates)
+        right = _infer(expr.right, context, registry, allow_aggregates)
+        if expr.op in ("AND", "OR"):
+            for side, t in (("left", left), ("right", right)):
+                if t not in (BOOLEAN, NULL, ANY):
+                    raise TypeCheckError(
+                        f"{expr.op} {side} operand must be boolean, got {t!r}"
+                    )
+            return BOOLEAN
+        if expr.op == "||":
+            return STRING
+        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            try:
+                common_type(left, right)
+            except Exception:
+                raise TypeCheckError(
+                    f"cannot compare {left!r} with {right!r} in {expr.to_sql()}"
+                ) from None
+            return BOOLEAN
+        _numeric(left, expr.op)
+        _numeric(right, expr.op)
+        if expr.op == "/":
+            # division may always produce a fraction; FLOAT accepts the
+            # exact-integer results the evaluator keeps integral
+            return FLOAT
+        pick = [t for t in (left, right) if t not in (NULL, ANY)]
+        if not pick:
+            return INTEGER
+        result = pick[0]
+        for t in pick[1:]:
+            result = common_type(result, t)
+        return result
+    if isinstance(expr, UnaryOp):
+        operand = _infer(expr.operand, context, registry, allow_aggregates)
+        if expr.op == "NOT":
+            if operand not in (BOOLEAN, NULL, ANY):
+                raise TypeCheckError(f"NOT operand must be boolean, got {operand!r}")
+            return BOOLEAN
+        _numeric(operand, "unary minus")
+        return operand if operand not in (NULL, ANY) else INTEGER
+    if isinstance(expr, FunctionCall):
+        function = registry.lookup(expr.name)
+        function.check_arity(len(expr.args))
+        arg_types = [
+            _infer(a, context, registry, allow_aggregates) for a in expr.args
+        ]
+        return function.infer_return_type(arg_types)
+    if isinstance(expr, AggregateCall):
+        if not allow_aggregates:
+            raise TypeCheckError(
+                f"aggregate {expr.to_sql()} is only legal in GROUP derivations"
+            )
+        if expr.arg is None or expr.func == "COUNT":
+            return INTEGER
+        arg_type = _infer(expr.arg, context, registry, False)
+        if expr.func in ("SUM", "MIN", "MAX", "FIRST", "LAST"):
+            return arg_type
+        if expr.func == "AVG":
+            return FLOAT
+        raise TypeCheckError(f"unknown aggregate {expr.func!r}")
+    if isinstance(expr, Case):
+        result: DataType = NULL
+        for cond, value in expr.whens:
+            cond_type = _infer(cond, context, registry, allow_aggregates)
+            if cond_type not in (BOOLEAN, NULL, ANY):
+                raise TypeCheckError(
+                    f"CASE condition must be boolean, got {cond_type!r}"
+                )
+            result = common_type(
+                result, _infer(value, context, registry, allow_aggregates)
+            )
+        if expr.default is not None:
+            result = common_type(
+                result, _infer(expr.default, context, registry, allow_aggregates)
+            )
+        return result if result is not NULL else ANY
+    if isinstance(expr, IsNull):
+        _infer(expr.operand, context, registry, allow_aggregates)
+        return BOOLEAN
+    if isinstance(expr, InList):
+        operand = _infer(expr.operand, context, registry, allow_aggregates)
+        for item in expr.items:
+            item_type = _infer(item, context, registry, allow_aggregates)
+            try:
+                common_type(operand, item_type)
+            except Exception:
+                raise TypeCheckError(
+                    f"IN list item {item.to_sql()} has type {item_type!r}, "
+                    f"incompatible with {operand!r}"
+                ) from None
+        return BOOLEAN
+    if isinstance(expr, Between):
+        operand = _infer(expr.operand, context, registry, allow_aggregates)
+        for bound in (expr.low, expr.high):
+            bound_type = _infer(bound, context, registry, allow_aggregates)
+            try:
+                common_type(operand, bound_type)
+            except Exception:
+                raise TypeCheckError(
+                    f"BETWEEN bound {bound.to_sql()} incompatible with {operand!r}"
+                ) from None
+        return BOOLEAN
+    if isinstance(expr, Like):
+        for operand in (expr.operand, expr.pattern):
+            t = _infer(operand, context, registry, allow_aggregates)
+            if t not in (STRING, NULL, ANY):
+                raise TypeCheckError(f"LIKE needs strings, got {t!r}")
+        return BOOLEAN
+    raise TypeCheckError(f"cannot type node {expr!r}")
+
+
+def check_boolean(
+    expr: Expr,
+    context: Union[TypeContext, Relation],
+    registry: Optional[FunctionRegistry] = None,
+    allow_aggregates: bool = False,
+) -> None:
+    """Require ``expr`` to be a boolean expression over ``context``."""
+    inferred = infer_type(expr, context, registry, allow_aggregates)
+    if inferred not in (BOOLEAN, NULL, ANY):
+        raise TypeCheckError(
+            f"expected a boolean expression, {expr.to_sql()} has type {inferred!r}"
+        )
+
+
+__all__ = ["TypeContext", "infer_type", "check_boolean"]

@@ -1,0 +1,5 @@
+"""FastTrack-style integration façade over the Orchid pipeline."""
+
+from repro.fasttrack.orchid import Orchid
+
+__all__ = ["Orchid"]

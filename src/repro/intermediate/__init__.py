@@ -1,0 +1,18 @@
+"""The Intermediate layer (paper section III, V-A step 1).
+
+"In the first step, the vendor-specific ETL representation is read by our
+Intermediate layer interface and is converted into a simple directed
+graph whose nodes wrap each vendor-specific stage. ... the Intermediate
+layer graph often serves as a stand-in object model when no model is
+provided by an ETL system. Newer versions of DataStage ... do provide an
+object model and hence Orchid simply wraps each stage with a node."
+
+Our ETL substrate *does* provide an object model (:class:`repro.etl.Job`),
+so — exactly like Orchid against modern DataStage — the intermediate graph
+wraps each stage in a node; it can equally be built from the external XML
+format, covering the serialized-exchange path of older DataStage versions.
+"""
+
+from repro.intermediate.graph import IntermediateGraph, StageNode, from_job, from_xml
+
+__all__ = ["IntermediateGraph", "StageNode", "from_job", "from_xml"]

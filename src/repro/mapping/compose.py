@@ -1,0 +1,213 @@
+"""First-class mapping composition (paper section V-B).
+
+"An important property of this class of mapping expression is that we
+understand how and when we can compose two mapping formulas. In other
+words, given two mappings A → B and B → C, Clio (and hence Orchid) can
+compute A → C (if possible) in a way that preserves the semantics of the
+two original mappings."
+
+:func:`compose_mappings` implements that operation directly on
+:class:`~repro.mapping.model.Mapping` objects — the same view unfolding
+the OHM→mapping traversal performs edge-by-edge, exposed as an API. The
+"when we can" conditions raise :class:`~repro.errors.CompositionError`:
+
+* neither mapping may be opaque (a black box cannot be unfolded),
+* the second mapping must read the first one's target exactly once,
+* when the first mapping groups/aggregates, the second may only rename
+  and drop columns — "any operation that eliminates duplicates cannot be
+  composed with an operation that uses the cleansed list for further
+  processing".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompositionError
+from repro.expr.algebra import conjoin, split_conjuncts, substitute
+from repro.expr.ast import ColumnRef, Expr, TRUE
+from repro.mapping.model import Mapping, MappingSet, SourceBinding
+
+_rename_counter = itertools.count(1)
+
+
+def can_compose(first: Mapping, second: Mapping) -> bool:
+    """True when :func:`compose_mappings` would succeed."""
+    try:
+        _check_composable(first, second)
+        return True
+    except CompositionError:
+        return False
+
+
+def _check_composable(first: Mapping, second: Mapping) -> None:
+    if first.is_opaque or second.is_opaque:
+        raise CompositionError(
+            f"cannot compose across the opaque mapping "
+            f"{(first if first.is_opaque else second).name}"
+        )
+    uses = [
+        b for b in second.sources if b.relation.name == first.target.name
+    ]
+    if len(uses) != 1:
+        raise CompositionError(
+            f"{second.name} must read {first.target.name!r} exactly once "
+            f"to compose with {first.name} (reads it {len(uses)} times)"
+        )
+    if first.is_grouping and not _is_pure_rename(second, uses[0].var):
+        raise CompositionError(
+            f"{first.name} groups/aggregates; only a renaming mapping can "
+            f"compose onto it, and {second.name} is not one"
+        )
+
+
+def _is_pure_rename(mapping: Mapping, var: str) -> bool:
+    """True when the mapping only renames/drops columns of ``var``:
+    single source, no predicate, no grouping, ColumnRef derivations."""
+    if len(mapping.sources) != 1 or mapping.sources[0].var != var:
+        return False
+    if mapping.where != TRUE or mapping.group_by:
+        return False
+    return all(
+        isinstance(expr, ColumnRef) for _c, expr in mapping.derivations
+    )
+
+
+def compose_mappings(
+    first: Mapping,
+    second: Mapping,
+    name: Optional[str] = None,
+) -> Mapping:
+    """The composition ``second ∘ first``: a mapping from ``first``'s
+    sources (plus ``second``'s other sources) straight into ``second``'s
+    target, semantically equal to running ``first`` then ``second``.
+    """
+    _check_composable(first, second)
+    (bridge,) = [
+        b for b in second.sources if b.relation.name == first.target.name
+    ]
+
+    if first.is_grouping:
+        # second is a pure rename: keep first's body, rename its outputs
+        derivation_map = dict(first.derivations)
+        renamed: List[Tuple[str, Expr]] = []
+        for col, expr in second.derivations:
+            source_col = expr.name
+            if source_col not in derivation_map:
+                raise CompositionError(
+                    f"{second.name} reads {source_col!r}, which "
+                    f"{first.name} does not derive"
+                )
+            renamed.append((col, derivation_map[source_col]))
+        return Mapping(
+            list(first.sources),
+            second.target,
+            renamed,
+            where=first.where,
+            group_by=first.group_by,
+            name=name or f"{second.name}∘{first.name}",
+            annotations={**first.annotations, **second.annotations},
+        )
+
+    # rename first's variables away from second's remaining variables
+    taken = {b.var for b in second.sources if b is not bridge}
+    var_renames: Dict[str, str] = {}
+    for binding in first.sources:
+        new_var = binding.var
+        while new_var in taken:
+            new_var = f"{binding.var}_{next(_rename_counter)}"
+        var_renames[binding.var] = new_var
+        taken.add(new_var)
+
+    def rename_vars(expr: Expr) -> Expr:
+        replacements = {
+            ColumnRef(ref.name, qualifier=old): ColumnRef(
+                ref.name, qualifier=new
+            )
+            for old, new in var_renames.items()
+            for ref in expr.column_refs()
+            if ref.qualifier == old
+        }
+        return substitute(expr, replacements) if replacements else expr
+
+    inner_derivations = {
+        col: rename_vars(expr) for col, expr in first.derivations
+    }
+
+    def unfold(expr: Expr) -> Expr:
+        """Replace references to the bridge variable's columns by the
+        first mapping's derivations."""
+        replacements: Dict[ColumnRef, Expr] = {}
+        for ref in expr.column_refs():
+            if ref.qualifier == bridge.var:
+                if ref.name not in inner_derivations:
+                    raise CompositionError(
+                        f"{second.name} reads {bridge.var}.{ref.name}, "
+                        f"which {first.name} does not derive"
+                    )
+                replacements[ref] = inner_derivations[ref.name]
+            elif ref.qualifier is None and bridge.relation.has_attribute(
+                ref.name
+            ):
+                if ref.name not in inner_derivations:
+                    raise CompositionError(
+                        f"{second.name} reads {ref.name!r}, which "
+                        f"{first.name} does not derive"
+                    )
+                replacements[ref] = inner_derivations[ref.name]
+        return substitute(expr, replacements) if replacements else expr
+
+    sources = [
+        SourceBinding(var_renames[b.var], b.relation) for b in first.sources
+    ] + [b for b in second.sources if b is not bridge]
+    where = conjoin(
+        [rename_vars(c) for c in first.where_conjuncts()]
+        + [unfold(c) for c in second.where_conjuncts()]
+    )
+    derivations = [(col, unfold(expr)) for col, expr in second.derivations]
+    group_by = [unfold(e) for e in second.group_by]
+    composed = Mapping(
+        sources,
+        second.target,
+        derivations,
+        where=where,
+        group_by=group_by,
+        name=name or f"{second.name}∘{first.name}",
+        annotations={**first.annotations, **second.annotations},
+    )
+    return composed
+
+
+def compose_all(mappings: MappingSet) -> MappingSet:
+    """Compose a mapping set as far as its structure permits: repeatedly
+    unfold any intermediate relation with exactly one producer into each
+    of its consumers, until every remaining boundary is a genuine
+    materialization point."""
+    current = list(mappings)
+    progress = True
+    while progress:
+        progress = False
+        working = MappingSet(current)
+        for relation_name in working.intermediate_relation_names():
+            producers = working.producers_of(relation_name)
+            consumers = working.consumers_of(relation_name)
+            if len(producers) != 1:
+                continue
+            (producer,) = producers
+            if not all(can_compose(producer, c) for c in consumers):
+                continue
+            composed = [
+                compose_mappings(producer, consumer, name=consumer.name)
+                for consumer in consumers
+            ]
+            current = [
+                m for m in current
+                if m is not producer and m not in consumers
+            ] + composed
+            progress = True
+            break
+    return MappingSet(current)
+
+
+__all__ = ["can_compose", "compose_mappings", "compose_all"]

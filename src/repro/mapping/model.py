@@ -1,0 +1,404 @@
+"""The Clio-like declarative mapping model (paper sections II, V-B, VI-A).
+
+"Clio expresses mappings using declarative logical expressions that
+capture constraints about the source and target data instances. Clio
+mappings are formulas of the form φ(x) → ∃Y ψ(x, Y)." Figure 8 renders
+them in a query-like notation::
+
+    M1: for c in Customers, a in Accounts
+        where a.type <> 'L' and c.customerID = a.customerID
+        group by c.customerID, c.name, ...
+        exists d in DSLink10
+        with d.customerID = c.customerID, ...,
+             d.totalBalance = SUM(a.balance)
+
+A :class:`Mapping` is one such formula with a single target relation;
+sets of mappings relate through shared intermediate relations (``d`` in
+``DSLink10`` above is the source of M2 and M3), forming the mapping DAG a
+:class:`MappingSet` holds.
+
+*Opaque* mappings stand in for black-box ETL operations: "This empty
+mapping only records the source and target relations and a reference
+(e.g., the name) of the custom operator that created this mapping"
+(section V-B).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import MappingError
+from repro.expr.algebra import conjoin, split_conjuncts
+from repro.expr.ast import AggregateCall, ColumnRef, Expr, TRUE
+from repro.expr.parser import parse
+from repro.expr.typecheck import TypeContext, check_boolean, infer_type
+from repro.schema.model import Attribute, Relation
+
+_mapping_counter = itertools.count(1)
+
+
+class SourceBinding:
+    """One ``for <var> in <Relation>`` clause."""
+
+    __slots__ = ("var", "relation")
+
+    def __init__(self, var: str, relation: Relation):
+        self.var = var
+        self.relation = relation
+
+    def __repr__(self) -> str:
+        return f"{self.var} in {self.relation.name}"
+
+
+class Mapping:
+    """A single source-to-target mapping formula.
+
+    :ivar name: display name (``M1``, ``M2``, ...).
+    :ivar sources: variable bindings over source relations.
+    :ivar where: boolean constraint over the bound variables.
+    :ivar group_by: grouping expressions (empty = no grouping). When
+        non-empty, derivations may contain aggregate calls; every
+        non-aggregate derivation must be one of the group-by expressions.
+    :ivar target: the target relation.
+    :ivar derivations: ``(target column, expression over source vars)``.
+    :ivar reference: for opaque mappings, the name of the black-box
+        operation the mapping stands in for.
+    :ivar executor: optional callable giving an opaque mapping executable
+        behaviour (``fn(inputs: List[Dataset]) -> List[row]``).
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[SourceBinding],
+        target: Relation,
+        derivations: Sequence[Tuple[str, Union[Expr, str]]] = (),
+        where: Union[Expr, str, None] = None,
+        group_by: Sequence[Union[Expr, str]] = (),
+        name: Optional[str] = None,
+        reference: Optional[str] = None,
+        executor: Optional[Callable] = None,
+        annotations: Optional[Dict[str, str]] = None,
+    ):
+        self.name = name or f"M{next(_mapping_counter)}"
+        self.sources = list(sources)
+        if not self.sources:
+            raise MappingError(f"{self.name}: a mapping needs source bindings")
+        seen_vars = set()
+        for binding in self.sources:
+            if binding.var in seen_vars:
+                raise MappingError(
+                    f"{self.name}: duplicate source variable {binding.var!r}"
+                )
+            seen_vars.add(binding.var)
+        self.target = target
+        self.derivations: List[Tuple[str, Expr]] = [
+            (col, parse(expr) if isinstance(expr, str) else expr)
+            for col, expr in derivations
+        ]
+        if isinstance(where, str):
+            where = parse(where)
+        self.where: Expr = where if where is not None else TRUE
+        self.group_by: List[Expr] = [
+            parse(e) if isinstance(e, str) else e for e in group_by
+        ]
+        self.reference = reference
+        self.executor = executor
+        self.annotations: Dict[str, str] = dict(annotations or {})
+        self._check_shape()
+
+    # -- well-formedness ---------------------------------------------------------
+
+    @property
+    def is_opaque(self) -> bool:
+        """True for empty mappings standing in for black-box operations."""
+        return not self.derivations
+
+    @property
+    def is_grouping(self) -> bool:
+        return bool(self.group_by) or any(
+            expr.contains_aggregate() for _c, expr in self.derivations
+        )
+
+    def _check_shape(self) -> None:
+        if self.is_opaque:
+            if self.reference is None:
+                raise MappingError(
+                    f"{self.name}: a mapping without derivations must "
+                    "reference the black-box operation it stands in for"
+                )
+            return
+        derived = {col for col, _e in self.derivations}
+        duplicates = [
+            col for col, _e in self.derivations
+            if sum(1 for c, _x in self.derivations if c == col) > 1
+        ]
+        if duplicates:
+            raise MappingError(f"{self.name}: duplicate derivations {duplicates}")
+        missing = [
+            a.name for a in self.target
+            if a.name not in derived and not a.nullable
+        ]
+        if missing:
+            raise MappingError(
+                f"{self.name}: non-nullable target columns {missing} underived"
+            )
+        has_aggregates = any(
+            e.contains_aggregate() for _c, e in self.derivations
+        )
+        if has_aggregates and not self.group_by:
+            raise MappingError(
+                f"{self.name}: aggregate derivations require a group-by clause"
+            )
+        if self.group_by:
+            keys = {e.key() for e in self.group_by}
+            for col, expr in self.derivations:
+                if expr.contains_aggregate():
+                    continue
+                if expr.key() not in keys:
+                    raise MappingError(
+                        f"{self.name}: non-aggregate derivation {col!r} = "
+                        f"{expr.to_sql()} is not a group-by expression"
+                    )
+
+    def type_context(self) -> TypeContext:
+        context = TypeContext()
+        for binding in self.sources:
+            context.bind(binding.var, binding.relation)
+        return context
+
+    def validate(self) -> None:
+        """Full static validation: predicates boolean, derivations typed
+        and acceptable by the target columns."""
+        if self.is_opaque:
+            return
+        context = self.type_context()
+        check_boolean(self.where, context)
+        for expr in self.group_by:
+            infer_type(expr, context)
+        for col, expr in self.derivations:
+            attr = self.target.attribute(col)
+            inferred = infer_type(expr, context, allow_aggregates=True)
+            if not attr.dtype.accepts(inferred):
+                raise MappingError(
+                    f"{self.name}: derivation {col!r} has type {inferred!r}, "
+                    f"target column wants {attr.dtype!r}"
+                )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def source_relation_names(self) -> List[str]:
+        return [b.relation.name for b in self.sources]
+
+    def binding(self, var: str) -> SourceBinding:
+        for b in self.sources:
+            if b.var == var:
+                return b
+        raise MappingError(f"{self.name}: no source variable {var!r}")
+
+    def where_conjuncts(self) -> List[Expr]:
+        return split_conjuncts(self.where)
+
+    def join_conjuncts(self) -> List[Expr]:
+        """Conjuncts referencing more than one source variable."""
+        return [c for c in self.where_conjuncts() if len(self._vars_of(c)) > 1]
+
+    def filter_conjuncts_of(self, var: str) -> List[Expr]:
+        """Conjuncts referencing only ``var``."""
+        return [c for c in self.where_conjuncts() if self._vars_of(c) == {var}]
+
+    def _vars_of(self, expr: Expr) -> set:
+        names = {b.var for b in self.sources}
+        found = set()
+        for ref in expr.column_refs():
+            if ref.qualifier in names:
+                found.add(ref.qualifier)
+            elif ref.qualifier is None:
+                holders = [
+                    b.var for b in self.sources
+                    if b.relation.has_attribute(ref.name)
+                ]
+                if len(holders) == 1:
+                    found.add(holders[0])
+                elif len(holders) > 1:
+                    raise MappingError(
+                        f"{self.name}: ambiguous column {ref.name!r} "
+                        f"(in {holders})"
+                    )
+        return found
+
+    def derivations_of(self, var: str) -> List[Tuple[str, Expr]]:
+        """Derivations whose expression references only ``var`` (these
+        land in the per-source PROJECT of the Figure 9 template)."""
+        return [
+            (col, expr)
+            for col, expr in self.derivations
+            if not expr.contains_aggregate() and self._vars_of(expr) <= {var}
+            and self._vars_of(expr)
+        ]
+
+    # -- rendering ----------------------------------------------------------------
+
+    def to_query_notation(self) -> str:
+        """Figure 8's query-like rendering."""
+        lines = [f"{self.name}:"]
+        for_clause = ", ".join(
+            f"{b.var} in {b.relation.name}" for b in self.sources
+        )
+        lines.append(f"  for {for_clause}")
+        if self.is_opaque:
+            lines.append(f"  -- opaque: stands in for {self.reference!r}")
+            lines.append(f"  exists t in {self.target.name}")
+            return "\n".join(lines)
+        conjuncts = self.where_conjuncts()
+        if conjuncts:
+            rendered = "\n    and ".join(c.to_sql() for c in conjuncts)
+            lines.append(f"  where {rendered}")
+        if self.group_by:
+            lines.append(
+                "  group by " + ", ".join(e.to_sql() for e in self.group_by)
+            )
+        lines.append(f"  exists t in {self.target.name}")
+        withs = ",\n       ".join(
+            f"t.{col} = {expr.to_sql()}" for col, expr in self.derivations
+        )
+        lines.append(f"  with {withs}")
+        return "\n".join(lines)
+
+    def to_logical_notation(self) -> str:
+        """The φ(x) → ∃Y ψ(x, Y) rendering."""
+        vars_ = ", ".join(b.var for b in self.sources)
+        atoms = " ∧ ".join(
+            f"{b.relation.name}({b.var})" for b in self.sources
+        )
+        phi = atoms
+        if self.where != TRUE:
+            phi += f" ∧ {self.where.to_sql()}"
+        if self.is_opaque:
+            psi = f"{self.target.name}(t) ∧ ⟦{self.reference}⟧({vars_}, t)"
+        else:
+            equalities = " ∧ ".join(
+                f"t.{col} = {expr.to_sql()}" for col, expr in self.derivations
+            )
+            psi = f"{self.target.name}(t) ∧ {equalities}"
+        return f"∀ {vars_} ( {phi} → ∃ t ( {psi} ) )"
+
+    def __repr__(self) -> str:
+        sources = ", ".join(b.relation.name for b in self.sources)
+        return f"Mapping({self.name}: {sources} -> {self.target.name})"
+
+
+class MappingSet:
+    """An ordered collection of mappings touching at intermediate
+    relations (the mapping DAG of section V-B)."""
+
+    def __init__(self, mappings: Iterable[Mapping] = ()):
+        self.mappings: List[Mapping] = list(mappings)
+
+    def add(self, mapping: Mapping) -> Mapping:
+        self.mappings.append(mapping)
+        return mapping
+
+    def __iter__(self):
+        return iter(self.mappings)
+
+    def __len__(self) -> int:
+        return len(self.mappings)
+
+    def __getitem__(self, index: int) -> Mapping:
+        return self.mappings[index]
+
+    def by_name(self, name: str) -> Mapping:
+        for mapping in self.mappings:
+            if mapping.name == name:
+                return mapping
+        raise MappingError(f"no mapping named {name!r}")
+
+    @property
+    def names(self) -> List[str]:
+        return [m.name for m in self.mappings]
+
+    def target_relation_names(self) -> List[str]:
+        seen: List[str] = []
+        for m in self.mappings:
+            if m.target.name not in seen:
+                seen.append(m.target.name)
+        return seen
+
+    def intermediate_relation_names(self) -> List[str]:
+        """Relations that are targets of some mapping and sources of
+        another — the materialization points."""
+        targets = set(self.target_relation_names())
+        sourced = {
+            name for m in self.mappings for name in m.source_relation_names
+        }
+        return sorted(targets & sourced)
+
+    def final_target_names(self) -> List[str]:
+        """Targets no mapping reads from — the actual output relations."""
+        sourced = {
+            name for m in self.mappings for name in m.source_relation_names
+        }
+        return [n for n in self.target_relation_names() if n not in sourced]
+
+    def producers_of(self, relation_name: str) -> List[Mapping]:
+        return [m for m in self.mappings if m.target.name == relation_name]
+
+    def consumers_of(self, relation_name: str) -> List[Mapping]:
+        return [
+            m for m in self.mappings if relation_name in m.source_relation_names
+        ]
+
+    def base_relation_names(self) -> List[str]:
+        """Source relations not produced by any mapping."""
+        produced = set(self.target_relation_names())
+        seen: List[str] = []
+        for m in self.mappings:
+            for b in m.sources:
+                if b.relation.name not in produced and b.relation.name not in seen:
+                    seen.append(b.relation.name)
+        return seen
+
+    def in_dependency_order(self) -> List[Mapping]:
+        """Mappings ordered so producers precede consumers."""
+        produced_by: Dict[str, List[Mapping]] = {}
+        for m in self.mappings:
+            produced_by.setdefault(m.target.name, []).append(m)
+        resolved: List[Mapping] = []
+        resolved_set = set()
+        pending = list(self.mappings)
+        while pending:
+            progressed = False
+            for m in list(pending):
+                needs = [
+                    name for name in m.source_relation_names
+                    if name in produced_by
+                ]
+                if all(
+                    all(p in resolved_set for p in map(id, produced_by[name]))
+                    for name in needs
+                ):
+                    resolved.append(m)
+                    resolved_set.add(id(m))
+                    pending.remove(m)
+                    progressed = True
+            if not progressed:
+                raise MappingError(
+                    "cyclic dependency among mappings: "
+                    f"{[m.name for m in pending]}"
+                )
+        return resolved
+
+    def validate(self) -> None:
+        for m in self.mappings:
+            m.validate()
+
+    def to_text(self) -> str:
+        return "\n\n".join(m.to_query_notation() for m in self.mappings)
+
+    def __repr__(self) -> str:
+        return f"MappingSet({self.names})"
+
+
+__all__ = ["SourceBinding", "Mapping", "MappingSet"]

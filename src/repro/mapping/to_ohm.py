@@ -1,0 +1,603 @@
+"""Compiling mappings into OHM instances (paper section VI-A).
+
+"To compile each individual mapping into a graph of OHM operators,
+Orchid creates a skeleton OHM graph from the template shown in Figure 9.
+This template captures the transformation semantics expressible in many
+relational schema mapping systems. Orchid then identifies the operators
+in this template graph that are actually required ... The unnecessary
+operators are removed from the template graph instance."
+
+The Figure 9 template, per mapping::
+
+    for each source:  [FILTER] -> [PROJECT]      (single-source predicates,
+                                                   single-source derivations)
+    then:             [JOIN]* (left-deep)         (multi-source conjuncts)
+                      [PROJECT / BASIC PROJECT]   (assemble target columns)
+                      [GROUP]                     (grouping + aggregates)
+
+Instead of literally instantiating every template operator and deleting
+the unused ones, each template slot is *emitted only when required* —
+the same pruning, expressed constructively. A separate assembly step
+wires the per-mapping graphs together: "the output of M1 flows into both
+M2 and M3, and thus Orchid creates a SPLIT operator ... If two or more
+mappings share a common target relation Orchid creates a UNION operator."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MappingError
+from repro.expr.algebra import conjoin, transform
+from repro.expr.ast import AggregateCall, ColumnRef, Expr, TRUE
+from repro.mapping.model import Mapping, MappingSet, SourceBinding
+from repro.ohm.graph import OhmGraph
+from repro.ohm.operators import (
+    Filter,
+    Group,
+    Join,
+    Operator,
+    Project,
+    Source,
+    Split,
+    Target,
+    Union,
+    Unknown,
+)
+from repro.ohm.subtypes import BasicProject
+from repro.schema.model import Attribute, Relation
+
+#: (operator, port) attachment point
+Port = Tuple[Operator, int]
+
+_edge_counter = itertools.count(1)
+
+
+def _edge_name(mapping_name: str, hint: str) -> str:
+    return f"{mapping_name}.{hint}{next(_edge_counter)}"
+
+
+class _SourcePipeline:
+    """The per-source prefix of the template: [FILTER] → [PROJECT]."""
+
+    def __init__(self, binding: SourceBinding):
+        self.binding = binding
+        #: source column name → column name after the per-source project
+        self.column_names: Dict[str, str] = {}
+        #: target column computed here → its column name after the project
+        self.target_columns: Dict[str, str] = {}
+        self.entry: Optional[Port] = None
+        self.exit: Optional[Port] = None
+        self.exit_edge_name: Optional[str] = None
+
+
+class _MappingCompiler:
+    """Compiles one mapping into operators inside a shared graph,
+    returning its entry ports (one per source binding) and its single
+    output port."""
+
+    def __init__(self, mapping: Mapping, graph: OhmGraph):
+        self.mapping = mapping
+        self.graph = graph
+
+    def compile(self) -> Tuple[List[Port], Port]:
+        mapping = self.mapping
+        if mapping.is_opaque:
+            return self._compile_opaque()
+        self._plan_raw_renames()
+        pipelines = [
+            self._compile_source(binding) for binding in mapping.sources
+        ]
+        joined, column_of, target_of = self._compile_joins(pipelines)
+        out_port = self._compile_projection_and_group(
+            joined, column_of, target_of
+        )
+        if pipelines[0].entry is None:
+            # a single-source mapping with no filter: the assembled
+            # projection is the whole pipeline
+            pipelines[0].entry = self._entry_port
+        entries = [p.entry for p in pipelines]
+        if mapping.annotations:
+            # "business rules entered in English are passed as annotations
+            # to the appropriate ETL stage" — carry them on every operator
+            # this mapping produced, so deployment lands them on stages
+            for op in self.graph.operators:
+                if op.label == mapping.name:
+                    for key, value in mapping.annotations.items():
+                        op.annotations.setdefault(key, value)
+        return entries, out_port
+
+    # -- template slots -------------------------------------------------------------
+
+    #: (var, source column) → disambiguated name, filled for mappings
+    #: that contain a placeholder join (see :meth:`_plan_raw_renames`).
+    _raw_renames: Dict[Tuple[str, str], str] = {}
+
+    def _plan_raw_renames(self) -> None:
+        """When the mapping requires a join it does not state (the
+        FastTrack incomplete-mapping case), every source column survives
+        the per-source projections — so cross-source name collisions are
+        disambiguated *up front* (``<var>_<column>``). The placeholder
+        Join stage then has no colliding inputs, which keeps the
+        skeleton's downstream column references stable while the
+        programmer fills the predicate in."""
+        self._raw_renames = {}
+        mapping = self.mapping
+        if len(mapping.sources) < 2:
+            return
+        join_conjuncts = mapping.join_conjuncts()
+        has_placeholder = any(
+            not any(b.var in mapping._vars_of(c) for c in join_conjuncts)
+            for b in mapping.sources
+        )
+        if not has_placeholder:
+            return
+        owner: Dict[str, str] = {}
+        for binding in mapping.sources:
+            for col in binding.relation.attribute_names:
+                if col in owner:
+                    self._raw_renames[(binding.var, col)] = (
+                        f"{binding.var}_{col}"
+                    )
+                else:
+                    owner[col] = binding.var
+
+    def _needed_raw_columns(self, var: str) -> List[str]:
+        """Raw source columns of ``var`` that must survive the per-source
+        project: join-conjunct references, aggregate arguments, and
+        multi-variable derivation references. When the mapping requires a
+        join but states no predicate for this source (the FastTrack
+        incomplete-mapping case), every column survives — the ETL
+        programmer needs them all to write the missing predicate."""
+        mapping = self.mapping
+        needed: List[str] = []
+
+        def note(expr: Expr) -> None:
+            for ref in expr.column_refs():
+                if ref.qualifier == var and ref.name not in needed:
+                    needed.append(ref.name)
+
+        join_conjuncts = mapping.join_conjuncts()
+        if len(mapping.sources) > 1 and not any(
+            var in mapping._vars_of(c) for c in join_conjuncts
+        ):
+            binding = mapping.binding(var)
+            return list(binding.relation.attribute_names)
+        for conjunct in join_conjuncts:
+            note(conjunct)
+        single_var = {col for col, _e in mapping.derivations_of(var)}
+        for col, expr in mapping.derivations:
+            if expr.contains_aggregate():
+                for node in expr.walk():
+                    if isinstance(node, AggregateCall) and node.arg is not None:
+                        note(node.arg)
+            elif col not in single_var:
+                note(expr)  # multi-variable derivation
+        return needed
+
+    def _compile_source(self, binding: SourceBinding) -> _SourcePipeline:
+        mapping = self.mapping
+        var = binding.var
+        pipeline = _SourcePipeline(binding)
+        last: Optional[Port] = None
+
+        def connect(op: Operator, hint: str) -> Port:
+            nonlocal last
+            self.graph.add(op)
+            if last is None:
+                pipeline.entry = (op, 0)
+            else:
+                self.graph.connect(
+                    last[0], op, src_port=last[1],
+                    name=_edge_name(mapping.name, hint),
+                )
+            last = (op, 0)
+            return last
+
+        filters = mapping.filter_conjuncts_of(var)
+        if filters:
+            condition = _unqualify(conjoin(filters), var)
+            connect(Filter(condition, label=mapping.name), var)
+
+        if len(mapping.sources) == 1:
+            # single-source mapping: the template's single projection is
+            # the post-"join" assembly projection (Figure 9 pruned to
+            # FILTER → BASIC PROJECT for M2); no per-source project
+            pipeline.exit = last
+            for attr in binding.relation:
+                pipeline.column_names[attr.name] = attr.name
+            return pipeline
+
+        derived = mapping.derivations_of(var)
+        raw = self._needed_raw_columns(var)
+        derived_names = {col for col, _e in derived}
+        derivations: List[Tuple[str, Expr]] = [
+            (col, _unqualify(expr, var)) for col, expr in derived
+        ]
+        for source_col in raw:
+            out_name = self._raw_renames.get((var, source_col), source_col)
+            if out_name in derived_names:
+                # a derivation already claimed the name for a different
+                # expression; keep the raw copy under a distinct name
+                derivation_expr = dict(derived)[out_name]
+                if derivation_expr == ColumnRef(source_col, qualifier=var):
+                    pipeline.column_names[source_col] = out_name
+                    continue
+                out_name = f"{var}_{source_col}"
+            derivations.append((out_name, ColumnRef(source_col)))
+            pipeline.column_names[source_col] = out_name
+        for col, expr in derived:
+            if isinstance(expr, ColumnRef) and expr.qualifier == var:
+                pipeline.column_names.setdefault(expr.name, col)
+        pipeline.target_columns = {col: col for col, _e in derived}
+        if derivations:
+            needs_general = any(
+                not isinstance(expr, ColumnRef) for _c, expr in derivations
+            )
+            if needs_general:
+                project: Project = Project(derivations, label=mapping.name)
+            else:
+                project = BasicProject(
+                    [(c, e.name) for c, e in derivations], label=mapping.name
+                )
+            connect(project, var)
+        if last is None:
+            # bare identity pipeline: no filter, no projection — wire the
+            # source straight through an identity BASIC PROJECT so the
+            # pipeline has a handle (the cleanup rewrite removes it)
+            identity = BasicProject.identity(binding.relation, label=mapping.name)
+            connect(identity, var)
+            for attr in binding.relation:
+                pipeline.column_names.setdefault(attr.name, attr.name)
+        pipeline.exit = last
+        return pipeline
+
+    def _compile_joins(
+        self, pipelines: List[_SourcePipeline]
+    ) -> Tuple[Port, Dict[Tuple[str, str], str], Dict[str, str]]:
+        """Left-deep join tree. Returns the output port, the mapping from
+        (var, source column) to the column name in the joined stream
+        (dotted names where branches collided), and the analogous mapping
+        for target columns computed by the per-source projections."""
+        mapping = self.mapping
+        column_of: Dict[Tuple[str, str], str] = {}
+        target_of: Dict[str, str] = {}
+        first = pipelines[0]
+        first_edge = _edge_name(mapping.name, first.binding.var)
+        for source_col, name in first.column_names.items():
+            column_of[(first.binding.var, source_col)] = name
+        target_of.update(first.target_columns)
+        current: Port = first.exit
+        current_edge_name = first_edge
+        current_columns = set(first.column_names.values()) | set(
+            first.target_columns.values()
+        )
+        remaining_conjuncts = list(mapping.join_conjuncts())
+        joined_vars = {first.binding.var}
+        for pipeline in pipelines[1:]:
+            var = pipeline.binding.var
+            right_edge = _edge_name(mapping.name, var)
+            usable = [
+                c
+                for c in remaining_conjuncts
+                if _vars_of(c, mapping) <= joined_vars | {var}
+            ]
+            for c in usable:
+                remaining_conjuncts.remove(c)
+            condition = self._rewrite_conjuncts(
+                usable, column_of, pipeline, current_edge_name, right_edge
+            )
+            join = self.graph.add(Join(condition, label=mapping.name))
+            if not usable:
+                # FastTrack behaviour: "an analyst might not know how to
+                # join two or more input tables, but FastTrack ... detects
+                # that the mapping requires a join and creates an empty
+                # join operation (no join predicate is created)"
+                join.annotations["placeholder"] = (
+                    "join predicate not yet specified"
+                )
+            self.graph.connect(
+                current[0], join, src_port=current[1], dst_port=0,
+                name=current_edge_name,
+            )
+            self.graph.connect(
+                pipeline.exit[0], join, src_port=pipeline.exit[1], dst_port=1,
+                name=right_edge,
+            )
+            # collision handling mirrors Join.joined_attributes
+            right_columns = set(pipeline.column_names.values()) | set(
+                pipeline.target_columns.values()
+            )
+            shared = current_columns & right_columns
+            for key, name in list(column_of.items()):
+                if name in shared:
+                    column_of[key] = f"{current_edge_name}.{name}"
+            for col, name in list(target_of.items()):
+                if name in shared:
+                    target_of[col] = f"{current_edge_name}.{name}"
+            for source_col, name in pipeline.column_names.items():
+                column_of[(var, source_col)] = (
+                    f"{right_edge}.{name}" if name in shared else name
+                )
+            for col, name in pipeline.target_columns.items():
+                target_of[col] = (
+                    f"{right_edge}.{name}" if name in shared else name
+                )
+            current_columns = (
+                {c for c in current_columns if c not in shared}
+                | {c for c in right_columns if c not in shared}
+                | {f"{current_edge_name}.{c}" for c in shared}
+                | {f"{right_edge}.{c}" for c in shared}
+            )
+            current = (join, 0)
+            current_edge_name = _edge_name(mapping.name, "join")
+            joined_vars.add(var)
+        if remaining_conjuncts:
+            condition = self._rewrite_refs(
+                conjoin(remaining_conjuncts), column_of
+            )
+            filter_op = self.graph.add(Filter(condition, label=mapping.name))
+            self.graph.connect(
+                current[0], filter_op, src_port=current[1], name=current_edge_name
+            )
+            current = (filter_op, 0)
+            current_edge_name = _edge_name(mapping.name, "where")
+        self._current_edge_name = current_edge_name
+        return current, column_of, target_of
+
+    def _rewrite_conjuncts(
+        self, conjuncts, column_of, right_pipeline, left_edge, right_edge
+    ) -> Expr:
+        if not conjuncts:
+            return TRUE
+        var = right_pipeline.binding.var
+
+        def rewrite(node: Expr) -> Optional[Expr]:
+            if not isinstance(node, ColumnRef) or node.qualifier is None:
+                return None
+            if node.qualifier == var:
+                name = right_pipeline.column_names.get(node.name)
+                if name is None:
+                    raise MappingError(
+                        f"{self.mapping.name}: join condition references "
+                        f"{var}.{node.name}, not kept by the source project"
+                    )
+                return ColumnRef(name, qualifier=right_edge)
+            name = column_of.get((node.qualifier, node.name))
+            if name is None:
+                raise MappingError(
+                    f"{self.mapping.name}: join condition references "
+                    f"{node.to_sql()}, not kept by the source project"
+                )
+            if "." in name:  # already dotted from an earlier collision
+                return ColumnRef(name, qualifier=left_edge)
+            return ColumnRef(name, qualifier=left_edge)
+
+        return transform(conjoin(conjuncts), rewrite)
+
+    def _rewrite_refs(self, expr: Expr, column_of) -> Expr:
+        mapping = self.mapping
+
+        def rewrite(node: Expr) -> Optional[Expr]:
+            if isinstance(node, ColumnRef) and node.qualifier is not None:
+                name = column_of.get((node.qualifier, node.name))
+                if name is None:
+                    raise MappingError(
+                        f"{mapping.name}: reference {node.to_sql()} was not "
+                        "kept by the per-source projections"
+                    )
+                return ColumnRef(name)
+            return None
+
+        return transform(expr, rewrite)
+
+    def _compile_projection_and_group(
+        self, current: Port, column_of, target_of
+    ) -> Port:
+        """The post-join PROJECT assembling the target columns, and the
+        GROUP when the mapping aggregates."""
+        mapping = self.mapping
+        current_edge = self._current_edge_name
+        derivations: List[Tuple[str, Expr]] = []
+        group_keys: List[str] = []
+        aggregates: List[Tuple[str, AggregateCall]] = []
+        # a mapping whose aggregates are all FIRST/LAST is a
+        # duplicate-removal: name the pre-projected columns after the
+        # target columns so the GROUP is a pure passthrough dedup (the
+        # shape the RemoveDuplicates runtime operator implements)
+        aggregate_derivations = [
+            (col, expr)
+            for col, expr in mapping.derivations
+            if expr.contains_aggregate()
+        ]
+        dedup_style = aggregate_derivations and all(
+            isinstance(expr, AggregateCall)
+            and expr.func in ("FIRST", "LAST")
+            and expr.arg is not None
+            for _c, expr in aggregate_derivations
+        )
+        for col, expr in mapping.derivations:
+            if expr.contains_aggregate():
+                if not isinstance(expr, AggregateCall):
+                    raise MappingError(
+                        f"{mapping.name}: derivation {col!r} mixes aggregates "
+                        "with scalar computation; not compilable to a single "
+                        "GROUP operator"
+                    )
+                arg = None
+                if expr.arg is not None:
+                    arg_expr = self._rewrite_refs(expr.arg, column_of)
+                    if dedup_style:
+                        arg_name = col
+                    elif isinstance(arg_expr, ColumnRef):
+                        arg_name = arg_expr.name
+                    else:
+                        arg_name = f"__agg_{col}"
+                    derivations.append((arg_name, arg_expr))
+                    arg = ColumnRef(arg_name)
+                aggregates.append((col, AggregateCall(expr.func, arg, expr.distinct)))
+            elif col in target_of:
+                # already computed by a per-source projection
+                derivations.append((col, ColumnRef(target_of[col])))
+                group_keys.append(col)
+            else:
+                derivations.append((col, self._rewrite_refs(expr, column_of)))
+                group_keys.append(col)
+        seen = {}
+        deduped = []
+        for name, expr in derivations:
+            if name in seen:
+                if seen[name] != expr:
+                    raise MappingError(
+                        f"{mapping.name}: conflicting projection for {name!r}"
+                    )
+                continue
+            seen[name] = expr
+            deduped.append((name, expr))
+        derivations = deduped
+        if all(isinstance(e, ColumnRef) and e.qualifier is None for _c, e in derivations):
+            project: Project = BasicProject(
+                [(c, e.name) for c, e in derivations], label=mapping.name
+            )
+        else:
+            project = Project(derivations, label=mapping.name)
+        self.graph.add(project)
+        if current is None:
+            self._entry_port = (project, 0)
+        else:
+            self.graph.connect(
+                current[0], project, src_port=current[1], name=current_edge
+            )
+        current = (project, 0)
+        if mapping.is_grouping:
+            group = self.graph.add(
+                Group(group_keys, aggregates, label=mapping.name)
+            )
+            self.graph.connect(
+                current[0], group, name=_edge_name(mapping.name, "pregroup")
+            )
+            current = (group, 0)
+        return current
+
+    def _compile_opaque(self) -> Tuple[List[Port], Port]:
+        mapping = self.mapping
+        executor = None
+        if mapping.executor is not None:
+            # a mapping executor yields a single row-list; the UNKNOWN
+            # operator contract wants one row-list per output
+            def executor(inputs, _fn=mapping.executor):
+                return [_fn(inputs)]
+
+        op = self.graph.add(
+            Unknown(
+                [mapping.target],
+                reference=mapping.reference,
+                executor=executor,
+                label=mapping.name,
+                annotations=dict(mapping.annotations),
+            )
+        )
+        return [(op, i) for i in range(len(mapping.sources))], (op, 0)
+
+    _current_edge_name: str = ""
+
+
+def _unqualify(expr: Expr, var: str) -> Expr:
+    def rewrite(node: Expr) -> Optional[Expr]:
+        if isinstance(node, ColumnRef) and node.qualifier == var:
+            return node.unqualified()
+        return None
+
+    return transform(expr, rewrite)
+
+
+def _vars_of(expr: Expr, mapping: Mapping) -> set:
+    return mapping._vars_of(expr)
+
+
+def mappings_to_ohm(
+    mappings: MappingSet,
+    name: str = "from-mappings",
+    cleanup: bool = True,
+) -> OhmGraph:
+    """Compile a mapping set into one OHM instance, inserting SPLIT
+    operators where a produced relation feeds several mappings and UNION
+    operators where several mappings share a target (section VI-A)."""
+    mappings.validate()  # fail fast, with mapping-level error messages
+    graph = OhmGraph(name)
+    compiled: Dict[str, Tuple[List[Port], Port]] = {}
+    entries_by_relation: Dict[str, List[Port]] = {}
+    for mapping in mappings.in_dependency_order():
+        entries, out = _MappingCompiler(mapping, graph).compile()
+        compiled[mapping.name] = (entries, out)
+        for binding, entry in zip(mapping.sources, entries):
+            entries_by_relation.setdefault(binding.relation.name, []).append(entry)
+
+    produced = set(mappings.target_relation_names())
+    # base source relations feed from SOURCE operators
+    producers: Dict[str, Port] = {}
+    for mapping in mappings.in_dependency_order():
+        for binding in mapping.sources:
+            rel_name = binding.relation.name
+            if rel_name in produced or rel_name in producers:
+                continue
+            source = graph.add(Source(binding.relation))
+            producers[rel_name] = (source, 0)
+
+    # mapping outputs: UNION shared targets, then route
+    for rel_name in mappings.target_relation_names():
+        producing = mappings.producers_of(rel_name)
+        ports = [compiled[m.name][1] for m in producing]
+        if len(ports) > 1:
+            union = graph.add(Union(label=rel_name))
+            for i, (op, port) in enumerate(ports):
+                graph.connect(
+                    op, union, src_port=port, dst_port=i,
+                    name=f"{rel_name}#{i}",
+                )
+            producers[rel_name] = (union, 0)
+        else:
+            producers[rel_name] = ports[0]
+
+    # wire each relation's consumers, SPLITting when shared
+    final_targets = set(mappings.final_target_names())
+    for rel_name, entries in entries_by_relation.items():
+        producer = producers[rel_name]
+        if len(entries) > 1:
+            split = graph.add(Split(label=rel_name))
+            graph.connect(
+                producer[0], split, src_port=producer[1], name=rel_name
+            )
+            for i, (op, port) in enumerate(entries):
+                graph.connect(
+                    split, op, src_port=i, dst_port=port,
+                    name=f"{rel_name}#{i + 1}",
+                )
+        else:
+            (op, port) = entries[0]
+            graph.connect(
+                producer[0], op, src_port=producer[1], dst_port=port,
+                name=rel_name,
+            )
+
+    # final targets get TARGET access operators
+    for mapping in mappings:
+        rel_name = mapping.target.name
+        if rel_name in final_targets and rel_name in producers:
+            target = graph.add(Target(mapping.target))
+            producer = producers.pop(rel_name)
+            graph.connect(
+                producer[0], target, src_port=producer[1], name=rel_name
+            )
+            final_targets.discard(rel_name)
+
+    graph.propagate_schemas()
+    if cleanup:
+        from repro.rewrite.optimizer import cleanup as cleanup_pass
+
+        cleanup_pass(graph)
+    return graph
+
+
+__all__ = ["mappings_to_ohm"]

@@ -1,0 +1,328 @@
+"""Reference execution engine for OHM graphs.
+
+The paper treats OHM as a description to be *deployed*; this engine gives
+OHM a direct executable semantics so the reproduction can verify that
+every translation (ETL→OHM, OHM→mappings, mappings→OHM, OHM→deployment)
+preserves transformation semantics on actual data — the three-way checks
+in the integration tests.
+
+Conventions:
+
+* expressions inside operators reference columns unqualified or qualified
+  by the *input edge name* (which is also the input schema's relation
+  name after propagation);
+* JOIN merges rows, renaming colliding columns to
+  ``<input-edge-name>.<column>`` as computed by
+  :meth:`repro.ohm.operators.Join.joined_attributes`;
+* GROUP treats NULL key values as equal (SQL GROUP BY behaviour);
+* a row whose FILTER predicate is *unknown* is dropped (SQL WHERE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.dataset import Dataset, Instance, Row
+from repro.errors import ExecutionError
+from repro.expr.evaluator import (
+    Environment,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_predicate,
+)
+from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
+from repro.ohm.graph import OhmGraph
+from repro.ohm.operators import (
+    Filter,
+    Group,
+    Join,
+    Nest,
+    Operator,
+    Project,
+    Source,
+    Split,
+    Target,
+    Union,
+    Unknown,
+    Unnest,
+)
+from repro.schema.model import Relation
+
+
+class OhmExecutor:
+    """Executes a schema-propagated OHM graph over an :class:`Instance`."""
+
+    def __init__(self, registry: Optional[FunctionRegistry] = None):
+        self.registry = registry or DEFAULT_REGISTRY
+
+    #: the current source instance, set for the duration of :meth:`run`.
+    _source_instance: Optional[Instance] = None
+
+    def run(
+        self, graph: OhmGraph, instance: Instance
+    ) -> Tuple[Instance, Dict[str, Dataset]]:
+        """Execute ``graph`` against ``instance``.
+
+        Returns ``(targets, edge_data)``: the datasets delivered to each
+        TARGET operator (named by target relation), and every intermediate
+        edge's dataset keyed by edge name (useful to inspect
+        materialization points such as ``DSLink10``)."""
+        self._source_instance = instance
+        try:
+            return self._run_impl(graph)
+        finally:
+            self._source_instance = None
+
+    def execute(self, graph: OhmGraph, instance: Instance) -> Instance:
+        """Execute and return only the target datasets."""
+        targets, _edges = self.run(graph, instance)
+        return targets
+
+    # -- per-operator semantics ----------------------------------------------
+
+    def _run_operator(
+        self,
+        op: Operator,
+        inputs: List[Dataset],
+        out_relations: List[Relation],
+    ) -> List[Dataset]:
+        if isinstance(op, Source):
+            return [self._run_source(op, out) for out in out_relations]
+        if isinstance(op, Filter):
+            return [self._run_filter(op, inputs[0], out_relations[0])]
+        if isinstance(op, Project):  # covers all PROJECT subtypes
+            return [self._run_project(op, inputs[0], out_relations[0])]
+        if isinstance(op, Join):
+            return [self._run_join(op, inputs[0], inputs[1], out_relations[0])]
+        if isinstance(op, Union):
+            return [self._run_union(op, inputs, out_relations[0])]
+        if isinstance(op, Group):
+            return [self._run_group(op, inputs[0], out_relations[0])]
+        if isinstance(op, Split):
+            return [
+                Dataset(out, ([dict(r) for r in inputs[0]]), validate=False)
+                for out in out_relations
+            ]
+        if isinstance(op, Nest):
+            return [self._run_nest(op, inputs[0], out_relations[0])]
+        if isinstance(op, Unnest):
+            return [self._run_unnest(op, inputs[0], out_relations[0])]
+        if isinstance(op, Unknown):
+            return self._run_unknown(op, inputs, out_relations)
+        raise ExecutionError(f"no execution semantics for {op.KIND} {op.uid}")
+
+    def _run_source(self, op: Source, out: Relation) -> Dataset:
+        if self._source_instance is None or op.relation.name not in self._source_instance:
+            if op.provider is not None:
+                return op.provider().renamed(out.name)
+            raise ExecutionError(
+                f"source relation {op.relation.name!r} not present in instance"
+            )
+        dataset = self._source_instance.dataset(op.relation.name)
+        checked = dataset.with_relation(op.relation)  # validates types
+        return checked.renamed(out.name)
+
+    def _env(self, row: Row, dataset: Dataset) -> Environment:
+        return Environment(row).bind(dataset.relation.name, row)
+
+    def _run_filter(self, op: Filter, data: Dataset, out: Relation) -> Dataset:
+        rows = [
+            dict(row)
+            for row in data
+            if evaluate_predicate(op.condition, self._env(row, data), self.registry)
+        ]
+        return Dataset(out, rows, validate=False)
+
+    def _run_project(self, op: Project, data: Dataset, out: Relation) -> Dataset:
+        result = Dataset(out, validate=False)
+        for row in data:
+            env = self._env(row, data)
+            result.append(
+                {
+                    name: evaluate(expr, env, self.registry)
+                    for name, expr in op.derivations
+                },
+                validate=False,
+            )
+        return result
+
+    def _run_join(
+        self, op: Join, left: Dataset, right: Dataset, out: Relation
+    ) -> Dataset:
+        from repro.ohm.joinexec import join_rows
+
+        attrs = Join.joined_attributes(left.relation, right.relation)
+
+        def merge(left_row: Optional[Row], right_row: Optional[Row]) -> Row:
+            merged: Row = {}
+            for attr, side, source in attrs:
+                source_row = left_row if side == "left" else right_row
+                merged[attr.name] = (
+                    None if source_row is None else source_row[source]
+                )
+            return merged
+
+        result = Dataset(out, validate=False)
+        join_rows(
+            left.rows,
+            right.rows,
+            left.relation,
+            right.relation,
+            op.condition,
+            op.kind,
+            merge,
+            lambda row: result.append(row, validate=False),
+            self.registry,
+        )
+        return result
+
+    def _run_union(
+        self, op: Union, inputs: List[Dataset], out: Relation
+    ) -> Dataset:
+        names = out.attribute_names
+        rows: List[Row] = []
+        for dataset in inputs:
+            for row in dataset:
+                rows.append({n: row[n] for n in names})
+        if op.distinct:
+            deduped: List[Row] = []
+            seen = set()
+            for row in rows:
+                key = tuple(_group_key_value(row[n]) for n in names)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            rows = deduped
+        return Dataset(out, rows, validate=False)
+
+    def _run_group(self, op: Group, data: Dataset, out: Relation) -> Dataset:
+        groups: Dict[Tuple, List[Row]] = {}
+        order: List[Tuple] = []
+        for row in data:
+            key = tuple(_group_key_value(row[k]) for k in op.keys)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        result = Dataset(out, validate=False)
+        for key in order:
+            members = groups[key]
+            out_row: Row = {k: members[0][k] for k in op.keys}
+            for name, agg in op.aggregates:
+                out_row[name] = evaluate_aggregate(agg, members, self.registry)
+            result.append(out_row, validate=False)
+        return result
+
+    def _run_nest(self, op: Nest, data: Dataset, out: Relation) -> Dataset:
+        groups: Dict[Tuple, List[Row]] = {}
+        order: List[Tuple] = []
+        for row in data:
+            key = tuple(_group_key_value(row[k]) for k in op.keys)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        result = Dataset(out, validate=False)
+        for key in order:
+            members = groups[key]
+            out_row: Row = {k: members[0][k] for k in op.keys}
+            out_row[op.into] = [
+                {c: member[c] for c in op.nested} for member in members
+            ]
+            result.append(out_row, validate=False)
+        return result
+
+    def _run_unnest(self, op: Unnest, data: Dataset, out: Relation) -> Dataset:
+        result = Dataset(out, validate=False)
+        scalar_names = [
+            a.name for a in data.relation if a.name != op.attr
+        ]
+        for row in data:
+            elements = row.get(op.attr) or []
+            for element in elements:
+                out_row = {n: row[n] for n in scalar_names}
+                out_row.update(element)
+                result.append(out_row, validate=False)
+        return result
+
+    def _run_unknown(
+        self, op: Unknown, inputs: List[Dataset], out_relations: List[Relation]
+    ) -> List[Dataset]:
+        if op.executor is None:
+            raise ExecutionError(
+                f"UNKNOWN operator {op.reference!r} carries no executable "
+                "behaviour; cannot run this graph directly"
+            )
+        outputs = op.executor(inputs)
+        if len(outputs) != len(out_relations):
+            raise ExecutionError(
+                f"UNKNOWN {op.reference!r} produced {len(outputs)} outputs, "
+                f"expected {len(out_relations)}"
+            )
+        return [
+            Dataset(out, [dict(r) for r in produced], validate=False)
+            for out, produced in zip(out_relations, outputs)
+        ]
+
+    def _run_target(self, op: Target, data: Dataset) -> Dataset:
+        result = Dataset(op.relation)
+        for row in data:
+            result.append({a.name: row.get(a.name) for a in op.relation})
+        return result
+
+    def _run_impl(self, graph: OhmGraph) -> Tuple[Instance, Dict[str, Dataset]]:
+        graph.propagate_schemas()
+        edge_data: Dict[str, Dataset] = {}
+        by_edge: Dict[Tuple[str, int], Dataset] = {}
+        targets = Instance()
+        for op in graph.topological_order():
+            inputs = [
+                by_edge[(e.src, e.src_port)] for e in graph.in_edges(op.uid)
+            ]
+            out_edges = graph.out_edges(op.uid)
+            if isinstance(op, Target):
+                targets.put(self._run_target(op, inputs[0]))
+                continue
+            out_relations = [e.schema for e in out_edges]
+            outputs = self._run_operator(op, inputs, out_relations)
+            if len(outputs) != len(out_edges):
+                raise ExecutionError(
+                    f"{op.KIND} {op.uid} produced {len(outputs)} outputs for "
+                    f"{len(out_edges)} edges"
+                )
+            for edge, dataset in zip(out_edges, outputs):
+                by_edge[(edge.src, edge.src_port)] = dataset
+                edge_data[edge.name] = dataset
+        return targets, edge_data
+
+
+def _group_key_value(value: object) -> Tuple:
+    """Hashable group-key encoding where NULLs compare equal and 1 == 1.0."""
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", float(value))
+    return (type(value).__name__, str(value))
+
+
+def execute(
+    graph: OhmGraph,
+    instance: Instance,
+    registry: Optional[FunctionRegistry] = None,
+) -> Instance:
+    """Execute ``graph`` over ``instance``; returns the target datasets."""
+    return OhmExecutor(registry).execute(graph, instance)
+
+
+def execute_with_edges(
+    graph: OhmGraph,
+    instance: Instance,
+    registry: Optional[FunctionRegistry] = None,
+) -> Tuple[Instance, Dict[str, Dataset]]:
+    """Execute and also return every intermediate edge's data by name."""
+    return OhmExecutor(registry).run(graph, instance)
+
+
+__all__ = ["OhmExecutor", "execute", "execute_with_edges"]

@@ -1,0 +1,66 @@
+"""OHM dataflow graphs.
+
+"Formally, an OHM instance is a directed graph of abstract operator
+nodes. The graph represents a dataflow with data flowing in the direction
+of the edges. Each node ... is annotated with the information needed to
+capture the transformation semantics ... Each edge in the graph is
+annotated with the schema of the data flowing along it."
+
+The graph machinery (ports, edges, topological analysis, schema
+propagation) is shared with ETL jobs through
+:class:`repro.dataflow.DataflowGraph`; this subclass adds the
+operator-specific vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dataflow import DataflowGraph, Edge
+from repro.ohm.operators import Operator, Source, Target
+
+__all__ = ["Edge", "OhmGraph"]
+
+
+class OhmGraph(DataflowGraph[Operator]):
+    """A directed acyclic graph of OHM operators."""
+
+    node_noun = "operator"
+
+    def __init__(self, name: str = "ohm"):
+        super().__init__(name)
+
+    # operator-flavoured aliases ------------------------------------------------
+
+    @property
+    def operators(self) -> List[Operator]:
+        return self.nodes
+
+    def operator(self, uid: str) -> Operator:
+        return self.node(uid)
+
+    def remove_operator(self, uid: str) -> None:
+        self.remove_node(uid)
+
+    def sources(self) -> List[Source]:
+        return [op for op in self.nodes if isinstance(op, Source)]
+
+    def targets(self) -> List[Target]:
+        return [op for op in self.nodes if isinstance(op, Target)]
+
+    def operators_of_kind(self, kind: str) -> List[Operator]:
+        return [op for op in self.nodes if op.KIND == kind]
+
+    def to_dot(self) -> str:
+        """GraphViz rendering with operator properties on labels."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for op in self.nodes:
+            props = op.describe_properties()
+            detail = str(next(iter(props.values()))) if props else ""
+            label = f"{op.KIND}\\n{detail}" if detail else op.KIND
+            shape = "box" if op.KIND in ("SOURCE", "TARGET") else "ellipse"
+            lines.append(f'  "{op.uid}" [label="{label}", shape={shape}];')
+        for edge in self.edges:
+            lines.append(f'  "{edge.src}" -> "{edge.dst}" [label="{edge.name}"];')
+        lines.append("}")
+        return "\n".join(lines)

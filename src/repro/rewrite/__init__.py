@@ -1,0 +1,45 @@
+"""Rule-based rewriting/optimization of OHM graphs (paper sections III, V-A)."""
+
+from repro.rewrite.optimizer import (
+    OptimizationReport,
+    Optimizer,
+    cleanup,
+    optimize,
+)
+from repro.rewrite.pruning import (
+    PruneUnusedColumns,
+    prune_unused_columns,
+    required_columns,
+)
+from repro.rewrite.rules import (
+    CLEANUP_RULES,
+    DEFAULT_RULES,
+    MergeAdjacentFilters,
+    MergeAdjacentProjects,
+    PushFilterThroughJoin,
+    PushFilterThroughProject,
+    RemoveIdentityProject,
+    RemoveTrivialSplit,
+    RemoveTrueFilter,
+    Rule,
+)
+
+__all__ = [
+    "OptimizationReport",
+    "Optimizer",
+    "cleanup",
+    "optimize",
+    "CLEANUP_RULES",
+    "DEFAULT_RULES",
+    "MergeAdjacentFilters",
+    "MergeAdjacentProjects",
+    "PushFilterThroughJoin",
+    "PushFilterThroughProject",
+    "RemoveIdentityProject",
+    "RemoveTrivialSplit",
+    "RemoveTrueFilter",
+    "Rule",
+    "PruneUnusedColumns",
+    "prune_unused_columns",
+    "required_columns",
+]

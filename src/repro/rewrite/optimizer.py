@@ -1,0 +1,92 @@
+"""Fixpoint driver applying rewrite rules to OHM graphs.
+
+Orchid runs a "generic rewrite step" right after stage compilation to
+remove the redundant operators compilers may emit, and exposes rewriting
+as an optimization service at the OHM level (paper sections III and V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.ohm.graph import OhmGraph
+from repro.rewrite.rules import CLEANUP_RULES, DEFAULT_RULES, Rule
+
+
+class Optimizer:
+    """Applies a rule set to a graph until no rule fires (or a safety
+    bound on iterations is hit).
+
+    :ivar rules: rules tried in order each pass.
+    :ivar max_passes: iteration bound guarding against oscillation.
+    """
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None, max_passes: int = 200):
+        self.rules: List[Rule] = list(rules if rules is not None else DEFAULT_RULES)
+        self.max_passes = max_passes
+
+    def optimize(self, graph: OhmGraph) -> "OptimizationReport":
+        """Rewrite ``graph`` in place to a fixpoint; returns a report of
+        which rules fired.
+
+        Schema propagation is the expensive step (it type-checks every
+        operator), so it runs once per *pass* rather than once per
+        rewrite: within a pass each rule fires repeatedly until it is
+        exhausted (rules tolerate locally stale edge schemas — removals
+        keep the consumer-facing schema, and rules skip edges whose
+        schema is not yet computed), then the pass re-propagates and
+        retries until no rule fires on fresh schemas."""
+        report = OptimizationReport()
+        for _pass in range(self.max_passes):
+            graph.propagate_schemas()
+            fired_this_pass = 0
+            progress = True
+            while progress and report.total < self.max_passes * 100:
+                progress = False
+                for rule in self.rules:
+                    while rule(graph):
+                        report.record(rule.name)
+                        fired_this_pass += 1
+                        progress = True
+            if not fired_this_pass:
+                graph.propagate_schemas()
+                return report
+        raise GraphError(
+            f"optimizer did not reach a fixpoint in {self.max_passes} passes; "
+            f"fired: {report.firings}"
+        )
+
+
+class OptimizationReport:
+    """Which rules fired, in order, with counts."""
+
+    def __init__(self):
+        self.firings: List[str] = []
+
+    def record(self, rule_name: str) -> None:
+        self.firings.append(rule_name)
+
+    @property
+    def total(self) -> int:
+        return len(self.firings)
+
+    def count(self, rule_name: str) -> int:
+        return sum(1 for name in self.firings if name == rule_name)
+
+    def __repr__(self) -> str:
+        return f"OptimizationReport({self.total} rewrites: {self.firings})"
+
+
+def cleanup(graph: OhmGraph) -> OptimizationReport:
+    """The post-compilation cleanup pass: remove redundant (empty)
+    operators only; no semantic reshaping."""
+    return Optimizer(CLEANUP_RULES).optimize(graph)
+
+
+def optimize(graph: OhmGraph, rules: Optional[Sequence[Rule]] = None) -> OptimizationReport:
+    """Full optimization with the default (or a custom) rule set."""
+    return Optimizer(rules).optimize(graph)
+
+
+__all__ = ["Optimizer", "OptimizationReport", "cleanup", "optimize"]

@@ -1,0 +1,378 @@
+"""Rewrite rules over OHM graphs.
+
+"By being close to relational algebra, OHM lends itself to the same
+optimization techniques as relational DBMS ... Currently, Orchid only
+supports basic rewrite heuristics (e.g., selection push-down)" — this
+module implements that rule set:
+
+* cleanup rules that remove the "redundant (i.e., empty) operators" stage
+  compilers are allowed to generate (identity BASIC PROJECT, single-output
+  SPLIT, always-true FILTER),
+* merge rules (adjacent FILTERs, adjacent PROJECTs),
+* selection push-down through PROJECT and JOIN.
+
+Every rule is a callable object: ``rule(graph) -> bool`` returns whether
+it changed the graph. Rules require edge schemas to be propagated; the
+:class:`~repro.rewrite.optimizer.Optimizer` re-propagates between passes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.expr.algebra import (
+    conjoin,
+    is_trivially_true,
+    references_only,
+    rename_qualifiers,
+    substitute_by_name,
+)
+from repro.expr.ast import ColumnRef
+from repro.dataflow import Edge
+from repro.ohm.graph import OhmGraph
+from repro.ohm.operators import (
+    Filter,
+    Group,
+    Join,
+    Operator,
+    Project,
+    Source,
+    Split,
+    Target,
+    Union,
+)
+from repro.ohm.subtypes import BasicProject
+
+
+class Rule:
+    """Base class; subclasses implement :meth:`apply_once`."""
+
+    name = "rule"
+
+    def __call__(self, graph: OhmGraph) -> bool:
+        return self.apply_once(graph)
+
+    def apply_once(self, graph: OhmGraph) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.name}>"
+
+
+def _single_io(graph: OhmGraph, op: Operator) -> bool:
+    return len(graph.in_edges(op.uid)) == 1 and len(graph.out_edges(op.uid)) == 1
+
+
+class RemoveIdentityProject(Rule):
+    """Drop a PROJECT (or BASIC PROJECT) that passes every input column
+    through unchanged."""
+
+    name = "remove-identity-project"
+
+    def apply_once(self, graph: OhmGraph) -> bool:
+        for op in graph.operators:
+            if type(op) not in (Project, BasicProject):
+                continue
+            if not _single_io(graph, op):
+                continue
+            incoming = graph.in_edges(op.uid)[0].schema
+            if incoming is not None and op.is_identity_for(incoming):
+                graph.splice_out(op.uid)
+                return True
+        return False
+
+
+class RemoveTrivialSplit(Rule):
+    """Drop a SPLIT with a single output — "SPLIT is not needed if the
+    Filter stage only has a single output dataset"."""
+
+    name = "remove-trivial-split"
+
+    def apply_once(self, graph: OhmGraph) -> bool:
+        for op in graph.operators:
+            if isinstance(op, Split) and _single_io(graph, op):
+                graph.splice_out(op.uid)
+                return True
+        return False
+
+
+class RemoveTrueFilter(Rule):
+    """Drop a FILTER whose condition is the literal TRUE."""
+
+    name = "remove-true-filter"
+
+    def apply_once(self, graph: OhmGraph) -> bool:
+        for op in graph.operators:
+            if (
+                isinstance(op, Filter)
+                and type(op) is Filter
+                and is_trivially_true(op.condition)
+                and _single_io(graph, op)
+            ):
+                graph.splice_out(op.uid)
+                return True
+        return False
+
+
+def _retarget_condition(condition, from_name: str, to_name: str):
+    """Rewrite qualifier references when a predicate moves across an edge
+    boundary (edge names double as relation names)."""
+    return rename_qualifiers(condition, {from_name: to_name})
+
+
+class MergeAdjacentFilters(Rule):
+    """FILTER(p) → FILTER(q) becomes FILTER(p AND q)."""
+
+    name = "merge-adjacent-filters"
+
+    def apply_once(self, graph: OhmGraph) -> bool:
+        for op in graph.operators:
+            if not (isinstance(op, Filter) and type(op) is Filter):
+                continue
+            if not _single_io(graph, op):
+                continue
+            (successor,) = graph.successors(op.uid)
+            if not (isinstance(successor, Filter) and type(successor) is Filter):
+                continue
+            if len(graph.in_edges(successor.uid)) != 1:
+                continue
+            in_edge = graph.in_edges(op.uid)[0]
+            mid_edge = graph.out_edges(op.uid)[0]
+            moved = _retarget_condition(
+                successor.condition, mid_edge.name, in_edge.name
+            )
+            op.condition = conjoin([op.condition, moved])
+            graph.splice_out(successor.uid)
+            return True
+        return False
+
+
+class MergeAdjacentProjects(Rule):
+    """PROJECT(d1) → PROJECT(d2) becomes PROJECT(d2 ∘ d1), substituting
+    the first projection's derivations into the second's expressions."""
+
+    name = "merge-adjacent-projects"
+
+    def apply_once(self, graph: OhmGraph) -> bool:
+        for op in graph.operators:
+            if type(op) not in (Project, BasicProject):
+                continue
+            if not _single_io(graph, op):
+                continue
+            (successor,) = graph.successors(op.uid)
+            if type(successor) not in (Project, BasicProject):
+                continue
+            if len(graph.in_edges(successor.uid)) != 1:
+                continue
+            replacements = {name: expr for name, expr in op.derivations}
+            composed = [
+                (name, substitute_by_name(expr, replacements))
+                for name, expr in successor.derivations
+            ]
+            merged = Project(
+                composed,
+                label=f"{op.label}+{successor.label}",
+                annotations={**op.annotations, **successor.annotations},
+            )
+            in_edge = graph.in_edges(op.uid)[0]
+            out_edge = graph.out_edges(successor.uid)[0]
+            graph.add(merged)
+            graph.remove_operator(op.uid)
+            graph.remove_operator(successor.uid)
+            graph.add_edge_object(
+                Edge(in_edge.src, in_edge.src_port, merged.uid, 0, in_edge.name)
+            )
+            graph.add_edge_object(
+                Edge(merged.uid, 0, out_edge.dst, out_edge.dst_port, out_edge.name)
+            )
+            return True
+        return False
+
+
+class PushFilterThroughProject(Rule):
+    """Selection push-down: PROJECT(d) → FILTER(p) becomes
+    FILTER(p[d]) → PROJECT(d), where p[d] substitutes each referenced
+    output column by its derivation. Cheap filters then run before
+    expensive derivations."""
+
+    name = "push-filter-through-project"
+
+    def apply_once(self, graph: OhmGraph) -> bool:
+        for op in graph.operators:
+            if not (isinstance(op, Filter) and type(op) is Filter):
+                continue
+            if len(graph.in_edges(op.uid)) != 1:
+                continue
+            (producer,) = graph.predecessors(op.uid)
+            if type(producer) not in (Project, BasicProject):
+                continue
+            if not _single_io(graph, producer):
+                continue
+            replacements = {name: expr for name, expr in producer.derivations}
+            # only push when every referenced column is derivable
+            refs = op.condition.column_refs()
+            if not all(r.qualifier is None and r.name in replacements for r in refs):
+                continue
+            pushed = substitute_by_name(op.condition, replacements)
+            in_edge = graph.in_edges(producer.uid)[0]
+            mid_edge = graph.out_edges(producer.uid)[0]
+            out_edges = graph.out_edges(op.uid)
+            if len(out_edges) != 1:
+                continue
+            out_edge = out_edges[0]
+            new_filter = Filter(pushed, label=op.label)
+            graph.add(new_filter)
+            # removing the old filter also removes mid_edge and out_edge
+            graph.remove_operator(op.uid)
+            # in_edge now feeds new_filter; the filter feeds the project
+            # over a fresh edge whose name replaces the old one inside the
+            # project's derivations (edge names double as relation names).
+            filtered_name = f"{in_edge.name}_f"
+            producer.derivations = [
+                (name, rename_qualifiers(expr, {in_edge.name: filtered_name}))
+                for name, expr in producer.derivations
+            ]
+            graph.remove_edge(in_edge)
+            graph.add_edge_object(
+                Edge(in_edge.src, in_edge.src_port, new_filter.uid, 0, in_edge.name)
+            )
+            graph.add_edge_object(
+                Edge(new_filter.uid, 0, producer.uid, 0, filtered_name)
+            )
+            graph.add_edge_object(
+                Edge(
+                    producer.uid,
+                    0,
+                    out_edge.dst,
+                    out_edge.dst_port,
+                    mid_edge.name,
+                )
+            )
+            return True
+        return False
+
+
+class PushFilterThroughJoin(Rule):
+    """Selection push-down into a join branch: a conjunct of a FILTER
+    directly after a JOIN that references only one input's columns moves
+    before the join on that side."""
+
+    name = "push-filter-through-join"
+
+    def apply_once(self, graph: OhmGraph) -> bool:
+        from repro.expr.algebra import split_conjuncts
+
+        for op in graph.operators:
+            if not (isinstance(op, Filter) and type(op) is Filter):
+                continue
+            if len(graph.in_edges(op.uid)) != 1:
+                continue
+            (producer,) = graph.predecessors(op.uid)
+            if not isinstance(producer, Join) or producer.kind != "inner":
+                continue
+            join_in = graph.in_edges(producer.uid)
+            if len(join_in) != 2:
+                continue
+            left_edge, right_edge = join_in
+            if left_edge.schema is None or right_edge.schema is None:
+                continue
+            conjuncts = split_conjuncts(op.condition)
+            if len(conjuncts) == 0:
+                continue
+            for side_edge in (left_edge, right_edge):
+                side = side_edge.schema
+                movable = [
+                    c
+                    for c in conjuncts
+                    if _condition_covered_by(c, side)
+                ]
+                if not movable:
+                    continue
+                keep = [c for c in conjuncts if c not in movable]
+                # the join-facing edge keeps its original name — the join's
+                # condition and its dotted collision output columns depend
+                # on it; the moved conjuncts lose that qualifier instead
+                # (the new filter has a single input, so unqualified
+                # references are unambiguous)
+                pushed_condition = rename_qualifiers(
+                    conjoin(movable), {side_edge.name: None}
+                )
+                new_filter = Filter(pushed_condition, label=f"pushed:{op.label}")
+                graph.add(new_filter)
+                graph.remove_edge(side_edge)
+                graph.add_edge_object(
+                    Edge(
+                        side_edge.src,
+                        side_edge.src_port,
+                        new_filter.uid,
+                        0,
+                        f"{side_edge.name}_0",
+                    )
+                )
+                graph.add_edge_object(
+                    Edge(
+                        new_filter.uid,
+                        0,
+                        producer.uid,
+                        side_edge.dst_port,
+                        side_edge.name,
+                    )
+                )
+                if keep:
+                    op.condition = conjoin(keep)
+                else:
+                    graph.splice_out(op.uid)
+                return True
+        return False
+
+
+def _condition_covered_by(condition, side_relation) -> bool:
+    """True when every column the condition references exists (plainly)
+    in ``side_relation`` — conservative but sound for pushdown."""
+    for ref in condition.column_refs():
+        if ref.qualifier is not None and ref.qualifier != side_relation.name:
+            return False
+        name = ref.name if ref.qualifier is None else ref.name
+        if not side_relation.has_attribute(name):
+            return False
+    return True
+
+
+#: Cleanup rules — the "generic rewrite step" Orchid runs right after
+#: stage compilation (paper section V-A).
+CLEANUP_RULES: List[Rule] = [
+    RemoveIdentityProject(),
+    RemoveTrivialSplit(),
+    RemoveTrueFilter(),
+]
+
+def _default_rules() -> List[Rule]:
+    # imported lazily: the pruning pass lives in its own module
+    from repro.rewrite.pruning import PruneUnusedColumns
+
+    return CLEANUP_RULES + [
+        MergeAdjacentFilters(),
+        MergeAdjacentProjects(),
+        PushFilterThroughProject(),
+        PushFilterThroughJoin(),
+        PruneUnusedColumns(),
+    ]
+
+
+#: Full optimization rule set (cleanup + merging + selection push-down +
+#: dead-column elimination).
+DEFAULT_RULES: List[Rule] = _default_rules()
+
+
+__all__ = [
+    "Rule",
+    "RemoveIdentityProject",
+    "RemoveTrivialSplit",
+    "RemoveTrueFilter",
+    "MergeAdjacentFilters",
+    "MergeAdjacentProjects",
+    "PushFilterThroughProject",
+    "PushFilterThroughJoin",
+    "CLEANUP_RULES",
+    "DEFAULT_RULES",
+]

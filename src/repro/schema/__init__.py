@@ -1,0 +1,52 @@
+"""Nested-relational schema model (paper section IV).
+
+The schema representation is "rich enough to capture both relational and
+XML schemas"; the initial Orchid implementation (and the bulk of this
+reproduction's translations) works with flat relations, while NEST/UNNEST
+and the OHM engine exercise the nested capabilities.
+"""
+
+from repro.schema.types import (
+    ANY,
+    BOOLEAN,
+    DATE,
+    DECIMAL,
+    FLOAT,
+    INTEGER,
+    NULL,
+    STRING,
+    TIMESTAMP,
+    AtomicType,
+    DataType,
+    RecordType,
+    SetType,
+    atomic,
+    coerce_value,
+    common_type,
+    python_value_type,
+)
+from repro.schema.model import Attribute, Relation, Schema, relation
+
+__all__ = [
+    "ANY",
+    "BOOLEAN",
+    "DATE",
+    "DECIMAL",
+    "FLOAT",
+    "INTEGER",
+    "NULL",
+    "STRING",
+    "TIMESTAMP",
+    "AtomicType",
+    "DataType",
+    "RecordType",
+    "SetType",
+    "atomic",
+    "coerce_value",
+    "common_type",
+    "python_value_type",
+    "Attribute",
+    "Relation",
+    "Schema",
+    "relation",
+]

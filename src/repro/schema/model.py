@@ -1,0 +1,273 @@
+"""Relations and schemas.
+
+A :class:`Relation` is a named set of records — the unit of data flowing
+along ETL links and OHM edges, and the unit users map between in mapping
+tools. A :class:`Schema` is a named collection of relations (e.g. the
+source side or the target side of a mapping, or a database).
+
+Attributes carry a type, nullability, and an optional key flag; Orchid's
+KEYGEN operator and the deployment layer consult key metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SchemaError
+from repro.schema.types import (
+    AtomicType,
+    DataType,
+    RecordType,
+    SetType,
+    atomic,
+)
+
+
+class Attribute:
+    """A named, typed column of a relation (or field of a nested record)."""
+
+    __slots__ = ("name", "dtype", "nullable", "is_key")
+
+    def __init__(
+        self,
+        name: str,
+        dtype: Union[DataType, str],
+        nullable: bool = True,
+        is_key: bool = False,
+    ):
+        if not name:
+            raise SchemaError("attribute name must be non-empty")
+        if isinstance(dtype, str):
+            dtype = atomic(dtype)
+        if not isinstance(dtype, DataType):
+            raise SchemaError(f"attribute {name!r}: bad type {dtype!r}")
+        self.name = name
+        self.dtype = dtype
+        self.nullable = bool(nullable)
+        self.is_key = bool(is_key)
+
+    def renamed(self, new_name: str) -> "Attribute":
+        return Attribute(new_name, self.dtype, self.nullable, self.is_key)
+
+    def with_type(self, dtype: Union[DataType, str]) -> "Attribute":
+        return Attribute(self.name, dtype, self.nullable, self.is_key)
+
+    def as_nullable(self) -> "Attribute":
+        return Attribute(self.name, self.dtype, True, self.is_key)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and self.name == other.name
+            and self.dtype == other.dtype
+            and self.nullable == other.nullable
+            and self.is_key == other.is_key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype, self.nullable, self.is_key))
+
+    def __repr__(self) -> str:
+        flags = ""
+        if self.is_key:
+            flags += " KEY"
+        if not self.nullable:
+            flags += " NOT NULL"
+        return f"{self.name} {self.dtype!r}{flags}"
+
+
+class Relation:
+    """A named relation: an ordered list of attributes.
+
+    Nested (NF²) relations are expressed by giving an attribute a
+    :class:`~repro.schema.types.SetType` whose element is a
+    :class:`~repro.schema.types.RecordType`.
+    """
+
+    def __init__(self, name: str, attributes: Iterable[Attribute]):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attributes = list(attributes)
+        seen = set()
+        for attr in attributes:
+            if not isinstance(attr, Attribute):
+                raise SchemaError(f"relation {name!r}: {attr!r} is not an Attribute")
+            if attr.name in seen:
+                raise SchemaError(
+                    f"relation {name!r}: duplicate attribute {attr.name!r}"
+                )
+            seen.add(attr.name)
+        self._name = name
+        self._attributes = tuple(attributes)
+        self._index = {a.name: i for i, a in enumerate(attributes)}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def key_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes if a.is_key)
+
+    @property
+    def arity(self) -> int:
+        return len(self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self._name!r} has no attribute {name!r}; "
+                f"has {list(self.attribute_names)}"
+            ) from None
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._index
+
+    def record_type(self) -> RecordType:
+        """The record type of one row of this relation."""
+        return RecordType((a.name, a.dtype) for a in self._attributes)
+
+    def set_type(self) -> SetType:
+        """The type of the whole relation: a set of its record type."""
+        return SetType(self.record_type())
+
+    def renamed(self, new_name: str) -> "Relation":
+        return Relation(new_name, self._attributes)
+
+    def project(self, names: Sequence[str], new_name: Optional[str] = None) -> "Relation":
+        """A relation with only ``names``, in the order given."""
+        return Relation(new_name or self._name, [self.attribute(n) for n in names])
+
+    def extended(self, attrs: Iterable[Attribute], new_name: Optional[str] = None) -> "Relation":
+        """A relation with extra attributes appended."""
+        return Relation(new_name or self._name, list(self._attributes) + list(attrs))
+
+    def is_union_compatible(self, other: "Relation") -> bool:
+        """True when both relations have the same attribute names and
+        pairwise type-compatible attributes (name-based, order-insensitive,
+        as DataStage's Funnel stage requires)."""
+        if set(self.attribute_names) != set(other.attribute_names):
+            return False
+        for attr in self._attributes:
+            other_attr = other.attribute(attr.name)
+            if not (
+                attr.dtype.accepts(other_attr.dtype)
+                or other_attr.dtype.accepts(attr.dtype)
+            ):
+                return False
+        return True
+
+    def is_flat(self) -> bool:
+        """True when no attribute is record- or set-typed."""
+        return all(a.dtype.is_atomic for a in self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self._name == other._name
+            and self._attributes == other._attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._attributes))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(repr(a) for a in self._attributes)
+        return f"{self._name}({cols})"
+
+
+class Schema:
+    """A named collection of relations."""
+
+    def __init__(self, name: str, relations: Iterable[Relation] = ()):
+        self._name = name
+        self._relations: Dict[str, Relation] = {}
+        for rel in relations:
+            self.add(rel)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def relations(self) -> List[Relation]:
+        return list(self._relations.values())
+
+    @property
+    def relation_names(self) -> List[str]:
+        return list(self._relations.keys())
+
+    def add(self, relation: Relation) -> None:
+        if relation.name in self._relations:
+            raise SchemaError(
+                f"schema {self._name!r} already has relation {relation.name!r}"
+            )
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self._name!r} has no relation {name!r}; "
+                f"has {self.relation_names}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:
+        return f"Schema({self._name!r}, {self.relation_names})"
+
+
+def relation(name: str, *columns: Union[Tuple, Attribute], keys: Sequence[str] = ()) -> Relation:
+    """Convenience constructor.
+
+    Each column is either an :class:`Attribute` or a ``(name, type)`` /
+    ``(name, type, nullable)`` tuple; ``type`` may be a string alias.
+
+    >>> relation('T', ('id', 'int'), ('name', 'varchar'), keys=['id']).key_names
+    ('id',)
+    """
+    attrs: List[Attribute] = []
+    for col in columns:
+        if isinstance(col, Attribute):
+            attrs.append(col)
+        else:
+            col_name, dtype = col[0], col[1]
+            nullable = col[2] if len(col) > 2 else True
+            attrs.append(Attribute(col_name, dtype, nullable=nullable))
+    keyset = set(keys)
+    unknown = keyset - {a.name for a in attrs}
+    if unknown:
+        raise SchemaError(f"relation {name!r}: unknown key columns {sorted(unknown)}")
+    attrs = [
+        Attribute(a.name, a.dtype, a.nullable and a.name not in keyset, a.name in keyset)
+        for a in attrs
+    ]
+    return Relation(name, attrs)
+
+
+__all__ = ["Attribute", "Relation", "Schema", "relation"]

@@ -1,0 +1,40 @@
+"""Workload builders: the paper's running example and parametric
+generators for the scaling benchmarks."""
+
+from repro.workloads.generators import (
+    build_chain_job,
+    build_fanout_job,
+    build_star_join_job,
+    chain_relation,
+    generate_chain_instance,
+    generate_star_instance,
+)
+from repro.workloads.kitchen_sink import (
+    build_kitchen_sink_job,
+    generate_kitchen_sink_instance,
+    kitchen_sink_schemas,
+)
+from repro.workloads.paper_example import (
+    BIG_BALANCE_THRESHOLD,
+    build_example_job,
+    generate_instance,
+    source_schemas,
+    target_schemas,
+)
+
+__all__ = [
+    "build_kitchen_sink_job",
+    "generate_kitchen_sink_instance",
+    "kitchen_sink_schemas",
+    "build_chain_job",
+    "build_fanout_job",
+    "build_star_join_job",
+    "chain_relation",
+    "generate_chain_instance",
+    "generate_star_instance",
+    "BIG_BALANCE_THRESHOLD",
+    "build_example_job",
+    "generate_instance",
+    "source_schemas",
+    "target_schemas",
+]

@@ -1,0 +1,236 @@
+"""Parametric workload generators for the scaling benchmarks.
+
+The paper reports engineering-scale facts ("we support 15 DataStage
+processing stages", "4 person-month effort") rather than performance
+numbers; the scaling benches quantify the reproduction instead:
+compilation time vs job size, composition time vs graph size, and the
+number of residual mappings vs the number of materialization points.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.data.dataset import Dataset, Instance
+from repro.etl.model import Job
+from repro.etl.stages import (
+    AggregatorStage,
+    CopyStage,
+    FilterOutput,
+    FilterStage,
+    FunnelStage,
+    JoinStage,
+    Modify,
+    SortStage,
+    SurrogateKey,
+    TableSource,
+    TableTarget,
+    Transformer,
+)
+from repro.etl.stages.transform import OutputLink
+from repro.schema.model import Relation, relation
+
+
+def chain_relation(name: str = "R") -> Relation:
+    return relation(
+        name,
+        ("id", "int", False),
+        ("category", "varchar"),
+        ("amount", "float"),
+        ("note", "varchar"),
+        keys=["id"],
+    )
+
+
+def build_chain_job(
+    n_stages: int,
+    seed: int = 7,
+    stage_mix: Tuple[str, ...] = ("filter", "transform", "modify", "sort"),
+) -> Job:
+    """A linear job: source → n processing stages → target.
+
+    The stage mix cycles deterministically (seeded) over cheap 1-in/1-out
+    stages so jobs of any length compile and execute.
+    """
+    rng = random.Random(seed)
+    rel = chain_relation()
+    job = Job(f"chain{n_stages}")
+    prev = job.add(TableSource(rel, name="R"))
+    for i in range(n_stages):
+        kind = stage_mix[i % len(stage_mix)]
+        if kind == "filter":
+            threshold = rng.randint(0, 5)
+            stage = FilterStage(
+                [FilterOutput(f"amount > {threshold}")], name=f"f{i}"
+            )
+        elif kind == "transform":
+            stage = Transformer(
+                [
+                    OutputLink(
+                        [
+                            ("id", "id"),
+                            ("category", "UPPER(category)"),
+                            ("amount", f"amount + {rng.randint(1, 3)}"),
+                            ("note", "note"),
+                        ]
+                    )
+                ],
+                name=f"t{i}",
+            )
+        elif kind == "modify":
+            stage = Modify(
+                keep=["id", "category", "amount", "note"], name=f"m{i}"
+            )
+        else:
+            stage = SortStage([("id", "asc")], name=f"s{i}")
+        job.add(stage)
+        job.link(prev, stage, name=f"L{i}")
+        prev = stage
+    target = job.add(TableTarget(rel.renamed("Out"), name="Out"))
+    job.link(prev, target, name=f"L{n_stages}")
+    return job
+
+
+def build_fanout_job(n_branches: int, seed: int = 11) -> Job:
+    """A job preparing one source and splitting it into ``n_branches``
+    filtered targets. The prepared stream fans out through a SPLIT, whose
+    input edge becomes a materialization point on the mapping side: the
+    extraction yields one prepare mapping plus one routing mapping per
+    branch."""
+    rng = random.Random(seed)
+    rel = chain_relation()
+    job = Job(f"fanout{n_branches}")
+    source = job.add(TableSource(rel, name="R"))
+    prepare = job.add(
+        Transformer(
+            [
+                OutputLink(
+                    [
+                        ("id", "id"),
+                        ("category", "UPPER(category)"),
+                        ("amount", "amount"),
+                        ("note", "note"),
+                    ]
+                )
+            ],
+            name="prepare",
+        )
+    )
+    outputs = [
+        FilterOutput(f"amount > {rng.randint(i, i + 3)}")
+        for i in range(n_branches)
+    ]
+    router = job.add(FilterStage(outputs, name="router"))
+    job.link(source, prepare)
+    job.link(prepare, router, name="Prepared")
+    for i in range(n_branches):
+        target = job.add(TableTarget(rel.renamed(f"Out{i}"), name=f"Out{i}"))
+        job.link(router, target, src_port=i)
+    return job
+
+
+def build_star_join_job(n_dimensions: int) -> Job:
+    """A star join: a fact source joined against ``n_dimensions``
+    dimension sources, then aggregated — the classic warehouse shape."""
+    fact = relation(
+        "Fact",
+        ("factID", "int", False),
+        *[(f"dim{i}ID", "int") for i in range(n_dimensions)],
+        ("amount", "float"),
+        keys=["factID"],
+    )
+    job = Job(f"star{n_dimensions}")
+    prev = job.add(TableSource(fact, name="Fact"))
+    carried = list(fact.attribute_names)
+    for i in range(n_dimensions):
+        dim = relation(
+            f"Dim{i}",
+            (f"dim{i}ID", "int", False),
+            (f"dim{i}Name", "varchar"),
+            keys=[f"dim{i}ID"],
+        )
+        dim_source = job.add(TableSource(dim, name=f"Dim{i}"))
+        join = job.add(
+            JoinStage(keys=[(f"dim{i}ID", f"dim{i}ID")], name=f"join{i}")
+        )
+        job.link(prev, join)
+        job.link(dim_source, join, dst_port=1)
+        carried.append(f"dim{i}Name")
+        prev = join
+    aggregate = job.add(
+        AggregatorStage(
+            group_keys=[f"dim{i}Name" for i in range(n_dimensions)] or ["factID"],
+            aggregations=[("total", "sum", "amount")],
+            name="rollup",
+        )
+    )
+    job.link(prev, aggregate)
+    out = relation(
+        "Rollup",
+        *[(f"dim{i}Name", "varchar") for i in range(n_dimensions)],
+        ("total", "float"),
+    )
+    target = job.add(TableTarget(out, name="Rollup"))
+    job.link(aggregate, target)
+    return job
+
+
+def generate_chain_instance(n_rows: int, seed: int = 3) -> Instance:
+    rng = random.Random(seed)
+    rel = chain_relation()
+    data = Dataset(rel)
+    categories = ["a", "b", "c", "d", None]
+    for i in range(n_rows):
+        data.append(
+            {
+                "id": i,
+                "category": rng.choice(categories),
+                "amount": round(rng.uniform(0, 100), 2),
+                "note": f"row {i}",
+            }
+        )
+    return Instance([data])
+
+
+def generate_star_instance(
+    n_dimensions: int, n_facts: int, dim_size: int = 20, seed: int = 5
+) -> Instance:
+    rng = random.Random(seed)
+    instance = Instance()
+    for i in range(n_dimensions):
+        dim = relation(
+            f"Dim{i}",
+            (f"dim{i}ID", "int", False),
+            (f"dim{i}Name", "varchar"),
+            keys=[f"dim{i}ID"],
+        )
+        data = Dataset(dim)
+        for j in range(dim_size):
+            data.append({f"dim{i}ID": j, f"dim{i}Name": f"d{i}_{j}"})
+        instance.add(data)
+    fact = relation(
+        "Fact",
+        ("factID", "int", False),
+        *[(f"dim{i}ID", "int") for i in range(n_dimensions)],
+        ("amount", "float"),
+        keys=["factID"],
+    )
+    data = Dataset(fact)
+    for i in range(n_facts):
+        row = {"factID": i, "amount": round(rng.uniform(0, 1000), 2)}
+        for d in range(n_dimensions):
+            row[f"dim{d}ID"] = rng.randrange(dim_size)
+        data.append(row)
+    instance.add(data)
+    return instance
+
+
+__all__ = [
+    "chain_relation",
+    "build_chain_job",
+    "build_fanout_job",
+    "build_star_join_job",
+    "generate_chain_instance",
+    "generate_star_instance",
+]

@@ -1,0 +1,310 @@
+"""The paper's running example (Figures 3, 4 and the data behind them).
+
+"This simple IBM WebSphere DataStage job takes as input two relational
+tables, Customers and Accounts, and separates the Customers information
+into two output tables, BigCustomers and OtherCustomers, depending on the
+total balance of each person's accounts."
+
+Stages (Figure 3):
+
+* ``Prepare Customers`` — a Transformer computing agegroup, endDate,
+  years, country from the raw customer columns (Figure 8's M1 bodies),
+* ``NonLoans`` — a Filter with predicate ``Accounts.type <> 'L'`` and a
+  simple projection to (customerID, balance),
+* ``Join`` on ``customerID``,
+* ``Compute Total Balance`` — an Aggregator summing balance,
+* ``>$100,000`` — a Filter routing rows with totalBalance > 100000 to
+  BigCustomers and the rest (the negated predicate) to OtherCustomers.
+
+Link names match the paper where it names them (``DSLink5`` after the
+Join, ``DSLink10`` after the Aggregator — the materialization point of
+Figures 7/8).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Optional, Tuple
+
+from repro.data.dataset import Dataset, Instance
+from repro.etl.model import Job
+from repro.etl.stages import (
+    AggregatorStage,
+    CustomStage,
+    FilterOutput,
+    FilterStage,
+    JoinStage,
+    TableSource,
+    TableTarget,
+    Transformer,
+)
+from repro.etl.stages.transform import OutputLink
+from repro.schema.model import Relation, relation
+
+#: The reference date the example's derived columns are computed against
+#: (the paper appeared at ICDE 2008).
+REFERENCE_DATE = datetime.date(2008, 1, 1)
+
+#: Membership term used to derive endDate, in days.
+MEMBERSHIP_TERM_DAYS = 3650
+
+BIG_BALANCE_THRESHOLD = 100000
+
+
+def source_schemas() -> Tuple[Relation, Relation]:
+    """The Customers and Accounts source tables (Figure 4, left)."""
+    customers = relation(
+        "Customers",
+        ("customerID", "int", False),
+        ("name", "varchar", False),
+        ("age", "int"),
+        ("memberSince", "date"),
+        ("country", "varchar"),
+        keys=["customerID"],
+    )
+    accounts = relation(
+        "Accounts",
+        ("accountID", "int", False),
+        ("customerID", "int", False),
+        ("type", "char"),
+        ("balance", "float", False),
+        keys=["accountID"],
+    )
+    return customers, accounts
+
+
+def _customer_output_relation(name: str) -> Relation:
+    return relation(
+        name,
+        ("customerID", "int", False),
+        ("name", "varchar", False),
+        ("agegroup", "varchar"),
+        ("endDate", "date"),
+        ("years", "int"),
+        ("country", "varchar"),
+        ("totalBalance", "float"),
+        keys=["customerID"],
+    )
+
+
+def target_schemas() -> Tuple[Relation, Relation]:
+    """The BigCustomers and OtherCustomers target tables (Figure 4, right)."""
+    return (
+        _customer_output_relation("BigCustomers"),
+        _customer_output_relation("OtherCustomers"),
+    )
+
+
+#: The transformation functions of the ``Prepare Customers`` stage — the
+#: "long expressions on the body of M1" (Figure 8).
+AGEGROUP_EXPR = (
+    "CASE WHEN age < 30 THEN 'young' "
+    "WHEN age < 60 THEN 'adult' "
+    "ELSE 'senior' END"
+)
+ENDDATE_EXPR = f"ADD_DAYS(memberSince, {MEMBERSHIP_TERM_DAYS})"
+YEARS_EXPR = f"YEARS_BETWEEN(DATE '{REFERENCE_DATE.isoformat()}', memberSince)"
+COUNTRY_EXPR = "CASE WHEN country IS NULL THEN 'unknown' ELSE UPPER(country) END"
+
+
+def build_example_job(custom_after_join: bool = False) -> Job:
+    """The Figure 3 job.
+
+    With ``custom_after_join`` a black-box :class:`CustomStage` is
+    inserted between the Join and the Aggregator — the section V-B
+    scenario that turns into an UNKNOWN operator and five mappings.
+    """
+    customers, accounts = source_schemas()
+    big_customers, other_customers = target_schemas()
+    job = Job("CustomerBalanceSplit")
+
+    src_customers = job.add(TableSource(customers, name="Customers"))
+    src_accounts = job.add(TableSource(accounts, name="Accounts"))
+
+    prepare = job.add(
+        Transformer(
+            [
+                OutputLink(
+                    [
+                        ("customerID", "customerID"),
+                        ("name", "name"),
+                        ("agegroup", AGEGROUP_EXPR),
+                        ("endDate", ENDDATE_EXPR),
+                        ("years", YEARS_EXPR),
+                        ("country", COUNTRY_EXPR),
+                    ]
+                )
+            ],
+            name="Prepare Customers",
+        )
+    )
+
+    non_loans = job.add(
+        FilterStage(
+            [
+                FilterOutput(
+                    "type <> 'L'",
+                    columns=[("customerID", "customerID"), ("balance", "balance")],
+                )
+            ],
+            name="NonLoans",
+        )
+    )
+
+    join = job.add(
+        JoinStage(keys=[("customerID", "customerID")], name="Join")
+    )
+
+    aggregate = job.add(
+        AggregatorStage(
+            group_keys=[
+                "customerID",
+                "name",
+                "agegroup",
+                "endDate",
+                "years",
+                "country",
+            ],
+            aggregations=[("totalBalance", "sum", "balance")],
+            name="Compute Total Balance",
+        )
+    )
+
+    split_filter = job.add(
+        FilterStage(
+            [
+                FilterOutput(f"totalBalance > {BIG_BALANCE_THRESHOLD}"),
+                FilterOutput(reject=True),
+            ],
+            name=">$100,000",
+        )
+    )
+
+    tgt_big = job.add(TableTarget(big_customers, name="BigCustomers"))
+    tgt_other = job.add(TableTarget(other_customers, name="OtherCustomers"))
+
+    job.link(src_customers, prepare, name="DSLink1")
+    job.link(src_accounts, non_loans, name="DSLink2")
+    job.link(prepare, join, name="DSLink3")
+    job.link(non_loans, join, name="DSLink4", dst_port=1)
+    if custom_after_join:
+        custom_out = _customer_prepared_relation("customOut")
+        custom = job.add(
+            CustomStage(
+                [custom_out],
+                reference="AuditBalances",
+                implementation=_audit_balances,
+                name="AuditBalances",
+            )
+        )
+        job.link(join, custom, name="DSLink5")
+        job.link(custom, aggregate, name="DSLink6")
+    else:
+        job.link(join, aggregate, name="DSLink5")
+    job.link(aggregate, split_filter, name="DSLink10")
+    job.link(split_filter, tgt_big, name="DSLink11")
+    job.link(split_filter, tgt_other, name="DSLink12", src_port=1)
+    return job
+
+
+def _customer_prepared_relation(name: str) -> Relation:
+    """Schema of the join output (prepared customer columns + balance)."""
+    return relation(
+        name,
+        ("customerID", "int", False),
+        ("name", "varchar", False),
+        ("agegroup", "varchar"),
+        ("endDate", "date"),
+        ("years", "int"),
+        ("country", "varchar"),
+        ("balance", "float"),
+    )
+
+
+def _audit_balances(inputs):
+    """The black-box behaviour bound to the custom stage: caps negative
+    balances at zero (an 'external cleansing procedure')."""
+    (data,) = inputs
+    rows = []
+    for row in data:
+        out = dict(row)
+        if out.get("balance") is not None and out["balance"] < 0:
+            out = dict(out, balance=0.0)
+        rows.append(out)
+    return [rows]
+
+
+_FIRST_NAMES = [
+    "Ada", "Ben", "Cleo", "Dan", "Eva", "Finn", "Gia", "Hugo", "Iris",
+    "Jon", "Kira", "Liam", "Mona", "Nico", "Olga", "Pete", "Quinn", "Rosa",
+]
+_COUNTRIES = ["us", "de", "jp", "br", "in", None, "fr", "mx"]
+_ACCOUNT_TYPES = ["S", "C", "L"]  # savings, checking, loan
+
+
+def generate_instance(
+    n_customers: int = 200,
+    seed: int = 20080107,
+    max_accounts_per_customer: int = 5,
+    big_customer_fraction: float = 0.2,
+) -> Instance:
+    """Deterministic synthetic data for the example job.
+
+    Balances are drawn so that roughly ``big_customer_fraction`` of
+    customers exceed the $100,000 total-balance threshold; loan accounts
+    (type ``L``) carry negative balances, which is why the NonLoans filter
+    matters for the totals.
+    """
+    rng = random.Random(seed)
+    customers, accounts = source_schemas()
+    customers_data = Dataset(customers)
+    accounts_data = Dataset(accounts)
+    account_id = 1
+    for customer_id in range(1, n_customers + 1):
+        member_since = REFERENCE_DATE - datetime.timedelta(
+            days=rng.randint(30, 7000)
+        )
+        customers_data.append(
+            {
+                "customerID": customer_id,
+                "name": f"{rng.choice(_FIRST_NAMES)} #{customer_id}",
+                "age": rng.randint(18, 90) if rng.random() > 0.05 else None,
+                "memberSince": member_since,
+                "country": rng.choice(_COUNTRIES),
+            }
+        )
+        is_big = rng.random() < big_customer_fraction
+        for _ in range(rng.randint(0, max_accounts_per_customer)):
+            account_type = rng.choice(_ACCOUNT_TYPES)
+            if account_type == "L":
+                balance = -round(rng.uniform(1000, 250000), 2)
+            elif is_big:
+                balance = round(rng.uniform(40000, 200000), 2)
+            else:
+                balance = round(rng.uniform(0, 30000), 2)
+            accounts_data.append(
+                {
+                    "accountID": account_id,
+                    "customerID": customer_id,
+                    "type": account_type,
+                    "balance": balance,
+                }
+            )
+            account_id += 1
+    return Instance([customers_data, accounts_data])
+
+
+__all__ = [
+    "REFERENCE_DATE",
+    "MEMBERSHIP_TERM_DAYS",
+    "BIG_BALANCE_THRESHOLD",
+    "AGEGROUP_EXPR",
+    "ENDDATE_EXPR",
+    "YEARS_EXPR",
+    "COUNTRY_EXPR",
+    "source_schemas",
+    "target_schemas",
+    "build_example_job",
+    "generate_instance",
+]

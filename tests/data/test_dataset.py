@@ -1,0 +1,130 @@
+"""Dataset/Instance unit tests: validation, bag semantics, comparison."""
+
+import pytest
+
+from repro.data.dataset import Dataset, Instance
+from repro.errors import SchemaError
+from repro.schema import relation
+
+
+@pytest.fixture
+def rel():
+    return relation(
+        "T", ("id", "int", False), ("name", "varchar"), ("score", "float")
+    )
+
+
+class TestValidation:
+    def test_missing_columns_become_null(self, rel):
+        data = Dataset(rel, [{"id": 1}])
+        assert data.rows[0] == {"id": 1, "name": None, "score": None}
+
+    def test_unknown_column_rejected(self, rel):
+        with pytest.raises(SchemaError):
+            Dataset(rel, [{"id": 1, "bogus": 2}])
+
+    def test_null_in_non_nullable_rejected(self, rel):
+        with pytest.raises(SchemaError):
+            Dataset(rel, [{"name": "x"}])  # id missing -> NULL
+
+    def test_type_mismatch_rejected(self, rel):
+        with pytest.raises(SchemaError):
+            Dataset(rel, [{"id": "one"}])
+
+    def test_lossless_numeric_coercion(self, rel):
+        data = Dataset(rel, [{"id": 1, "score": 3}])
+        assert data.rows[0]["score"] == 3.0
+        assert isinstance(data.rows[0]["score"], float)
+
+    def test_unvalidated_append_is_verbatim(self, rel):
+        data = Dataset(rel)
+        data.append({"anything": "goes"}, validate=False)
+        assert data.rows[0] == {"anything": "goes"}
+
+
+class TestBagSemantics:
+    def test_duplicates_preserved(self, rel):
+        data = Dataset(rel, [{"id": 1}, {"id": 1}])
+        assert len(data) == 2
+
+    def test_same_bag_ignores_row_order(self, rel):
+        a = Dataset(rel, [{"id": 1}, {"id": 2}])
+        b = Dataset(rel, [{"id": 2}, {"id": 1}])
+        assert a.same_bag(b)
+
+    def test_same_bag_counts_multiplicity(self, rel):
+        a = Dataset(rel, [{"id": 1}, {"id": 1}])
+        b = Dataset(rel, [{"id": 1}])
+        assert not a.same_bag(b)
+
+    def test_same_bag_treats_nulls_equal(self, rel):
+        a = Dataset(rel, [{"id": 1, "name": None}])
+        b = Dataset(rel, [{"id": 1, "name": None}])
+        assert a.same_bag(b)
+
+    def test_same_bag_int_float_equal(self, rel):
+        a = Dataset(rel, [{"id": 1, "score": 2.0}])
+        b = Dataset(rel, [{"id": 1, "score": 2}])
+        assert a.same_bag(b)
+
+    def test_different_columns_not_same_bag(self, rel):
+        other = relation("T2", ("id", "int"))
+        assert not Dataset(rel).same_bag(Dataset(other))
+
+
+class TestUtilities:
+    def test_column_extraction(self, rel):
+        data = Dataset(rel, [{"id": 1, "name": "a"}, {"id": 2, "name": "b"}])
+        assert data.column("name") == ["a", "b"]
+
+    def test_column_unknown_raises(self, rel):
+        with pytest.raises(SchemaError):
+            Dataset(rel).column("bogus")
+
+    def test_renamed(self, rel):
+        data = Dataset(rel, [{"id": 1}]).renamed("U")
+        assert data.name == "U"
+        assert len(data) == 1
+
+    def test_head(self, rel):
+        data = Dataset(rel, [{"id": i} for i in range(10)])
+        assert len(data.head(3)) == 3
+
+    def test_to_table_renders(self, rel):
+        data = Dataset(rel, [{"id": 1, "name": "a"}])
+        table = data.to_table()
+        assert "id" in table and "NULL" in table
+
+    def test_to_table_truncates(self, rel):
+        data = Dataset(rel, [{"id": i} for i in range(30)])
+        assert "more rows" in data.to_table(limit=5)
+
+
+class TestInstance:
+    def test_add_and_lookup(self, rel):
+        instance = Instance([Dataset(rel)])
+        assert "T" in instance
+        assert instance.dataset("T").relation is rel
+
+    def test_duplicate_add_rejected(self, rel):
+        instance = Instance([Dataset(rel)])
+        with pytest.raises(SchemaError):
+            instance.add(Dataset(rel))
+
+    def test_put_replaces(self, rel):
+        instance = Instance([Dataset(rel)])
+        replacement = Dataset(rel, [{"id": 1}])
+        instance.put(replacement)
+        assert len(instance.dataset("T")) == 1
+
+    def test_same_bags(self, rel):
+        a = Instance([Dataset(rel, [{"id": 1}])])
+        b = Instance([Dataset(rel, [{"id": 1}])])
+        c = Instance([Dataset(rel, [{"id": 2}])])
+        assert a.same_bags(b)
+        assert not a.same_bags(c)
+        assert not a.same_bags(Instance())
+
+    def test_missing_dataset_raises(self):
+        with pytest.raises(SchemaError):
+            Instance().dataset("nope")

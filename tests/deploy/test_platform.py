@@ -1,0 +1,103 @@
+"""RP framework unit tests: candidates, boxes, plans, boundary edges."""
+
+import pytest
+
+from repro.compile import compile_job
+from repro.deploy import DATASTAGE, plan_deployment
+from repro.deploy.platform import Box, RuntimePlatform
+from repro.errors import DeploymentError
+from repro.ohm import BasicProject, Filter, OhmGraph, Source, Target
+from repro.schema import relation
+from repro.workloads import build_example_job
+
+
+@pytest.fixture
+def small_graph():
+    rel = relation("R", ("id", "int", False), ("v", "float"))
+    g = OhmGraph("small")
+    s = g.add(Source(rel))
+    f = g.add(Filter("v > 0"))
+    bp = g.add(BasicProject([("id", "id")]))
+    t = g.add(Target(relation("Out", ("id", "int"))))
+    g.chain(s, f, bp, t, names=["in", "mid", "out"])
+    g.propagate_schemas()
+    return g, s, f, bp, t
+
+
+class TestCandidates:
+    def test_candidates_sorted_by_priority(self, small_graph):
+        g, s, f, bp, t = small_graph
+        candidates = DATASTAGE.candidates(g, {f.uid, bp.uid})
+        names = [c.name for c in candidates]
+        assert names[0] == "Filter"  # priority 30 beats Transformer's 20
+        assert "Transformer" in names
+
+    def test_no_candidates_for_shapeless_box(self, small_graph):
+        g, s, f, bp, t = small_graph
+        assert DATASTAGE.candidates(g, {s.uid, f.uid}) == []
+
+    def test_lone_basic_project_has_multiple_implementations(self, small_graph):
+        g, s, f, bp, t = small_graph
+        names = [c.name for c in DATASTAGE.candidates(g, {bp.uid})]
+        # "all DataStage stages can perform simple projections"
+        assert "Copy" in names and "Modify" in names and "Transformer" in names
+
+    def test_empty_box_has_no_candidates(self, small_graph):
+        g, *_ = small_graph
+        assert DATASTAGE.candidates(g, set()) == []
+
+
+class TestBox:
+    def test_chosen_is_best_candidate(self, small_graph):
+        g, s, f, bp, t = small_graph
+        box = Box({f.uid})
+        box.candidates = DATASTAGE.candidates(g, box.uids)
+        assert box.chosen.name == "Filter"
+
+    def test_chosen_without_candidates_raises(self):
+        with pytest.raises(DeploymentError):
+            Box({"x"}).chosen
+
+
+class TestDeploymentPlan:
+    def test_boundary_edges_exclude_intra_box_edges(self, small_graph):
+        g, s, f, bp, t = small_graph
+        plan = plan_deployment(g, DATASTAGE)
+        # filter+project merged into one box: 'mid' is internal
+        boundary_names = {e.name for e in plan.boundary_edges()}
+        assert boundary_names == {"in", "out"}
+
+    def test_box_of_lookup(self, small_graph):
+        g, s, f, bp, t = small_graph
+        plan = plan_deployment(g, DATASTAGE)
+        assert plan.box_of(f.uid) is plan.box_of(bp.uid)
+        assert plan.box_of(s.uid) is None  # access operators are not boxed
+
+    def test_boxes_ordered_by_dataflow(self):
+        graph = compile_job(build_example_job())
+        plan = plan_deployment(graph, DATASTAGE)
+        position = {
+            op.uid: i for i, op in enumerate(graph.topological_order())
+        }
+        firsts = [min(position[u] for u in box.uids) for box in plan.boxes]
+        assert firsts == sorted(firsts)
+
+    def test_describe_lists_alternatives(self, small_graph):
+        g, *_ = small_graph
+        text = plan_deployment(g, DATASTAGE).describe()
+        assert "alternatives" in text and "Filter" in text
+
+
+class TestRegistration:
+    def test_fresh_platform_is_empty(self):
+        platform = RuntimePlatform("fresh")
+        assert platform.operators == []
+        assert "fresh" in repr(platform)
+
+    def test_register_returns_operator(self):
+        from repro.deploy.datastage import FilterRp
+
+        platform = RuntimePlatform("p")
+        rp = FilterRp()
+        assert platform.register(rp) is rp
+        assert platform.operators == [rp]

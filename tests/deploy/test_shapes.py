@@ -1,0 +1,155 @@
+"""Box shape analysis tests."""
+
+import pytest
+
+from repro.deploy.shapes import analyze_box, chain_matches
+from repro.ohm import (
+    BasicProject,
+    Filter,
+    Group,
+    Join,
+    OhmGraph,
+    Project,
+    Source,
+    Split,
+    Target,
+    Union,
+    Unknown,
+)
+from repro.schema import relation
+
+
+@pytest.fixture
+def rel():
+    return relation("R", ("id", "int", False), ("v", "float"))
+
+
+def example_graph(rel):
+    """source → FILTER → BASIC PROJECT → SPLIT → (FILTER, FILTER) → targets"""
+    g = OhmGraph()
+    s = g.add(Source(rel))
+    f = g.add(Filter("v > 0"))
+    bp = g.add(BasicProject([("id", "id"), ("v", "v")]))
+    sp = g.add(Split())
+    f1 = g.add(Filter("v > 10"))
+    f2 = g.add(Filter("v <= 10"))
+    t1 = g.add(Target(rel.renamed("A")))
+    t2 = g.add(Target(rel.renamed("B")))
+    g.chain(s, f, bp, sp)
+    g.connect(sp, f1, src_port=0)
+    g.connect(sp, f2, src_port=1)
+    g.connect(f1, t1)
+    g.connect(f2, t2)
+    return g, s, f, bp, sp, f1, f2
+
+
+class TestLinearShapes:
+    def test_single_operator(self, rel):
+        g, s, f, bp, sp, f1, f2 = example_graph(rel)
+        shape = analyze_box(g, {f.uid})
+        assert shape.kind == "linear"
+        assert [op.uid for op in shape.chain] == [f.uid]
+
+    def test_chain(self, rel):
+        g, s, f, bp, sp, f1, f2 = example_graph(rel)
+        shape = analyze_box(g, {f.uid, bp.uid})
+        assert shape.kind == "linear"
+        assert [op.KIND for op in shape.chain] == ["FILTER", "BASIC PROJECT"]
+
+    def test_disconnected_box_rejected(self, rel):
+        g, s, f, bp, sp, f1, f2 = example_graph(rel)
+        assert analyze_box(g, {f.uid, f1.uid}) is None
+
+    def test_access_operators_never_boxed(self, rel):
+        g, s, f, *_ = example_graph(rel)
+        assert analyze_box(g, {s.uid}) is None
+        assert analyze_box(g, {s.uid, f.uid}) is None
+
+
+class TestFanoutShapes:
+    def test_split_alone(self, rel):
+        g, s, f, bp, sp, f1, f2 = example_graph(rel)
+        shape = analyze_box(g, {sp.uid})
+        assert shape.kind == "fanout"
+        assert shape.branches == [[], []]
+
+    def test_split_with_branches(self, rel):
+        g, s, f, bp, sp, f1, f2 = example_graph(rel)
+        shape = analyze_box(g, {sp.uid, f1.uid, f2.uid})
+        assert shape.kind == "fanout"
+        assert [[op.KIND for op in b] for b in shape.branches] == [
+            ["FILTER"], ["FILTER"],
+        ]
+
+    def test_partial_branch_coverage(self, rel):
+        g, s, f, bp, sp, f1, f2 = example_graph(rel)
+        shape = analyze_box(g, {sp.uid, f1.uid})
+        assert shape.kind == "fanout"
+        assert [[op.KIND for op in b] for b in shape.branches] == [
+            ["FILTER"], [],
+        ]
+
+    def test_upstream_member_breaks_fanout(self, rel):
+        g, s, f, bp, sp, f1, f2 = example_graph(rel)
+        # bp -> sp -> f1: entry is bp (linear), but sp in the chain is
+        # not a simple operator
+        assert analyze_box(g, {bp.uid, sp.uid, f1.uid}) is None
+
+
+class TestHeadShapes:
+    def test_join_with_trailing_project(self, rel):
+        other = relation("S", ("id", "int", False), ("w", "float"))
+        g = OhmGraph()
+        s1 = g.add(Source(rel))
+        s2 = g.add(Source(other))
+        j = g.add(Join("L.id = R.id"))
+        bp = g.add(BasicProject([("id", "L.id"), ("v", "v"), ("w", "w")]))
+        t = g.add(Target(relation("Out", ("id", "int"), ("v", "float"),
+                                  ("w", "float"))))
+        g.connect(s1, j, name="L")
+        g.connect(s2, j, dst_port=1, name="R")
+        g.chain(j, bp, t)
+        shape = analyze_box(g, {j.uid, bp.uid})
+        assert shape.kind == "join"
+        assert [op.KIND for op in shape.chain] == ["BASIC PROJECT"]
+
+    def test_union_shape(self, rel):
+        other = rel.renamed("R2")
+        g = OhmGraph()
+        s1 = g.add(Source(rel))
+        s2 = g.add(Source(other))
+        u = g.add(Union())
+        t = g.add(Target(rel.renamed("Out")))
+        g.connect(s1, u, dst_port=0)
+        g.connect(s2, u, dst_port=1)
+        g.connect(u, t)
+        shape = analyze_box(g, {u.uid})
+        assert shape.kind == "union"
+
+    def test_unknown_is_opaque_and_alone(self, rel):
+        g = OhmGraph()
+        s = g.add(Source(rel))
+        u = g.add(Unknown([rel.renamed("o")], "box"))
+        f = g.add(Filter("v > 0"))
+        t = g.add(Target(rel.renamed("Out")))
+        g.chain(s, u, f, t)
+        assert analyze_box(g, {u.uid}).kind == "opaque"
+        assert analyze_box(g, {u.uid, f.uid}) is None
+
+
+class TestChainMatches:
+    def test_optional_pattern(self, rel):
+        f = Filter("v > 0")
+        bp = BasicProject([("id", "id")])
+        pattern = [(Filter, True), (BasicProject, True)]
+        assert chain_matches([f, bp], pattern)
+        assert chain_matches([f], pattern)
+        assert chain_matches([bp], pattern)
+        assert chain_matches([], pattern)
+        assert not chain_matches([bp, f], pattern)
+        assert not chain_matches([f, bp, bp], pattern)
+
+    def test_required_pattern(self):
+        g = Group(["a"])
+        assert chain_matches([g], [(Group, False)])
+        assert not chain_matches([], [(Group, False)])

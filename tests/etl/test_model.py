@@ -1,0 +1,102 @@
+"""Job model unit tests."""
+
+import pytest
+
+from repro.errors import GraphError, ValidationError
+from repro.etl import (
+    FilterOutput,
+    FilterStage,
+    Job,
+    TableSource,
+    TableTarget,
+    Transformer,
+)
+from repro.etl.stages.transform import OutputLink
+from repro.expr.functions import DEFAULT_REGISTRY
+from repro.schema import relation
+
+
+@pytest.fixture
+def rel():
+    return relation("R", ("id", "int", False), ("v", "float"))
+
+
+class TestJobConstruction:
+    def test_stage_names_are_uids(self, rel):
+        job = Job("j")
+        src = job.add(TableSource(rel, name="my source"))
+        assert job.stage("my source") is src
+
+    def test_duplicate_stage_name_rejected(self, rel):
+        job = Job("j")
+        job.add(TableSource(rel, name="s"))
+        with pytest.raises(GraphError):
+            job.add(TableTarget(rel, name="s"))
+
+    def test_links_get_dslink_names(self, rel):
+        job = Job("j")
+        src = job.add(TableSource(rel))
+        tgt = job.add(TableTarget(rel.renamed("Out")))
+        link = job.link(src, tgt)
+        assert link.name.startswith("DSLink")
+
+    def test_explicit_link_names(self, rel):
+        job = Job("j")
+        src = job.add(TableSource(rel))
+        tgt = job.add(TableTarget(rel.renamed("Out")))
+        assert job.link(src, tgt, name="DSLink10").name == "DSLink10"
+
+    def test_stages_of_type(self, rel):
+        job = Job("j")
+        job.add(TableSource(rel))
+        job.add(TableTarget(rel.renamed("Out")))
+        assert len(job.stages_of_type("TableSource")) == 1
+
+    def test_source_and_target_discovery(self, rel):
+        job = Job("j")
+        src = job.add(TableSource(rel))
+        tgt = job.add(TableTarget(rel.renamed("Out")))
+        job.link(src, tgt)
+        assert job.source_stages() == [src]
+        assert job.target_stages() == [tgt]
+
+
+class TestPortChecking:
+    def test_transformer_output_count_must_match_config(self, rel):
+        job = Job("j")
+        src = job.add(TableSource(rel))
+        transformer = job.add(
+            Transformer(
+                [OutputLink([("id", "id")]), OutputLink([("v", "v")])],
+            )
+        )
+        tgt = job.add(TableTarget(relation("Out", ("id", "int"))))
+        job.link(src, transformer)
+        job.link(transformer, tgt)  # only one of two outputs wired
+        with pytest.raises(ValidationError):
+            job.propagate_schemas()
+
+    def test_filter_output_count_must_match_config(self, rel):
+        job = Job("j")
+        src = job.add(TableSource(rel))
+        f = job.add(FilterStage([FilterOutput("v > 0"), FilterOutput("v < 0")]))
+        t1 = job.add(TableTarget(rel.renamed("A")))
+        job.link(src, f)
+        job.link(f, t1)
+        with pytest.raises(ValidationError):
+            job.propagate_schemas()
+
+
+class TestRegistry:
+    def test_default_registry_shared(self):
+        assert Job("j").registry is DEFAULT_REGISTRY
+
+    def test_job_scoped_registry(self, rel):
+        from repro.expr.functions import register
+        from repro.schema.types import INTEGER
+
+        scoped = DEFAULT_REGISTRY.child()
+        register("JOB_ONLY", lambda x: x + 1, INTEGER, 1, registry=scoped)
+        job = Job("j", registry=scoped)
+        assert job.registry.knows("JOB_ONLY")
+        assert not DEFAULT_REGISTRY.knows("JOB_ONLY")

@@ -1,0 +1,133 @@
+"""Access stage tests: table/file sources & targets, RowGenerator,
+CustomStage."""
+
+import pytest
+
+from repro.data.csvio import write_csv
+from repro.data.dataset import Dataset, Instance
+from repro.errors import ExecutionError, ValidationError
+from repro.etl.stages import (
+    CustomStage,
+    RowGenerator,
+    SequentialFileSource,
+    SequentialFileTarget,
+    TableSource,
+    TableTarget,
+)
+from repro.schema import relation
+
+
+@pytest.fixture
+def rel():
+    return relation("R", ("id", "int", False), ("v", "float"))
+
+
+class TestTableSource:
+    def test_extract_from_instance(self, rel):
+        stage = TableSource(rel)
+        instance = Instance([Dataset(rel, [{"id": 1, "v": 2.0}])])
+        assert len(stage.extract(instance)) == 1
+
+    def test_missing_relation_raises(self, rel):
+        stage = TableSource(rel)
+        with pytest.raises(ExecutionError):
+            stage.extract(Instance())
+
+    def test_extract_validates_types(self, rel):
+        stage = TableSource(rel)
+        wrong = Dataset(rel, validate=False)
+        wrong.append({"id": "x", "v": "y"}, validate=False)
+        with pytest.raises(Exception):
+            stage.extract(Instance([wrong]))
+
+
+class TestTableTarget:
+    def test_load_projects_to_target_columns(self, rel):
+        stage = TableTarget(rel)
+        incoming = Dataset(
+            relation("In", ("id", "int"), ("v", "float"), ("extra", "int")),
+            [{"id": 1, "v": 2.0, "extra": 9}],
+        )
+        loaded = stage.load(incoming)
+        assert loaded.relation is rel
+        assert loaded.rows == [{"id": 1, "v": 2.0}]
+
+    def test_validate_requires_columns(self, rel):
+        stage = TableTarget(rel)
+        with pytest.raises(ValidationError):
+            stage.validate([relation("In", ("id", "int"))])
+
+
+class TestSequentialFiles:
+    def test_file_source_reads_csv(self, rel, tmp_path):
+        path = str(tmp_path / "in.csv")
+        write_csv(Dataset(rel, [{"id": 3, "v": 1.5}]), path)
+        stage = SequentialFileSource(rel, path)
+        data = stage.extract(Instance())
+        assert data.rows == [{"id": 3, "v": 1.5}]
+
+    def test_file_target_writes_csv(self, rel, tmp_path):
+        path = str(tmp_path / "out.csv")
+        stage = SequentialFileTarget(rel, path)
+        stage.load(Dataset(rel, [{"id": 1, "v": 2.0}]))
+        from repro.data.csvio import read_csv
+
+        assert read_csv(path, rel).rows == [{"id": 1, "v": 2.0}]
+
+
+class TestRowGenerator:
+    def test_generator_specs(self, run, rel):
+        stage = RowGenerator(
+            rel,
+            count=4,
+            generators={
+                "id": {"initial": 10, "increment": 5},
+                "v": {"cycle": [1.0, 2.0]},
+            },
+        )
+        (out,) = run(stage, [])
+        assert out.column("id") == [10, 15, 20, 25]
+        assert out.column("v") == [1.0, 2.0, 1.0, 2.0]
+
+    def test_constant_and_default_null(self, run):
+        rel = relation("G", ("a", "int"), ("b", "varchar"))
+        stage = RowGenerator(rel, count=2, generators={"b": {"constant": "x"}})
+        (out,) = run(stage, [])
+        assert out.column("a") == [None, None]
+        assert out.column("b") == ["x", "x"]
+
+    def test_unknown_generator_column_rejected(self, rel):
+        with pytest.raises(Exception):
+            RowGenerator(rel, count=1, generators={"bogus": {"constant": 1}})
+
+
+class TestCustomStage:
+    def test_implementation_runs(self, run, rel):
+        def implementation(inputs):
+            return [[dict(r, v=r["v"] * 10) for r in inputs[0]]]
+
+        stage = CustomStage(
+            [rel.renamed("out")], reference="tenfold",
+            implementation=implementation,
+        )
+        (out,) = run(stage, [Dataset(rel, [{"id": 1, "v": 2.0}])])
+        assert out.rows[0]["v"] == 20.0
+
+    def test_without_implementation_raises(self, run, rel):
+        stage = CustomStage([rel.renamed("out")], reference="mystery")
+        with pytest.raises(ExecutionError):
+            run(stage, [Dataset(rel)])
+
+    def test_output_count_checked(self, run, rel):
+        def bad(inputs):
+            return [[], []]
+
+        stage = CustomStage(
+            [rel.renamed("out")], reference="bad", implementation=bad
+        )
+        with pytest.raises(ExecutionError):
+            run(stage, [Dataset(rel)])
+
+    def test_declared_schemas_required(self):
+        with pytest.raises(ValidationError):
+            CustomStage([], reference="empty")

@@ -1,0 +1,182 @@
+"""Flow stage tests: Filter (incl. row-only-once / reject), Switch, Copy,
+Funnel, Peek."""
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.errors import ValidationError
+from repro.etl.stages import (
+    CopyStage,
+    FilterOutput,
+    FilterStage,
+    FunnelStage,
+    PeekStage,
+    SwitchStage,
+)
+from repro.schema import relation
+
+
+@pytest.fixture
+def rel():
+    return relation("R", ("id", "int", False), ("v", "float"),
+                    ("kind", "varchar"))
+
+
+@pytest.fixture
+def data(rel):
+    return Dataset(
+        rel,
+        [
+            {"id": 1, "v": 5.0, "kind": "a"},
+            {"id": 2, "v": 15.0, "kind": "b"},
+            {"id": 3, "v": 25.0, "kind": "a"},
+            {"id": 4, "v": None, "kind": None},
+        ],
+    )
+
+
+class TestFilterStage:
+    def test_single_output(self, run, data):
+        stage = FilterStage.single("v > 10")
+        (out,) = run(stage, [data])
+        assert sorted(out.column("id")) == [2, 3]
+
+    def test_multi_output_copies_to_all_matching(self, run, data):
+        # overlapping predicates: a row can reach several outputs
+        stage = FilterStage(
+            [FilterOutput("v > 0"), FilterOutput("v > 10")]
+        )
+        first, second = run(stage, [data])
+        assert sorted(first.column("id")) == [1, 2, 3]
+        assert sorted(second.column("id")) == [2, 3]
+
+    def test_row_only_once_routes_to_first_match(self, run, data):
+        stage = FilterStage(
+            [FilterOutput("v > 0"), FilterOutput("v > 10")],
+            row_only_once=True,
+        )
+        first, second = run(stage, [data])
+        assert sorted(first.column("id")) == [1, 2, 3]
+        assert second.column("id") == []
+
+    def test_reject_output_gets_unmatched(self, run, data):
+        stage = FilterStage(
+            [FilterOutput("v > 10"), FilterOutput(reject=True)]
+        )
+        matched, rejected = run(stage, [data])
+        assert sorted(matched.column("id")) == [2, 3]
+        assert sorted(rejected.column("id")) == [1, 4]
+
+    def test_null_goes_to_reject_not_both(self, run, data):
+        # under three-valued logic a NULL satisfies neither the predicate
+        # nor is it matched; the reject link catches it
+        stage = FilterStage(
+            [FilterOutput("v > 10"), FilterOutput(reject=True)]
+        )
+        matched, rejected = run(stage, [data])
+        assert 4 not in matched.column("id")
+        assert 4 in rejected.column("id")
+
+    def test_simple_projection_per_output(self, run, data):
+        stage = FilterStage(
+            [FilterOutput("v > 10", columns=[("ident", "id")])]
+        )
+        (out,) = run(stage, [data])
+        assert out.relation.attribute_names == ("ident",)
+        assert sorted(out.column("ident")) == [2, 3]
+
+    def test_reject_must_be_last(self):
+        with pytest.raises(ValidationError):
+            FilterStage([FilterOutput(reject=True), FilterOutput("v > 0")])
+
+    def test_at_most_one_reject(self):
+        with pytest.raises(ValidationError):
+            FilterStage(
+                [FilterOutput("v > 0"), FilterOutput(reject=True),
+                 FilterOutput(reject=True)]
+            )
+
+    def test_reject_with_predicate_rejected(self):
+        with pytest.raises(ValidationError):
+            FilterOutput("v > 0", reject=True)
+
+    def test_unknown_projection_column_rejected(self, run, data):
+        stage = FilterStage(
+            [FilterOutput("v > 0", columns=[("x", "missing")])]
+        )
+        with pytest.raises(Exception):
+            run(stage, [data])
+
+
+class TestSwitchStage:
+    def test_routes_by_value(self, run, data):
+        stage = SwitchStage("kind", cases=["a", "b"])
+        a_rows, b_rows = run(stage, [data])
+        assert sorted(a_rows.column("id")) == [1, 3]
+        assert b_rows.column("id") == [2]
+
+    def test_default_catches_unmatched_and_null(self, run, data):
+        stage = SwitchStage("kind", cases=["a"], has_default=True)
+        a_rows, rest = run(stage, [data])
+        assert sorted(a_rows.column("id")) == [1, 3]
+        assert sorted(rest.column("id")) == [2, 4]
+
+    def test_without_default_unmatched_dropped(self, run, data):
+        stage = SwitchStage("kind", cases=["a"])
+        (a_rows,) = run(stage, [data])
+        assert sorted(a_rows.column("id")) == [1, 3]
+
+    def test_needs_cases(self):
+        with pytest.raises(ValidationError):
+            SwitchStage("kind", cases=[])
+
+
+class TestCopyStage:
+    def test_plain_copy(self, run, data):
+        stage = CopyStage(keep_columns=[None, None])
+        a, b = run(stage, [data])
+        assert a.same_bag(b)
+        assert len(a) == 4
+
+    def test_column_restriction_per_output(self, run, data):
+        stage = CopyStage(keep_columns=[["id"], None])
+        ids, full = run(stage, [data])
+        assert ids.relation.attribute_names == ("id",)
+        assert full.relation.attribute_names == data.relation.attribute_names
+
+    def test_unknown_keep_column_rejected(self, run, data):
+        stage = CopyStage(keep_columns=[["bogus"]])
+        with pytest.raises(Exception):
+            run(stage, [data])
+
+
+class TestFunnelStage:
+    def test_bag_union(self, run, rel, data):
+        other = Dataset(rel.renamed("R2"), [dict(r) for r in data.rows[:2]])
+        stage = FunnelStage()
+        (out,) = run(stage, [data, other])
+        assert len(out) == 6
+
+    def test_name_based_column_alignment(self, run, rel):
+        shuffled = relation("S", ("v", "float"), ("kind", "varchar"),
+                            ("id", "int"))
+        a = Dataset(rel, [{"id": 1, "v": 1.0, "kind": "x"}])
+        b = Dataset(shuffled, [{"id": 2, "v": 2.0, "kind": "y"}])
+        stage = FunnelStage()
+        (out,) = run(stage, [a, b])
+        assert sorted(out.column("id")) == [1, 2]
+
+    def test_incompatible_inputs_rejected(self, run, rel):
+        other = relation("S", ("different", "int"))
+        stage = FunnelStage()
+        with pytest.raises(ValidationError):
+            run(stage, [Dataset(rel), Dataset(other)])
+
+
+class TestPeekStage:
+    def test_passthrough_with_sample(self, run, data):
+        stage = PeekStage(sample=2)
+        (out,) = run(stage, [data])
+        assert out.same_bag(data)
+        assert len(stage.peeked) == 2
+        assert stage.peeked[0]["id"] == 1

@@ -1,0 +1,168 @@
+"""Symbolic-algebra unit tests: substitution, negation, conjunction."""
+
+import pytest
+
+from repro.expr.algebra import (
+    conjoin,
+    disjoin,
+    is_join_condition,
+    is_simple_rename,
+    is_trivially_true,
+    negate,
+    qualify,
+    references_only,
+    rename_qualifiers,
+    split_conjuncts,
+    strip_qualifiers,
+    substitute,
+    substitute_by_name,
+    transform,
+)
+from repro.expr.ast import TRUE, BinaryOp, ColumnRef, Literal
+from repro.expr.evaluator import evaluate
+from repro.expr.parser import parse
+
+
+class TestSubstitution:
+    def test_replaces_matching_column(self):
+        out = substitute_by_name(parse("a + b"), {"a": parse("x * 2")})
+        assert out == parse("(x * 2) + b")
+
+    def test_substitution_is_simultaneous_not_sequential(self):
+        # swapping a and b must not cascade
+        out = substitute_by_name(
+            parse("a + b"), {"a": parse("b"), "b": parse("a")}
+        )
+        assert out == parse("b + a")
+
+    def test_unqualified_key_matches_qualified_reference(self):
+        out = substitute_by_name(parse("T.a + 1"), {"a": parse("z")})
+        assert out == parse("z + 1")
+
+    def test_qualified_key_only_matches_that_qualifier(self):
+        out = substitute(
+            parse("L.a + R.a"), {ColumnRef("a", "L"): parse("left_a")}
+        )
+        assert out == parse("left_a + R.a")
+
+    def test_substitutes_inside_nested_structures(self):
+        out = substitute_by_name(
+            parse("CASE WHEN a > 1 THEN a ELSE 0 END"), {"a": parse("b + 1")}
+        )
+        assert out == parse("CASE WHEN (b + 1) > 1 THEN (b + 1) ELSE 0 END")
+
+    def test_substitution_composes_semantically(self):
+        # eval(subst(e, m), row) == eval(e, row extended with m's values)
+        expr = parse("a * 2 + b")
+        substituted = substitute_by_name(expr, {"a": parse("x + y")})
+        row = {"x": 3, "y": 4, "b": 1}
+        direct = evaluate(substituted, row)
+        extended = dict(row, a=7)
+        assert direct == evaluate(expr, extended) == 15
+
+
+class TestQualifiers:
+    def test_rename_qualifiers(self):
+        out = rename_qualifiers(parse("L.a = R.b"), {"L": "X"})
+        assert out == parse("X.a = R.b")
+
+    def test_rename_to_none_unqualifies(self):
+        out = rename_qualifiers(parse("L.a + 1"), {"L": None})
+        assert out == parse("a + 1")
+
+    def test_strip_all_qualifiers(self):
+        assert strip_qualifiers(parse("L.a = R.b")) == parse("a = b")
+
+    def test_qualify_adds_to_unqualified_only(self):
+        out = qualify(parse("a + R.b"), "T")
+        assert out == parse("T.a + R.b")
+
+
+class TestNegation:
+    def test_flips_comparisons(self):
+        assert negate(parse("x > 10")) == parse("x <= 10")
+        assert negate(parse("x = 1")) == parse("x <> 1")
+
+    def test_double_negation_cancels(self):
+        expr = parse("a LIKE 'x%'")
+        assert negate(negate(expr)) == expr
+
+    def test_boolean_literal(self):
+        assert negate(Literal(True)) == Literal(False)
+
+    def test_wraps_complex_predicates(self):
+        out = negate(parse("a = 1 OR b = 2"))
+        assert out == parse("NOT (a = 1 OR b = 2)")
+
+    @pytest.mark.parametrize("x", [5, 15, None])
+    def test_negation_preserves_unknown(self, x):
+        # the row-only-once requirement: a NULL never satisfies the
+        # predicate NOR its negation
+        p = parse("x > 10")
+        value = evaluate(p, {"x": x})
+        negated = evaluate(negate(p), {"x": x})
+        if value is None:
+            assert negated is None
+        else:
+            assert negated == (not value)
+
+
+class TestConjunction:
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]) == TRUE
+
+    def test_conjoin_drops_trues_and_nones(self):
+        assert conjoin([None, TRUE, parse("a = 1")]) == parse("a = 1")
+
+    def test_split_flattens_nested_ands(self):
+        conjuncts = split_conjuncts(parse("a = 1 AND (b = 2 AND c = 3)"))
+        assert conjuncts == [parse("a = 1"), parse("b = 2"), parse("c = 3")]
+
+    def test_split_then_conjoin_is_semantically_stable(self):
+        expr = parse("a = 1 AND b = 2 AND c = 3")
+        rebuilt = conjoin(split_conjuncts(expr))
+        row = {"a": 1, "b": 2, "c": 3}
+        assert evaluate(rebuilt, row) == evaluate(expr, row)
+
+    def test_disjoin_empty_is_false(self):
+        assert disjoin([]) == Literal(False)
+
+    def test_disjoin_two(self):
+        assert disjoin([parse("a = 1"), parse("b = 2")]) == parse(
+            "a = 1 OR b = 2"
+        )
+
+
+class TestPredicateShapes:
+    def test_is_trivially_true(self):
+        assert is_trivially_true(TRUE)
+        assert not is_trivially_true(parse("1 = 1"))
+
+    def test_is_join_condition(self):
+        assert is_join_condition(parse("L.id = R.id"))
+        assert not is_join_condition(parse("L.id = 5"))
+        assert not is_join_condition(parse("L.id = L.other"))
+
+    def test_references_only(self):
+        expr = parse("L.a + R.b")
+        assert references_only(expr, ["L", "R"])
+        assert not references_only(expr, ["L"])
+
+    def test_is_simple_rename(self):
+        assert is_simple_rename(parse("a"))
+        assert not is_simple_rename(parse("a + 0"))
+
+
+class TestTransform:
+    def test_bottom_up_application(self):
+        # rewrite every literal 1 into 2, bottom-up
+        def bump(node):
+            if isinstance(node, Literal) and node.value == 1:
+                return Literal(2)
+            return None
+
+        assert transform(parse("1 + (1 * x)"), bump) == parse("2 + (2 * x)")
+
+    def test_identity_returns_equal_tree(self):
+        expr = parse("a AND b OR c")
+        assert transform(expr, lambda n: None) == expr

@@ -1,0 +1,233 @@
+"""Evaluator unit tests: SQL three-valued logic, NULL propagation,
+aggregates, environments."""
+
+import datetime
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.expr.ast import AggregateCall, ColumnRef
+from repro.expr.evaluator import (
+    Environment,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_predicate,
+)
+from repro.expr.parser import parse
+
+
+def ev(text, row=None, **named):
+    env = Environment(row if row is not None else {})
+    for name, bound in named.items():
+        env.bind(name, bound)
+    return evaluate(parse(text), env)
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert ev("1 + 2 * 3") == 7
+
+    def test_integer_division_stays_integral_when_exact(self):
+        assert ev("10 / 2") == 5
+        assert isinstance(ev("10 / 2"), int)
+
+    def test_division_produces_float_when_inexact(self):
+        assert ev("7 / 2") == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("1 / 0")
+
+    def test_modulo(self):
+        assert ev("7 % 3") == 1
+
+    def test_unary_minus(self):
+        assert ev("-(2 + 3)") == -5
+
+    def test_arithmetic_on_strings_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("'a' + 1")
+
+
+class TestThreeValuedLogic:
+    def test_null_comparison_is_unknown(self):
+        assert ev("NULL = 1") is None
+        assert ev("NULL <> 1") is None
+        assert ev("NULL < 1") is None
+
+    def test_unknown_and_false_is_false(self):
+        assert ev("NULL = 1 AND FALSE") is False
+
+    def test_unknown_and_true_is_unknown(self):
+        assert ev("NULL = 1 AND TRUE") is None
+
+    def test_unknown_or_true_is_true(self):
+        assert ev("NULL = 1 OR TRUE") is True
+
+    def test_unknown_or_false_is_unknown(self):
+        assert ev("NULL = 1 OR FALSE") is None
+
+    def test_not_unknown_is_unknown(self):
+        assert ev("NOT (NULL = 1)") is None
+
+    def test_predicate_treats_unknown_as_not_passing(self):
+        assert evaluate_predicate(parse("x > 10"), {"x": None}) is False
+
+    def test_is_null(self):
+        assert ev("x IS NULL", {"x": None}) is True
+        assert ev("x IS NOT NULL", {"x": None}) is False
+
+    def test_in_list_with_null_item_follows_sql(self):
+        # 2 IN (1, NULL) is unknown, 1 IN (1, NULL) is true
+        assert ev("2 IN (1, NULL)") is None
+        assert ev("1 IN (1, NULL)") is True
+
+    def test_not_in_with_null_is_unknown(self):
+        assert ev("2 NOT IN (1, NULL)") is None
+
+    def test_between_with_null_bound(self):
+        assert ev("5 BETWEEN 1 AND NULL") is None
+        assert ev("0 BETWEEN 1 AND NULL") is False  # already < low
+
+
+class TestStringsAndDates:
+    def test_concat_operator(self):
+        assert ev("'a' || 'b'") == "ab"
+
+    def test_concat_with_null_is_null(self):
+        assert ev("'a' || NULL") is None
+
+    def test_like_wildcards(self):
+        assert ev("'Anna' LIKE 'A%'") is True
+        assert ev("'Anna' LIKE 'A_'") is False
+        assert ev("'Ab' LIKE 'A_'") is True
+
+    def test_like_escapes_regex_metacharacters(self):
+        assert ev("'a.c' LIKE 'a.c'") is True
+        assert ev("'abc' LIKE 'a.c'") is False
+
+    def test_date_comparison(self):
+        assert ev("DATE '2008-01-01' > DATE '2007-12-31'") is True
+
+    def test_cross_type_comparison_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("'a' > 1")
+
+
+class TestFunctions:
+    def test_builtin_functions(self):
+        assert ev("UPPER('abc')") == "ABC"
+        assert ev("LENGTH('abcd')") == 4
+        assert ev("SUBSTR('abcdef', 2, 3)") == "bcd"
+        assert ev("COALESCE(NULL, NULL, 7)") == 7
+        assert ev("IFNULL(NULL, 'x')") == "x"
+        assert ev("NULLIF(3, 3)") is None
+
+    def test_null_propagation(self):
+        assert ev("UPPER(NULL)") is None
+
+    def test_coalesce_is_not_null_propagating(self):
+        assert ev("COALESCE(NULL, 1)") == 1
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(Exception):
+            ev("NO_SUCH_FUNCTION(1)")
+
+    def test_arity_checked(self):
+        with pytest.raises(Exception):
+            ev("UPPER('a', 'b')")
+
+    def test_date_functions(self):
+        assert ev("YEAR(DATE '2008-03-04')") == 2008
+        assert ev("ADD_DAYS(DATE '2008-01-01', 31)") == datetime.date(2008, 2, 1)
+        assert ev(
+            "YEARS_BETWEEN(DATE '2008-01-01', DATE '2000-01-01')"
+        ) == 8
+
+
+class TestCase:
+    def test_first_matching_branch_wins(self):
+        text = "CASE WHEN x < 10 THEN 'low' WHEN x < 100 THEN 'mid' ELSE 'hi' END"
+        assert ev(text, {"x": 5}) == "low"
+        assert ev(text, {"x": 50}) == "mid"
+        assert ev(text, {"x": 500}) == "hi"
+
+    def test_unknown_condition_skips_branch(self):
+        text = "CASE WHEN x < 10 THEN 'low' ELSE 'other' END"
+        assert ev(text, {"x": None}) == "other"
+
+    def test_no_match_no_else_gives_null(self):
+        assert ev("CASE WHEN FALSE THEN 1 END") is None
+
+
+class TestEnvironment:
+    def test_unqualified_lookup(self):
+        assert ev("balance * 2", {"balance": 10}) == 20
+
+    def test_qualified_lookup(self):
+        assert ev("Accounts.balance", Accounts={"balance": 7}) == 7
+
+    def test_dotted_column_in_anonymous_row(self):
+        # join outputs keep colliding columns under dotted names
+        assert ev("L.customerID", {"L.customerID": 3}) == 3
+
+    def test_ambiguous_unqualified_raises(self):
+        env = Environment()
+        env.bind("A", {"x": 1})
+        env.bind("B", {"x": 2})
+        with pytest.raises(EvaluationError):
+            evaluate(parse("x"), env)
+
+    def test_unbound_column_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("missing", {})
+
+    def test_aggregate_refused_per_row(self):
+        with pytest.raises(EvaluationError):
+            ev("SUM(x)", {"x": 1})
+
+
+class TestAggregates:
+    ROWS = [{"v": 1}, {"v": 2}, {"v": None}, {"v": 2}]
+
+    def agg(self, text, rows=None):
+        return evaluate_aggregate(parse(text), rows if rows is not None else self.ROWS)
+
+    def test_sum_skips_nulls(self):
+        assert self.agg("SUM(v)") == 5
+
+    def test_count_column_skips_nulls(self):
+        assert self.agg("COUNT(v)") == 3
+
+    def test_count_star_counts_all_rows(self):
+        assert self.agg("COUNT(*)") == 4
+
+    def test_avg(self):
+        assert self.agg("AVG(v)") == pytest.approx(5 / 3)
+
+    def test_min_max(self):
+        assert self.agg("MIN(v)") == 1
+        assert self.agg("MAX(v)") == 2
+
+    def test_distinct(self):
+        assert self.agg("COUNT(DISTINCT v)") == 2
+        assert self.agg("SUM(DISTINCT v)") == 3
+
+    def test_empty_group(self):
+        assert self.agg("SUM(v)", []) is None
+        assert self.agg("COUNT(v)", []) == 0
+        assert self.agg("COUNT(*)", []) == 0
+
+    def test_all_null_group(self):
+        rows = [{"v": None}]
+        assert self.agg("SUM(v)", rows) is None
+        assert self.agg("MIN(v)", rows) is None
+
+    def test_first_and_last(self):
+        first = AggregateCall("FIRST", ColumnRef("v"))
+        last = AggregateCall("LAST", ColumnRef("v"))
+        assert evaluate_aggregate(first, self.ROWS) == 1
+        assert evaluate_aggregate(last, self.ROWS) == 2
+
+    def test_aggregate_over_expression(self):
+        assert self.agg("SUM(v * 2)") == 10

@@ -1,0 +1,103 @@
+"""Function registry unit tests: extensibility, scoping, arity."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr.evaluator import evaluate
+from repro.expr.functions import (
+    DEFAULT_REGISTRY,
+    FunctionRegistry,
+    ScalarFunction,
+    register,
+)
+from repro.expr.parser import parse
+from repro.schema import INTEGER, STRING
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        for name in ("UPPER", "COALESCE", "SUBSTR", "ADD_DAYS"):
+            assert DEFAULT_REGISTRY.knows(name)
+
+    def test_lookup_is_case_insensitive(self):
+        assert DEFAULT_REGISTRY.lookup("upper") is DEFAULT_REGISTRY.lookup("UPPER")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExpressionError):
+            DEFAULT_REGISTRY.lookup("NO_SUCH_FN")
+
+    def test_duplicate_registration_rejected(self):
+        registry = FunctionRegistry()
+        registry.register(ScalarFunction("F", lambda: 1, INTEGER, 0))
+        with pytest.raises(ExpressionError):
+            registry.register(ScalarFunction("F", lambda: 2, INTEGER, 0))
+
+    def test_replace_flag_allows_override(self):
+        registry = FunctionRegistry()
+        registry.register(ScalarFunction("F", lambda: 1, INTEGER, 0))
+        registry.register(ScalarFunction("F", lambda: 2, INTEGER, 0), replace=True)
+        assert registry.lookup("F")() == 2
+
+
+class TestScoping:
+    def test_child_registry_sees_parent_builtins(self):
+        child = DEFAULT_REGISTRY.child()
+        assert child.knows("UPPER")
+
+    def test_user_function_scoped_to_child(self):
+        child = DEFAULT_REGISTRY.child()
+        register(
+            "RISK_SCORE",
+            lambda balance: min(int(balance / 1000), 10),
+            INTEGER,
+            1,
+            registry=child,
+        )
+        assert child.knows("RISK_SCORE")
+        assert not DEFAULT_REGISTRY.knows("RISK_SCORE")
+        # the paper's escape hatch: complex host-language transformation
+        # functions usable from expressions
+        result = evaluate(parse("RISK_SCORE(balance)"), {"balance": 3500}, child)
+        assert result == 3
+
+    def test_names_include_parent(self):
+        child = DEFAULT_REGISTRY.child()
+        register("ONLY_HERE", lambda: 0, INTEGER, 0, registry=child)
+        names = child.names()
+        assert "ONLY_HERE" in names and "UPPER" in names
+
+
+class TestArity:
+    def test_exact_arity(self):
+        with pytest.raises(ExpressionError):
+            DEFAULT_REGISTRY.lookup("UPPER").check_arity(2)
+
+    def test_range_arity(self):
+        substr = DEFAULT_REGISTRY.lookup("SUBSTR")
+        substr.check_arity(2)
+        substr.check_arity(3)
+        with pytest.raises(ExpressionError):
+            substr.check_arity(1)
+
+    def test_variadic_minimum(self):
+        coalesce = DEFAULT_REGISTRY.lookup("COALESCE")
+        coalesce.check_arity(1)
+        coalesce.check_arity(9)
+        with pytest.raises(ExpressionError):
+            coalesce.check_arity(0)
+
+
+class TestReturnTypes:
+    def test_fixed_return_type(self):
+        assert DEFAULT_REGISTRY.lookup("UPPER").infer_return_type([STRING]) is STRING
+
+    def test_polymorphic_return_type(self):
+        abs_fn = DEFAULT_REGISTRY.lookup("ABS")
+        assert abs_fn.infer_return_type([INTEGER]) is INTEGER
+
+    def test_failure_wrapped_with_context(self):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError) as info:
+            DEFAULT_REGISTRY.lookup("TO_INTEGER")("not-a-number")
+        assert "TO_INTEGER" in str(info.value)

@@ -1,0 +1,120 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.expr import lexer
+from repro.expr.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == lexer.EOF
+
+    def test_identifier(self):
+        assert kinds("balance") == [lexer.IDENT, lexer.EOF]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("total_balance_2") == ["total_balance_2"]
+
+    def test_keyword_is_recognized_case_insensitively(self):
+        for word in ("AND", "and", "And"):
+            assert kinds(word) == [lexer.KEYWORD, lexer.EOF]
+
+    def test_non_keyword_word_is_ident(self):
+        assert kinds("sum") == [lexer.IDENT, lexer.EOF]
+
+    def test_integer_number(self):
+        assert texts("12345") == ["12345"]
+
+    def test_decimal_number(self):
+        assert texts("3.14") == ["3.14"]
+
+    def test_scientific_notation(self):
+        assert texts("1e5 2.5E-3") == ["1e5", "2.5E-3"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].kind == lexer.STRING
+        assert tokens[0].text == "hello"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_illegal_character_raises_with_position(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("a @ b")
+        assert info.value.position == 2
+
+
+class TestOperators:
+    def test_comparison_operators(self):
+        assert texts("= <> != < <= > >=") == [
+            "=", "<>", "!=", "<", "<=", ">", ">=",
+        ]
+
+    def test_arithmetic_and_concat(self):
+        assert texts("+ - / % ||") == ["+", "-", "/", "%", "||"]
+
+    def test_star_is_distinct_token(self):
+        tokens = tokenize("a * b")
+        assert tokens[1].kind == lexer.STAR
+
+    def test_longest_match_wins(self):
+        # <= must not tokenize as < followed by =
+        tokens = tokenize("a<=b")
+        assert [t.text for t in tokens[:3]] == ["a", "<=", "b"]
+
+
+class TestStructure:
+    def test_qualified_name_produces_dot(self):
+        assert kinds("Accounts.type") == [
+            lexer.IDENT, lexer.DOT, lexer.IDENT, lexer.EOF,
+        ]
+
+    def test_call_with_commas(self):
+        assert kinds("f(a, b)") == [
+            lexer.IDENT, lexer.LPAREN, lexer.IDENT, lexer.COMMA,
+            lexer.IDENT, lexer.RPAREN, lexer.EOF,
+        ]
+
+    def test_positions_are_character_offsets(self):
+        tokens = tokenize("ab + cd")
+        assert [t.position for t in tokens[:3]] == [0, 3, 5]
+
+    def test_whitespace_is_insignificant(self):
+        assert texts("a   +\n\tb") == ["a", "+", "b"]
+
+
+class TestQuotedIdentifiers:
+    def test_quoted_identifier_with_dot(self):
+        tokens = tokenize('"DSLink11.customerID"')
+        assert tokens[0].kind == lexer.IDENT
+        assert tokens[0].text == "DSLink11.customerID"
+
+    def test_quoted_identifier_with_escape(self):
+        tokens = tokenize('"a""b"')
+        assert tokens[0].text == 'a"b'
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_quoted_keyword_stays_identifier(self):
+        tokens = tokenize('"AND"')
+        assert tokens[0].kind == lexer.IDENT

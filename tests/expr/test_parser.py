@@ -1,0 +1,250 @@
+"""Parser unit tests: precedence, predicates, CASE, calls, errors."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ParseError
+from repro.expr.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.expr.parser import parse
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert parse("42") == Literal(42)
+
+    def test_float(self):
+        assert parse("2.5") == Literal(2.5)
+
+    def test_string(self):
+        assert parse("'L'") == Literal("L")
+
+    def test_booleans_and_null(self):
+        assert parse("TRUE") == Literal(True)
+        assert parse("false") == Literal(False)
+        assert parse("NULL") == Literal(None)
+
+    def test_date_literal(self):
+        assert parse("DATE '2008-01-01'") == Literal(datetime.date(2008, 1, 1))
+
+    def test_timestamp_literal(self):
+        assert parse("TIMESTAMP '2008-01-01 12:30:00'") == Literal(
+            datetime.datetime(2008, 1, 1, 12, 30)
+        )
+
+    def test_bad_date_literal_raises(self):
+        with pytest.raises(ParseError):
+            parse("DATE 'not-a-date'")
+
+    def test_negative_number_folds_into_literal(self):
+        assert parse("-5") == Literal(-5)
+
+
+class TestColumns:
+    def test_unqualified(self):
+        assert parse("balance") == ColumnRef("balance")
+
+    def test_qualified(self):
+        assert parse("Accounts.type") == ColumnRef("type", qualifier="Accounts")
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter_than_addition(self):
+        assert parse("1 + 2 * 3") == BinaryOp(
+            "+", Literal(1), BinaryOp("*", Literal(2), Literal(3))
+        )
+
+    def test_parentheses_override(self):
+        assert parse("(1 + 2) * 3") == BinaryOp(
+            "*", BinaryOp("+", Literal(1), Literal(2)), Literal(3)
+        )
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse("a + 1 > b * 2")
+        assert isinstance(expr, BinaryOp) and expr.op == ">"
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse("NOT a = 1 AND b = 2")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, UnaryOp)
+
+    def test_left_associativity_of_subtraction(self):
+        assert parse("10 - 4 - 3") == BinaryOp(
+            "-", BinaryOp("-", Literal(10), Literal(4)), Literal(3)
+        )
+
+    def test_concat_parses_at_additive_level(self):
+        expr = parse("a || b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "||"
+
+
+class TestPredicates:
+    def test_not_equal_normalizes(self):
+        assert parse("a != 1") == parse("a <> 1")
+
+    def test_is_null(self):
+        assert parse("a IS NULL") == IsNull(ColumnRef("a"))
+
+    def test_is_not_null(self):
+        assert parse("a IS NOT NULL") == IsNull(ColumnRef("a"), negated=True)
+
+    def test_in_list(self):
+        expr = parse("t IN ('S', 'C')")
+        assert isinstance(expr, InList)
+        assert [i.value for i in expr.items] == ["S", "C"]
+
+    def test_not_in_list(self):
+        assert parse("t NOT IN (1)").negated is True
+
+    def test_between(self):
+        expr = parse("x BETWEEN 1 AND 10")
+        assert isinstance(expr, Between)
+        assert not expr.negated
+
+    def test_not_between(self):
+        assert parse("x NOT BETWEEN 1 AND 10").negated is True
+
+    def test_between_and_disambiguation(self):
+        # the AND after BETWEEN belongs to BETWEEN, the second to the
+        # boolean conjunction
+        expr = parse("x BETWEEN 1 AND 10 AND y = 2")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, Between)
+
+    def test_like(self):
+        expr = parse("name LIKE 'A%'")
+        assert isinstance(expr, Like)
+
+    def test_not_like(self):
+        assert parse("name NOT LIKE 'A%'").negated is True
+
+    def test_dangling_not_raises(self):
+        with pytest.raises(ParseError):
+            parse("a NOT")
+
+
+class TestCase:
+    def test_searched_case(self):
+        expr = parse(
+            "CASE WHEN age < 30 THEN 'young' WHEN age < 60 THEN 'adult' "
+            "ELSE 'senior' END"
+        )
+        assert isinstance(expr, Case)
+        assert len(expr.whens) == 2
+        assert expr.default == Literal("senior")
+
+    def test_case_without_else(self):
+        expr = parse("CASE WHEN a = 1 THEN 'x' END")
+        assert expr.default is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse("CASE ELSE 1 END")
+
+
+class TestCalls:
+    def test_function_call(self):
+        assert parse("UPPER(name)") == FunctionCall(
+            "UPPER", [ColumnRef("name")]
+        )
+
+    def test_nested_calls(self):
+        expr = parse("SUBSTR(TRIM(name), 1, 3)")
+        assert isinstance(expr.args[0], FunctionCall)
+
+    def test_zero_argument_call(self):
+        assert parse("NOW()") == FunctionCall("NOW", [])
+
+    def test_aggregate_sum(self):
+        assert parse("SUM(balance)") == AggregateCall(
+            "SUM", ColumnRef("balance")
+        )
+
+    def test_count_star(self):
+        expr = parse("COUNT(*)")
+        assert isinstance(expr, AggregateCall)
+        assert expr.arg is None
+
+    def test_count_distinct(self):
+        assert parse("COUNT(DISTINCT c)").distinct is True
+
+    def test_sum_star_is_illegal(self):
+        with pytest.raises(ParseError):
+            parse("SUM(*)")
+
+
+class TestErrors:
+    def test_trailing_input_raises(self):
+        with pytest.raises(ParseError):
+            parse("1 + 2 extra")
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(ParseError):
+            parse("(1 + 2")
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse("1 + + 2 zzz")
+        assert info.value.position >= 0
+
+
+class TestRoundTrip:
+    EXAMPLES = [
+        "Accounts.type <> 'L'",
+        "(Customers.customerID = Accounts.customerID)",
+        "totalBalance > 100000",
+        "CASE WHEN (age < 30) THEN 'young' ELSE 'senior' END",
+        "SUM(balance)",
+        "(a IS NOT NULL)",
+        "(x NOT BETWEEN 1 AND 2)",
+        "(t IN ('a', 'b'))",
+        "UPPER(name) || '!'",
+        "NOT (a AND b)",
+    ]
+
+    @pytest.mark.parametrize("text", EXAMPLES)
+    def test_to_sql_reparses_to_same_ast(self, text):
+        ast = parse(text)
+        assert parse(ast.to_sql()) == ast
+
+
+class TestQuotedIdentifierParsing:
+    def test_quoted_column_name(self):
+        assert parse('"DSLink11.customerID"') == ColumnRef(
+            "DSLink11.customerID"
+        )
+
+    def test_quoted_qualifier(self):
+        assert parse('"names~4".customerID') == ColumnRef(
+            "customerID", qualifier="names~4"
+        )
+
+    def test_rendering_quotes_when_needed(self):
+        ref = ColumnRef("DSLink11.customerID", qualifier="n")
+        assert ref.to_sql() == 'n."DSLink11.customerID"'
+        assert parse(ref.to_sql()) == ref
+
+    def test_plain_names_stay_unquoted(self):
+        assert ColumnRef("balance").to_sql() == "balance"

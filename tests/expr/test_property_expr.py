@@ -1,0 +1,190 @@
+"""Property-based tests of the expression layer (hypothesis).
+
+Invariants:
+
+* ``parse(expr.to_sql()) == expr`` — rendering round-trips structurally,
+* substitution followed by evaluation equals evaluation in the extended
+  environment (the view-unfolding soundness the translations rely on),
+* ``negate`` is an involution up to semantics and preserves *unknown*,
+* ``conjoin(split_conjuncts(p))`` is semantically stable.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr.algebra import conjoin, negate, split_conjuncts, substitute_by_name
+from repro.expr.ast import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.expr.evaluator import evaluate
+from repro.expr.parser import parse
+
+# --- strategies -----------------------------------------------------------------
+
+COLUMNS = ("a", "b", "c")
+
+numbers = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False, width=32).map(
+        lambda f: round(f, 3)
+    ),
+)
+
+scalar_literals = st.one_of(
+    numbers.map(Literal),
+    st.sampled_from(["x", "yy", "z'z", ""]).map(Literal),
+    st.just(Literal(None)),
+)
+
+columns = st.sampled_from(COLUMNS).map(ColumnRef)
+
+
+def numeric_exprs(depth=2):
+    base = st.one_of(numbers.map(Literal), columns)
+    if depth == 0:
+        return base
+    sub = numeric_exprs(depth - 1)
+    def negated(e):
+        # the parser folds unary minus on numeric literals; generate the
+        # same normal form so round-tripping is well-defined
+        if isinstance(e, Literal) and isinstance(e.value, (int, float)):
+            return Literal(-e.value)
+        return UnaryOp("-", e)
+
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: BinaryOp(t[0], t[1], t[2])
+        ),
+        sub.map(negated),
+    )
+
+
+def boolean_exprs(depth=2):
+    comparison = st.tuples(
+        st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+        numeric_exprs(1),
+        numeric_exprs(1),
+    ).map(lambda t: BinaryOp(t[0], t[1], t[2]))
+    is_null = numeric_exprs(1).map(IsNull)
+    base = st.one_of(comparison, is_null, st.sampled_from([Literal(True), Literal(False)]))
+    if depth == 0:
+        return base
+    sub = boolean_exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["AND", "OR"]), sub, sub).map(
+            lambda t: BinaryOp(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: UnaryOp("NOT", e)),
+    )
+
+
+def mixed_exprs():
+    return st.one_of(
+        numeric_exprs(2),
+        boolean_exprs(2),
+        st.tuples(boolean_exprs(1), numeric_exprs(1), numeric_exprs(1)).map(
+            lambda t: Case([(t[0], t[1])], t[2])
+        ),
+        st.lists(numeric_exprs(0), min_size=1, max_size=3).flatmap(
+            lambda items: numeric_exprs(0).map(
+                lambda operand: InList(operand, items)
+            )
+        ),
+    )
+
+
+rows = st.fixed_dictionaries(
+    {
+        name: st.one_of(st.none(), st.integers(min_value=-50, max_value=50))
+        for name in COLUMNS
+    }
+)
+
+
+# --- properties ------------------------------------------------------------------
+
+
+class TestParseRenderRoundTrip:
+    @given(mixed_exprs())
+    @settings(max_examples=300, deadline=None)
+    def test_to_sql_reparses_to_equal_ast(self, expr):
+        assert parse(expr.to_sql()) == expr
+
+    @given(mixed_exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_rendering_is_deterministic(self, expr):
+        assert expr.to_sql() == parse(expr.to_sql()).to_sql()
+
+
+class TestStructuralEquality:
+    @given(mixed_exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_equal_expressions_have_equal_hash(self, expr):
+        clone = parse(expr.to_sql())
+        assert hash(clone) == hash(expr)
+
+    @given(mixed_exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_replace_children_identity(self, expr):
+        rebuilt = expr.replace_children(list(expr.children()))
+        assert rebuilt == expr
+
+
+def _eval(expr, row):
+    try:
+        return ("ok", evaluate(expr, row))
+    except Exception as exc:  # type errors on random trees are fine —
+        return ("err", type(exc).__name__)  # both sides must agree
+
+
+class TestSubstitutionSoundness:
+    @given(numeric_exprs(2), numeric_exprs(1), rows)
+    @settings(max_examples=200, deadline=None)
+    def test_substitute_equals_extended_environment(self, expr, replacement, row):
+        substituted = substitute_by_name(expr, {"a": replacement})
+        status, value = _eval(replacement, row)
+        if status == "err":
+            return
+        extended = dict(row, a=value)
+        assert _eval(substituted, row) == _eval(expr, extended)
+
+
+class TestNegation:
+    @given(boolean_exprs(2), rows)
+    @settings(max_examples=200, deadline=None)
+    def test_negate_semantics(self, expr, row):
+        status, value = _eval(expr, row)
+        if status == "err":
+            return
+        neg_status, negated = _eval(negate(expr), row)
+        assert neg_status == "ok"
+        if value is None:
+            assert negated is None  # unknown is preserved
+        else:
+            assert negated == (not value)
+
+    @given(boolean_exprs(2), rows)
+    @settings(max_examples=100, deadline=None)
+    def test_double_negation_is_semantic_identity(self, expr, row):
+        assert _eval(negate(negate(expr)), row) == _eval(expr, row)
+
+
+class TestConjunctionStability:
+    @given(st.lists(boolean_exprs(1), min_size=0, max_size=4), rows)
+    @settings(max_examples=200, deadline=None)
+    def test_conjoin_split_roundtrip(self, conjuncts, row):
+        expr = conjoin(conjuncts)
+        rebuilt = conjoin(split_conjuncts(expr))
+        assert _eval(rebuilt, row) == _eval(expr, row)

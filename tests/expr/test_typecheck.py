@@ -1,0 +1,153 @@
+"""Static type checker unit tests."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.expr.parser import parse
+from repro.expr.typecheck import TypeContext, check_boolean, infer_type
+from repro.schema import BOOLEAN, DATE, FLOAT, INTEGER, STRING, relation
+
+
+@pytest.fixture
+def customers():
+    return relation(
+        "Customers",
+        ("customerID", "int", False),
+        ("name", "varchar"),
+        ("age", "int"),
+        ("memberSince", "date"),
+        ("balance", "float"),
+    )
+
+
+@pytest.fixture
+def accounts():
+    return relation(
+        "Accounts",
+        ("accountID", "int", False),
+        ("customerID", "int"),
+        ("type", "char"),
+        ("balance", "float"),
+    )
+
+
+class TestInference:
+    def test_column_type(self, customers):
+        assert infer_type(parse("age"), customers) is INTEGER
+
+    def test_qualified_column(self, customers):
+        context = TypeContext.of(customers)
+        assert infer_type(parse("Customers.name"), context) is STRING
+
+    def test_arithmetic_widens(self, customers):
+        assert infer_type(parse("age + 1"), customers) is INTEGER
+        assert infer_type(parse("age + balance"), customers) is FLOAT
+
+    def test_division_is_float(self, customers):
+        assert infer_type(parse("age / 2"), customers) is FLOAT
+
+    def test_comparison_is_boolean(self, customers):
+        assert infer_type(parse("age > 30"), customers) is BOOLEAN
+
+    def test_concat_is_string(self, customers):
+        assert infer_type(parse("name || '!'"), customers) is STRING
+
+    def test_case_common_type(self, customers):
+        expr = parse("CASE WHEN age < 30 THEN 'young' ELSE 'old' END")
+        assert infer_type(expr, customers) is STRING
+
+    def test_function_return_type(self, customers):
+        assert infer_type(parse("UPPER(name)"), customers) is STRING
+        assert infer_type(parse("LENGTH(name)"), customers) is INTEGER
+        assert infer_type(parse("ADD_DAYS(memberSince, 10)"), customers) is DATE
+
+    def test_null_literal_is_permissive(self, customers):
+        assert infer_type(parse("COALESCE(NULL, age)"), customers) is INTEGER
+
+
+class TestErrors:
+    def test_unknown_column(self, customers):
+        with pytest.raises(TypeCheckError):
+            infer_type(parse("salary"), customers)
+
+    def test_unknown_qualifier(self, customers):
+        with pytest.raises(TypeCheckError):
+            infer_type(parse("Orders.total"), TypeContext.of(customers))
+
+    def test_ambiguous_across_relations(self, customers, accounts):
+        with pytest.raises(TypeCheckError):
+            infer_type(parse("balance"), TypeContext.of(customers, accounts))
+
+    def test_qualified_resolves_ambiguity(self, customers, accounts):
+        context = TypeContext.of(customers, accounts)
+        assert infer_type(parse("Accounts.balance"), context) is FLOAT
+
+    def test_arithmetic_on_string_rejected(self, customers):
+        with pytest.raises(TypeCheckError):
+            infer_type(parse("name + 1"), customers)
+
+    def test_and_needs_booleans(self, customers):
+        with pytest.raises(TypeCheckError):
+            infer_type(parse("age AND TRUE"), customers)
+
+    def test_incomparable_types_rejected(self, customers):
+        with pytest.raises(TypeCheckError):
+            infer_type(parse("name > age"), customers)
+
+    def test_like_needs_strings(self, customers):
+        with pytest.raises(TypeCheckError):
+            infer_type(parse("age LIKE 'x%'"), customers)
+
+    def test_unknown_function(self, customers):
+        with pytest.raises(Exception):
+            infer_type(parse("FROBNICATE(age)"), customers)
+
+    def test_case_condition_must_be_boolean(self, customers):
+        with pytest.raises(TypeCheckError):
+            infer_type(parse("CASE WHEN age THEN 1 END"), customers)
+
+
+class TestAggregates:
+    def test_aggregates_forbidden_by_default(self, customers):
+        with pytest.raises(TypeCheckError):
+            infer_type(parse("SUM(balance)"), customers)
+
+    def test_aggregate_types(self, customers):
+        assert (
+            infer_type(parse("SUM(balance)"), customers, allow_aggregates=True)
+            is FLOAT
+        )
+        assert (
+            infer_type(parse("COUNT(*)"), customers, allow_aggregates=True)
+            is INTEGER
+        )
+        assert (
+            infer_type(parse("AVG(age)"), customers, allow_aggregates=True)
+            is FLOAT
+        )
+        assert (
+            infer_type(parse("MIN(name)"), customers, allow_aggregates=True)
+            is STRING
+        )
+
+
+class TestCheckBoolean:
+    def test_accepts_predicate(self, customers):
+        check_boolean(parse("age > 1 AND name IS NOT NULL"), customers)
+
+    def test_rejects_scalar(self, customers):
+        with pytest.raises(TypeCheckError):
+            check_boolean(parse("age + 1"), customers)
+
+
+class TestDottedColumns:
+    def test_join_output_dotted_names_resolve(self):
+        joined = relation(
+            "J",
+            ("L.customerID", "int"),
+            ("R.customerID", "int"),
+            ("balance", "float"),
+        )
+        context = TypeContext(joined)
+        assert infer_type(parse("L.customerID"), context) is INTEGER
+        assert infer_type(parse("R.customerID + 1"), context) is INTEGER

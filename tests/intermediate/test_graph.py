@@ -1,0 +1,43 @@
+"""Intermediate-layer tests: wrapping jobs and XML imports."""
+
+from repro.etl import job_to_xml
+from repro.intermediate import from_job, from_xml
+from repro.workloads import build_example_job
+
+
+class TestFromJob:
+    def test_structurally_isomorphic_to_job(self):
+        # "the Intermediate layer graph for our example ... is
+        # structurally isomorphic to the ETL job graph"
+        job = build_example_job()
+        graph = from_job(job)
+        assert len(graph) == len(job.stages)
+        assert sorted(e.name for e in graph.edges) == sorted(
+            l.name for l in job.links
+        )
+
+    def test_nodes_wrap_stages(self):
+        job = build_example_job()
+        graph = from_job(job)
+        node = graph.node("NonLoans")
+        assert node.stage is job.stage("NonLoans")
+        assert node.KIND == "Filter"
+
+    def test_schema_propagation_delegates_to_stages(self):
+        graph = from_job(build_example_job())
+        graph.propagate_schemas()
+        edge = graph.find_edge("DSLink10")
+        assert "totalBalance" in edge.schema.attribute_names
+
+    def test_keeps_job_reference(self):
+        job = build_example_job()
+        assert from_job(job).job is job
+
+
+class TestFromXml:
+    def test_import_via_external_format(self):
+        # the serialized-exchange path of older DataStage versions
+        job = build_example_job()
+        graph = from_xml(job_to_xml(job))
+        assert len(graph) == len(job.stages)
+        graph.propagate_schemas()

@@ -1,0 +1,176 @@
+"""Mapping executor tests: direct interpretation of mapping formulas."""
+
+import pytest
+
+from repro.data.dataset import Dataset, Instance
+from repro.errors import ExecutionError
+from repro.mapping import Mapping, MappingExecutor, MappingSet, SourceBinding, execute_mappings
+from repro.schema import relation
+
+
+@pytest.fixture
+def customers():
+    return relation(
+        "Customers", ("customerID", "int", False), ("name", "varchar")
+    )
+
+
+@pytest.fixture
+def accounts():
+    return relation(
+        "Accounts", ("customerID", "int", False), ("balance", "float", False),
+        ("type", "varchar"),
+    )
+
+
+@pytest.fixture
+def instance(customers, accounts):
+    return Instance(
+        [
+            Dataset(customers, [
+                {"customerID": 1, "name": "ada"},
+                {"customerID": 2, "name": "ben"},
+                {"customerID": 3, "name": "cleo"},
+            ]),
+            Dataset(accounts, [
+                {"customerID": 1, "balance": 10.0, "type": "S"},
+                {"customerID": 1, "balance": 20.0, "type": "L"},
+                {"customerID": 2, "balance": 30.0, "type": "S"},
+            ]),
+        ]
+    )
+
+
+class TestSingleMapping:
+    def test_projection_mapping(self, customers, instance):
+        target = relation("Names", ("name", "varchar"))
+        mapping = Mapping(
+            [SourceBinding("c", customers)], target, [("name", "c.name")]
+        )
+        result = MappingExecutor().execute_mapping(mapping, instance)
+        assert sorted(result.column("name")) == ["ada", "ben", "cleo"]
+
+    def test_filtered_join_mapping(self, customers, accounts, instance):
+        target = relation("T", ("name", "varchar"), ("balance", "float"))
+        mapping = Mapping(
+            [SourceBinding("c", customers), SourceBinding("a", accounts)],
+            target,
+            [("name", "c.name"), ("balance", "a.balance")],
+            where="c.customerID = a.customerID AND a.type = 'S'",
+        )
+        result = MappingExecutor().execute_mapping(mapping, instance)
+        assert sorted(
+            (r["name"], r["balance"]) for r in result
+        ) == [("ada", 10.0), ("ben", 30.0)]
+
+    def test_grouping_mapping(self, customers, accounts, instance):
+        target = relation("T", ("name", "varchar"), ("total", "float"),
+                          ("n", "int"))
+        mapping = Mapping(
+            [SourceBinding("c", customers), SourceBinding("a", accounts)],
+            target,
+            [("name", "c.name"), ("total", "SUM(a.balance)"),
+             ("n", "COUNT(*)")],
+            where="c.customerID = a.customerID",
+            group_by=["c.name"],
+        )
+        result = MappingExecutor().execute_mapping(mapping, instance)
+        rows = {r["name"]: r for r in result}
+        assert rows["ada"]["total"] == 30.0 and rows["ada"]["n"] == 2
+        assert rows["ben"]["total"] == 30.0 and rows["ben"]["n"] == 1
+        assert "cleo" not in rows  # no accounts -> no group
+
+    def test_scalar_over_aggregate(self, accounts, instance):
+        target = relation("T", ("customerID", "int"), ("scaled", "float"))
+        mapping = Mapping(
+            [SourceBinding("a", accounts)],
+            target,
+            [("customerID", "a.customerID"),
+             ("scaled", "SUM(a.balance) / 10")],
+            group_by=["a.customerID"],
+        )
+        result = MappingExecutor().execute_mapping(mapping, instance)
+        rows = {r["customerID"]: r["scaled"] for r in result}
+        assert rows[1] == 3.0
+
+    def test_underived_target_columns_are_null(self, customers, instance):
+        target = relation("T", ("name", "varchar"), ("extra", "int"))
+        mapping = Mapping(
+            [SourceBinding("c", customers)], target, [("name", "c.name")]
+        )
+        result = MappingExecutor().execute_mapping(mapping, instance)
+        assert all(r["extra"] is None for r in result)
+
+    def test_missing_source_relation_raises(self, customers):
+        target = relation("T", ("name", "varchar"))
+        mapping = Mapping(
+            [SourceBinding("c", customers)], target, [("name", "c.name")]
+        )
+        with pytest.raises(ExecutionError):
+            MappingExecutor().execute_mapping(mapping, Instance())
+
+
+class TestOpaqueMappings:
+    def test_executor_callable_runs(self, customers, instance):
+        target = relation("T", ("name", "varchar"))
+        mapping = Mapping(
+            [SourceBinding("c", customers)], target, [],
+            reference="shouter",
+            executor=lambda inputs: [
+                {"name": r["name"].upper()} for r in inputs[0]
+            ],
+        )
+        result = MappingExecutor().execute_mapping(mapping, instance)
+        assert sorted(result.column("name")) == ["ADA", "BEN", "CLEO"]
+
+    def test_opaque_without_executor_raises(self, customers, instance):
+        target = relation("T", ("name", "varchar"))
+        mapping = Mapping(
+            [SourceBinding("c", customers)], target, [], reference="box"
+        )
+        with pytest.raises(ExecutionError):
+            MappingExecutor().execute_mapping(mapping, instance)
+
+
+class TestMappingSets:
+    def test_chained_through_intermediate(self, customers, accounts, instance):
+        mid = relation("Mid", ("customerID", "int"), ("total", "float"))
+        target = relation("Big", ("customerID", "int"), ("total", "float"))
+        first = Mapping(
+            [SourceBinding("a", accounts)], mid,
+            [("customerID", "a.customerID"), ("total", "SUM(a.balance)")],
+            group_by=["a.customerID"], name="M1",
+        )
+        second = Mapping(
+            [SourceBinding("d", mid)], target,
+            [("customerID", "d.customerID"), ("total", "d.total")],
+            where="d.total > 25", name="M2",
+        )
+        targets, intermediates = MappingExecutor().run(
+            MappingSet([first, second]), instance
+        )
+        assert sorted(targets.dataset("Big").column("customerID")) == [1, 2]
+        assert "Mid" in intermediates
+        assert targets.names == ["Big"]
+
+    def test_shared_target_unions(self, customers, instance):
+        target = relation("T", ("name", "varchar"))
+        a = Mapping([SourceBinding("c", customers)], target,
+                    [("name", "c.name")], where="c.customerID = 1", name="A")
+        b = Mapping([SourceBinding("c", customers)], target,
+                    [("name", "c.name")], where="c.customerID = 2", name="B")
+        result = execute_mappings(MappingSet([a, b]), instance)
+        assert sorted(result.dataset("T").column("name")) == ["ada", "ben"]
+
+    def test_self_join(self, customers, instance):
+        # pair every customer with every other (requires two variables
+        # over the same relation)
+        target = relation("Pairs", ("left", "varchar"), ("right", "varchar"))
+        mapping = Mapping(
+            [SourceBinding("c1", customers), SourceBinding("c2", customers)],
+            target,
+            [("left", "c1.name"), ("right", "c2.name")],
+            where="c1.customerID < c2.customerID",
+        )
+        result = MappingExecutor().execute_mapping(mapping, instance)
+        assert len(result) == 3

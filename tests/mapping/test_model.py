@@ -1,0 +1,252 @@
+"""Mapping model unit tests: well-formedness, introspection, rendering."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.expr.parser import parse
+from repro.mapping import Mapping, MappingSet, SourceBinding
+from repro.schema import relation
+
+
+@pytest.fixture
+def customers():
+    return relation(
+        "Customers", ("customerID", "int", False), ("name", "varchar"),
+        ("age", "int"),
+    )
+
+
+@pytest.fixture
+def accounts():
+    return relation(
+        "Accounts", ("customerID", "int", False), ("balance", "float"),
+        ("type", "varchar"),
+    )
+
+
+@pytest.fixture
+def target():
+    return relation(
+        "Out", ("customerID", "int"), ("name", "varchar"),
+        ("totalBalance", "float"),
+    )
+
+
+def m1(customers, accounts, target, **kwargs):
+    return Mapping(
+        [SourceBinding("c", customers), SourceBinding("a", accounts)],
+        target,
+        [
+            ("customerID", "c.customerID"),
+            ("name", "c.name"),
+            ("totalBalance", "SUM(a.balance)"),
+        ],
+        where="a.type <> 'L' AND c.customerID = a.customerID",
+        group_by=["c.customerID", "c.name"],
+        **kwargs,
+    )
+
+
+class TestWellFormedness:
+    def test_valid_mapping_validates(self, customers, accounts, target):
+        m1(customers, accounts, target).validate()
+
+    def test_needs_sources(self, target):
+        with pytest.raises(MappingError):
+            Mapping([], target, [("customerID", "1")])
+
+    def test_duplicate_variable_rejected(self, customers, target):
+        with pytest.raises(MappingError):
+            Mapping(
+                [SourceBinding("c", customers), SourceBinding("c", customers)],
+                target,
+                [("customerID", "c.customerID")],
+            )
+
+    def test_duplicate_derivation_rejected(self, customers, target):
+        with pytest.raises(MappingError):
+            Mapping(
+                [SourceBinding("c", customers)],
+                target,
+                [("customerID", "c.customerID"), ("customerID", "c.age")],
+            )
+
+    def test_aggregate_requires_group_by(self, customers, accounts, target):
+        with pytest.raises(MappingError):
+            Mapping(
+                [SourceBinding("a", accounts)],
+                target,
+                [("totalBalance", "SUM(a.balance)")],
+            )
+
+    def test_non_aggregate_derivation_must_be_group_key(
+        self, customers, accounts, target
+    ):
+        with pytest.raises(MappingError):
+            Mapping(
+                [SourceBinding("a", accounts)],
+                target,
+                [
+                    ("customerID", "a.customerID"),
+                    ("totalBalance", "SUM(a.balance)"),
+                ],
+                group_by=["a.type"],  # customerID is not a key
+            )
+
+    def test_underived_non_nullable_target_rejected(self, customers):
+        strict = relation("S", ("must", "int", False))
+        with pytest.raises(MappingError):
+            Mapping(
+                [SourceBinding("c", customers)], strict, [],
+                reference=None,
+            )
+
+    def test_opaque_requires_reference(self, customers, target):
+        with pytest.raises(MappingError):
+            Mapping([SourceBinding("c", customers)], target, [])
+
+    def test_validate_checks_types(self, customers, target):
+        bad = Mapping(
+            [SourceBinding("c", customers)],
+            target,
+            [("customerID", "c.name")],  # STRING into int column
+        )
+        with pytest.raises(MappingError):
+            bad.validate()
+
+    def test_validate_checks_where_is_boolean(self, customers, target):
+        bad = Mapping(
+            [SourceBinding("c", customers)],
+            target,
+            [("customerID", "c.customerID")],
+            where="c.age + 1",
+        )
+        with pytest.raises(Exception):
+            bad.validate()
+
+
+class TestIntrospection:
+    def test_join_and_filter_conjuncts(self, customers, accounts, target):
+        mapping = m1(customers, accounts, target)
+        assert mapping.join_conjuncts() == [
+            parse("c.customerID = a.customerID")
+        ]
+        assert mapping.filter_conjuncts_of("a") == [parse("a.type <> 'L'")]
+        assert mapping.filter_conjuncts_of("c") == []
+
+    def test_unqualified_reference_resolves_to_unique_holder(
+        self, customers, accounts, target
+    ):
+        mapping = Mapping(
+            [SourceBinding("c", customers), SourceBinding("a", accounts)],
+            target,
+            [("customerID", "c.customerID")],
+            where="balance > 0",  # only Accounts has balance
+        )
+        assert mapping.filter_conjuncts_of("a") == [parse("balance > 0")]
+
+    def test_ambiguous_unqualified_reference_raises(
+        self, customers, accounts, target
+    ):
+        mapping = Mapping(
+            [SourceBinding("c", customers), SourceBinding("a", accounts)],
+            target,
+            [("customerID", "c.customerID")],
+            where="customerID > 0",  # both c and a have customerID
+        )
+        with pytest.raises(MappingError):
+            mapping.join_conjuncts()
+
+    def test_derivations_of(self, customers, accounts, target):
+        mapping = m1(customers, accounts, target)
+        assert [c for c, _ in mapping.derivations_of("c")] == [
+            "customerID", "name",
+        ]
+        assert mapping.derivations_of("a") == []
+
+    def test_grouping_flags(self, customers, accounts, target):
+        assert m1(customers, accounts, target).is_grouping
+        plain = Mapping(
+            [SourceBinding("c", customers)], target,
+            [("customerID", "c.customerID")],
+        )
+        assert not plain.is_grouping
+
+    def test_opaque_flag(self, customers, target):
+        opaque = Mapping(
+            [SourceBinding("c", customers)], target, [], reference="box"
+        )
+        assert opaque.is_opaque
+
+
+class TestRendering:
+    def test_query_notation_shape(self, customers, accounts, target):
+        text = m1(customers, accounts, target, name="M1").to_query_notation()
+        assert text.startswith("M1:")
+        assert "for c in Customers, a in Accounts" in text
+        assert "where" in text and "group by" in text
+        assert "exists t in Out" in text
+        assert "t.totalBalance = SUM(a.balance)" in text
+
+    def test_logical_notation_shape(self, customers, accounts, target):
+        text = m1(customers, accounts, target).to_logical_notation()
+        assert "∀" in text and "∃" in text and "→" in text
+        assert "Customers(c)" in text
+
+    def test_opaque_rendering(self, customers, target):
+        opaque = Mapping(
+            [SourceBinding("c", customers)], target, [], reference="cleanse"
+        )
+        assert "cleanse" in opaque.to_query_notation()
+        assert "⟦cleanse⟧" in opaque.to_logical_notation()
+
+
+class TestMappingSet:
+    def _set(self, customers, accounts, target):
+        intermediate = relation(
+            "Mid", ("customerID", "int"), ("name", "varchar"),
+            ("totalBalance", "float"),
+        )
+        first = m1(customers, accounts, intermediate, name="M1")
+        second = Mapping(
+            [SourceBinding("d", intermediate)],
+            target,
+            [("customerID", "d.customerID"), ("name", "d.name"),
+             ("totalBalance", "d.totalBalance")],
+            where="d.totalBalance > 100000",
+            name="M2",
+        )
+        return MappingSet([second, first])  # deliberately out of order
+
+    def test_dependency_order(self, customers, accounts, target):
+        ordered = self._set(customers, accounts, target).in_dependency_order()
+        assert [m.name for m in ordered] == ["M1", "M2"]
+
+    def test_intermediate_and_final_names(self, customers, accounts, target):
+        mappings = self._set(customers, accounts, target)
+        assert mappings.intermediate_relation_names() == ["Mid"]
+        assert mappings.final_target_names() == ["Out"]
+        assert mappings.base_relation_names() == ["Customers", "Accounts"]
+
+    def test_producers_and_consumers(self, customers, accounts, target):
+        mappings = self._set(customers, accounts, target)
+        assert [m.name for m in mappings.producers_of("Mid")] == ["M1"]
+        assert [m.name for m in mappings.consumers_of("Mid")] == ["M2"]
+
+    def test_by_name(self, customers, accounts, target):
+        mappings = self._set(customers, accounts, target)
+        assert mappings.by_name("M1").name == "M1"
+        with pytest.raises(MappingError):
+            mappings.by_name("M9")
+
+    def test_cycle_detected(self, customers, target):
+        a = relation("A", ("x", "int"))
+        b = relation("B", ("x", "int"))
+        cyc = MappingSet(
+            [
+                Mapping([SourceBinding("a", a)], b, [("x", "a.x")], name="AB"),
+                Mapping([SourceBinding("b", b)], a, [("x", "b.x")], name="BA"),
+            ]
+        )
+        with pytest.raises(MappingError):
+            cyc.in_dependency_order()

@@ -1,0 +1,233 @@
+"""Mappings→OHM tests: Figure 9 template instantiation + pruning, the
+SPLIT/UNION assembly, FastTrack placeholders."""
+
+import pytest
+
+from repro.compile import compile_job
+from repro.data.dataset import Dataset, Instance
+from repro.errors import MappingError
+from repro.etl import run_job
+from repro.expr.ast import TRUE
+from repro.mapping import (
+    Mapping,
+    MappingSet,
+    SourceBinding,
+    execute_mappings,
+    ohm_to_mappings,
+)
+from repro.mapping.to_ohm import mappings_to_ohm
+from repro.ohm import execute
+from repro.schema import relation
+from repro.workloads import build_example_job, generate_instance
+
+
+@pytest.fixture
+def customers():
+    return relation(
+        "Customers", ("customerID", "int", False), ("name", "varchar"),
+        ("age", "int"),
+    )
+
+
+@pytest.fixture
+def accounts():
+    return relation(
+        "Accounts", ("customerID", "int", False),
+        ("balance", "float", False), ("type", "varchar"),
+    )
+
+
+@pytest.fixture
+def instance(customers, accounts):
+    return Instance(
+        [
+            Dataset(customers, [
+                {"customerID": 1, "name": "ada", "age": 25},
+                {"customerID": 2, "name": "ben", "age": 65},
+            ]),
+            Dataset(accounts, [
+                {"customerID": 1, "balance": 10.0, "type": "S"},
+                {"customerID": 1, "balance": 20.0, "type": "L"},
+                {"customerID": 2, "balance": 30.0, "type": "S"},
+            ]),
+        ]
+    )
+
+
+def processing_kinds(graph):
+    return [k for k in graph.kinds_in_order() if k not in ("SOURCE", "TARGET")]
+
+
+def check(mappings, instance):
+    graph = mappings_to_ohm(mappings)
+    assert execute(graph, instance).same_bags(
+        execute_mappings(mappings, instance)
+    )
+    return graph
+
+
+class TestTemplatePruning:
+    def test_projection_only_mapping(self, customers, instance):
+        target = relation("Out", ("name", "varchar"))
+        mapping = Mapping(
+            [SourceBinding("c", customers)], target, [("name", "c.name")]
+        )
+        graph = check(MappingSet([mapping]), instance)
+        # JOIN/GROUP/FILTER pruned away; only the projection remains
+        assert processing_kinds(graph) == ["BASIC PROJECT"]
+
+    def test_filter_only_mapping(self, customers, instance):
+        # M2's shape: "the simple DSLink10 -> FILTER -> BASIC PROJECT ->
+        # BigCustomers flow"
+        target = relation("Out", ("customerID", "int"), ("name", "varchar"))
+        mapping = Mapping(
+            [SourceBinding("c", customers)], target,
+            [("customerID", "c.customerID"), ("name", "c.name")],
+            where="c.age > 30",
+        )
+        graph = check(MappingSet([mapping]), instance)
+        assert processing_kinds(graph) == ["FILTER", "BASIC PROJECT"]
+
+    def test_complex_derivation_uses_general_project(self, customers, instance):
+        target = relation("Out", ("shout", "varchar"))
+        mapping = Mapping(
+            [SourceBinding("c", customers)], target,
+            [("shout", "UPPER(c.name)")],
+        )
+        graph = check(MappingSet([mapping]), instance)
+        assert "PROJECT" in processing_kinds(graph)
+
+    def test_join_mapping(self, customers, accounts, instance):
+        target = relation("Out", ("name", "varchar"), ("balance", "float"))
+        mapping = Mapping(
+            [SourceBinding("c", customers), SourceBinding("a", accounts)],
+            target,
+            [("name", "c.name"), ("balance", "a.balance")],
+            where="c.customerID = a.customerID AND a.type = 'S'",
+        )
+        graph = check(MappingSet([mapping]), instance)
+        kinds = processing_kinds(graph)
+        assert "JOIN" in kinds
+        assert "FILTER" in kinds  # the single-source predicate on a
+        # the join condition was placed on the JOIN operator
+        (join,) = graph.operators_of_kind("JOIN")
+        assert "customerID" in join.condition.to_sql()
+
+    def test_grouping_mapping(self, customers, accounts, instance):
+        target = relation(
+            "Out", ("customerID", "int"), ("total", "float")
+        )
+        mapping = Mapping(
+            [SourceBinding("a", accounts)], target,
+            [("customerID", "a.customerID"), ("total", "SUM(a.balance)")],
+            group_by=["a.customerID"],
+        )
+        graph = check(MappingSet([mapping]), instance)
+        assert "GROUP" in processing_kinds(graph)
+
+    def test_three_way_join(self, customers, accounts, instance):
+        extra = relation("Extra", ("customerID", "int", False),
+                         ("flag", "varchar"))
+        instance.add(Dataset(extra, [
+            {"customerID": 1, "flag": "y"},
+            {"customerID": 2, "flag": "n"},
+        ]))
+        target = relation("Out", ("name", "varchar"), ("flag", "varchar"),
+                          ("balance", "float"))
+        mapping = Mapping(
+            [SourceBinding("c", customers), SourceBinding("a", accounts),
+             SourceBinding("e", extra)],
+            target,
+            [("name", "c.name"), ("flag", "e.flag"),
+             ("balance", "a.balance")],
+            where="c.customerID = a.customerID AND "
+                  "c.customerID = e.customerID",
+        )
+        graph = check(MappingSet([mapping]), instance)
+        assert processing_kinds(graph).count("JOIN") == 2
+
+
+class TestAssembly:
+    def test_shared_output_gets_split(self, customers, instance):
+        mid = relation("Mid", ("customerID", "int"), ("name", "varchar"))
+        m1 = Mapping(
+            [SourceBinding("c", customers)], mid,
+            [("customerID", "c.customerID"), ("name", "c.name")], name="M1",
+        )
+        m2 = Mapping(
+            [SourceBinding("d", mid)], relation("A", ("name", "varchar")),
+            [("name", "d.name")], where="d.customerID = 1", name="M2",
+        )
+        m3 = Mapping(
+            [SourceBinding("d", mid)], relation("B", ("name", "varchar")),
+            [("name", "d.name")], where="d.customerID = 2", name="M3",
+        )
+        graph = check(MappingSet([m1, m2, m3]), instance)
+        assert len(graph.operators_of_kind("SPLIT")) == 1
+
+    def test_shared_target_gets_union(self, customers, instance):
+        target = relation("T", ("name", "varchar"))
+        a = Mapping([SourceBinding("c", customers)], target,
+                    [("name", "c.name")], where="c.customerID = 1", name="A")
+        b = Mapping([SourceBinding("c", customers)], target,
+                    [("name", "c.name")], where="c.customerID = 2", name="B")
+        graph = check(MappingSet([a, b]), instance)
+        assert len(graph.operators_of_kind("UNION")) == 1
+        # the shared base relation also needs a SPLIT
+        assert len(graph.operators_of_kind("SPLIT")) == 1
+
+    def test_opaque_mapping_becomes_unknown(self, customers, instance):
+        target = relation("T", ("name", "varchar"))
+        opaque = Mapping(
+            [SourceBinding("c", customers)], target, [],
+            reference="blackbox",
+            executor=lambda inputs: [
+                {"name": r["name"]} for r in inputs[0]
+            ],
+        )
+        graph = check(MappingSet([opaque]), instance)
+        assert processing_kinds(graph) == ["UNKNOWN"]
+
+
+class TestFastTrackPlaceholders:
+    def test_missing_join_predicate_marks_placeholder(self, customers, accounts):
+        # "FastTrack ... detects that the mapping requires a join and
+        # creates an empty join operation (no join predicate is created)"
+        target = relation("T", ("name", "varchar"), ("balance", "float"))
+        mapping = Mapping(
+            [SourceBinding("c", customers), SourceBinding("a", accounts)],
+            target,
+            [("name", "c.name"), ("balance", "a.balance")],
+        )
+        graph = mappings_to_ohm(MappingSet([mapping]))
+        (join,) = graph.operators_of_kind("JOIN")
+        assert join.condition == TRUE
+        assert "placeholder" in join.annotations
+
+    def test_annotations_propagate_to_operators(self, customers):
+        target = relation("T", ("name", "varchar"))
+        mapping = Mapping(
+            [SourceBinding("c", customers)], target, [("name", "c.name")],
+            where="c.age > 30",
+            annotations={"rule": "only adults, per compliance"},
+        )
+        graph = mappings_to_ohm(MappingSet([mapping]))
+        annotated = [
+            op for op in graph.operators if "rule" in op.annotations
+        ]
+        assert annotated  # the business rule landed on operators
+
+
+class TestRoundTripShape:
+    def test_example_round_trip_restores_figure5_shape(self):
+        # "The resulting OHM for this simple example has (not
+        # surprisingly) the same shape as the one created from the ETL job"
+        job = build_example_job()
+        forward = compile_job(job)
+        mappings = ohm_to_mappings(forward)
+        backward = mappings_to_ohm(mappings)
+        assert sorted(processing_kinds(backward)) == sorted(
+            processing_kinds(forward)
+        )
+        instance = generate_instance(40)
+        assert execute(backward, instance).same_bags(run_job(job, instance))

@@ -1,0 +1,247 @@
+"""OHM operator unit tests: validation and schema computation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.expr.parser import parse
+from repro.ohm.operators import (
+    Filter,
+    Group,
+    Join,
+    Nest,
+    Project,
+    Source,
+    Split,
+    Target,
+    Union,
+    Unknown,
+    Unnest,
+)
+from repro.schema import FLOAT, INTEGER, STRING, RecordType, SetType, relation
+
+
+@pytest.fixture
+def customers():
+    return relation(
+        "Customers",
+        ("customerID", "int", False),
+        ("name", "varchar"),
+        ("balance", "float"),
+    )
+
+
+@pytest.fixture
+def accounts():
+    return relation(
+        "Accounts", ("customerID", "int", False), ("balance", "float")
+    )
+
+
+def out(op, inputs, names=("out",)):
+    return op.output_relations(list(inputs), list(names))
+
+
+class TestFilter:
+    def test_schema_passes_through(self, customers):
+        op = Filter("balance > 0")
+        op.validate([customers])
+        (result,) = out(op, [customers])
+        assert result.attribute_names == customers.attribute_names
+        assert result.name == "out"
+
+    def test_condition_must_typecheck(self, customers):
+        with pytest.raises(Exception):
+            Filter("missing > 0").validate([customers])
+
+    def test_condition_must_be_boolean(self, customers):
+        with pytest.raises(Exception):
+            Filter("balance + 1").validate([customers])
+
+    def test_string_condition_parsed(self, customers):
+        assert Filter("balance > 0").condition == parse("balance > 0")
+
+
+class TestProject:
+    def test_output_schema_from_derivations(self, customers):
+        op = Project([("id2", "customerID * 2"), ("upper", "UPPER(name)")])
+        op.validate([customers])
+        (result,) = out(op, [customers])
+        assert result.attribute("id2").dtype is INTEGER
+        assert result.attribute("upper").dtype is STRING
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(ValidationError):
+            Project([("a", "x"), ("a", "y")])
+
+    def test_empty_derivations_rejected(self):
+        with pytest.raises(ValidationError):
+            Project([])
+
+    def test_identity_detection(self, customers):
+        identity = Project(
+            [(n, n) for n in customers.attribute_names]
+        )
+        assert identity.is_identity_for(customers)
+        reordered = Project([("name", "name"), ("customerID", "customerID"),
+                             ("balance", "balance")])
+        assert not reordered.is_identity_for(customers)
+        renamed = Project([("cid", "customerID"), ("name", "name"),
+                           ("balance", "balance")])
+        assert not renamed.is_identity_for(customers)
+
+
+class TestJoin:
+    def test_collision_columns_become_dotted(self, customers, accounts):
+        op = Join("Customers.customerID = Accounts.customerID")
+        op.validate([customers, accounts])
+        (result,) = out(op, [customers, accounts])
+        names = result.attribute_names
+        assert "Customers.customerID" in names
+        assert "Accounts.customerID" in names
+        assert "Customers.balance" in names and "Accounts.balance" in names
+        assert "name" in names  # no collision
+
+    def test_outer_join_nullability(self, customers, accounts):
+        left = Join("Customers.customerID = Accounts.customerID", kind="left")
+        (result,) = out(left, [customers, accounts])
+        assert result.attribute("Accounts.balance").nullable
+        assert not result.attribute("Customers.customerID").nullable
+
+    def test_full_join_all_nullable(self, customers, accounts):
+        op = Join("Customers.customerID = Accounts.customerID", kind="full")
+        (result,) = out(op, [customers, accounts])
+        assert result.attribute("Customers.customerID").nullable
+        assert result.attribute("Accounts.customerID").nullable
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            Join("a = b", kind="sideways")
+
+    def test_requires_two_inputs(self, customers):
+        op = Join("TRUE")
+        with pytest.raises(ValidationError):
+            op.check_port_counts(1, 1)
+
+
+class TestUnion:
+    def test_union_compatibility_enforced(self, customers, accounts):
+        op = Union()
+        with pytest.raises(ValidationError):
+            op.validate([customers, accounts])
+
+    def test_schema_from_first_input(self, customers):
+        op = Union()
+        other = customers.renamed("Other")
+        op.validate([customers, other])
+        (result,) = out(op, [customers, other])
+        assert result.attribute_names == customers.attribute_names
+
+    def test_nary(self, customers):
+        op = Union()
+        op.check_port_counts(5, 1)  # unions take any number of inputs
+
+
+class TestGroup:
+    def test_output_is_keys_plus_aggregates(self, customers):
+        op = Group(["customerID"], [("total", "SUM(balance)"),
+                                    ("n", "COUNT(*)")])
+        op.validate([customers])
+        (result,) = out(op, [customers])
+        assert result.attribute_names == ("customerID", "total", "n")
+        assert result.attribute("total").dtype is FLOAT
+        assert result.attribute("n").dtype is INTEGER
+
+    def test_requires_keys_or_aggregates(self):
+        with pytest.raises(ValidationError):
+            Group([], [])
+
+    def test_unknown_key_rejected(self, customers):
+        op = Group(["bogus"])
+        with pytest.raises(Exception):
+            op.validate([customers])
+
+    def test_non_aggregate_derivation_rejected(self):
+        with pytest.raises(ValidationError):
+            Group(["a"], [("x", "a + 1")])
+
+    def test_colliding_output_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Group(["a"], [("a", "SUM(b)")])
+
+    def test_eliminates_duplicates_flag(self, customers):
+        assert Group(["customerID"]).eliminates_duplicates
+
+
+class TestSplit:
+    def test_copies_schema_per_output(self, customers):
+        op = Split()
+        results = op.output_relations([customers], ["x", "y", "z"])
+        assert [r.name for r in results] == ["x", "y", "z"]
+        assert all(
+            r.attribute_names == customers.attribute_names for r in results
+        )
+
+
+class TestNestUnnest:
+    def test_nest_builds_set_attribute(self, customers):
+        op = Nest(["customerID"], ["name", "balance"], into="records")
+        op.validate([customers])
+        (result,) = out(op, [customers])
+        nested = result.attribute("records").dtype
+        assert isinstance(nested, SetType)
+        assert nested.element_type.field_names == ("name", "balance")
+
+    def test_nest_key_collision_rejected(self):
+        with pytest.raises(ValidationError):
+            Nest(["a"], ["b"], into="a")
+
+    def test_unnest_restores_columns(self, customers):
+        nest = Nest(["customerID"], ["name", "balance"], into="records")
+        (nested_rel,) = out(nest, [customers], ["n"])
+        unnest = Unnest("records")
+        unnest.validate([nested_rel])
+        (flat,) = out(unnest, [nested_rel])
+        assert set(flat.attribute_names) == set(customers.attribute_names)
+
+    def test_unnest_requires_set_of_records(self, customers):
+        op = Unnest("name")
+        with pytest.raises(ValidationError):
+            op.validate([customers])
+
+
+class TestAccessOperators:
+    def test_source_renames_to_edge(self, customers):
+        op = Source(customers)
+        (result,) = op.output_relations([], ["DSLink1"])
+        assert result.name == "DSLink1"
+
+    def test_target_requires_all_columns(self, customers):
+        op = Target(customers)
+        missing = relation("In", ("customerID", "int"))
+        with pytest.raises(ValidationError):
+            op.validate([missing])
+
+    def test_target_accepts_superset(self, customers):
+        op = Target(relation("Out", ("customerID", "int")))
+        op.validate([customers])
+
+    def test_target_type_compatibility(self):
+        op = Target(relation("Out", ("x", "int")))
+        with pytest.raises(ValidationError):
+            op.validate([relation("In", ("x", "varchar"))])
+
+
+class TestUnknown:
+    def test_declared_outputs(self, customers):
+        op = Unknown([customers], reference="cleanse")
+        results = op.output_relations([customers], ["o"])
+        assert results[0].name == "o"
+
+    def test_output_count_mismatch_rejected(self, customers):
+        op = Unknown([customers], reference="cleanse")
+        with pytest.raises(ValidationError):
+            op.output_relations([customers], ["a", "b"])
+
+    def test_requires_declared_schemas(self):
+        with pytest.raises(ValidationError):
+            Unknown([], reference="x")

@@ -1,0 +1,134 @@
+"""Relation/Schema model unit tests."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.model import Attribute, Relation, Schema, relation
+from repro.schema.types import FLOAT, INTEGER, RecordType, STRING, SetType
+
+
+@pytest.fixture
+def customers():
+    return relation(
+        "Customers",
+        ("customerID", "int", False),
+        ("name", "varchar"),
+        ("balance", "float"),
+        keys=["customerID"],
+    )
+
+
+class TestAttribute:
+    def test_string_type_resolution(self):
+        attr = Attribute("a", "varchar")
+        assert attr.dtype is STRING
+
+    def test_renamed_preserves_rest(self):
+        attr = Attribute("a", INTEGER, nullable=False, is_key=True)
+        renamed = attr.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.dtype is INTEGER
+        assert not renamed.nullable and renamed.is_key
+
+    def test_as_nullable(self):
+        attr = Attribute("a", INTEGER, nullable=False)
+        assert attr.as_nullable().nullable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", INTEGER)
+
+    def test_equality(self):
+        assert Attribute("a", INTEGER) == Attribute("a", INTEGER)
+        assert Attribute("a", INTEGER) != Attribute("a", INTEGER, nullable=False)
+
+
+class TestRelation:
+    def test_attribute_lookup(self, customers):
+        assert customers.attribute("name").dtype is STRING
+        assert customers.has_attribute("balance")
+        assert not customers.has_attribute("missing")
+
+    def test_missing_attribute_error_lists_available(self, customers):
+        with pytest.raises(SchemaError) as info:
+            customers.attribute("salary")
+        assert "customerID" in str(info.value)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("T", [Attribute("a", INTEGER), Attribute("a", STRING)])
+
+    def test_keys(self, customers):
+        assert customers.key_names == ("customerID",)
+        assert not customers.attribute("customerID").nullable
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SchemaError):
+            relation("T", ("a", "int"), keys=["nope"])
+
+    def test_record_and_set_types(self, customers):
+        record = customers.record_type()
+        assert record.field_names == ("customerID", "name", "balance")
+        assert customers.set_type() == SetType(record)
+
+    def test_project_reorders_and_drops(self, customers):
+        projected = customers.project(["balance", "customerID"], "P")
+        assert projected.attribute_names == ("balance", "customerID")
+        assert projected.name == "P"
+
+    def test_extended(self, customers):
+        extended = customers.extended([Attribute("extra", FLOAT)])
+        assert extended.attribute_names[-1] == "extra"
+
+    def test_renamed(self, customers):
+        assert customers.renamed("C2").name == "C2"
+        assert customers.renamed("C2").attributes == customers.attributes
+
+    def test_union_compatibility_is_name_based(self):
+        a = relation("A", ("x", "int"), ("y", "varchar"))
+        b = relation("B", ("y", "varchar"), ("x", "int"))
+        c = relation("C", ("x", "int"), ("z", "varchar"))
+        d = relation("D", ("x", "varchar"), ("y", "varchar"))
+        assert a.is_union_compatible(b)
+        assert not a.is_union_compatible(c)
+        assert not a.is_union_compatible(d)
+
+    def test_union_compat_allows_widening(self):
+        a = relation("A", ("x", "int"))
+        b = relation("B", ("x", "float"))
+        assert a.is_union_compatible(b)
+
+    def test_is_flat(self, customers):
+        assert customers.is_flat()
+        nested = Relation(
+            "N",
+            [
+                Attribute("id", INTEGER),
+                Attribute(
+                    "items", SetType(RecordType([("v", INTEGER)]))
+                ),
+            ],
+        )
+        assert not nested.is_flat()
+
+    def test_iteration_and_len(self, customers):
+        assert len(customers) == 3
+        assert [a.name for a in customers] == list(customers.attribute_names)
+
+
+class TestSchema:
+    def test_add_and_lookup(self, customers):
+        schema = Schema("src", [customers])
+        assert schema.relation("Customers") is customers
+        assert "Customers" in schema
+        assert len(schema) == 1
+
+    def test_duplicate_relation_rejected(self, customers):
+        schema = Schema("src", [customers])
+        with pytest.raises(SchemaError):
+            schema.add(customers)
+
+    def test_missing_relation_error(self, customers):
+        schema = Schema("src", [customers])
+        with pytest.raises(SchemaError):
+            schema.relation("Orders")

@@ -1,0 +1,178 @@
+"""Type-algebra unit tests."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.types import (
+    ANY,
+    BOOLEAN,
+    DATE,
+    DECIMAL,
+    FLOAT,
+    INTEGER,
+    NULL,
+    STRING,
+    TIMESTAMP,
+    AtomicType,
+    RecordType,
+    SetType,
+    atomic,
+    coerce_value,
+    common_type,
+    python_value_type,
+)
+
+
+class TestAtomicTypes:
+    def test_interning(self):
+        assert AtomicType("INTEGER") is INTEGER
+        assert AtomicType("integer") is INTEGER
+
+    def test_aliases(self):
+        assert atomic("varchar") is STRING
+        assert atomic("int") is INTEGER
+        assert atomic("double") is FLOAT
+        assert atomic("datetime") is TIMESTAMP
+        assert atomic("bool") is BOOLEAN
+
+    def test_unknown_alias_raises(self):
+        with pytest.raises(SchemaError):
+            atomic("blob7")
+
+    def test_numeric_widening(self):
+        assert FLOAT.accepts(INTEGER)
+        assert FLOAT.accepts(DECIMAL)
+        assert DECIMAL.accepts(INTEGER)
+        assert not INTEGER.accepts(FLOAT)
+
+    def test_null_flows_anywhere(self):
+        assert STRING.accepts(NULL)
+        assert DATE.accepts(NULL)
+
+    def test_any_accepts_everything_atomic(self):
+        assert ANY.accepts(STRING)
+        assert ANY.accepts(INTEGER)
+
+    def test_timestamp_accepts_date(self):
+        assert TIMESTAMP.accepts(DATE)
+        assert not DATE.accepts(TIMESTAMP)
+
+    def test_unrelated_types_incompatible(self):
+        assert not STRING.accepts(INTEGER)
+        assert not BOOLEAN.accepts(INTEGER)
+
+
+class TestValueChecking:
+    def test_integer_values(self):
+        assert INTEGER.accepts_value(5)
+        assert not INTEGER.accepts_value(5.0)
+        assert not INTEGER.accepts_value(True)  # bool is not an int here
+
+    def test_float_accepts_ints(self):
+        assert FLOAT.accepts_value(5)
+        assert FLOAT.accepts_value(5.5)
+
+    def test_boolean(self):
+        assert BOOLEAN.accepts_value(True)
+        assert not BOOLEAN.accepts_value(1)
+
+    def test_dates_vs_timestamps(self):
+        assert DATE.accepts_value(datetime.date(2008, 1, 1))
+        assert not DATE.accepts_value(datetime.datetime(2008, 1, 1))
+        assert TIMESTAMP.accepts_value(datetime.datetime(2008, 1, 1))
+
+    def test_none_accepted_by_all(self):
+        for dtype in (INTEGER, STRING, DATE, BOOLEAN):
+            assert dtype.accepts_value(None)
+
+
+class TestCoercion:
+    def test_int_to_float_coerces(self):
+        assert coerce_value(FLOAT, 5) == 5.0
+        assert isinstance(coerce_value(FLOAT, 5), float)
+
+    def test_bad_coercion_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value(INTEGER, "5")
+
+    def test_none_passes_through(self):
+        assert coerce_value(STRING, None) is None
+
+
+class TestCommonType:
+    def test_identical(self):
+        assert common_type(STRING, STRING) is STRING
+
+    def test_numeric_join(self):
+        assert common_type(INTEGER, FLOAT) is FLOAT
+
+    def test_null_bottom(self):
+        assert common_type(NULL, DATE) is DATE
+        assert common_type(DATE, NULL) is DATE
+
+    def test_unrelated_raises(self):
+        with pytest.raises(SchemaError):
+            common_type(STRING, INTEGER)
+
+
+class TestPythonValueType:
+    def test_inference(self):
+        assert python_value_type(1) is INTEGER
+        assert python_value_type(1.5) is FLOAT
+        assert python_value_type("x") is STRING
+        assert python_value_type(True) is BOOLEAN
+        assert python_value_type(None) is NULL
+        assert python_value_type(datetime.date(2008, 1, 1)) is DATE
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(SchemaError):
+            python_value_type(object())
+
+
+class TestRecordType:
+    def test_field_access(self):
+        record = RecordType([("a", INTEGER), ("b", STRING)])
+        assert record.field_type("a") is INTEGER
+        assert record.field_names == ("a", "b")
+        assert record.has_field("b")
+        assert not record.has_field("c")
+
+    def test_duplicate_field_raises(self):
+        with pytest.raises(SchemaError):
+            RecordType([("a", INTEGER), ("a", STRING)])
+
+    def test_structural_equality_and_hash(self):
+        r1 = RecordType([("a", INTEGER)])
+        r2 = RecordType([("a", INTEGER)])
+        assert r1 == r2 and hash(r1) == hash(r2)
+        assert r1 != RecordType([("a", FLOAT)])
+
+    def test_covariant_acceptance(self):
+        wide = RecordType([("a", FLOAT)])
+        narrow = RecordType([("a", INTEGER)])
+        assert wide.accepts(narrow)
+        assert not narrow.accepts(wide)
+
+    def test_value_checking(self):
+        record = RecordType([("a", INTEGER), ("b", STRING)])
+        assert record.accepts_value({"a": 1, "b": "x"})
+        assert not record.accepts_value({"a": 1})
+        assert not record.accepts_value({"a": "no", "b": "x"})
+
+
+class TestSetType:
+    def test_nested_relation_type(self):
+        element = RecordType([("balance", FLOAT)])
+        nested = SetType(element)
+        assert nested.element_type == element
+        assert nested.accepts_value([{"balance": 1.0}, {"balance": None}])
+        assert not nested.accepts_value([{"other": 1}])
+
+    def test_set_equality(self):
+        assert SetType(INTEGER) == SetType(INTEGER)
+        assert SetType(INTEGER) != SetType(FLOAT)
+
+    def test_set_covariance(self):
+        assert SetType(FLOAT).accepts(SetType(INTEGER))

@@ -1,0 +1,107 @@
+"""CLI tests: the ``orchid`` command surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.etl import job_from_xml, job_to_xml, run_job
+from repro.workloads import build_example_job, generate_instance
+
+
+@pytest.fixture
+def job_xml_path(tmp_path):
+    path = tmp_path / "job.xml"
+    path.write_text(job_to_xml(build_example_job()))
+    return str(path)
+
+
+class TestEtlToMappings:
+    def test_json_output(self, job_xml_path, tmp_path):
+        out = tmp_path / "mappings.json"
+        assert main(["etl-to-mappings", job_xml_path, "-o", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["format"] == "orchid-mappings"
+        assert [m["name"] for m in document["mappings"]] == ["M1", "M2", "M3"]
+
+    def test_query_notation(self, job_xml_path, capsys):
+        assert main(
+            ["etl-to-mappings", job_xml_path, "--notation", "query"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "for c in Customers, a in Accounts" in text
+
+    def test_logic_notation(self, job_xml_path, capsys):
+        assert main(
+            ["etl-to-mappings", job_xml_path, "--notation", "logic"]
+        ) == 0
+        assert "∃" in capsys.readouterr().out
+
+
+class TestMappingsToEtl:
+    def test_full_round_trip_through_files(self, job_xml_path, tmp_path):
+        mappings_path = tmp_path / "mappings.json"
+        main(["etl-to-mappings", job_xml_path, "-o", str(mappings_path)])
+        job_out = tmp_path / "regen.xml"
+        assert main(
+            ["mappings-to-etl", str(mappings_path), "-o", str(job_out)]
+        ) == 0
+        regenerated = job_from_xml(job_out.read_text())
+        instance = generate_instance(30)
+        assert run_job(regenerated, instance).same_bags(
+            run_job(build_example_job(), instance)
+        )
+
+    def test_plan_flag_prints_boxes(self, job_xml_path, tmp_path, capsys):
+        mappings_path = tmp_path / "mappings.json"
+        main(["etl-to-mappings", job_xml_path, "-o", str(mappings_path)])
+        main(["mappings-to-etl", str(mappings_path), "--plan",
+              "-o", str(tmp_path / "j.xml")])
+        assert "deployment plan" in capsys.readouterr().err
+
+
+class TestShow:
+    def test_text_listing(self, job_xml_path, capsys):
+        assert main(["show", job_xml_path]) == 0
+        out = capsys.readouterr().out
+        assert "OHM instance" in out
+        assert "GROUP" in out
+
+    def test_dot_output(self, job_xml_path, capsys):
+        assert main(["show", job_xml_path, "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestPushdown:
+    def test_prints_hybrid_plan(self, job_xml_path, capsys):
+        assert main(["pushdown", job_xml_path]) == 0
+        out = capsys.readouterr().out
+        assert "SELECT" in out and "residual ETL job" in out
+
+
+class TestErrors:
+    def test_unknown_command_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestOptimize:
+    def test_optimized_job_round_trips(self, job_xml_path, tmp_path, capsys):
+        out = tmp_path / "optimized.xml"
+        assert main(["optimize", job_xml_path, "-o", str(out)]) == 0
+        assert "OptimizationReport" in capsys.readouterr().err
+        optimized = job_from_xml(out.read_text())
+        instance = generate_instance(30)
+        assert run_job(optimized, instance).same_bags(
+            run_job(build_example_job(), instance)
+        )
+
+
+class TestExportOhm:
+    def test_ohm_json_document(self, job_xml_path, tmp_path):
+        out = tmp_path / "graph.json"
+        assert main(["export-ohm", job_xml_path, "-o", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["format"] == "orchid-ohm"
+        kinds = [op["kind"] for op in document["operators"]]
+        assert "GROUP" in kinds and "SPLIT" in kinds

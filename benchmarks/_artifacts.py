@@ -23,3 +23,14 @@ def record(experiment_id: str, text: str) -> str:
     print(f"\n--- {experiment_id} ---")
     print(text)
     return path
+
+
+def record_metrics(experiment_id: str, metrics) -> str:
+    """Dump a metrics snapshot (``repro.obs.Metrics``) next to the
+    experiment's text artifact, as ``<experiment>.metrics.json``."""
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, f"{experiment_id}.metrics.json")
+    with open(path, "w") as handle:
+        handle.write(metrics.to_json())
+        handle.write("\n")
+    return path

@@ -58,7 +58,7 @@ def test_bench_ablation_report(benchmark):
                 key = "merged" if merge else "unmerged"
                 entry[key] = {
                     "stages": len(job.stages),
-                    "link_rows": sum(engine.link_counts.values()),
+                    "link_rows": engine.last_run.total_rows,
                     "seconds": elapsed,
                     "result": result,
                 }

@@ -10,21 +10,22 @@ from repro.deploy import deploy_to_job
 from repro.etl import run_job
 from repro.mapping import execute_mappings, ohm_to_mappings
 from repro.mapping.to_ohm import mappings_to_ohm
+from repro.obs import Observability
 from repro.ohm import execute
 from repro.workloads import (
     build_kitchen_sink_job,
     generate_kitchen_sink_instance,
 )
 
-from _artifacts import record
+from _artifacts import record, record_metrics
 
 
-def full_chain():
+def full_chain(obs=None):
     job = build_kitchen_sink_job(with_surrogate_key=False)
-    graph = compile_job(job)
+    graph = compile_job(job, obs=obs)
     mappings = ohm_to_mappings(graph)
     back = mappings_to_ohm(mappings)
-    redeployed, _plan = deploy_to_job(back)
+    redeployed, _plan = deploy_to_job(back, obs=obs)
     return job, graph, mappings, back, redeployed
 
 
@@ -57,3 +58,12 @@ def test_bench_sink_full_translation_chain(benchmark):
         "150 orders: OK",
     ]
     record("SINK", "\n".join(lines))
+
+    # one instrumented (non-timed) pass dumps the monitor numbers next to
+    # the text artifact: compile phases, rewrite rules, deployment
+    # placement, and per-operator/per-link row counts on the 150-order run
+    obs = Observability(stats=True)
+    _job, igraph, *_rest = full_chain(obs=obs)
+    execute(igraph, instance, obs=obs)
+    run_job(job, instance, obs=obs)
+    record_metrics("SINK", obs.metrics)

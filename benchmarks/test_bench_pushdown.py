@@ -51,7 +51,7 @@ def test_bench_push_hybrid_execution(benchmark, setup):
     # measure link traffic both ways for the artifact
     pure_engine = EtlEngine()
     pure_engine.execute(job, instance)
-    pure_rows = sum(pure_engine.link_counts.values())
+    pure_rows = pure_engine.last_run.total_rows
 
     from repro.deploy.sql import SqliteRunner
     from repro.data.dataset import Instance
@@ -65,7 +65,7 @@ def test_bench_push_hybrid_execution(benchmark, setup):
     runner.close()
     residual_engine = EtlEngine()
     residual_engine.execute(hybrid.job, enriched)
-    hybrid_rows = sum(residual_engine.link_counts.values())
+    hybrid_rows = residual_engine.last_run.total_rows
 
     lines = [
         "Section VI-B — pushdown analysis (hybrid SQL + ETL):",

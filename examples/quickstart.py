@@ -8,56 +8,95 @@ ETL job from them (Figures 9/10), and verifies on synthetic data that
 every representation computes exactly the same result.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace          # span tree to stderr
+      python examples/quickstart.py --stats text     # metrics to stdout
+      python examples/quickstart.py --stats json     # metrics JSON ONLY on
+                                                     # stdout (narrative moves
+                                                     # to stderr) — pipeable
 """
 
+import argparse
+import sys
+
 from repro import Orchid
-from repro.etl import run_job
+from repro.etl import EtlEngine
 from repro.mapping import execute_mappings
+from repro.obs import Observability
 from repro.ohm import execute
 from repro.workloads import build_example_job, generate_instance
 
 
-def main() -> None:
-    orchid = Orchid()
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree of the whole run to stderr",
+    )
+    parser.add_argument(
+        "--stats",
+        choices=["json", "text"],
+        help="print pipeline metrics; 'json' prints ONLY the metrics "
+        "document on stdout so it can be piped into a parser",
+    )
+    args = parser.parse_args(argv)
+
+    obs = Observability(trace=args.trace, stats=args.stats is not None)
+    # with --stats json, stdout is reserved for the metrics document
+    out = sys.stderr if args.stats == "json" else sys.stdout
+
+    orchid = Orchid(obs=obs)
 
     # --- the ETL job (Figure 3) -------------------------------------------------
     job = build_example_job()
-    print("=== ETL job ===")
+    print("=== ETL job ===", file=out)
     for stage in job.topological_order():
-        print(f"  [{stage.STAGE_TYPE}] {stage.name}")
+        print(f"  [{stage.STAGE_TYPE}] {stage.name}", file=out)
 
     # --- compile into the Operator Hub Model (Figure 5) --------------------------
     graph = orchid.import_etl(job)
-    print("\n=== OHM instance (abstract layer) ===")
+    print("\n=== OHM instance (abstract layer) ===", file=out)
     for op in graph.topological_order():
-        print(f"  {op!r}")
+        print(f"  {op!r}", file=out)
 
     # --- extract the declarative mappings (Figures 7/8) --------------------------
     mappings = orchid.to_mappings(graph)
-    print("\n=== Extracted mappings ===")
-    print(mappings.to_text())
+    print("\n=== Extracted mappings ===", file=out)
+    print(mappings.to_text(), file=out)
 
     # --- regenerate an ETL job from the mappings (Figures 9/10) ------------------
     regenerated, plan = orchid.mappings_to_etl(mappings)
-    print("\n=== Deployment plan ===")
-    print(plan.describe())
+    print("\n=== Deployment plan ===", file=out)
+    print(plan.describe(), file=out)
 
     # --- verify all representations on data --------------------------------------
     instance = generate_instance(n_customers=200)
-    baseline = run_job(job, instance)
+    engine = EtlEngine(obs=obs)
+    baseline = engine.execute(job, instance)
     checks = {
-        "OHM engine": execute(graph, instance),
+        "OHM engine": execute(graph, instance, obs=obs),
         "mapping executor": execute_mappings(mappings, instance),
-        "regenerated job": run_job(regenerated, instance),
+        "regenerated job": EtlEngine(obs=obs).execute(regenerated, instance),
     }
-    print("\n=== Semantic checks (200 customers) ===")
+    print("\n=== Semantic checks (200 customers) ===", file=out)
     print(
         f"  original job: {len(baseline.dataset('BigCustomers'))} big, "
-        f"{len(baseline.dataset('OtherCustomers'))} other customers"
+        f"{len(baseline.dataset('OtherCustomers'))} other customers",
+        file=out,
     )
     for name, result in checks.items():
         status = "OK" if result.same_bags(baseline) else "MISMATCH"
-        print(f"  {name:<18} {status}")
+        print(f"  {name:<18} {status}", file=out)
+
+    # --- observability reports ----------------------------------------------------
+    if args.trace:
+        print("\n=== Trace ===", file=sys.stderr)
+        print(obs.tracer.to_text(), file=sys.stderr)
+    if args.stats == "json":
+        print(obs.metrics.to_json())
+    elif args.stats == "text":
+        print("\n=== Metrics ===", file=out)
+        print(obs.metrics.to_text(), file=out)
 
 
 if __name__ == "__main__":

@@ -39,7 +39,7 @@ def main() -> None:
     started = time.perf_counter()
     pure = engine.execute(job, instance)
     pure_seconds = time.perf_counter() - started
-    pure_rows = sum(engine.link_counts.values())
+    pure_rows = engine.last_run.total_rows
     print("pure ETL deployment:")
     print(f"  rows moved across ETL links: {pure_rows}")
     print(f"  wall time:                   {pure_seconds * 1000:.1f} ms")
@@ -65,7 +65,7 @@ def main() -> None:
         enriched.put(runner.query(sql, hybrid.frontier_schemas[name]))
     runner.close()
     residual_engine.execute(hybrid.job, enriched)
-    hybrid_rows = sum(residual_engine.link_counts.values())
+    hybrid_rows = residual_engine.last_run.total_rows
 
     print(f"\n  rows moved across ETL links: {hybrid_rows}")
     print(f"  wall time:                   {hybrid_seconds * 1000:.1f} ms")

@@ -8,6 +8,12 @@
     orchid pushdown job.xml          # print the hybrid SQL + ETL plan
     orchid optimize job.xml -o job2.xml   # OHM-level rewrites, redeployed
     orchid export-ohm job.xml -o g.json   # persist the abstract layer
+
+Every subcommand additionally accepts ``--trace`` (print the span tree
+of the run) and ``--stats {json,text}`` (print the metrics registry).
+Both reports go to *stderr* so the primary document on stdout stays
+machine-readable; see ``docs/observability.md`` for the span and metric
+naming conventions.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.fasttrack.orchid import Orchid
+from repro.obs import Observability
 
 
 def _read(path: str) -> str:
@@ -40,10 +47,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Convert between ETL jobs and schema mappings via the "
         "Operator Hub Model.",
     )
+    observability = argparse.ArgumentParser(add_help=False)
+    observability.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree of this run to stderr",
+    )
+    observability.add_argument(
+        "--stats",
+        choices=["json", "text"],
+        help="print pipeline metrics (counters/gauges/timers) to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser(
-        "etl-to-mappings", help="compile a job XML into composed mappings"
+        "etl-to-mappings",
+        parents=[observability],
+        help="compile a job XML into composed mappings",
     )
     p.add_argument("job", help="path to the job XML document")
     p.add_argument("-o", "--output", help="write mappings JSON here")
@@ -55,7 +75,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     p = sub.add_parser(
-        "mappings-to-etl", help="deploy a mappings JSON document as a job"
+        "mappings-to-etl",
+        parents=[observability],
+        help="deploy a mappings JSON document as a job",
     )
     p.add_argument("mappings", help="path to the mappings JSON document")
     p.add_argument("-o", "--output", help="write job XML here")
@@ -63,33 +85,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--plan", action="store_true", help="also print the deployment plan"
     )
 
-    p = sub.add_parser("show", help="print the OHM instance of a job")
+    p = sub.add_parser(
+        "show",
+        parents=[observability],
+        help="print the OHM instance of a job",
+    )
     p.add_argument("job", help="path to the job XML document")
     p.add_argument(
         "--dot", action="store_true", help="emit GraphViz instead of text"
     )
 
     p = sub.add_parser(
-        "pushdown", help="print the hybrid SQL + ETL deployment of a job"
+        "pushdown",
+        parents=[observability],
+        help="print the hybrid SQL + ETL deployment of a job",
     )
     p.add_argument("job", help="path to the job XML document")
 
     p = sub.add_parser(
         "optimize",
+        parents=[observability],
         help="import a job, rewrite it at the OHM level, redeploy it",
     )
     p.add_argument("job", help="path to the job XML document")
     p.add_argument("-o", "--output", help="write the optimized job XML here")
 
     p = sub.add_parser(
-        "export-ohm", help="persist a job's OHM instance as JSON"
+        "export-ohm",
+        parents=[observability],
+        help="persist a job's OHM instance as JSON",
     )
     p.add_argument("job", help="path to the job XML document")
     p.add_argument("-o", "--output", help="write the OHM JSON here")
 
     args = parser.parse_args(argv)
-    orchid = Orchid()
+    obs = Observability(
+        trace=bool(args.trace), stats=args.stats is not None
+    )
+    orchid = Orchid(obs=obs)
+    try:
+        return _dispatch(args, orchid)
+    finally:
+        if args.trace:
+            sys.stderr.write(obs.tracer.to_text() + "\n")
+        if args.stats == "json":
+            sys.stderr.write(obs.metrics.to_json() + "\n")
+        elif args.stats == "text":
+            sys.stderr.write(obs.metrics.to_text() + "\n")
 
+
+def _dispatch(args: argparse.Namespace, orchid: Orchid) -> int:
     if args.command == "etl-to-mappings":
         mappings = orchid.etl_to_mappings(_read(args.job))
         if args.notation == "query":
@@ -141,8 +186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _write(graph_to_json(graph), args.output)
         return 0
 
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    raise SystemExit(f"unknown command {args.command!r}")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from repro.deploy.platform import (
 from repro.deploy.shapes import BoxShape, analyze_box
 from repro.errors import DeploymentError
 from repro.etl.model import Job
+from repro.obs import NULL_OBS, Observability
 from repro.etl.stages import (
     AggregatorStage,
     CombineRecords,
@@ -669,12 +670,46 @@ def deploy_to_job(
     platform: Optional[RuntimePlatform] = None,
     name: Optional[str] = None,
     merge: bool = True,
+    obs: Optional[Observability] = None,
 ) -> Tuple[Job, DeploymentPlan]:
     """Deploy an OHM instance as an ETL job on the given platform
     (DataStage by default). Returns the job and the plan that produced
     it. The input graph is not modified. ``merge=False`` disables the
-    greedy box merging (the one-stage-per-operator ablation)."""
+    greedy box merging (the one-stage-per-operator ablation).
+
+    With an :class:`~repro.obs.Observability`, records where operators
+    were placed: ``deploy.<platform>.operators_placed`` / ``.boxes`` /
+    ``.stages`` plus one ``deploy.rp.<rp-operator>.boxes`` counter per
+    chosen runtime operator, under a ``deploy.job`` span."""
+    obs = obs or NULL_OBS
     platform = platform or DATASTAGE
+    with obs.tracer.span(
+        "deploy.job", graph=graph.name, platform=platform.name
+    ) as span, obs.metrics.timer(f"deploy.{platform.name}.seconds"):
+        job, plan = _deploy_to_job_impl(graph, platform, name, merge)
+        if obs.enabled:
+            placed = sum(len(box.uids) for box in plan.boxes)
+            obs.metrics.count(
+                f"deploy.{platform.name}.operators_placed", placed
+            )
+            obs.metrics.count(f"deploy.{platform.name}.boxes", len(plan.boxes))
+            obs.metrics.count(f"deploy.{platform.name}.stages", len(job.stages))
+            for box in plan.boxes:
+                obs.metrics.count(f"deploy.rp.{box.chosen.name}.boxes")
+            span.set(
+                boxes=len(plan.boxes),
+                stages=len(job.stages),
+                operators_placed=placed,
+            )
+    return job, plan
+
+
+def _deploy_to_job_impl(
+    graph: OhmGraph,
+    platform: RuntimePlatform,
+    name: Optional[str],
+    merge: bool,
+) -> Tuple[Job, DeploymentPlan]:
     work = graph.shallow_copy()
     work.propagate_schemas()
     _normalize_distinct_unions(work)

@@ -33,6 +33,7 @@ from repro.etl.engine import run_job
 from repro.etl.model import Job
 from repro.expr.ast import ColumnRef
 from repro.mapping.from_ohm import ohm_to_mappings
+from repro.obs import NULL_OBS, Observability
 from repro.ohm.graph import OhmGraph
 from repro.ohm.operators import (
     Filter,
@@ -177,13 +178,42 @@ def plan_pushdown(
     graph: OhmGraph,
     platform: Optional[RuntimePlatform] = None,
     dialect: Optional[SqliteDialect] = None,
+    obs: Optional[Observability] = None,
 ) -> HybridPlan:
-    """Compute the maximal pushdown plan for an OHM instance."""
+    """Compute the maximal pushdown plan for an OHM instance.
+
+    With an :class:`~repro.obs.Observability`, records the pushdown
+    decisions: ``deploy.pushdown.pushable`` / ``.not_pushable`` per
+    classified operator, ``deploy.pushdown.pushed_operators`` /
+    ``.frontier_edges`` for the chosen cut, under a ``deploy.pushdown``
+    span."""
+    obs = obs or NULL_OBS
+    with obs.tracer.span("deploy.pushdown", graph=graph.name) as span:
+        plan = _plan_pushdown_impl(graph, platform, dialect, obs)
+        if obs.enabled:
+            span.set(
+                pushed_operators=len(plan.pushed_operator_uids),
+                frontier_edges=len(plan.statements),
+            )
+    return plan
+
+
+def _plan_pushdown_impl(
+    graph: OhmGraph,
+    platform: Optional[RuntimePlatform],
+    dialect: Optional[SqliteDialect],
+    obs: Observability,
+) -> HybridPlan:
     dialect = dialect or DEFAULT_DIALECT
     work = graph.shallow_copy()
     work.propagate_schemas()
     states = _classify(work, dialect)
     pushed = {uid for uid, s in states.items() if s.pushable}
+    if obs.enabled:
+        obs.metrics.count("deploy.pushdown.pushable", len(pushed))
+        obs.metrics.count(
+            "deploy.pushdown.not_pushable", len(states) - len(pushed)
+        )
     # drop pushed operators none of whose consumers exist (defensive) and
     # find the frontier: edges from pushed to not-pushed
     frontier: List[Edge] = [
@@ -219,9 +249,12 @@ def plan_pushdown(
         statements[edge.name] = mappings_to_select(producers, dialect)
         frontier_schemas[edge.name] = edge.schema
 
+    if obs.enabled:
+        obs.metrics.count("deploy.pushdown.pushed_operators", len(pushed))
+        obs.metrics.count("deploy.pushdown.frontier_edges", len(frontier))
     residual = _residual_graph(work, pushed, frontier)
     job, plan = deploy_to_job(
-        residual, platform, name=f"{graph.name}_residual"
+        residual, platform, name=f"{graph.name}_residual", obs=obs
     )
     return HybridPlan(statements, frontier_schemas, job, pushed, plan)
 

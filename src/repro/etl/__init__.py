@@ -6,7 +6,12 @@ runtime engine, and the XML external exchange format Orchid's
 Intermediate layer imports from.
 """
 
-from repro.etl.engine import EtlEngine, run_job, run_job_with_links
+from repro.etl.engine import (
+    EtlEngine,
+    EtlRunStats,
+    run_job,
+    run_job_with_links,
+)
 from repro.etl.model import Job, Stage, next_link_name
 from repro.etl.stages import (
     AGG_FUNCTIONS,
@@ -39,6 +44,7 @@ from repro.etl.xmlio import job_from_xml, job_to_xml, read_job, write_job
 
 __all__ = [
     "EtlEngine",
+    "EtlRunStats",
     "run_job",
     "run_job_with_links",
     "Job",

@@ -5,24 +5,83 @@ order, each consuming the datasets on its input links and producing one
 dataset per output link. Source stages pull from the supplied
 :class:`~repro.data.dataset.Instance`; target stages validate and collect
 their deliveries.
+
+Runtime statistics (the numbers an ETL monitor would show — paper
+section VI) are collected per run into an :class:`EtlRunStats`: rows per
+link, seconds per stage. Passing an :class:`~repro.obs.Observability`
+additionally records them into the shared metrics registry
+(``etl.link.<name>.rows``, ``etl.stage.<name>.seconds``) and emits one
+``etl.stage.<type>`` span per executed stage under an ``etl.run`` root.
 """
 
 from __future__ import annotations
 
+import warnings
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance
 from repro.errors import ExecutionError
-from repro.etl.model import Job, Stage
+from repro.etl.model import Job
 from repro.etl.stages.access import TableSource, TableTarget
+from repro.obs import NULL_OBS, Observability
 
 
-class EtlEngine:
-    """Executes jobs; collects per-link row counts as runtime statistics
-    (the numbers an ETL monitor would show)."""
+class EtlRunStats:
+    """Statistics for one completed :meth:`EtlEngine.run`.
+
+    :ivar link_counts: link name → rows that flowed over the link.
+    :ivar stage_seconds: stage name → wall-clock execution seconds.
+    """
+
+    __slots__ = ("link_counts", "stage_seconds")
 
     def __init__(self):
         self.link_counts: Dict[str, int] = {}
+        self.stage_seconds: Dict[str, float] = {}
+
+    @property
+    def total_rows(self) -> int:
+        """Rows moved across all links (the monitor's headline number)."""
+        return sum(self.link_counts.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"EtlRunStats({len(self.link_counts)} links, "
+            f"{self.total_rows} rows)"
+        )
+
+
+class EtlEngine:
+    """Executes jobs; collects per-link row counts and per-stage timings
+    as runtime statistics.
+
+    Statistics are built per run and published atomically on
+    :attr:`last_run` only once the run completes, so an engine shared by
+    two callers (or a re-entrant run) never observes a half-filled
+    snapshot — each run's numbers replace the previous run's wholesale.
+    """
+
+    def __init__(self, obs: Optional[Observability] = None):
+        self._obs = obs or NULL_OBS
+        #: statistics of the most recently *completed* run.
+        self.last_run: EtlRunStats = EtlRunStats()
+
+    @property
+    def link_counts(self) -> Dict[str, int]:
+        """Deprecated: per-link row counts of the most recent run.
+
+        Use :attr:`last_run` (an :class:`EtlRunStats`) or the metrics
+        registry (``etl.link.<name>.rows``) instead; this shim returns a
+        copy, so mutating it no longer corrupts engine state."""
+        warnings.warn(
+            "EtlEngine.link_counts is deprecated; read "
+            "EtlEngine.last_run.link_counts or the 'etl.link.<name>.rows' "
+            "metrics instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return dict(self.last_run.link_counts)
 
     def run(
         self, job: Job, instance: Optional[Instance] = None
@@ -32,36 +91,60 @@ class EtlEngine:
         Returns ``(targets, link_data)``: datasets delivered to each
         target stage (keyed by target relation name) and the dataset that
         flowed over every link (keyed by link name)."""
+        tracer = self._obs.tracer
+        metrics = self._obs.metrics
+        observing = self._obs.enabled
+        stats = EtlRunStats()
         instance = instance or Instance()
         job.propagate_schemas()
-        self.link_counts = {}
         by_port: Dict[Tuple[str, int], Dataset] = {}
         link_data: Dict[str, Dataset] = {}
         targets = Instance()
-        for stage in job.topological_order():
-            in_edges = job.in_edges(stage.uid)
-            inputs = [by_port[(e.src, e.src_port)] for e in in_edges]
-            out_edges = job.out_edges(stage.uid)
-            if isinstance(stage, TableTarget):
-                delivered = stage.load(inputs[0])
-                targets.put(delivered)
-                continue
-            if isinstance(stage, TableSource):
-                outputs = [
-                    stage.extract(instance).renamed(e.name) for e in out_edges
-                ]
-            else:
-                out_relations = [e.schema for e in out_edges]
-                outputs = stage.execute(inputs, out_relations, job.registry)
-                if len(outputs) != len(out_edges):
-                    raise ExecutionError(
-                        f"{stage.STAGE_TYPE} {stage.name!r} produced "
-                        f"{len(outputs)} outputs for {len(out_edges)} links"
-                    )
-            for edge, dataset in zip(out_edges, outputs):
-                by_port[(edge.src, edge.src_port)] = dataset
-                link_data[edge.name] = dataset
-                self.link_counts[edge.name] = len(dataset)
+        with tracer.span("etl.run", job=job.name):
+            for stage in job.topological_order():
+                in_edges = job.in_edges(stage.uid)
+                inputs = [by_port[(e.src, e.src_port)] for e in in_edges]
+                out_edges = job.out_edges(stage.uid)
+                with tracer.span(
+                    f"etl.stage.{stage.STAGE_TYPE}", stage=stage.name
+                ) as span:
+                    started = perf_counter() if observing else 0.0
+                    if isinstance(stage, TableTarget):
+                        delivered = stage.load(inputs[0])
+                        targets.put(delivered)
+                        outputs = []
+                    elif isinstance(stage, TableSource):
+                        outputs = [
+                            stage.extract(instance).renamed(e.name)
+                            for e in out_edges
+                        ]
+                    else:
+                        out_relations = [e.schema for e in out_edges]
+                        outputs = stage.execute(
+                            inputs, out_relations, job.registry
+                        )
+                        if len(outputs) != len(out_edges):
+                            raise ExecutionError(
+                                f"{stage.STAGE_TYPE} {stage.name!r} produced "
+                                f"{len(outputs)} outputs for "
+                                f"{len(out_edges)} links"
+                            )
+                    if observing:
+                        seconds = perf_counter() - started
+                        stats.stage_seconds[stage.name] = seconds
+                        metrics.observe(
+                            f"etl.stage.{stage.name}.seconds", seconds
+                        )
+                        span.set(
+                            rows_in=sum(len(d) for d in inputs),
+                            rows_out=sum(len(d) for d in outputs),
+                        )
+                for edge, dataset in zip(out_edges, outputs):
+                    by_port[(edge.src, edge.src_port)] = dataset
+                    link_data[edge.name] = dataset
+                    stats.link_counts[edge.name] = len(dataset)
+                    metrics.count(f"etl.link.{edge.name}.rows", len(dataset))
+        self.last_run = stats
         return targets, link_data
 
     def execute(self, job: Job, instance: Optional[Instance] = None) -> Instance:
@@ -71,17 +154,21 @@ class EtlEngine:
 
 
 def run_job(
-    job: Job, instance: Optional[Instance] = None
+    job: Job,
+    instance: Optional[Instance] = None,
+    obs: Optional[Observability] = None,
 ) -> Instance:
     """Convenience: run ``job`` and return the target datasets."""
-    return EtlEngine().execute(job, instance)
+    return EtlEngine(obs=obs).execute(job, instance)
 
 
 def run_job_with_links(
-    job: Job, instance: Optional[Instance] = None
+    job: Job,
+    instance: Optional[Instance] = None,
+    obs: Optional[Observability] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Run ``job`` returning targets plus every link's dataset."""
-    return EtlEngine().run(job, instance)
+    return EtlEngine(obs=obs).run(job, instance)
 
 
-__all__ = ["EtlEngine", "run_job", "run_job_with_links"]
+__all__ = ["EtlEngine", "EtlRunStats", "run_job", "run_job_with_links"]

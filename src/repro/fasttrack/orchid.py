@@ -29,6 +29,7 @@ from repro.mapping.from_ohm import ohm_to_mappings
 from repro.mapping.jsonio import mappings_from_json, mappings_to_json
 from repro.mapping.model import MappingSet
 from repro.mapping.to_ohm import mappings_to_ohm
+from repro.obs import NULL_OBS, Observability
 from repro.ohm.graph import OhmGraph
 from repro.rewrite.optimizer import OptimizationReport, optimize
 
@@ -40,15 +41,21 @@ class Orchid:
     >>> # job → mappings → job, all through the OHM hub
     >>> # mappings = orchid.etl_to_mappings(job)
     >>> # job2, plan = orchid.mappings_to_etl(mappings)
+
+    Pass an :class:`~repro.obs.Observability` to profile everything the
+    facade touches — compilation phases, rewrite rules, deployment
+    placement — into one shared trace and metrics registry.
     """
 
     def __init__(
         self,
         platform: Optional[RuntimePlatform] = None,
         compilers: Optional[CompilerRegistry] = None,
+        obs: Optional[Observability] = None,
     ):
         self.platform = platform or DATASTAGE
         self.compilers = compilers
+        self.obs = obs or NULL_OBS
 
     # -- imports (external / intermediate → abstract layer) ---------------------------
 
@@ -57,28 +64,34 @@ class Orchid:
         external-format XML string — into an OHM instance."""
         if isinstance(job, str):
             job = job_from_xml(job)
-        return compile_job(job, registry=self.compilers)
+        return compile_job(job, registry=self.compilers, obs=self.obs)
 
     def import_mappings(self, mappings: Union[MappingSet, str]) -> OhmGraph:
         """Compile mappings — a :class:`MappingSet` or a JSON document —
         into an OHM instance (Figure 9 template instantiation)."""
         if isinstance(mappings, str):
             mappings = mappings_from_json(mappings)
-        return mappings_to_ohm(mappings)
+        with self.obs.tracer.span("compile.mappings"), self.obs.metrics.timer(
+            "compile.phase.mappings.seconds"
+        ):
+            return mappings_to_ohm(mappings)
 
     # -- exports (abstract layer → external) --------------------------------------------
 
     def to_mappings(self, graph: OhmGraph) -> MappingSet:
         """OHM → composed mappings (section V-B)."""
-        return ohm_to_mappings(graph)
+        with self.obs.tracer.span(
+            "extract.mappings", graph=graph.name
+        ), self.obs.metrics.timer("extract.mappings.seconds"):
+            return ohm_to_mappings(graph)
 
     def to_etl(self, graph: OhmGraph) -> Tuple[Job, DeploymentPlan]:
         """OHM → an ETL job on the configured platform (section VI-B)."""
-        return deploy_to_job(graph, self.platform)
+        return deploy_to_job(graph, self.platform, obs=self.obs)
 
     def to_hybrid(self, graph: OhmGraph) -> HybridPlan:
         """OHM → combined SQL + ETL deployment via pushdown analysis."""
-        return plan_pushdown(graph, self.platform)
+        return plan_pushdown(graph, self.platform, obs=self.obs)
 
     # -- one-hop conveniences ----------------------------------------------------------
 
@@ -97,7 +110,7 @@ class Orchid:
     def optimize(self, graph: OhmGraph) -> OptimizationReport:
         """Rewrite the OHM instance in place (cleanup + selection
         push-down et al.); then redeploy wherever needed."""
-        return optimize(graph)
+        return optimize(graph, obs=self.obs)
 
     def round_trip_etl(self, job: Union[Job, str]) -> Tuple[Job, MappingSet]:
         """job → mappings → job: what FastTrack does when programmers

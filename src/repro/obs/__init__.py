@@ -1,0 +1,91 @@
+"""Pipeline-wide observability: tracing, metrics, and profiling.
+
+The paper positions Orchid between an ETL monitor (section VI's
+"statistics an ETL monitor would show") and a query optimizer — both of
+which live and die by measurement. This package is the measurement
+substrate for the whole reproduction: a span-based :class:`Tracer`
+(:mod:`repro.obs.tracer`), a :class:`Metrics` registry of counters /
+gauges / timers (:mod:`repro.obs.metrics`), and the
+:class:`Observability` bundle that threads both through every layer —
+the ETL engine, the OHM executor, the stage compilers, the rewrite
+optimizer, and the deployment planners.
+
+Conventions:
+
+* every instrumented entry point accepts an optional ``obs`` argument;
+  ``None`` means :data:`NULL_OBS`, whose tracer and metrics are
+  stateless no-ops, so uninstrumented callers pay (almost) nothing;
+* one :class:`Observability` instance spans one logical pipeline run —
+  create it, pass it everywhere, then export with
+  ``obs.tracer.to_text()`` / ``obs.metrics.to_json()``;
+* span and metric names share one dotted-lowercase namespace documented
+  in ``docs/observability.md``.
+
+Usage::
+
+    from repro.obs import Observability
+
+    obs = Observability(trace=True, stats=True)
+    graph = Orchid(obs=obs).import_etl(job)
+    print(obs.tracer.to_text())    # the profile of this compile
+    print(obs.metrics.to_json())   # the monitor numbers
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Metrics, NullMetrics, NULL_METRICS
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    tracer_from_json,
+)
+
+
+class Observability:
+    """A tracer and a metrics registry travelling together.
+
+    :ivar tracer: a :class:`Tracer`, or :data:`NULL_TRACER` when
+        ``trace=False``.
+    :ivar metrics: a :class:`Metrics`, or :data:`NULL_METRICS` when
+        ``stats=False``.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, trace: bool = False, stats: bool = False):
+        self.tracer = Tracer() if trace else NULL_TRACER
+        self.metrics = Metrics() if stats else NULL_METRICS
+
+    @property
+    def enabled(self) -> bool:
+        """Whether anything at all is being recorded."""
+        return self.tracer.enabled or self.metrics.enabled
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability(trace={self.tracer.enabled}, "
+            f"stats={self.metrics.enabled})"
+        )
+
+
+#: the shared disabled default — safe to use from any number of callers
+#: concurrently because none of its components hold state.
+NULL_OBS = Observability()
+
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "tracer_from_json",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+]

@@ -1,0 +1,268 @@
+"""Span-based tracing for the translation pipeline.
+
+A :class:`Tracer` records a tree of named :class:`Span`\\ s — one per
+pipeline phase, compiled stage, executed operator … — each with
+wall-clock timing and free-form attributes. The tree mirrors the call
+structure (``compile.job`` contains one ``compile.stage.*`` span per
+stage, ``ohm.run`` contains one ``ohm.op.*`` span per operator), which is
+what makes a single quickstart run readable as a profile.
+
+Conventions:
+
+* span names are dotted lowercase paths, ``<layer>.<phase>[.<detail>]``
+  (see ``docs/observability.md`` for the full catalogue);
+* spans nest strictly: :meth:`Tracer.span` is a context manager and the
+  innermost open span is the parent of the next one opened;
+* the disabled default is :data:`NULL_TRACER`, whose :meth:`span` hands
+  back a stateless singleton — instrumented code pays one attribute
+  lookup and one no-op call, nothing else;
+* a finished trace exports as JSON (:meth:`Tracer.to_json`, round-trips
+  through :func:`tracer_from_json`) or as an indented text tree
+  (:meth:`Tracer.to_text`).
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed region: a name, attributes, children, and a duration.
+
+    :ivar name: dotted span name (``compile.stage.Filter``).
+    :ivar attrs: free-form attributes (JSON-serializable values).
+    :ivar children: spans opened while this one was the innermost.
+    """
+
+    __slots__ = ("name", "attrs", "children", "start_s", "end_s")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.children: List["Span"] = []
+        self.start_s: float = 0.0
+        self.end_s: Optional[float] = None
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with the given name, depth-first."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield self and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "seconds": self.seconds}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(data["name"], data.get("attrs"))
+        span.start_s = 0.0
+        span.end_s = float(data.get("seconds", 0.0))
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.seconds * 1000:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _SpanContext:
+    """Context manager pushing/popping one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Collects a forest of spans for one pipeline run.
+
+    Usage::
+
+        tracer = Tracer()
+        with tracer.span("compile.job", job="fig3") as outer:
+            with tracer.span("compile.stage.Filter", stage="CheckBalance"):
+                ...
+        print(tracer.to_text())
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a span; use as a context manager. The span closes (and
+        its duration freezes) when the ``with`` block exits."""
+        return _SpanContext(self, Span(name, attrs))
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+        self._stack.append(span)
+        span.start_s = perf_counter()
+
+    def _pop(self, span: Span) -> None:
+        span.end_s = perf_counter()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def find(self, name: str) -> Optional[Span]:
+        """First recorded span with the given name, depth-first."""
+        for root in self.spans:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.spans:
+            yield from root.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace": [span.to_dict() for span in self.spans]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def to_text(self) -> str:
+        """The trace as an indented tree with millisecond durations."""
+        lines: List[str] = []
+
+        def render(span: Span, depth: int) -> None:
+            attrs = ""
+            if span.attrs:
+                attrs = "  " + " ".join(
+                    f"{k}={v}" for k, v in span.attrs.items()
+                )
+            lines.append(
+                f"{'  ' * depth}{span.name}  "
+                f"[{span.seconds * 1000:.3f}ms]{attrs}"
+            )
+            for child in span.children:
+                render(child, depth + 1)
+
+        for root in self.spans:
+            render(root, 0)
+        return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+class _NullSpan:
+    """Stateless, reentrant stand-in for a span — safe as a singleton."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, Any] = {}
+    children: List[Span] = []
+    seconds = 0.0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-overhead default: every :meth:`span` call returns the
+    same stateless singleton, nothing is recorded."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def find(self, name: str) -> None:
+        return None
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+    @property
+    def spans(self) -> List[Span]:
+        return []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace": []}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_text(self) -> str:
+        return "(tracing disabled)"
+
+
+NULL_TRACER = NullTracer()
+
+
+def tracer_from_json(text: str) -> Tracer:
+    """Rebuild a (finished) tracer from its :meth:`Tracer.to_json`
+    export; durations are preserved, absolute timestamps are not."""
+    data = json.loads(text)
+    tracer = Tracer()
+    tracer.spans = [Span.from_dict(s) for s in data.get("trace", [])]
+    return tracer
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "tracer_from_json",
+]

@@ -16,10 +16,17 @@ Conventions:
   :meth:`repro.ohm.operators.Join.joined_attributes`;
 * GROUP treats NULL key values as equal (SQL GROUP BY behaviour);
 * a row whose FILTER predicate is *unknown* is dropped (SQL WHERE).
+
+Passing an :class:`~repro.obs.Observability` profiles the run: one
+``ohm.op.<KIND>`` span per executed operator under an ``ohm.run`` root,
+plus per-operator metrics ``ohm.operator.<uid>.rows_in`` /
+``.rows_out`` (counters) and ``.seconds`` (timer) — the row/timing
+numbers a query-plan monitor would show for the abstract layer.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.data.dataset import Dataset, Instance, Row
@@ -31,6 +38,7 @@ from repro.expr.evaluator import (
     evaluate_predicate,
 )
 from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
+from repro.obs import NULL_OBS, Observability
 from repro.ohm.graph import OhmGraph
 from repro.ohm.operators import (
     Filter,
@@ -52,8 +60,13 @@ from repro.schema.model import Relation
 class OhmExecutor:
     """Executes a schema-propagated OHM graph over an :class:`Instance`."""
 
-    def __init__(self, registry: Optional[FunctionRegistry] = None):
+    def __init__(
+        self,
+        registry: Optional[FunctionRegistry] = None,
+        obs: Optional[Observability] = None,
+    ):
         self.registry = registry or DEFAULT_REGISTRY
+        self._obs = obs or NULL_OBS
 
     #: the current source instance, set for the duration of :meth:`run`.
     _source_instance: Optional[Instance] = None
@@ -271,28 +284,47 @@ class OhmExecutor:
         return result
 
     def _run_impl(self, graph: OhmGraph) -> Tuple[Instance, Dict[str, Dataset]]:
+        tracer = self._obs.tracer
+        metrics = self._obs.metrics
+        observing = self._obs.enabled
         graph.propagate_schemas()
         edge_data: Dict[str, Dataset] = {}
         by_edge: Dict[Tuple[str, int], Dataset] = {}
         targets = Instance()
-        for op in graph.topological_order():
-            inputs = [
-                by_edge[(e.src, e.src_port)] for e in graph.in_edges(op.uid)
-            ]
-            out_edges = graph.out_edges(op.uid)
-            if isinstance(op, Target):
-                targets.put(self._run_target(op, inputs[0]))
-                continue
-            out_relations = [e.schema for e in out_edges]
-            outputs = self._run_operator(op, inputs, out_relations)
-            if len(outputs) != len(out_edges):
-                raise ExecutionError(
-                    f"{op.KIND} {op.uid} produced {len(outputs)} outputs for "
-                    f"{len(out_edges)} edges"
-                )
-            for edge, dataset in zip(out_edges, outputs):
-                by_edge[(edge.src, edge.src_port)] = dataset
-                edge_data[edge.name] = dataset
+        with tracer.span("ohm.run", graph=graph.name):
+            for op in graph.topological_order():
+                inputs = [
+                    by_edge[(e.src, e.src_port)] for e in graph.in_edges(op.uid)
+                ]
+                out_edges = graph.out_edges(op.uid)
+                with tracer.span(f"ohm.op.{op.KIND}", uid=op.uid) as span:
+                    started = perf_counter() if observing else 0.0
+                    if isinstance(op, Target):
+                        delivered = self._run_target(op, inputs[0])
+                        targets.put(delivered)
+                        outputs = [delivered]
+                    else:
+                        out_relations = [e.schema for e in out_edges]
+                        outputs = self._run_operator(op, inputs, out_relations)
+                        if len(outputs) != len(out_edges):
+                            raise ExecutionError(
+                                f"{op.KIND} {op.uid} produced {len(outputs)} "
+                                f"outputs for {len(out_edges)} edges"
+                            )
+                    if observing:
+                        seconds = perf_counter() - started
+                        rows_in = sum(len(d) for d in inputs)
+                        rows_out = sum(len(d) for d in outputs)
+                        span.set(rows_in=rows_in, rows_out=rows_out)
+                        prefix = f"ohm.operator.{op.uid}"
+                        metrics.count(f"{prefix}.rows_in", rows_in)
+                        metrics.count(f"{prefix}.rows_out", rows_out)
+                        metrics.observe(f"{prefix}.seconds", seconds)
+                if isinstance(op, Target):
+                    continue
+                for edge, dataset in zip(out_edges, outputs):
+                    by_edge[(edge.src, edge.src_port)] = dataset
+                    edge_data[edge.name] = dataset
         return targets, edge_data
 
 
@@ -311,18 +343,20 @@ def execute(
     graph: OhmGraph,
     instance: Instance,
     registry: Optional[FunctionRegistry] = None,
+    obs: Optional[Observability] = None,
 ) -> Instance:
     """Execute ``graph`` over ``instance``; returns the target datasets."""
-    return OhmExecutor(registry).execute(graph, instance)
+    return OhmExecutor(registry, obs=obs).execute(graph, instance)
 
 
 def execute_with_edges(
     graph: OhmGraph,
     instance: Instance,
     registry: Optional[FunctionRegistry] = None,
+    obs: Optional[Observability] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Execute and also return every intermediate edge's data by name."""
-    return OhmExecutor(registry).run(graph, instance)
+    return OhmExecutor(registry, obs=obs).run(graph, instance)
 
 
 __all__ = ["OhmExecutor", "execute", "execute_with_edges"]

@@ -52,7 +52,9 @@ class TestExecution:
         _targets, links = engine.run(job, instance)
         assert len(links["DSLink1"]) == 2
         assert len(links["DSLink2"]) == 1
-        assert engine.link_counts == {"DSLink1": 2, "DSLink2": 1}
+        assert engine.last_run.link_counts == {"DSLink1": 2, "DSLink2": 1}
+        with pytest.warns(DeprecationWarning):
+            assert engine.link_counts == {"DSLink1": 2, "DSLink2": 1}
 
     def test_run_job_with_links_helper(self, rel):
         job = simple_job(rel)

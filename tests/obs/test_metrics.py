@@ -1,0 +1,113 @@
+"""Metrics registry tests: counters, gauges, timers, exports, no-op."""
+
+import json
+
+from repro.obs import Metrics, NULL_METRICS, Observability
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        metrics = Metrics()
+        metrics.count("etl.link.DSLink1.rows", 10)
+        metrics.count("etl.link.DSLink1.rows", 5)
+        assert metrics.counter("etl.link.DSLink1.rows") == 15
+
+    def test_default_increment_is_one(self):
+        metrics = Metrics()
+        metrics.count("compile.stages")
+        metrics.count("compile.stages")
+        assert metrics.counter("compile.stages") == 2
+
+    def test_missing_counter_reads_zero(self):
+        assert Metrics().counter("never.recorded") == 0
+
+
+class TestGaugesAndTimers:
+    def test_gauge_last_write_wins(self):
+        metrics = Metrics()
+        metrics.gauge("deploy.pushdown.pushed_operators", 3)
+        metrics.gauge("deploy.pushdown.pushed_operators", 6)
+        assert metrics.gauges["deploy.pushdown.pushed_operators"] == 6
+
+    def test_observe_accumulates_count_and_total(self):
+        metrics = Metrics()
+        metrics.observe("phase.seconds", 0.25)
+        metrics.observe("phase.seconds", 0.75)
+        assert metrics.timer_stats("phase.seconds") == (2, 1.0)
+
+    def test_timer_context_manager_records_elapsed(self):
+        metrics = Metrics()
+        with metrics.timer("work.seconds"):
+            sum(range(1000))
+        count, total = metrics.timer_stats("work.seconds")
+        assert count == 1
+        assert total > 0.0
+
+
+class TestExports:
+    def test_snapshot_sections_and_sorting(self):
+        metrics = Metrics()
+        metrics.count("b.counter")
+        metrics.count("a.counter")
+        metrics.gauge("g", 1.5)
+        metrics.observe("t.seconds", 0.1)
+        snap = metrics.snapshot()
+        assert list(snap) == ["counters", "gauges", "timers"]
+        assert list(snap["counters"]) == ["a.counter", "b.counter"]
+        assert snap["timers"]["t.seconds"] == {
+            "count": 1,
+            "total_seconds": 0.1,
+        }
+
+    def test_to_json_parses_back_to_snapshot(self):
+        metrics = Metrics()
+        metrics.count("x", 3)
+        assert json.loads(metrics.to_json()) == metrics.snapshot()
+
+    def test_to_text_mentions_every_metric(self):
+        metrics = Metrics()
+        metrics.count("some.counter", 7)
+        metrics.gauge("some.gauge", 2.0)
+        metrics.observe("some.timer.seconds", 0.5)
+        text = metrics.to_text()
+        for name in ("some.counter", "some.gauge", "some.timer.seconds"):
+            assert name in text
+
+    def test_empty_registry_text(self):
+        assert Metrics().to_text() == "(no metrics recorded)"
+
+
+class TestNullMetrics:
+    def test_disabled_flag(self):
+        assert NULL_METRICS.enabled is False
+        assert Metrics().enabled is True
+
+    def test_recording_is_a_no_op(self):
+        NULL_METRICS.count("c", 5)
+        NULL_METRICS.gauge("g", 1.0)
+        NULL_METRICS.observe("t", 0.5)
+        with NULL_METRICS.timer("t2"):
+            pass
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+        }
+        assert NULL_METRICS.counter("c") == 0
+        assert NULL_METRICS.timer_stats("t") == (0, 0.0)
+
+
+class TestObservabilityBundle:
+    def test_default_is_fully_disabled(self):
+        obs = Observability()
+        assert not obs.enabled
+        assert not obs.tracer.enabled
+        assert not obs.metrics.enabled
+
+    def test_partial_enablement(self):
+        trace_only = Observability(trace=True)
+        assert trace_only.enabled
+        assert trace_only.tracer.enabled and not trace_only.metrics.enabled
+        stats_only = Observability(stats=True)
+        assert stats_only.enabled
+        assert stats_only.metrics.enabled and not stats_only.tracer.enabled

@@ -1,0 +1,123 @@
+"""Tracer tests: span nesting, the disabled no-op, JSON round-trip."""
+
+import json
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Span, Tracer, tracer_from_json
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("inner.b"):
+                pass
+        assert [s.name for s in tracer.spans] == ["outer"]
+        outer = tracer.spans[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[0].children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.spans] == ["first", "second"]
+
+    def test_durations_are_monotone(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        outer = tracer.spans[0]
+        inner = outer.children[0]
+        assert outer.seconds >= inner.seconds >= 0.0
+
+    def test_open_span_reports_zero(self):
+        span = Span("pending")
+        assert span.seconds == 0.0
+
+    def test_attributes_via_set_and_kwargs(self):
+        tracer = Tracer()
+        with tracer.span("work", job="fig3") as span:
+            span.set(rows=42)
+        assert tracer.spans[0].attrs == {"job": "fig3", "rows": 42}
+
+    def test_find_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert tracer.find("c").name == "c"
+        assert tracer.find("missing") is None
+        assert [s.name for s in tracer.walk()] == ["a", "b", "c"]
+
+    def test_to_text_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        lines = tracer.to_text().splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_tree_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("compile.job", job="q") as span:
+            span.set(operators=13)
+            with tracer.span("compile.stage.Filter", stage="NonLoans"):
+                pass
+        restored = tracer_from_json(tracer.to_json())
+        assert restored.to_dict() == tracer.to_dict()
+        assert restored.find("compile.stage.Filter").attrs == {
+            "stage": "NonLoans"
+        }
+
+    def test_json_is_parseable_and_shaped(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        doc = json.loads(tracer.to_json())
+        assert list(doc) == ["trace"]
+        assert doc["trace"][0]["name"] == "only"
+        assert doc["trace"][0]["seconds"] >= 0.0
+
+    def test_empty_tracer_round_trips(self):
+        restored = tracer_from_json(Tracer().to_json())
+        assert restored.spans == []
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_span_returns_shared_singleton(self):
+        a = NULL_TRACER.span("anything", key="value")
+        b = NULL_TRACER.span("other")
+        assert a is b is NULL_SPAN
+
+    def test_nothing_is_recorded(self):
+        with NULL_TRACER.span("outer") as span:
+            span.set(rows=1)
+            with NULL_TRACER.span("inner"):
+                pass
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.to_dict() == {"trace": []}
+        assert NULL_TRACER.find("outer") is None
+        assert list(NULL_TRACER.walk()) == []
+
+    def test_null_span_is_reentrant(self):
+        with NULL_TRACER.span("a") as outer:
+            with NULL_TRACER.span("a") as inner:
+                assert outer is inner
+
+    def test_text_and_json_exports_still_work(self):
+        assert NULL_TRACER.to_text() == "(tracing disabled)"
+        assert json.loads(NULL_TRACER.to_json()) == {"trace": []}

@@ -105,3 +105,34 @@ class TestExportOhm:
         assert document["format"] == "orchid-ohm"
         kinds = [op["kind"] for op in document["operators"]]
         assert "GROUP" in kinds and "SPLIT" in kinds
+
+
+class TestObservabilityFlags:
+    def test_trace_prints_span_tree_to_stderr(self, job_xml_path, capsys):
+        assert main(["show", job_xml_path, "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert "OHM instance" in captured.out  # primary output untouched
+        assert "compile.job" in captured.err
+        assert "compile.stage.Filter" in captured.err
+
+    def test_stats_json_goes_to_stderr_and_parses(
+        self, job_xml_path, capsys
+    ):
+        assert main(["show", job_xml_path, "--stats", "json"]) == 0
+        captured = capsys.readouterr()
+        document = json.loads(captured.err[captured.err.index("{"):])
+        assert any(
+            name.startswith("compile.phase.") for name in document["timers"]
+        )
+        assert document["counters"]["compile.stages"] == 9
+
+    def test_stats_text_sections(self, job_xml_path, capsys):
+        assert main(["optimize", job_xml_path, "--stats", "text"]) == 0
+        err = capsys.readouterr().err
+        assert "counters:" in err and "timers:" in err
+        assert "rewrite.rule." in err
+
+    def test_flags_off_by_default(self, job_xml_path, capsys):
+        assert main(["show", job_xml_path]) == 0
+        err = capsys.readouterr().err
+        assert "compile.job" not in err

@@ -7,9 +7,11 @@ sequence, the mapping text, the deployment plan, the measured series) to
 concrete reproduction evidence.
 """
 
+import json
 import os
 
 ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def record(experiment_id: str, text: str) -> str:
@@ -22,6 +24,19 @@ def record(experiment_id: str, text: str) -> str:
             handle.write("\n")
     print(f"\n--- {experiment_id} ---")
     print(text)
+    return path
+
+
+def record_baseline(name: str, payload: dict) -> str:
+    """Write a machine-readable perf baseline to the repo root as
+    ``BENCH_<name>.json`` so future PRs can regress-check against the
+    recorded numbers (ops/sec, rows/sec, speedups)."""
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n--- BENCH_{name}.json ---")
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return path
 
 

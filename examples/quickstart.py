@@ -20,6 +20,7 @@ import sys
 
 from repro import Orchid
 from repro.etl import EtlEngine
+from repro.exec import set_default_compiled
 from repro.mapping import execute_mappings
 from repro.obs import Observability
 from repro.ohm import execute
@@ -39,7 +40,15 @@ def main(argv=None) -> None:
         help="print pipeline metrics; 'json' prints ONLY the metrics "
         "document on stdout so it can be piped into a parser",
     )
+    parser.add_argument(
+        "--interpreted",
+        action="store_true",
+        help="run every engine with the tree-walking expression "
+        "interpreter (the semantic oracle) instead of the compiler",
+    )
     args = parser.parse_args(argv)
+    if args.interpreted:
+        set_default_compiled(False)
 
     obs = Observability(trace=args.trace, stats=args.stats is not None)
     # with --stats json, stdout is reserved for the metrics document

@@ -10,8 +10,10 @@
     orchid export-ohm job.xml -o g.json   # persist the abstract layer
 
 Every subcommand additionally accepts ``--trace`` (print the span tree
-of the run) and ``--stats {json,text}`` (print the metrics registry).
-Both reports go to *stderr* so the primary document on stdout stays
+of the run), ``--stats {json,text}`` (print the metrics registry), and
+``--interpreted`` (evaluate expressions with the tree-walking oracle
+instead of the compiler — see ``docs/execution.md``). Trace/stats
+reports go to *stderr* so the primary document on stdout stays
 machine-readable; see ``docs/observability.md`` for the span and metric
 naming conventions.
 """
@@ -22,6 +24,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.exec import set_default_compiled
 from repro.fasttrack.orchid import Orchid
 from repro.obs import Observability
 
@@ -57,6 +60,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--stats",
         choices=["json", "text"],
         help="print pipeline metrics (counters/gauges/timers) to stderr",
+    )
+    observability.add_argument(
+        "--interpreted",
+        action="store_true",
+        help="evaluate expressions with the tree-walking interpreter "
+        "instead of the expression compiler (the semantic oracle; "
+        "equivalent to REPRO_COMPILED=0)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -122,10 +132,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     obs = Observability(
         trace=bool(args.trace), stats=args.stats is not None
     )
+    if args.interpreted:
+        set_default_compiled(False)
     orchid = Orchid(obs=obs)
     try:
         return _dispatch(args, orchid)
     finally:
+        if args.interpreted:
+            set_default_compiled(None)
         if args.trace:
             sys.stderr.write(obs.tracer.to_text() + "\n")
         if args.stats == "json":

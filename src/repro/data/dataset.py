@@ -35,6 +35,19 @@ class Dataset:
         for row in rows:
             self.append(row, validate=validate)
 
+    @classmethod
+    def adopt(cls, relation: Relation, rows: List[Row]) -> "Dataset":
+        """Wrap a list of row dicts without copying or validating.
+
+        The caller transfers ownership: ``rows`` must be freshly built
+        dicts not aliased by anything that may mutate them (kernel
+        outputs qualify). This is the trusted materialization path the
+        compiled engines use; the interpreting oracle keeps the
+        copy-and-validate constructor."""
+        out = cls(relation)
+        out._rows = rows
+        return out
+
     @property
     def relation(self) -> Relation:
         return self._relation

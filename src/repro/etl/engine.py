@@ -24,6 +24,7 @@ from repro.data.dataset import Dataset, Instance
 from repro.errors import ExecutionError
 from repro.etl.model import Job
 from repro.etl.stages.access import TableSource, TableTarget
+from repro.exec import ExpressionPlanner, resolve_compiled
 from repro.obs import NULL_OBS, Observability
 
 
@@ -62,8 +63,16 @@ class EtlEngine:
     snapshot — each run's numbers replace the previous run's wholesale.
     """
 
-    def __init__(self, obs: Optional[Observability] = None):
+    def __init__(
+        self,
+        obs: Optional[Observability] = None,
+        compiled: Optional[bool] = None,
+    ):
         self._obs = obs or NULL_OBS
+        #: whether stages lower expressions through the compiler
+        #: (``False`` falls back to the interpreting oracle; ``None``
+        #: at the constructor meant the process default).
+        self.compiled = resolve_compiled(compiled)
         #: statistics of the most recently *completed* run.
         self.last_run: EtlRunStats = EtlRunStats()
 
@@ -96,6 +105,9 @@ class EtlEngine:
         observing = self._obs.enabled
         stats = EtlRunStats()
         instance = instance or Instance()
+        # one planner per run: expressions shared by several stages are
+        # lowered once, and the job's own registry is captured
+        planner = ExpressionPlanner(job.registry, self.compiled)
         job.propagate_schemas()
         by_port: Dict[Tuple[str, int], Dataset] = {}
         link_data: Dict[str, Dataset] = {}
@@ -110,7 +122,7 @@ class EtlEngine:
                 ) as span:
                     started = perf_counter() if observing else 0.0
                     if isinstance(stage, TableTarget):
-                        delivered = stage.load(inputs[0])
+                        delivered = stage.load(inputs[0], trusted=self.compiled)
                         targets.put(delivered)
                         outputs = []
                     elif isinstance(stage, TableSource):
@@ -120,9 +132,18 @@ class EtlEngine:
                         ]
                     else:
                         out_relations = [e.schema for e in out_edges]
-                        outputs = stage.execute(
-                            inputs, out_relations, job.registry
-                        )
+                        if stage.supports_compiled:
+                            outputs = stage.execute(
+                                inputs,
+                                out_relations,
+                                job.registry,
+                                planner=planner,
+                                obs=self._obs,
+                            )
+                        else:
+                            outputs = stage.execute(
+                                inputs, out_relations, job.registry
+                            )
                         if len(outputs) != len(out_edges):
                             raise ExecutionError(
                                 f"{stage.STAGE_TYPE} {stage.name!r} produced "
@@ -157,18 +178,20 @@ def run_job(
     job: Job,
     instance: Optional[Instance] = None,
     obs: Optional[Observability] = None,
+    compiled: Optional[bool] = None,
 ) -> Instance:
     """Convenience: run ``job`` and return the target datasets."""
-    return EtlEngine(obs=obs).execute(job, instance)
+    return EtlEngine(obs=obs, compiled=compiled).execute(job, instance)
 
 
 def run_job_with_links(
     job: Job,
     instance: Optional[Instance] = None,
     obs: Optional[Observability] = None,
+    compiled: Optional[bool] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Run ``job`` returning targets plus every link's dataset."""
-    return EtlEngine(obs=obs).run(job, instance)
+    return EtlEngine(obs=obs, compiled=compiled).run(job, instance)
 
 
 __all__ = ["EtlEngine", "EtlRunStats", "run_job", "run_job_with_links"]

@@ -53,6 +53,12 @@ class Stage:
     min_outputs = 1
     max_outputs: Optional[int] = 1
 
+    #: Stages that dispatch onto :mod:`repro.exec.kernels` set this True;
+    #: the engine then passes them its shared ``planner``/``obs`` via
+    #: keyword. It stays False on the base class so user-defined stages
+    #: with the historical three-argument ``execute`` keep working.
+    supports_compiled = False
+
     def __init__(
         self,
         name: Optional[str] = None,
@@ -109,8 +115,15 @@ class Stage:
         inputs: Sequence[Dataset],
         out_relations: Sequence[Relation],
         registry: FunctionRegistry,
+        planner=None,
+        obs=None,
     ) -> List[Dataset]:
-        """Row semantics of the stage; one dataset per output link."""
+        """Row semantics of the stage; one dataset per output link.
+
+        ``planner`` (an :class:`~repro.exec.ExpressionPlanner`) and
+        ``obs`` are supplied by the engine to stages that declare
+        :attr:`supports_compiled`; a stage invoked directly without them
+        builds its own planner from ``registry``."""
         raise NotImplementedError
 
     # serialization interface ------------------------------------------------------

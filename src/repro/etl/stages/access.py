@@ -107,10 +107,20 @@ class TableTarget(Stage):
     def output_relations(self, inputs, out_names):
         return []
 
-    def load(self, data: Dataset) -> Dataset:
+    def load(self, data: Dataset, trusted: bool = False) -> Dataset:
+        """Deliver ``data`` into the target relation.
+
+        ``trusted`` skips the per-row type re-validation (the compiled
+        engine's fast path — upstream kernels already shaped the rows);
+        the default checked path is what the interpreting oracle runs."""
+        names = self.relation.attribute_names
+        if trusted:
+            return Dataset.adopt(
+                self.relation, [{n: row.get(n) for n in names} for row in data]
+            )
         result = Dataset(self.relation)
         for row in data:
-            result.append({a.name: row.get(a.name) for a in self.relation})
+            result.append({n: row.get(n) for n in names})
         return result
 
     def execute(self, inputs, out_relations, registry):
@@ -162,8 +172,8 @@ class SequentialFileTarget(TableTarget):
         super().__init__(relation, **kwargs)
         self.path = path
 
-    def load(self, data: Dataset) -> Dataset:
-        result = super().load(data)
+    def load(self, data: Dataset, trusted: bool = False) -> Dataset:
+        result = super().load(data, trusted=trusted)
         write_csv(result, self.path)
         return result
 

@@ -19,8 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.data.dataset import Dataset
 from repro.errors import ValidationError
 from repro.etl.model import Stage
+from repro.exec import ExpressionPlanner, kernels
 from repro.expr.ast import Expr, Literal
-from repro.expr.evaluator import Environment, evaluate, evaluate_predicate
 from repro.expr.parser import parse
 from repro.expr.typecheck import TypeContext, check_boolean
 from repro.schema.model import Relation
@@ -78,6 +78,7 @@ class FilterStage(Stage):
     STAGE_TYPE = "Filter"
     min_outputs = 1
     max_outputs = None
+    supports_compiled = True
 
     def __init__(
         self,
@@ -134,25 +135,33 @@ class FilterStage(Stage):
                 relations.append(Relation(name, attrs))
         return relations
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
-        results = [Dataset(rel, validate=False) for rel in out_relations]
-        for row in data:
-            env = Environment(row).bind(data.relation.name, row)
-            matched_any = False
-            for i, output in enumerate(self.outputs):
-                if output.reject:
-                    continue
-                if matched_any and self.row_only_once:
-                    break
-                if evaluate_predicate(output.where, env, registry):
-                    matched_any = True
-                    results[i].append(self._project(output, row), validate=False)
-            if not matched_any:
-                for i, output in enumerate(self.outputs):
-                    if output.reject:
-                        results[i].append(self._project(output, row), validate=False)
-        return results
+        planner = planner or ExpressionPlanner(registry)
+        has_predicates = any(not o.reject for o in self.outputs)
+        specs = []
+        for output in self.outputs:
+            if output.reject:
+                # with no predicate outputs at all, a lone reject link
+                # receives every row
+                specs.append(("fallback" if has_predicates else "always", None))
+            else:
+                specs.append(("pred", planner.predicate(output.where)))
+        routed = kernels.route_rows(
+            data.rows,
+            specs,
+            kernels.row_binder(data.relation.name),
+            only_once=self.row_only_once,
+            obs=obs,
+        )
+        return [
+            planner.materialize(
+                rel,
+                [self._project(output, row) for row in rows],
+                fresh=True,
+            )
+            for output, rows, rel in zip(self.outputs, routed, out_relations)
+        ]
 
     @staticmethod
     def _project(output: FilterOutput, row) -> dict:
@@ -183,6 +192,7 @@ class SwitchStage(Stage):
     STAGE_TYPE = "Switch"
     min_outputs = 1
     max_outputs = None
+    supports_compiled = True
 
     def __init__(
         self,
@@ -221,21 +231,21 @@ class SwitchStage(Stage):
         (incoming,) = inputs
         return [incoming.renamed(name) for name in out_names]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
-        results = [Dataset(rel, validate=False) for rel in out_relations]
-        for row in data:
-            env = Environment(row).bind(data.relation.name, row)
-            value = evaluate(self.selector, env, registry)
-            routed = False
-            for i, case in enumerate(self.cases):
-                if value == case:
-                    results[i].append(dict(row), validate=False)
-                    routed = True
-                    break
-            if not routed and self.has_default:
-                results[-1].append(dict(row), validate=False)
-        return results
+        planner = planner or ExpressionPlanner(registry)
+        routed = kernels.switch_rows(
+            data.rows,
+            planner.scalar(self.selector),
+            self.cases,
+            self.has_default,
+            kernels.row_binder(data.relation.name),
+            obs=obs,
+        )
+        return [
+            planner.materialize(rel, [dict(row) for row in rows], fresh=True)
+            for rows, rel in zip(routed, out_relations)
+        ]
 
     def to_config(self):
         return {
@@ -252,6 +262,7 @@ class CopyStage(Stage):
     STAGE_TYPE = "Copy"
     min_outputs = 1
     max_outputs = None
+    supports_compiled = True
 
     def __init__(
         self,
@@ -293,16 +304,17 @@ class CopyStage(Stage):
                 relations.append(incoming.project(cols, name))
         return relations
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
+        planner = planner or ExpressionPlanner(registry)
         results = []
         for rel in out_relations:
             names = rel.attribute_names
             results.append(
-                Dataset(
+                planner.materialize(
                     rel,
                     [{n: row[n] for n in names} for row in data],
-                    validate=False,
+                    fresh=True,
                 )
             )
         return results
@@ -317,6 +329,7 @@ class FunnelStage(Stage):
     STAGE_TYPE = "Funnel"
     min_inputs = 2
     max_inputs = None
+    supports_compiled = True
 
     def validate(self, inputs: Sequence[Relation]) -> None:
         first = inputs[0]
@@ -330,13 +343,13 @@ class FunnelStage(Stage):
     def output_relations(self, inputs, out_names):
         return [inputs[0].renamed(out_names[0])]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         out = out_relations[0]
-        names = out.attribute_names
-        rows = []
-        for data in inputs:
-            rows.extend({n: row[n] for n in names} for row in data)
-        return [Dataset(out, rows, validate=False)]
+        planner = planner or ExpressionPlanner(registry)
+        rows = kernels.union_rows(
+            [data.rows for data in inputs], out.attribute_names, obs=obs
+        )
+        return [planner.materialize(out, rows, fresh=True)]
 
 
 class PeekStage(Stage):

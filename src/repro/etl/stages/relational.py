@@ -14,13 +14,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.data.dataset import Dataset
 from repro.errors import ValidationError
 from repro.etl.model import Stage
+from repro.exec import ExpressionPlanner, kernels
 from repro.expr.algebra import conjoin
 from repro.expr.ast import AggregateCall, BinaryOp, ColumnRef, Expr
-from repro.expr.evaluator import (
-    Environment,
-    evaluate_aggregate,
-    evaluate_predicate,
-)
 from repro.expr.parser import parse
 from repro.expr.typecheck import TypeContext, check_boolean, infer_type
 from repro.ohm.operators import Join as OhmJoin
@@ -42,6 +38,7 @@ class JoinStage(Stage):
     STAGE_TYPE = "Join"
     min_inputs = 2
     max_inputs = 2
+    supports_compiled = True
 
     def __init__(
         self,
@@ -151,9 +148,7 @@ class JoinStage(Stage):
             attrs.append(attr)
         return [Relation(out_names[0], attrs)]
 
-    def execute(self, inputs, out_relations, registry):
-        from repro.ohm.joinexec import join_rows
-
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         left, right = inputs
         condition = self.effective_condition(left.relation, right.relation)
         plan = self.merged_columns(left.relation, right.relation)
@@ -165,8 +160,9 @@ class JoinStage(Stage):
                 merged[out_name] = None if row is None else row[source]
             return merged
 
-        result = Dataset(out_relations[0], validate=False)
-        join_rows(
+        planner = planner or ExpressionPlanner(registry)
+        rows: list = []
+        kernels.hash_join(
             left.rows,
             right.rows,
             left.relation,
@@ -174,10 +170,11 @@ class JoinStage(Stage):
             condition,
             self.join_type,
             merge,
-            lambda row: result.append(row, validate=False),
-            registry,
+            rows.append,
+            planner,
+            obs=obs,
         )
-        return [result]
+        return [planner.materialize(out_relations[0], rows, fresh=True)]
 
     def to_config(self):
         return {
@@ -196,6 +193,7 @@ class LookupStage(Stage):
     STAGE_TYPE = "Lookup"
     min_inputs = 2
     max_inputs = 2
+    supports_compiled = True
 
     def __init__(
         self,
@@ -244,16 +242,17 @@ class LookupStage(Stage):
             attrs.append(attr.as_nullable() if nullable else attr)
         return [Relation(out_names[0], attrs)]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         from repro.errors import ExecutionError
 
         stream, reference = inputs
+        planner = planner or ExpressionPlanner(registry)
         returned = self._returned(reference.relation)
         index: Dict[tuple, dict] = {}
         for row in reference:
             key = tuple(row[r] for _s, r in self.keys)
             index.setdefault(key, row)  # first match wins
-        result = Dataset(out_relations[0], validate=False)
+        rows: List[dict] = []
         for row in stream:
             key = tuple(row[s] for s, _r in self.keys)
             hit = index.get(key)
@@ -269,8 +268,8 @@ class LookupStage(Stage):
             else:
                 out_row = dict(row)
                 out_row.update({c: hit[c] for c in returned})
-            result.append(out_row, validate=False)
-        return [result]
+            rows.append(out_row)
+        return [planner.materialize(out_relations[0], rows, fresh=True)]
 
     def to_config(self):
         return {
@@ -286,6 +285,7 @@ class AggregatorStage(Stage):
     performs pure duplicate grouping (each distinct key once)."""
 
     STAGE_TYPE = "Aggregator"
+    supports_compiled = True
 
     def __init__(
         self,
@@ -339,25 +339,19 @@ class AggregatorStage(Stage):
             attrs.append(Attribute(out, dtype, nullable=nullable))
         return [Relation(out_names[0], attrs)]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
-        groups: Dict[tuple, List[dict]] = {}
-        order: List[tuple] = []
-        for row in data:
-            key = tuple(_key_value(row[k]) for k in self.group_keys)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(row)
-        calls = self.aggregate_calls()
-        result = Dataset(out_relations[0], validate=False)
-        for key in order:
-            members = groups[key]
-            out_row = {k: members[0][k] for k in self.group_keys}
-            for out, call in calls:
-                out_row[out] = evaluate_aggregate(call, members, registry)
-            result.append(out_row, validate=False)
-        return [result]
+        planner = planner or ExpressionPlanner(registry)
+        rows = kernels.group_aggregate_rows(
+            data.rows,
+            self.group_keys,
+            [
+                (out, planner.aggregate(call))
+                for out, call in self.aggregate_calls()
+            ],
+            obs=obs,
+        )
+        return [planner.materialize(out_relations[0], rows, fresh=True)]
 
     def to_config(self):
         return {
@@ -375,20 +369,11 @@ class AggregatorStage(Stage):
         )
 
 
-def _key_value(value) -> tuple:
-    if value is None:
-        return ("null",)
-    if isinstance(value, bool):
-        return ("bool", value)
-    if isinstance(value, (int, float)):
-        return ("num", float(value))
-    return (type(value).__name__, str(value))
-
-
 class SortStage(Stage):
     """Stable multi-key sort; NULLs first ascending, last descending."""
 
     STAGE_TYPE = "Sort"
+    supports_compiled = True
 
     def __init__(self, keys: Sequence[Tuple[str, str]], **kwargs):
         super().__init__(**kwargs)
@@ -410,16 +395,11 @@ class SortStage(Stage):
         (incoming,) = inputs
         return [incoming.renamed(out_names[0])]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
-        rows = [dict(r) for r in data]
-        # stable sort by applying keys right-to-left
-        for col, direction in reversed(self.keys):
-            rows.sort(
-                key=lambda r: _sort_value(r[col], direction == "desc"),
-                reverse=(direction == "desc"),
-            )
-        return [Dataset(out_relations[0], rows, validate=False)]
+        planner = planner or ExpressionPlanner(registry)
+        rows = kernels.sort_rows(data.rows, self.keys, obs=obs)
+        return [planner.materialize(out_relations[0], rows, fresh=True)]
 
     def to_config(self):
         return {"keys": [list(k) for k in self.keys]}
@@ -433,23 +413,13 @@ class SortStage(Stage):
         )
 
 
-def _sort_value(value, descending: bool):
-    # None sorts first ascending / last descending under reverse
-    if value is None:
-        return (0 if not descending else 0, "", "")
-    if isinstance(value, bool):
-        return (1, "bool", value)
-    if isinstance(value, (int, float)):
-        return (1, "num", float(value))
-    return (1, type(value).__name__, str(value))
-
-
 class RemoveDuplicatesStage(Stage):
     """Keeps one row per key (first or last occurrence) — a
     duplicate-eliminating stage, hence a composition blocker on the
     mapping side, like GROUP."""
 
     STAGE_TYPE = "RemoveDuplicates"
+    supports_compiled = True
 
     def __init__(self, keys: Sequence[str], retain: str = "first", **kwargs):
         super().__init__(**kwargs)
@@ -470,24 +440,11 @@ class RemoveDuplicatesStage(Stage):
         (incoming,) = inputs
         return [incoming.renamed(out_names[0])]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
-        chosen: Dict[tuple, dict] = {}
-        order: List[tuple] = []
-        for row in data:
-            key = tuple(_key_value(row[k]) for k in self.keys)
-            if key not in chosen:
-                order.append(key)
-                chosen[key] = row
-            elif self.retain == "last":
-                chosen[key] = row
-        return [
-            Dataset(
-                out_relations[0],
-                [dict(chosen[k]) for k in order],
-                validate=False,
-            )
-        ]
+        planner = planner or ExpressionPlanner(registry)
+        rows = kernels.dedup_rows(data.rows, self.keys, self.retain, obs=obs)
+        return [planner.materialize(out_relations[0], rows, fresh=True)]
 
     def to_config(self):
         return {"keys": self.keys, "retain": self.retain}

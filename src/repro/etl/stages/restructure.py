@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.data.dataset import Dataset
 from repro.errors import ValidationError
 from repro.etl.model import Stage
+from repro.exec import ExpressionPlanner, kernels
 from repro.schema.model import Attribute, Relation
 from repro.schema.types import RecordType, SetType
 
@@ -26,6 +27,7 @@ class CombineRecords(Stage):
     """Nest: group by ``keys``, pack ``nested`` columns into ``into``."""
 
     STAGE_TYPE = "CombineRecords"
+    supports_compiled = True
 
     def __init__(
         self,
@@ -63,25 +65,13 @@ class CombineRecords(Stage):
         attrs.append(Attribute(self.into, SetType(element), nullable=False))
         return [Relation(out_names[0], attrs)]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
-        groups: Dict[tuple, List[dict]] = {}
-        order: List[tuple] = []
-        for row in data:
-            key = tuple(_key_value(row[k]) for k in self.keys)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(row)
-        result = Dataset(out_relations[0], validate=False)
-        for key in order:
-            members = groups[key]
-            out_row = {k: members[0][k] for k in self.keys}
-            out_row[self.into] = [
-                {c: member[c] for c in self.nested} for member in members
-            ]
-            result.append(out_row, validate=False)
-        return [result]
+        planner = planner or ExpressionPlanner(registry)
+        rows = kernels.nest_rows(
+            data.rows, self.keys, self.nested, self.into, obs=obs
+        )
+        return [planner.materialize(out_relations[0], rows, fresh=True)]
 
     def to_config(self):
         return {"keys": self.keys, "nested": self.nested, "into": self.into}
@@ -92,6 +82,7 @@ class PromoteSubrecord(Stage):
     whose set is empty (or NULL) produce no output rows."""
 
     STAGE_TYPE = "PromoteSubrecord"
+    supports_compiled = True
 
     def __init__(self, attr: str, **kwargs):
         super().__init__(**kwargs)
@@ -114,29 +105,15 @@ class PromoteSubrecord(Stage):
         attrs += [Attribute(name, dtype) for name, dtype in element.fields]
         return [Relation(out_names[0], attrs)]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
+        planner = planner or ExpressionPlanner(registry)
         scalars = [a.name for a in data.relation if a.name != self.attr]
-        result = Dataset(out_relations[0], validate=False)
-        for row in data:
-            for element in row.get(self.attr) or []:
-                out_row = {n: row[n] for n in scalars}
-                out_row.update(element)
-                result.append(out_row, validate=False)
-        return [result]
+        rows = kernels.unnest_rows(data.rows, self.attr, scalars, obs=obs)
+        return [planner.materialize(out_relations[0], rows, fresh=True)]
 
     def to_config(self):
         return {"attr": self.attr}
-
-
-def _key_value(value) -> tuple:
-    if value is None:
-        return ("null",)
-    if isinstance(value, bool):
-        return ("bool", value)
-    if isinstance(value, (int, float)):
-        return ("num", float(value))
-    return (type(value).__name__, str(value))
 
 
 __all__ = ["CombineRecords", "PromoteSubrecord"]

@@ -14,8 +14,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.data.dataset import Dataset
 from repro.errors import ValidationError
 from repro.etl.model import Stage
+from repro.exec import ExpressionPlanner, kernels
 from repro.expr.ast import Expr
-from repro.expr.evaluator import Environment, evaluate, evaluate_predicate
+from repro.expr.evaluator import Environment
 from repro.expr.parser import parse
 from repro.expr.typecheck import TypeContext, check_boolean, infer_type
 from repro.schema.model import Attribute, Relation
@@ -76,6 +77,7 @@ class Transformer(Stage):
     STAGE_TYPE = "Transformer"
     min_outputs = 1
     max_outputs = None
+    supports_compiled = True
 
     def __init__(
         self,
@@ -151,46 +153,52 @@ class Transformer(Stage):
             relations.append(Relation(name, attrs))
         return relations
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
-        results = [Dataset(rel, validate=False) for rel in out_relations]
-        constrained = [
-            i for i, link in enumerate(self.outputs) if link.constraint is not None
+        planner = planner or ExpressionPlanner(registry)
+        relation_name = data.relation.name
+        var_fns = [
+            (name, planner.scalar(expr)) for name, expr in self.stage_variables
         ]
-        otherwise_index = next(
-            (i for i, link in enumerate(self.outputs) if link.otherwise), None
-        )
-        for row in data:
-            env = Environment(dict(row)).bind(data.relation.name, row)
-            for name, expr in self.stage_variables:
-                env.bindings[None][name] = evaluate(expr, env, registry)
-            matched_any = False
-            for i, link in enumerate(self.outputs):
-                if link.otherwise:
-                    continue
-                if link.constraint is not None and not evaluate_predicate(
-                    link.constraint, env, registry
-                ):
-                    continue
-                if link.constraint is not None:
-                    matched_any = True
-                results[i].append(
-                    {
-                        col: evaluate(expr, env, registry)
+
+        # one environment per row: the anonymous binding is a copy of the
+        # row augmented with the stage variables (computed top-down, so a
+        # variable may reference earlier ones); the link-qualified binding
+        # stays the raw input row
+        envs = []
+        for row in data.rows:
+            env = Environment(dict(row)).bind(relation_name, row)
+            anon = env.bindings[None]
+            for name, fn in var_fns:
+                anon[name] = fn(env)
+            envs.append(env)
+
+        specs = []
+        for link in self.outputs:
+            if link.otherwise:
+                specs.append(("fallback", None))
+            elif link.constraint is None:
+                specs.append(("always", None))
+            else:
+                specs.append(("pred", planner.predicate(link.constraint)))
+        routed = kernels.route_rows(envs, specs, obs=obs)
+        return [
+            planner.materialize(
+                rel,
+                kernels.project_rows(
+                    link_envs,
+                    [
+                        (col, planner.scalar(expr))
                         for col, expr in link.derivations
-                    },
-                    validate=False,
-                )
-            if otherwise_index is not None and constrained and not matched_any:
-                link = self.outputs[otherwise_index]
-                results[otherwise_index].append(
-                    {
-                        col: evaluate(expr, env, registry)
-                        for col, expr in link.derivations
-                    },
-                    validate=False,
-                )
-        return results
+                    ],
+                    obs=obs,
+                ),
+                fresh=True,
+            )
+            for link, link_envs, rel in zip(
+                self.outputs, routed, out_relations
+            )
+        ]
 
     def to_config(self):
         return {

@@ -1,0 +1,175 @@
+"""repro.exec — the shared compiled execution core.
+
+Every runtime in the reproduction (the OHM engine, the ETL stages, the
+mapping executor) dispatches row work onto :mod:`repro.exec.kernels`
+and lowers expressions through an :class:`ExpressionPlanner`, so the
+operator semantics of the paper's abstract model are implemented
+exactly once.
+
+The planner has two strategies:
+
+* ``compiled=True`` (the default) — expressions are lowered once per
+  operator by :mod:`repro.exec.compile_expr` into plain Python
+  closures;
+* ``compiled=False`` — each closure defers to the tree-walking
+  interpreter (:mod:`repro.expr.evaluator`), the semantic oracle.
+
+The default is process-wide: :func:`set_default_compiled` overrides it
+programmatically (the CLI's ``--interpreted`` flag), and the
+``REPRO_COMPILED`` environment variable overrides it from outside
+(``REPRO_COMPILED=0`` keeps CI's oracle runs green). Engine
+constructors accept ``compiled=None`` meaning "use the default".
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+from repro.data.dataset import Dataset
+from repro.expr.ast import AggregateCall, Expr
+from repro.expr.evaluator import (
+    Environment,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_predicate,
+)
+from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
+
+from repro.exec.compile_expr import (
+    compile_aggregate,
+    compile_expr,
+    compile_predicate,
+    is_foldable,
+)
+from repro.exec import kernels
+
+_FALSE_VALUES = ("0", "false", "no", "off")
+
+_default_compiled: Optional[bool] = None
+
+
+def default_compiled() -> bool:
+    """The process-wide compiled-mode default: a
+    :func:`set_default_compiled` override wins, else the
+    ``REPRO_COMPILED`` environment variable, else True."""
+    if _default_compiled is not None:
+        return _default_compiled
+    raw = os.environ.get("REPRO_COMPILED")
+    if raw is not None and raw.strip().lower() in _FALSE_VALUES:
+        return False
+    return True
+
+
+def set_default_compiled(value: Optional[bool]) -> None:
+    """Override the process-wide compiled default (None restores the
+    environment-variable/True resolution)."""
+    global _default_compiled
+    _default_compiled = value
+
+
+def resolve_compiled(value: Optional[bool]) -> bool:
+    """Resolve an engine constructor's ``compiled`` argument: an
+    explicit True/False wins, None means the process default."""
+    return default_compiled() if value is None else bool(value)
+
+
+class ExpressionPlanner:
+    """Lowers expressions to per-member closures for the kernels.
+
+    One planner is built per run (or per operator batch) and caches the
+    lowered closure per expression identity (`Expr.key()`), so an
+    expression shared by several operators is lowered once. The
+    ``compiled`` strategy decides whether lowering means real
+    compilation or a thin wrapper over the interpreter — kernels never
+    know the difference, which is what keeps ``compiled=False`` an
+    everything-else-equal semantic oracle.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[FunctionRegistry] = None,
+        compiled: Optional[bool] = None,
+    ) -> None:
+        self.registry = registry or DEFAULT_REGISTRY
+        self.compiled = resolve_compiled(compiled)
+        self._scalars: dict = {}
+        self._predicates: dict = {}
+        self._aggregates: dict = {}
+
+    def scalar(self, expr: Expr) -> Callable[[Any], Any]:
+        """An ``env → value`` closure for ``expr``."""
+        key = expr.key()
+        fn = self._scalars.get(key)
+        if fn is None:
+            if self.compiled:
+                # kernels always bind real Environments, so dispatch the
+                # raw compiled body (no bare-mapping conversion per call)
+                fn = compile_expr(expr, self.registry).raw
+            else:
+                registry = self.registry
+
+                def fn(env, _expr=expr, _registry=registry):
+                    return evaluate(_expr, env, _registry)
+
+            self._scalars[key] = fn
+        return fn
+
+    def predicate(self, expr: Expr) -> Callable[[Any], bool]:
+        """An ``env → bool`` closure with SQL WHERE semantics (unknown
+        filters out)."""
+        key = expr.key()
+        fn = self._predicates.get(key)
+        if fn is None:
+            if self.compiled:
+                fn = compile_predicate(expr, self.registry).raw
+            else:
+                registry = self.registry
+
+                def fn(env, _expr=expr, _registry=registry):
+                    return evaluate_predicate(_expr, env, _registry)
+
+            self._predicates[key] = fn
+        return fn
+
+    def materialize(self, relation, rows, fresh: bool = False):
+        """Materialize kernel output ``rows`` as a Dataset.
+
+        The compiled strategy adopts ``fresh`` row lists wholesale (the
+        kernels built them, nothing else aliases them); the interpreting
+        oracle always goes through the legacy copy-per-row constructor,
+        so ``compiled=False`` reproduces the original engines'
+        materialization behaviour exactly."""
+        if self.compiled and fresh and isinstance(rows, list):
+            return Dataset.adopt(relation, rows)
+        return Dataset(relation, rows, validate=False)
+
+    def aggregate(self, agg: AggregateCall) -> Callable[[list], Any]:
+        """A ``members → value`` closure over a group of rows or
+        environments."""
+        key = agg.key()
+        fn = self._aggregates.get(key)
+        if fn is None:
+            if self.compiled:
+                fn = compile_aggregate(agg, self.registry)
+            else:
+                registry = self.registry
+
+                def fn(members, _agg=agg, _registry=registry):
+                    return evaluate_aggregate(_agg, members, _registry)
+
+            self._aggregates[key] = fn
+        return fn
+
+
+__all__ = [
+    "ExpressionPlanner",
+    "compile_aggregate",
+    "compile_expr",
+    "compile_predicate",
+    "default_compiled",
+    "is_foldable",
+    "kernels",
+    "resolve_compiled",
+    "set_default_compiled",
+]

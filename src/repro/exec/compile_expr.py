@@ -1,0 +1,494 @@
+"""Expression compiler: lower an AST to a Python closure, once.
+
+The row-at-a-time interpreter (:func:`repro.expr.evaluator.evaluate`)
+re-dispatches on node types, rebuilds argument lists, and re-looks-up
+registry functions *per row*. Every hot path in the reproduction —
+the OHM engine, the ETL stages, the mapping executor — evaluates the
+same expression over thousands of rows, so this module performs that
+dispatch exactly once and returns a closure evaluating the expression
+against an :class:`~repro.expr.evaluator.Environment` (or a bare row
+mapping).
+
+Guarantees, enforced by ``tests/exec/test_parity.py``:
+
+* **value parity** — for every expression and environment,
+  ``compile_expr(e)(env) == evaluate(e, env)`` including SQL
+  three-valued logic (``None`` as NULL/unknown);
+* **error parity** — inputs on which the interpreter raises
+  :class:`~repro.errors.EvaluationError` raise it here too.
+
+The interpreter stays the *semantic oracle*: the compiled closures call
+into the evaluator's own helpers (``_compare``, ``_arith``, three-valued
+AND/OR) so the NULL rules live in exactly one place, and every runtime
+accepts ``compiled=False`` to fall back to the oracle wholesale.
+
+Compile-time work:
+
+* **constant folding** — a sub-expression without column references,
+  aggregates, or function calls (functions may be user-registered and
+  impure) is evaluated once and becomes a constant closure;
+* **column binding** — a :class:`ColumnRef` compiles to a direct
+  dictionary probe of the environment's bindings, falling back to the
+  full :meth:`Environment.lookup` resolution (qualifier fall-through,
+  ambiguity detection) only on a miss;
+* **registry capture** — function implementations, their NULL
+  propagation mode, and arity checks are resolved at compile time;
+* **pattern compilation** — a LIKE against a literal pattern captures
+  its compiled regex.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import EvaluationError
+from repro.expr.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.expr.evaluator import (
+    _LIKE_CACHE,
+    Environment,
+    _and3,
+    _arith,
+    _as_bool,
+    _check_comparable,
+    _is_number,
+    _like_to_regex,
+    _or3,
+    evaluate,
+)
+from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
+
+#: A compiled expression body: Environment → value.
+CompiledBody = Callable[[Environment], Any]
+
+_COMPARATORS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def is_foldable(expr: Expr) -> bool:
+    """True when ``expr`` can be evaluated at compile time: no column
+    references, no aggregates, and no function calls (registered
+    functions are treated as potentially impure)."""
+    for node in expr.walk():
+        if isinstance(node, (ColumnRef, AggregateCall, FunctionCall)):
+            return False
+    return True
+
+
+def compile_expr(
+    expr: Expr,
+    registry: Optional[FunctionRegistry] = None,
+    fold_constants: bool = True,
+) -> Callable[["Environment | Mapping"], Any]:
+    """Compile ``expr`` into a closure over an environment (or a bare
+    row mapping). The closure returns exactly what
+    :func:`~repro.expr.evaluator.evaluate` would."""
+    registry = registry or DEFAULT_REGISTRY
+    body = _compile(expr, registry, fold_constants)
+
+    def compiled(env):
+        if not isinstance(env, Environment):
+            env = Environment(env)
+        return body(env)
+
+    compiled.expr = expr  # for debugging / introspection
+    # the raw body skips the bare-mapping conversion above; planners hand
+    # it straight to the kernels, which always bind real Environments
+    compiled.raw = body
+    return compiled
+
+
+def compile_predicate(
+    expr: Expr,
+    registry: Optional[FunctionRegistry] = None,
+    fold_constants: bool = True,
+) -> Callable[["Environment | Mapping"], bool]:
+    """Compile a boolean expression for a filtering boundary: the closure
+    returns True only when the predicate is definitely true (SQL WHERE
+    semantics — unknown filters out)."""
+    registry = registry or DEFAULT_REGISTRY
+    body = _compile(expr, registry, fold_constants)
+
+    def predicate(env):
+        if not isinstance(env, Environment):
+            env = Environment(env)
+        return body(env) is True
+
+    def raw(env):
+        return body(env) is True
+
+    predicate.expr = expr
+    predicate.raw = raw
+    return predicate
+
+
+def compile_aggregate(
+    agg: AggregateCall,
+    registry: Optional[FunctionRegistry] = None,
+    fold_constants: bool = True,
+) -> Callable[[list], Any]:
+    """Compile an aggregate call into a closure over a *group* — a list
+    of rows or :class:`Environment` members. Mirrors
+    :func:`~repro.expr.evaluator.evaluate_aggregate`: NULL inputs are
+    skipped, SUM/AVG/MIN/MAX over an empty (or all-NULL) group yield
+    NULL, COUNT yields 0, ``COUNT(*)`` counts all members."""
+    if agg.arg is None:  # COUNT(*)
+        return len
+    arg = compile_expr(agg.arg, registry, fold_constants)
+    func = agg.func
+    distinct = agg.distinct
+
+    if func in ("FIRST", "LAST"):
+        take_first = func == "FIRST"
+
+        def order_sensitive(members):
+            if not members:
+                return None
+            return arg(members[0] if take_first else members[-1])
+
+        return order_sensitive
+
+    def aggregate(members):
+        values = []
+        for member in members:
+            value = arg(member)
+            if value is not None:
+                values.append(value)
+        if distinct:
+            deduped = []
+            for value in values:
+                if value not in deduped:
+                    deduped.append(value)
+            values = deduped
+        if func == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if func == "SUM":
+            return sum(values)
+        if func == "AVG":
+            return sum(values) / len(values)
+        if func == "MIN":
+            return min(values)
+        if func == "MAX":
+            return max(values)
+        raise EvaluationError(f"unknown aggregate {func!r}")
+
+    return aggregate
+
+
+# -- node lowering ------------------------------------------------------------
+
+
+def _compile(
+    expr: Expr, registry: FunctionRegistry, fold: bool
+) -> CompiledBody:
+    if fold and not isinstance(expr, Literal) and is_foldable(expr):
+        try:
+            value = evaluate(expr, Environment({}), registry)
+        except EvaluationError:
+            pass  # the error is data-independent; raise it per call below
+        else:
+            return lambda env: value
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, ColumnRef):
+        return _compile_column(expr)
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr, registry, fold)
+    if isinstance(expr, UnaryOp):
+        return _compile_unary(expr, registry, fold)
+    if isinstance(expr, FunctionCall):
+        return _compile_call(expr, registry, fold)
+    if isinstance(expr, Case):
+        return _compile_case(expr, registry, fold)
+    if isinstance(expr, IsNull):
+        operand = _compile(expr.operand, registry, fold)
+        if expr.negated:
+            return lambda env: operand(env) is not None
+        return lambda env: operand(env) is None
+    if isinstance(expr, InList):
+        return _compile_in(expr, registry, fold)
+    if isinstance(expr, Between):
+        return _compile_between(expr, registry, fold)
+    if isinstance(expr, Like):
+        return _compile_like(expr, registry, fold)
+    if isinstance(expr, AggregateCall):
+        raise EvaluationError(
+            f"aggregate {expr.to_sql()} cannot be evaluated per-row; "
+            "use compile_aggregate over a group"
+        )
+    raise EvaluationError(f"cannot compile node {expr!r}")
+
+
+def _compile_column(ref: ColumnRef) -> CompiledBody:
+    name = ref.name
+    qualifier = ref.qualifier
+    if qualifier is None:
+
+        def unqualified(env, _name=name, _ref=ref):
+            try:
+                return env.bindings[None][_name]
+            except KeyError:
+                return env.lookup(_ref)
+
+        return unqualified
+
+    def qualified(env, _q=qualifier, _name=name, _ref=ref):
+        try:
+            return env.bindings[_q][_name]
+        except KeyError:
+            return env.lookup(_ref)
+
+    return qualified
+
+
+def _compile_binary(
+    expr: BinaryOp, registry: FunctionRegistry, fold: bool
+) -> CompiledBody:
+    op = expr.op
+    left = _compile(expr.left, registry, fold)
+    right = _compile(expr.right, registry, fold)
+    if op == "AND":
+        return lambda env: _and3(left(env), right(env))
+    if op == "OR":
+        return lambda env: _or3(left(env), right(env))
+    if op == "||":
+
+        def concat(env):
+            l = left(env)
+            r = right(env)
+            if l is None or r is None:
+                return None
+            return str(l) + str(r)
+
+        return concat
+    comparator = _COMPARATORS.get(op)
+    if comparator is not None:
+
+        def compare(env, _cmp=comparator, _op=op):
+            l = left(env)
+            r = right(env)
+            if l is None or r is None:
+                return None
+            _check_comparable(l, r, _op)
+            return _cmp(l, r)
+
+        return compare
+    return lambda env: _arith(op, left(env), right(env))
+
+
+def _compile_unary(
+    expr: UnaryOp, registry: FunctionRegistry, fold: bool
+) -> CompiledBody:
+    operand = _compile(expr.operand, registry, fold)
+    if expr.op == "NOT":
+
+        def negate(env):
+            value = operand(env)
+            return None if value is None else (not _as_bool(value))
+
+        return negate
+
+    def minus(env):
+        value = operand(env)
+        if value is None:
+            return None
+        if not _is_number(value):
+            raise EvaluationError(f"unary minus needs a number, got {value!r}")
+        return -value
+
+    return minus
+
+
+def _compile_call(
+    expr: FunctionCall, registry: FunctionRegistry, fold: bool
+) -> CompiledBody:
+    function = registry.lookup(expr.name)
+    function.check_arity(len(expr.args))
+    arg_bodies = tuple(_compile(a, registry, fold) for a in expr.args)
+    if not function.null_propagating:
+
+        def call_raw(env):
+            return function(*[a(env) for a in arg_bodies])
+
+        return call_raw
+    # the oracle evaluates every argument before the NULL check, so a
+    # failing later argument must still raise even when an earlier one
+    # is NULL — keep that order here
+    if len(arg_bodies) == 1:
+        (only,) = arg_bodies
+
+        def call_one(env):
+            value = only(env)
+            if value is None:
+                return None
+            return function(value)
+
+        return call_one
+    if len(arg_bodies) == 2:
+        first, second = arg_bodies
+
+        def call_two(env):
+            a = first(env)
+            b = second(env)
+            if a is None or b is None:
+                return None
+            return function(a, b)
+
+        return call_two
+
+    def call(env):
+        args = [a(env) for a in arg_bodies]
+        for value in args:
+            if value is None:
+                return None
+        return function(*args)
+
+    return call
+
+
+def _compile_case(
+    expr: Case, registry: FunctionRegistry, fold: bool
+) -> CompiledBody:
+    branches = tuple(
+        (_compile(cond, registry, fold), _compile(value, registry, fold))
+        for cond, value in expr.whens
+    )
+    default = (
+        None if expr.default is None else _compile(expr.default, registry, fold)
+    )
+
+    def case(env):
+        for cond, value in branches:
+            if cond(env) is True:
+                return value(env)
+        if default is not None:
+            return default(env)
+        return None
+
+    return case
+
+
+def _compile_in(
+    expr: InList, registry: FunctionRegistry, fold: bool
+) -> CompiledBody:
+    operand = _compile(expr.operand, registry, fold)
+    items = tuple(_compile(i, registry, fold) for i in expr.items)
+    negated = expr.negated
+
+    def contains(env):
+        value = operand(env)
+        if value is None:
+            return None
+        saw_null = False
+        for item in items:
+            item_value = item(env)
+            if item_value is None:
+                saw_null = True
+            else:
+                _check_comparable(value, item_value, "=")
+                if value == item_value:
+                    return False if negated else True
+        if saw_null:
+            return None
+        return True if negated else False
+
+    return contains
+
+
+def _compile_between(
+    expr: Between, registry: FunctionRegistry, fold: bool
+) -> CompiledBody:
+    operand = _compile(expr.operand, registry, fold)
+    low = _compile(expr.low, registry, fold)
+    high = _compile(expr.high, registry, fold)
+    negated = expr.negated
+
+    def _cmp(op, left, right, comparator):
+        if left is None or right is None:
+            return None
+        _check_comparable(left, right, op)
+        return comparator(left, right)
+
+    def between(env):
+        # evaluate all three operands before comparing, like the oracle
+        value = operand(env)
+        low_value = low(env)
+        high_value = high(env)
+        ge_low = _cmp(">=", value, low_value, operator.ge)
+        le_high = _cmp("<=", value, high_value, operator.le)
+        result = _and3(ge_low, le_high)
+        if result is None:
+            return None
+        return (not result) if negated else result
+
+    return between
+
+
+def _compile_like(
+    expr: Like, registry: FunctionRegistry, fold: bool
+) -> CompiledBody:
+    operand = _compile(expr.operand, registry, fold)
+    negated = expr.negated
+    if isinstance(expr.pattern, Literal) and isinstance(
+        expr.pattern.value, str
+    ):
+        matcher = _like_to_regex(expr.pattern.value).match
+
+        def like_literal(env):
+            value = operand(env)
+            if value is None:
+                return None
+            if not isinstance(value, str):
+                raise EvaluationError("LIKE needs string operands")
+            result = matcher(value) is not None
+            return (not result) if negated else result
+
+        return like_literal
+
+    pattern = _compile(expr.pattern, registry, fold)
+
+    def like(env):
+        value = operand(env)
+        pattern_value = pattern(env)
+        if value is None or pattern_value is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern_value, str):
+            raise EvaluationError("LIKE needs string operands")
+        compiled = _LIKE_CACHE.get(pattern_value)
+        if compiled is None:
+            compiled = _like_to_regex(pattern_value)
+            _LIKE_CACHE[pattern_value] = compiled
+        result = compiled.match(value) is not None
+        return (not result) if negated else result
+
+    return like
+
+
+__all__ = [
+    "compile_expr",
+    "compile_predicate",
+    "compile_aggregate",
+    "is_foldable",
+]

@@ -1,0 +1,566 @@
+"""Batch execution kernels shared by every runtime.
+
+The paper's central claim is that mappings, ETL jobs, and deployments
+are views of one abstract operator model; this module mirrors that
+unification at the *execution* layer. Each kernel implements the row
+semantics of one operator family (filter, project/derive, hash join,
+grouped aggregate, union/funnel, routing/switch, nest/unnest, dedup,
+sort) exactly once, over lists of row-dicts (or, for the mapping
+executor, :class:`~repro.expr.evaluator.Environment` members), so the
+OHM engine, the ETL stages, and the mapping executor all exercise the
+same code — and the three-way translation-verification tests check one
+shared semantics rather than three.
+
+Kernels are strategy-agnostic: they take already-built per-member
+functions (predicates, derivations, aggregates), typically produced by
+an :class:`~repro.exec.ExpressionPlanner`, which either compiles
+expressions (:mod:`repro.exec.compile_expr`) or falls back to the
+interpreting oracle when ``compiled=False``.
+
+Passing an :class:`~repro.obs.Observability` records per-kernel row
+counts (``exec.kernel.<name>.rows_in`` / ``.rows_out``) into the shared
+metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ExecutionError
+from repro.expr.algebra import split_conjuncts
+from repro.expr.ast import BinaryOp, ColumnRef, Expr
+from repro.expr.evaluator import Environment
+from repro.schema.model import Relation
+
+#: Per-member value function (over an Environment or a bare row).
+ValueFn = Callable[[Any], Any]
+#: Per-member predicate (already reduced to a bool at the boundary).
+PredicateFn = Callable[[Any], bool]
+#: Optional item → environment adapter given to row-oriented kernels.
+BindFn = Optional[Callable[[Any], Any]]
+
+
+def _observe(obs, kernel: str, rows_in: int, rows_out: int) -> None:
+    if obs is not None and obs.enabled:
+        obs.metrics.count(f"exec.kernel.{kernel}.rows_in", rows_in)
+        obs.metrics.count(f"exec.kernel.{kernel}.rows_out", rows_out)
+
+
+def group_key_value(value: object) -> Tuple:
+    """Hashable group/dedup-key encoding where NULLs compare equal and
+    ``1 == 1.0`` (SQL GROUP BY behaviour). The single definition every
+    runtime shares."""
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", float(value))
+    return (type(value).__name__, str(value))
+
+
+def row_binder(relation_name: Optional[str]) -> Callable[[dict], Environment]:
+    """A reusable row → :class:`Environment` adapter binding each row
+    anonymously and (when given) under its relation/link name. The same
+    environment object is rebound per row, so kernels pay two dict
+    stores per row instead of an allocation."""
+    env = Environment()
+    bindings = env.bindings
+    if relation_name is None:
+
+        def bind(row):
+            bindings[None] = row
+            return env
+
+    else:
+
+        def bind(row):
+            bindings[None] = row
+            bindings[relation_name] = row
+            return env
+
+    return bind
+
+
+# -- row-wise kernels ----------------------------------------------------------
+
+
+def filter_rows(
+    items: Sequence,
+    predicate: PredicateFn,
+    bind: BindFn = None,
+    obs=None,
+) -> List:
+    """Keep the items whose predicate holds (SQL WHERE: unknown drops).
+    Returns the original items, not copies."""
+    if bind is None:
+        kept = [item for item in items if predicate(item)]
+    else:
+        kept = [item for item in items if predicate(bind(item))]
+    _observe(obs, "filter", len(items), len(kept))
+    return kept
+
+
+def project_rows(
+    items: Sequence,
+    derivations: Sequence[Tuple[str, ValueFn]],
+    bind: BindFn = None,
+    defaults: Optional[dict] = None,
+    obs=None,
+) -> List[dict]:
+    """Build one output row per item from ``(name, fn)`` derivations.
+    ``defaults`` pre-populates each output row (e.g. NULL-filled
+    underived target columns) before the derivations apply."""
+    out: List[dict] = []
+    if defaults:
+        for item in items:
+            env = bind(item) if bind is not None else item
+            row = dict(defaults)
+            for name, fn in derivations:
+                row[name] = fn(env)
+            out.append(row)
+    else:
+        for item in items:
+            env = bind(item) if bind is not None else item
+            out.append({name: fn(env) for name, fn in derivations})
+    _observe(obs, "project", len(items), len(out))
+    return out
+
+
+def route_rows(
+    items: Sequence,
+    specs: Sequence[Tuple[str, Optional[PredicateFn]]],
+    bind: BindFn = None,
+    only_once: bool = False,
+    obs=None,
+) -> List[List]:
+    """Route each item to zero or more outputs.
+
+    ``specs`` holds one ``(kind, predicate)`` pair per output:
+
+    * ``"always"`` — receives every item (an unconstrained Transformer
+      output); does not count as a match;
+    * ``"pred"`` — receives items whose predicate holds; with
+      ``only_once`` an item stops being considered once matched
+      (DataStage Filter row-only-once mode);
+    * ``"fallback"`` — receives items no ``"pred"`` output accepted
+      (reject / otherwise links); never fires when there are no
+      ``"pred"`` outputs at all.
+    """
+    outputs: List[List] = [[] for _ in specs]
+    has_predicates = any(kind == "pred" for kind, _ in specs)
+    fallbacks = [i for i, (kind, _) in enumerate(specs) if kind == "fallback"]
+    for item in items:
+        env = bind(item) if bind is not None else item
+        matched = False
+        for i, (kind, predicate) in enumerate(specs):
+            if kind == "always":
+                outputs[i].append(item)
+            elif kind == "pred":
+                if matched and only_once:
+                    continue
+                if predicate(env):
+                    matched = True
+                    outputs[i].append(item)
+        if has_predicates and not matched:
+            for i in fallbacks:
+                outputs[i].append(item)
+    _observe(obs, "route", len(items), sum(len(o) for o in outputs))
+    return outputs
+
+
+def switch_rows(
+    items: Sequence,
+    selector: ValueFn,
+    cases: Sequence,
+    has_default: bool,
+    bind: BindFn = None,
+    obs=None,
+) -> List[List]:
+    """Route each item to exactly one output by selector value: the
+    first matching case wins; unmatched items go to the trailing default
+    output when configured, else nowhere."""
+    n_outputs = len(cases) + (1 if has_default else 0)
+    outputs: List[List] = [[] for _ in range(n_outputs)]
+    for item in items:
+        value = selector(bind(item) if bind is not None else item)
+        for i, case in enumerate(cases):
+            if value == case:
+                outputs[i].append(item)
+                break
+        else:
+            if has_default:
+                outputs[-1].append(item)
+    _observe(obs, "switch", len(items), sum(len(o) for o in outputs))
+    return outputs
+
+
+# -- grouping kernels ----------------------------------------------------------
+
+
+def group_rows(
+    items: Sequence,
+    key_fns: Sequence[ValueFn],
+    bind: BindFn = None,
+    obs=None,
+) -> List[List]:
+    """Partition items into groups by the encoded key-function values
+    (NULL keys compare equal); groups come back in first-seen order."""
+    groups: Dict[tuple, List] = {}
+    order: List[tuple] = []
+    for item in items:
+        env = bind(item) if bind is not None else item
+        key = tuple(group_key_value(fn(env)) for fn in key_fns)
+        members = groups.get(key)
+        if members is None:
+            groups[key] = members = []
+            order.append(key)
+        members.append(item)
+    result = [groups[key] for key in order]
+    _observe(obs, "group", len(items), len(result))
+    return result
+
+
+def group_aggregate_rows(
+    rows: Sequence[dict],
+    key_names: Sequence[str],
+    aggregates: Sequence[Tuple[str, Callable[[list], Any]]],
+    obs=None,
+) -> List[dict]:
+    """Group rows by key columns and emit one row per group: the key
+    values followed by each ``(name, aggregate_fn)`` over the members."""
+    groups: Dict[tuple, List[dict]] = {}
+    order: List[tuple] = []
+    for row in rows:
+        key = tuple(group_key_value(row[k]) for k in key_names)
+        members = groups.get(key)
+        if members is None:
+            groups[key] = members = []
+            order.append(key)
+        members.append(row)
+    out: List[dict] = []
+    for key in order:
+        members = groups[key]
+        out_row = {k: members[0][k] for k in key_names}
+        for name, aggregate in aggregates:
+            out_row[name] = aggregate(members)
+        out.append(out_row)
+    _observe(obs, "group_aggregate", len(rows), len(out))
+    return out
+
+
+def dedup_rows(
+    rows: Sequence[dict],
+    key_names: Sequence[str],
+    retain: str = "first",
+    obs=None,
+) -> List[dict]:
+    """Keep one row per key — the first or last occurrence — preserving
+    first-seen key order. Returns copies."""
+    chosen: Dict[tuple, dict] = {}
+    order: List[tuple] = []
+    keep_last = retain == "last"
+    for row in rows:
+        key = tuple(group_key_value(row[k]) for k in key_names)
+        if key not in chosen:
+            order.append(key)
+            chosen[key] = row
+        elif keep_last:
+            chosen[key] = row
+    out = [dict(chosen[key]) for key in order]
+    _observe(obs, "dedup", len(rows), len(out))
+    return out
+
+
+def nest_rows(
+    rows: Sequence[dict],
+    key_names: Sequence[str],
+    nested: Sequence[str],
+    into: str,
+    obs=None,
+) -> List[dict]:
+    """NF² NEST: group by key columns and pack the ``nested`` columns of
+    each group into a set-valued ``into`` column."""
+    groups: Dict[tuple, List[dict]] = {}
+    order: List[tuple] = []
+    for row in rows:
+        key = tuple(group_key_value(row[k]) for k in key_names)
+        members = groups.get(key)
+        if members is None:
+            groups[key] = members = []
+            order.append(key)
+        members.append(row)
+    out: List[dict] = []
+    for key in order:
+        members = groups[key]
+        out_row = {k: members[0][k] for k in key_names}
+        out_row[into] = [{c: member[c] for c in nested} for member in members]
+        out.append(out_row)
+    _observe(obs, "nest", len(rows), len(out))
+    return out
+
+
+def unnest_rows(
+    rows: Sequence[dict],
+    attr: str,
+    scalar_names: Sequence[str],
+    obs=None,
+) -> List[dict]:
+    """NF² UNNEST: flatten the set-valued ``attr`` column into rows;
+    empty (or NULL) sets produce no output rows."""
+    out: List[dict] = []
+    for row in rows:
+        for element in row.get(attr) or ():
+            out_row = {n: row[n] for n in scalar_names}
+            out_row.update(element)
+            out.append(out_row)
+    _observe(obs, "unnest", len(rows), len(out))
+    return out
+
+
+# -- set kernels ---------------------------------------------------------------
+
+
+def union_rows(
+    inputs: Sequence[Sequence[dict]],
+    names: Sequence[str],
+    distinct: bool = False,
+    obs=None,
+) -> List[dict]:
+    """Bag union of union-compatible inputs, projected to ``names``;
+    ``distinct`` keeps the first occurrence of each row (NULLs equal)."""
+    rows: List[dict] = []
+    for data in inputs:
+        rows.extend({n: row[n] for n in names} for row in data)
+    total_in = len(rows)
+    if distinct:
+        deduped: List[dict] = []
+        seen = set()
+        for row in rows:
+            key = tuple(group_key_value(row[n]) for n in names)
+            if key not in seen:
+                seen.add(key)
+                deduped.append(row)
+        rows = deduped
+    _observe(obs, "union", total_in, len(rows))
+    return rows
+
+
+# -- sorting -------------------------------------------------------------------
+
+
+def _sort_value(value, descending: bool):
+    # None sorts first ascending / last descending under reverse
+    if value is None:
+        return (0, "", "")
+    if isinstance(value, bool):
+        return (1, "bool", value)
+    if isinstance(value, (int, float)):
+        return (1, "num", float(value))
+    return (1, type(value).__name__, str(value))
+
+
+def sort_rows(
+    rows: Sequence[dict],
+    keys: Sequence[Tuple[str, str]],
+    obs=None,
+) -> List[dict]:
+    """Stable multi-key sort (``(column, 'asc'|'desc')`` pairs); NULLs
+    first ascending, last descending. Returns copies."""
+    out = [dict(r) for r in rows]
+    # stable sort by applying keys right-to-left
+    for col, direction in reversed(list(keys)):
+        descending = direction == "desc"
+        out.sort(
+            key=lambda r, _c=col, _d=descending: _sort_value(r[_c], _d),
+            reverse=descending,
+        )
+    _observe(obs, "sort", len(rows), len(out))
+    return out
+
+
+# -- joins ---------------------------------------------------------------------
+
+
+def _side_of(expr: Expr, left: Relation, right: Relation) -> Optional[str]:
+    """Which single input every column reference of ``expr`` resolves
+    against — 'left', 'right', or None when mixed/unresolvable."""
+    sides = set()
+    for ref in expr.column_refs():
+        resolved = None
+        for rel, side in ((left, "left"), (right, "right")):
+            if ref.qualifier == rel.name and rel.has_attribute(ref.name):
+                resolved = side
+                break
+            if ref.qualifier is None and rel.has_attribute(ref.name):
+                if resolved is not None:
+                    return None  # ambiguous unqualified reference
+                resolved = side
+        if resolved is None:
+            return None
+        sides.add(resolved)
+    if len(sides) == 1:
+        return sides.pop()
+    return None
+
+
+def split_equi_condition(
+    condition: Expr, left: Relation, right: Relation
+) -> Tuple[List[Tuple[Expr, Expr]], List[Expr]]:
+    """Decompose a join condition into ``(left expr, right expr)``
+    equality pairs and the residual conjuncts."""
+    pairs: List[Tuple[Expr, Expr]] = []
+    residual: List[Expr] = []
+    for conjunct in split_conjuncts(condition):
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+            lhs_side = _side_of(conjunct.left, left, right)
+            rhs_side = _side_of(conjunct.right, left, right)
+            if lhs_side == "left" and rhs_side == "right":
+                pairs.append((conjunct.left, conjunct.right))
+                continue
+            if lhs_side == "right" and rhs_side == "left":
+                pairs.append((conjunct.right, conjunct.left))
+                continue
+        residual.append(conjunct)
+    return pairs, residual
+
+
+def _hash_key(values: Sequence[object]) -> Optional[tuple]:
+    """A hashable join key; None when any component is NULL (never
+    matches under SQL semantics). Numbers are normalized so int and
+    float keys compare equal."""
+    key = []
+    for value in values:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            key.append(("bool", value))
+        elif isinstance(value, (int, float)):
+            key.append(("num", float(value)))
+        else:
+            key.append((type(value).__name__, value))
+    return tuple(key)
+
+
+def hash_join(
+    left_rows: Sequence[dict],
+    right_rows: Sequence[dict],
+    left_relation: Relation,
+    right_relation: Relation,
+    condition: Expr,
+    kind: str,
+    merge: Callable[[Optional[dict], Optional[dict]], dict],
+    emit: Callable[[dict], None],
+    planner,
+    obs=None,
+) -> None:
+    """Hash join on equi-conjuncts with a nested-loop fallback, calling
+    ``emit`` once per output row (matches first, then the outer paddings
+    the ``kind`` requires).
+
+    The condition is decomposed into equality conjuncts between the two
+    inputs (hashable) and a residual predicate; with at least one
+    equi-conjunct the right side is indexed and probing is
+    O(|L| + |R| + matches), else the classic nested loop runs. Key and
+    residual expressions are lowered once by ``planner`` (an
+    :class:`~repro.exec.ExpressionPlanner`), not re-walked per row.
+
+    SQL semantics are preserved exactly: NULL keys never match (they
+    are not inserted into, nor probed against, the index)."""
+    left_name = left_relation.name
+    right_name = right_relation.name
+    pairs, residual = split_equi_condition(
+        condition, left_relation, right_relation
+    )
+    emitted = 0
+
+    def env_for(left_row: Optional[dict], right_row: Optional[dict]):
+        env = Environment()
+        if left_row is not None:
+            env.bind(left_name, left_row)
+        if right_row is not None:
+            env.bind(right_name, right_row)
+        env.bind(None, merge(left_row, right_row))
+        return env
+
+    matched_right = [False] * len(right_rows)
+
+    if pairs:
+        left_keys = [planner.scalar(left_expr) for left_expr, _r in pairs]
+        right_keys = [planner.scalar(right_expr) for _l, right_expr in pairs]
+        residual_preds = [planner.predicate(c) for c in residual]
+        bind_left = row_binder(left_name)
+        bind_right = row_binder(right_name)
+
+        index: Dict[tuple, List[int]] = {}
+        for i, right_row in enumerate(right_rows):
+            env = bind_right(right_row)
+            key = _hash_key([fn(env) for fn in right_keys])
+            if key is not None:
+                index.setdefault(key, []).append(i)
+
+        for left_row in left_rows:
+            env = bind_left(left_row)
+            key = _hash_key([fn(env) for fn in left_keys])
+            matched = False
+            for i in index.get(key, ()) if key is not None else ():
+                right_row = right_rows[i]
+                if residual_preds:
+                    pair_env = env_for(left_row, right_row)
+                    if not all(pred(pair_env) for pred in residual_preds):
+                        continue
+                matched = True
+                matched_right[i] = True
+                emit(merge(left_row, right_row))
+                emitted += 1
+            if not matched and kind in ("left", "full"):
+                emit(merge(left_row, None))
+                emitted += 1
+    else:
+        condition_pred = planner.predicate(condition)
+        for left_row in left_rows:
+            matched = False
+            for i, right_row in enumerate(right_rows):
+                if condition_pred(env_for(left_row, right_row)):
+                    matched = True
+                    matched_right[i] = True
+                    emit(merge(left_row, right_row))
+                    emitted += 1
+            if not matched and kind in ("left", "full"):
+                emit(merge(left_row, None))
+                emitted += 1
+
+    if kind in ("right", "full"):
+        for i, right_row in enumerate(right_rows):
+            if not matched_right[i]:
+                emit(merge(None, right_row))
+                emitted += 1
+
+    _observe(obs, "join", len(left_rows) + len(right_rows), emitted)
+
+
+__all__ = [
+    "group_key_value",
+    "row_binder",
+    "filter_rows",
+    "project_rows",
+    "route_rows",
+    "switch_rows",
+    "group_rows",
+    "group_aggregate_rows",
+    "dedup_rows",
+    "nest_rows",
+    "unnest_rows",
+    "union_rows",
+    "sort_rows",
+    "split_equi_condition",
+    "hash_join",
+]

@@ -11,6 +11,11 @@ filtered by ``where``; if grouping, rows are grouped by the group-by
 expressions and aggregate derivations evaluate per group; each result row
 populates the target relation (underived nullable columns get NULL).
 
+Row work runs on the shared :mod:`repro.exec.kernels`, with expressions
+lowered once per mapping by an :class:`~repro.exec.ExpressionPlanner`
+(``compiled=False`` falls back to the interpreting oracle) — the same
+execution core as the OHM engine and the ETL stages.
+
 A :class:`~repro.mapping.model.MappingSet` executes in dependency order;
 mappings sharing a target union (bag) their results — the UNION semantics
 of section VI-A.
@@ -19,27 +24,32 @@ of section VI-A.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Mapping as MappingType, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.data.dataset import Dataset, Instance, Row
 from repro.errors import ExecutionError
-from repro.expr.evaluator import (
-    Environment,
-    evaluate,
-    evaluate_aggregate,
-    evaluate_predicate,
-)
-from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
-from repro.expr.ast import AggregateCall, Expr
+from repro.exec import ExpressionPlanner, kernels
 from repro.expr.algebra import transform
+from repro.expr.ast import AggregateCall, ColumnRef, Expr, Literal
+from repro.expr.evaluator import Environment, evaluate
+from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
 from repro.mapping.model import Mapping, MappingSet
+from repro.obs import NULL_OBS, Observability
 
 
 class MappingExecutor:
     """Interprets mappings over instances."""
 
-    def __init__(self, registry: Optional[FunctionRegistry] = None):
+    def __init__(
+        self,
+        registry: Optional[FunctionRegistry] = None,
+        obs: Optional[Observability] = None,
+        compiled: Optional[bool] = None,
+    ):
         self.registry = registry or DEFAULT_REGISTRY
+        self._obs = obs or NULL_OBS
+        self._planner = ExpressionPlanner(self.registry, compiled)
+        self.compiled = self._planner.compiled
 
     # -- single mapping ------------------------------------------------------------
 
@@ -51,10 +61,16 @@ class MappingExecutor:
         joined = self._satisfying_rows(mapping, instance)
         if mapping.is_grouping:
             return self._grouped_result(mapping, joined)
-        result = Dataset(mapping.target, validate=False)
-        for env in joined:
-            result.append(self._derive_row(mapping, env), validate=False)
-        return result
+        rows = kernels.project_rows(
+            joined,
+            [
+                (col, self._planner.scalar(expr))
+                for col, expr in mapping.derivations
+            ],
+            defaults={attr.name: None for attr in mapping.target},
+            obs=self._obs,
+        )
+        return Dataset(mapping.target, rows, validate=False)
 
     def _source_dataset(self, name: str, instance: Instance) -> Dataset:
         if name not in instance:
@@ -72,47 +88,41 @@ class MappingExecutor:
             self._source_dataset(b.relation.name, instance)
             for b in mapping.sources
         ]
-        satisfying = []
+        variables = [b.var for b in mapping.sources]
+        candidates = []
         for combo in itertools.product(*(d.rows for d in datasets)):
             env = Environment()
-            for binding, row in zip(mapping.sources, combo):
-                env.bind(binding.var, row)
-            if evaluate_predicate(mapping.where, env, self.registry):
-                satisfying.append(env)
-        return satisfying
-
-    def _derive_row(self, mapping: Mapping, env: Environment) -> Row:
-        row: Row = {}
-        for attr in mapping.target:
-            row[attr.name] = None
-        for col, expr in mapping.derivations:
-            row[col] = evaluate(expr, env, self.registry)
-        return row
+            for var, row in zip(variables, combo):
+                env.bind(var, row)
+            candidates.append(env)
+        return kernels.filter_rows(
+            candidates,
+            self._planner.predicate(mapping.where),
+            obs=self._obs,
+        )
 
     def _grouped_result(
         self, mapping: Mapping, joined: List[Environment]
     ) -> Dataset:
-        groups: Dict[tuple, List[Environment]] = {}
-        order: List[tuple] = []
-        for env in joined:
-            key = tuple(
-                _key_value(evaluate(e, env, self.registry))
-                for e in mapping.group_by
-            )
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(env)
+        groups = kernels.group_rows(
+            joined,
+            [self._planner.scalar(e) for e in mapping.group_by],
+            obs=self._obs,
+        )
         result = Dataset(mapping.target, validate=False)
-        for key in order:
-            members = groups[key]
+        scalar_fns = {
+            col: self._planner.scalar(expr)
+            for col, expr in mapping.derivations
+            if not expr.contains_aggregate()
+        }
+        for members in groups:
             representative = members[0]
             row: Row = {a.name: None for a in mapping.target}
             for col, expr in mapping.derivations:
                 if expr.contains_aggregate():
                     row[col] = self._evaluate_aggregated(expr, members)
                 else:
-                    row[col] = evaluate(expr, representative, self.registry)
+                    row[col] = scalar_fns[col](representative)
             result.append(row, validate=False)
         return result
 
@@ -123,17 +133,30 @@ class MappingExecutor:
         (each aggregate is computed over the group, then the surrounding
         scalar expression is evaluated)."""
         if isinstance(expr, AggregateCall):
-            return _aggregate_over_envs(expr, members, self.registry)
-
-        from repro.expr.ast import Literal
+            return self._aggregate_over_envs(expr, members)
 
         def fold(node: Expr):
             if isinstance(node, AggregateCall):
-                return Literal(_aggregate_over_envs(node, members, self.registry))
+                return Literal(self._aggregate_over_envs(node, members))
             return None
 
+        # the folded expression embeds this group's aggregate values as
+        # literals, so it is unique per group — evaluate it directly
+        # instead of polluting the planner's compilation cache
         folded = transform(expr, fold)
         return evaluate(folded, members[0], self.registry)
+
+    def _aggregate_over_envs(
+        self, agg: AggregateCall, members: List[Environment]
+    ):
+        """Aggregate over a group of multi-source environments by
+        evaluating the argument per member first."""
+        if agg.arg is None:
+            return len(members)
+        arg = self._planner.scalar(agg.arg)
+        values = [{"__v": arg(env)} for env in members]
+        rewritten = AggregateCall(agg.func, ColumnRef("__v"), agg.distinct)
+        return self._planner.aggregate(rewritten)(values)
 
     def _execute_opaque(self, mapping: Mapping, instance: Instance) -> Dataset:
         if mapping.executor is None:
@@ -188,42 +211,17 @@ class MappingExecutor:
         return targets, intermediates
 
 
-def _aggregate_over_envs(
-    agg: AggregateCall,
-    members: List[Environment],
-    registry: FunctionRegistry,
-):
-    """Aggregate over a group of multi-source environments by evaluating
-    the argument per member first."""
-    if agg.arg is None:
-        return len(members)
-    values = []
-    for env in members:
-        value = evaluate(agg.arg, env, registry)
-        values.append({"__v": value})
-    from repro.expr.ast import ColumnRef
-
-    rewritten = AggregateCall(agg.func, ColumnRef("__v"), agg.distinct)
-    return evaluate_aggregate(rewritten, values, registry)
-
-
-def _key_value(value) -> tuple:
-    if value is None:
-        return ("null",)
-    if isinstance(value, bool):
-        return ("bool", value)
-    if isinstance(value, (int, float)):
-        return ("num", float(value))
-    return (type(value).__name__, str(value))
-
-
 def execute_mappings(
     mappings: MappingSet,
     instance: Instance,
     registry: Optional[FunctionRegistry] = None,
+    obs: Optional[Observability] = None,
+    compiled: Optional[bool] = None,
 ) -> Instance:
     """Convenience wrapper over :class:`MappingExecutor`."""
-    return MappingExecutor(registry).execute(mappings, instance)
+    return MappingExecutor(registry, obs=obs, compiled=compiled).execute(
+        mappings, instance
+    )
 
 
 __all__ = ["MappingExecutor", "execute_mappings"]

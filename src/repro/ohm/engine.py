@@ -6,6 +6,11 @@ every translation (ETL→OHM, OHM→mappings, mappings→OHM, OHM→deployment)
 preserves transformation semantics on actual data — the three-way checks
 in the integration tests.
 
+Row work is dispatched onto the shared kernels in
+:mod:`repro.exec.kernels`; expressions are lowered once per operator by
+an :class:`~repro.exec.ExpressionPlanner` (pass ``compiled=False`` to
+fall back to the tree-walking interpreter, the semantic oracle).
+
 Conventions:
 
 * expressions inside operators reference columns unqualified or qualified
@@ -21,22 +26,18 @@ Passing an :class:`~repro.obs.Observability` profiles the run: one
 ``ohm.op.<KIND>`` span per executed operator under an ``ohm.run`` root,
 plus per-operator metrics ``ohm.operator.<uid>.rows_in`` /
 ``.rows_out`` (counters) and ``.seconds`` (timer) — the row/timing
-numbers a query-plan monitor would show for the abstract layer.
+numbers a query-plan monitor would show for the abstract layer — and
+the per-kernel ``exec.kernel.*`` row counts.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance, Row
 from repro.errors import ExecutionError
-from repro.expr.evaluator import (
-    Environment,
-    evaluate,
-    evaluate_aggregate,
-    evaluate_predicate,
-)
+from repro.exec import ExpressionPlanner, kernels
 from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
 from repro.obs import NULL_OBS, Observability
 from repro.ohm.graph import OhmGraph
@@ -58,18 +59,22 @@ from repro.schema.model import Relation
 
 
 class OhmExecutor:
-    """Executes a schema-propagated OHM graph over an :class:`Instance`."""
+    """Executes a schema-propagated OHM graph over an :class:`Instance`.
+
+    An executor carries no run-scoped state — the source instance is
+    threaded through the call chain — so one executor can run several
+    graphs concurrently (or recursively) without interference."""
 
     def __init__(
         self,
         registry: Optional[FunctionRegistry] = None,
         obs: Optional[Observability] = None,
+        compiled: Optional[bool] = None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
-
-    #: the current source instance, set for the duration of :meth:`run`.
-    _source_instance: Optional[Instance] = None
+        self._planner = ExpressionPlanner(self.registry, compiled)
+        self.compiled = self._planner.compiled
 
     def run(
         self, graph: OhmGraph, instance: Instance
@@ -80,11 +85,7 @@ class OhmExecutor:
         TARGET operator (named by target relation), and every intermediate
         edge's dataset keyed by edge name (useful to inspect
         materialization points such as ``DSLink10``)."""
-        self._source_instance = instance
-        try:
-            return self._run_impl(graph)
-        finally:
-            self._source_instance = None
+        return self._run_impl(graph, instance)
 
     def execute(self, graph: OhmGraph, instance: Instance) -> Instance:
         """Execute and return only the target datasets."""
@@ -98,9 +99,12 @@ class OhmExecutor:
         op: Operator,
         inputs: List[Dataset],
         out_relations: List[Relation],
+        instance: Optional[Instance] = None,
     ) -> List[Dataset]:
         if isinstance(op, Source):
-            return [self._run_source(op, out) for out in out_relations]
+            return [
+                self._run_source(op, out, instance) for out in out_relations
+            ]
         if isinstance(op, Filter):
             return [self._run_filter(op, inputs[0], out_relations[0])]
         if isinstance(op, Project):  # covers all PROJECT subtypes
@@ -113,7 +117,9 @@ class OhmExecutor:
             return [self._run_group(op, inputs[0], out_relations[0])]
         if isinstance(op, Split):
             return [
-                Dataset(out, ([dict(r) for r in inputs[0]]), validate=False)
+                self._planner.materialize(
+                    out, [dict(r) for r in inputs[0]], fresh=True
+                )
                 for out in out_relations
             ]
         if isinstance(op, Nest):
@@ -124,46 +130,42 @@ class OhmExecutor:
             return self._run_unknown(op, inputs, out_relations)
         raise ExecutionError(f"no execution semantics for {op.KIND} {op.uid}")
 
-    def _run_source(self, op: Source, out: Relation) -> Dataset:
-        if self._source_instance is None or op.relation.name not in self._source_instance:
+    def _run_source(
+        self, op: Source, out: Relation, instance: Optional[Instance]
+    ) -> Dataset:
+        if instance is None or op.relation.name not in instance:
             if op.provider is not None:
                 return op.provider().renamed(out.name)
             raise ExecutionError(
                 f"source relation {op.relation.name!r} not present in instance"
             )
-        dataset = self._source_instance.dataset(op.relation.name)
+        dataset = instance.dataset(op.relation.name)
         checked = dataset.with_relation(op.relation)  # validates types
         return checked.renamed(out.name)
 
-    def _env(self, row: Row, dataset: Dataset) -> Environment:
-        return Environment(row).bind(dataset.relation.name, row)
-
     def _run_filter(self, op: Filter, data: Dataset, out: Relation) -> Dataset:
-        rows = [
-            dict(row)
-            for row in data
-            if evaluate_predicate(op.condition, self._env(row, data), self.registry)
-        ]
-        return Dataset(out, rows, validate=False)
+        kept = kernels.filter_rows(
+            data.rows,
+            self._planner.predicate(op.condition),
+            kernels.row_binder(data.relation.name),
+            obs=self._obs,
+        )
+        return self._planner.materialize(
+            out, [dict(row) for row in kept], fresh=True
+        )
 
     def _run_project(self, op: Project, data: Dataset, out: Relation) -> Dataset:
-        result = Dataset(out, validate=False)
-        for row in data:
-            env = self._env(row, data)
-            result.append(
-                {
-                    name: evaluate(expr, env, self.registry)
-                    for name, expr in op.derivations
-                },
-                validate=False,
-            )
-        return result
+        rows = kernels.project_rows(
+            data.rows,
+            [(name, self._planner.scalar(expr)) for name, expr in op.derivations],
+            kernels.row_binder(data.relation.name),
+            obs=self._obs,
+        )
+        return self._planner.materialize(out, rows, fresh=True)
 
     def _run_join(
         self, op: Join, left: Dataset, right: Dataset, out: Relation
     ) -> Dataset:
-        from repro.ohm.joinexec import join_rows
-
         attrs = Join.joined_attributes(left.relation, right.relation)
 
         def merge(left_row: Optional[Row], right_row: Optional[Row]) -> Row:
@@ -175,8 +177,8 @@ class OhmExecutor:
                 )
             return merged
 
-        result = Dataset(out, validate=False)
-        join_rows(
+        rows: List[Row] = []
+        kernels.hash_join(
             left.rows,
             right.rows,
             left.relation,
@@ -184,79 +186,44 @@ class OhmExecutor:
             op.condition,
             op.kind,
             merge,
-            lambda row: result.append(row, validate=False),
-            self.registry,
+            rows.append,
+            self._planner,
+            obs=self._obs,
         )
-        return result
+        return self._planner.materialize(out, rows, fresh=True)
 
     def _run_union(
         self, op: Union, inputs: List[Dataset], out: Relation
     ) -> Dataset:
-        names = out.attribute_names
-        rows: List[Row] = []
-        for dataset in inputs:
-            for row in dataset:
-                rows.append({n: row[n] for n in names})
-        if op.distinct:
-            deduped: List[Row] = []
-            seen = set()
-            for row in rows:
-                key = tuple(_group_key_value(row[n]) for n in names)
-                if key not in seen:
-                    seen.add(key)
-                    deduped.append(row)
-            rows = deduped
-        return Dataset(out, rows, validate=False)
+        rows = kernels.union_rows(
+            [dataset.rows for dataset in inputs],
+            out.attribute_names,
+            distinct=op.distinct,
+            obs=self._obs,
+        )
+        return self._planner.materialize(out, rows, fresh=True)
 
     def _run_group(self, op: Group, data: Dataset, out: Relation) -> Dataset:
-        groups: Dict[Tuple, List[Row]] = {}
-        order: List[Tuple] = []
-        for row in data:
-            key = tuple(_group_key_value(row[k]) for k in op.keys)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(row)
-        result = Dataset(out, validate=False)
-        for key in order:
-            members = groups[key]
-            out_row: Row = {k: members[0][k] for k in op.keys}
-            for name, agg in op.aggregates:
-                out_row[name] = evaluate_aggregate(agg, members, self.registry)
-            result.append(out_row, validate=False)
-        return result
+        rows = kernels.group_aggregate_rows(
+            data.rows,
+            op.keys,
+            [(name, self._planner.aggregate(agg)) for name, agg in op.aggregates],
+            obs=self._obs,
+        )
+        return self._planner.materialize(out, rows, fresh=True)
 
     def _run_nest(self, op: Nest, data: Dataset, out: Relation) -> Dataset:
-        groups: Dict[Tuple, List[Row]] = {}
-        order: List[Tuple] = []
-        for row in data:
-            key = tuple(_group_key_value(row[k]) for k in op.keys)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(row)
-        result = Dataset(out, validate=False)
-        for key in order:
-            members = groups[key]
-            out_row: Row = {k: members[0][k] for k in op.keys}
-            out_row[op.into] = [
-                {c: member[c] for c in op.nested} for member in members
-            ]
-            result.append(out_row, validate=False)
-        return result
+        rows = kernels.nest_rows(
+            data.rows, op.keys, op.nested, op.into, obs=self._obs
+        )
+        return self._planner.materialize(out, rows, fresh=True)
 
     def _run_unnest(self, op: Unnest, data: Dataset, out: Relation) -> Dataset:
-        result = Dataset(out, validate=False)
-        scalar_names = [
-            a.name for a in data.relation if a.name != op.attr
-        ]
-        for row in data:
-            elements = row.get(op.attr) or []
-            for element in elements:
-                out_row = {n: row[n] for n in scalar_names}
-                out_row.update(element)
-                result.append(out_row, validate=False)
-        return result
+        scalar_names = [a.name for a in data.relation if a.name != op.attr]
+        rows = kernels.unnest_rows(
+            data.rows, op.attr, scalar_names, obs=self._obs
+        )
+        return self._planner.materialize(out, rows, fresh=True)
 
     def _run_unknown(
         self, op: Unknown, inputs: List[Dataset], out_relations: List[Relation]
@@ -278,12 +245,20 @@ class OhmExecutor:
         ]
 
     def _run_target(self, op: Target, data: Dataset) -> Dataset:
+        names = op.relation.attribute_names
+        if self.compiled:
+            # trusted delivery: upstream kernels already shaped the rows
+            return Dataset.adopt(
+                op.relation, [{n: row.get(n) for n in names} for row in data]
+            )
         result = Dataset(op.relation)
         for row in data:
-            result.append({a.name: row.get(a.name) for a in op.relation})
+            result.append({n: row.get(n) for n in names})
         return result
 
-    def _run_impl(self, graph: OhmGraph) -> Tuple[Instance, Dict[str, Dataset]]:
+    def _run_impl(
+        self, graph: OhmGraph, instance: Instance
+    ) -> Tuple[Instance, Dict[str, Dataset]]:
         tracer = self._obs.tracer
         metrics = self._obs.metrics
         observing = self._obs.enabled
@@ -305,7 +280,9 @@ class OhmExecutor:
                         outputs = [delivered]
                     else:
                         out_relations = [e.schema for e in out_edges]
-                        outputs = self._run_operator(op, inputs, out_relations)
+                        outputs = self._run_operator(
+                            op, inputs, out_relations, instance
+                        )
                         if len(outputs) != len(out_edges):
                             raise ExecutionError(
                                 f"{op.KIND} {op.uid} produced {len(outputs)} "
@@ -328,25 +305,17 @@ class OhmExecutor:
         return targets, edge_data
 
 
-def _group_key_value(value: object) -> Tuple:
-    """Hashable group-key encoding where NULLs compare equal and 1 == 1.0."""
-    if value is None:
-        return ("null",)
-    if isinstance(value, bool):
-        return ("bool", value)
-    if isinstance(value, (int, float)):
-        return ("num", float(value))
-    return (type(value).__name__, str(value))
-
-
 def execute(
     graph: OhmGraph,
     instance: Instance,
     registry: Optional[FunctionRegistry] = None,
     obs: Optional[Observability] = None,
+    compiled: Optional[bool] = None,
 ) -> Instance:
     """Execute ``graph`` over ``instance``; returns the target datasets."""
-    return OhmExecutor(registry, obs=obs).execute(graph, instance)
+    return OhmExecutor(registry, obs=obs, compiled=compiled).execute(
+        graph, instance
+    )
 
 
 def execute_with_edges(
@@ -354,9 +323,12 @@ def execute_with_edges(
     instance: Instance,
     registry: Optional[FunctionRegistry] = None,
     obs: Optional[Observability] = None,
+    compiled: Optional[bool] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Execute and also return every intermediate edge's data by name."""
-    return OhmExecutor(registry, obs=obs).run(graph, instance)
+    return OhmExecutor(registry, obs=obs, compiled=compiled).run(
+        graph, instance
+    )
 
 
 __all__ = ["OhmExecutor", "execute", "execute_with_edges"]

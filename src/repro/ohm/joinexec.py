@@ -1,87 +1,24 @@
-"""Shared join execution: hash join on equi-conjuncts with a nested-loop
-fallback.
+"""Shared join execution — compatibility facade.
 
-Both runtimes (the OHM engine and the ETL Join/Lookup stages) execute
-joins through :func:`join_rows`. The condition is decomposed into
-equality conjuncts between the two inputs (hashable) and a residual
-predicate (evaluated per candidate pair); with at least one equi-conjunct
-the right side is indexed and probing is O(|L| + |R| + matches), else the
-classic nested loop runs.
-
-SQL semantics are preserved exactly: NULL keys never match (they are not
-inserted into, nor probed against, the index), and numeric keys hash
-consistently across int/float (``1`` joins ``1.0``).
+The join algorithm (hash join on equi-conjuncts with a nested-loop
+fallback, SQL NULL-key semantics) now lives in
+:func:`repro.exec.kernels.hash_join`, where both runtimes (the OHM
+engine and the ETL Join stage) dispatch directly with their own
+:class:`~repro.exec.ExpressionPlanner`. This module keeps the original
+``join_rows`` entry point for callers that hold a registry rather than
+a planner, and re-exports :func:`split_equi_condition` for the
+condition-decomposition tests and the deployment planner.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence
 
-from repro.expr.algebra import split_conjuncts
-from repro.expr.ast import BinaryOp, ColumnRef, Expr
-from repro.expr.evaluator import Environment, evaluate, evaluate_predicate
+from repro.exec import ExpressionPlanner
+from repro.exec.kernels import hash_join, split_equi_condition
+from repro.expr.ast import Expr
 from repro.expr.functions import FunctionRegistry
 from repro.schema.model import Relation
-
-
-def _side_of(expr: Expr, left: Relation, right: Relation) -> Optional[str]:
-    """Which single input every column reference of ``expr`` resolves
-    against — 'left', 'right', or None when mixed/unresolvable."""
-    sides = set()
-    for ref in expr.column_refs():
-        resolved = None
-        for rel, side in ((left, "left"), (right, "right")):
-            if ref.qualifier == rel.name and rel.has_attribute(ref.name):
-                resolved = side
-                break
-            if ref.qualifier is None and rel.has_attribute(ref.name):
-                if resolved is not None:
-                    return None  # ambiguous unqualified reference
-                resolved = side
-        if resolved is None:
-            return None
-        sides.add(resolved)
-    if len(sides) == 1:
-        return sides.pop()
-    return None
-
-
-def split_equi_condition(
-    condition: Expr, left: Relation, right: Relation
-) -> Tuple[List[Tuple[Expr, Expr]], List[Expr]]:
-    """Decompose a join condition into ``(left expr, right expr)`` equality
-    pairs and the residual conjuncts."""
-    pairs: List[Tuple[Expr, Expr]] = []
-    residual: List[Expr] = []
-    for conjunct in split_conjuncts(condition):
-        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
-            lhs_side = _side_of(conjunct.left, left, right)
-            rhs_side = _side_of(conjunct.right, left, right)
-            if lhs_side == "left" and rhs_side == "right":
-                pairs.append((conjunct.left, conjunct.right))
-                continue
-            if lhs_side == "right" and rhs_side == "left":
-                pairs.append((conjunct.right, conjunct.left))
-                continue
-        residual.append(conjunct)
-    return pairs, residual
-
-
-def _hash_key(values: Sequence[object]) -> Optional[tuple]:
-    """A hashable join key; None when any component is NULL (never
-    matches under SQL semantics). Numbers are normalized so int and
-    float keys compare equal."""
-    key = []
-    for value in values:
-        if value is None:
-            return None
-        if isinstance(value, bool):
-            key.append(("bool", value))
-        elif isinstance(value, (int, float)):
-            key.append(("num", float(value)))
-        else:
-            key.append((type(value).__name__, value))
-    return tuple(key)
 
 
 def join_rows(
@@ -94,71 +31,21 @@ def join_rows(
     merge: Callable[[Optional[dict], Optional[dict]], dict],
     emit: Callable[[dict], None],
     registry: FunctionRegistry,
+    compiled: Optional[bool] = None,
 ) -> None:
     """Run the join, calling ``emit`` once per output row (matches first,
     then the outer paddings the ``kind`` requires)."""
-    left_name = left_relation.name
-    right_name = right_relation.name
-    pairs, residual = split_equi_condition(
-        condition, left_relation, right_relation
+    hash_join(
+        left_rows,
+        right_rows,
+        left_relation,
+        right_relation,
+        condition,
+        kind,
+        merge,
+        emit,
+        ExpressionPlanner(registry, compiled),
     )
-
-    def env_for(left_row: Optional[dict], right_row: Optional[dict]) -> Environment:
-        env = Environment()
-        if left_row is not None:
-            env.bind(left_name, left_row)
-        if right_row is not None:
-            env.bind(right_name, right_row)
-        env.bind(None, merge(left_row, right_row))
-        return env
-
-    matched_right = [False] * len(right_rows)
-
-    if pairs:
-        index: Dict[tuple, List[int]] = {}
-        for i, right_row in enumerate(right_rows):
-            env = Environment(right_row).bind(right_name, right_row)
-            key = _hash_key(
-                [evaluate(expr, env, registry) for _l, expr in pairs]
-            )
-            if key is not None:
-                index.setdefault(key, []).append(i)
-
-        for left_row in left_rows:
-            env = Environment(left_row).bind(left_name, left_row)
-            key = _hash_key(
-                [evaluate(expr, env, registry) for expr, _r in pairs]
-            )
-            matched = False
-            for i in index.get(key, ()) if key is not None else ():
-                right_row = right_rows[i]
-                if residual and not all(
-                    evaluate_predicate(c, env_for(left_row, right_row), registry)
-                    for c in residual
-                ):
-                    continue
-                matched = True
-                matched_right[i] = True
-                emit(merge(left_row, right_row))
-            if not matched and kind in ("left", "full"):
-                emit(merge(left_row, None))
-    else:
-        for left_row in left_rows:
-            matched = False
-            for i, right_row in enumerate(right_rows):
-                if evaluate_predicate(
-                    condition, env_for(left_row, right_row), registry
-                ):
-                    matched = True
-                    matched_right[i] = True
-                    emit(merge(left_row, right_row))
-            if not matched and kind in ("left", "full"):
-                emit(merge(left_row, None))
-
-    if kind in ("right", "full"):
-        for i, right_row in enumerate(right_rows):
-            if not matched_right[i]:
-                emit(merge(None, right_row))
 
 
 __all__ = ["join_rows", "split_equi_condition"]

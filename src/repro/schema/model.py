@@ -100,6 +100,7 @@ class Relation:
         self._name = name
         self._attributes = tuple(attributes)
         self._index = {a.name: i for i, a in enumerate(attributes)}
+        self._attribute_names = tuple(a.name for a in attributes)
 
     @property
     def name(self) -> str:
@@ -111,7 +112,7 @@ class Relation:
 
     @property
     def attribute_names(self) -> Tuple[str, ...]:
-        return tuple(a.name for a in self._attributes)
+        return self._attribute_names
 
     @property
     def key_names(self) -> Tuple[str, ...]:

@@ -1,0 +1,325 @@
+"""Randomized evaluator ↔ compiler parity suite.
+
+The compiled closures must be observationally identical to the
+tree-walking oracle: same values (including SQL three-valued logic over
+NULL), and an :class:`EvaluationError` exactly when the oracle raises
+one. This suite generates expressions over sample rows with a seeded
+generator and checks both directions, then pins the classic
+three-valued-logic corner cases explicitly.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.exec import ExpressionPlanner
+from repro.exec.compile_expr import (
+    compile_aggregate,
+    compile_expr,
+    compile_predicate,
+)
+from repro.expr.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.expr.evaluator import (
+    Environment,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_predicate,
+)
+
+RELATION = "T"
+
+#: NULL-heavy sample rows: every column is NULL somewhere.
+ROWS = [
+    {"a": 1, "b": 2, "f": 1.5, "s": "alpha", "flag": True},
+    {"a": 0, "b": None, "f": -2.25, "s": "Beta", "flag": False},
+    {"a": -7, "b": 100, "f": 0.0, "s": None, "flag": None},
+    {"a": None, "b": 3, "f": None, "s": "", "flag": True},
+    {"a": 42, "b": -1, "f": 3.5, "s": "a%b_c", "flag": None},
+    {"a": None, "b": None, "f": None, "s": None, "flag": None},
+]
+
+INT_COLUMNS = ["a", "b"]
+FLOAT_COLUMNS = ["f"]
+STR_COLUMNS = ["s"]
+
+
+def env_for(row):
+    return Environment(row).bind(RELATION, row)
+
+
+def oracle(expr, row):
+    """(value, error_type) of the interpreter on one row."""
+    try:
+        return evaluate(expr, env_for(row)), None
+    except EvaluationError as exc:
+        return None, type(exc)
+
+
+def check_parity(expr, rows=ROWS):
+    compiled = compile_expr(expr)
+    predicate = compile_predicate(expr)
+    for row in rows:
+        expected, error = oracle(expr, row)
+        if error is not None:
+            with pytest.raises(error):
+                compiled(env_for(row))
+            continue
+        actual = compiled(env_for(row))
+        assert actual == expected, (expr.to_sql(), row, actual, expected)
+        assert type(actual) is type(expected), (expr.to_sql(), row)
+        assert predicate(env_for(row)) == evaluate_predicate(
+            expr, env_for(row)
+        )
+
+
+# --- random expression generator ---------------------------------------------
+
+
+def gen_numeric(rng, depth):
+    if depth <= 0 or rng.random() < 0.3:
+        choice = rng.random()
+        if choice < 0.4:
+            return ColumnRef(
+                rng.choice(INT_COLUMNS + FLOAT_COLUMNS),
+                qualifier=RELATION if rng.random() < 0.3 else None,
+            )
+        if choice < 0.5:
+            return Literal(None)
+        if choice < 0.8:
+            return Literal(rng.randint(-10, 10))
+        return Literal(round(rng.uniform(-5, 5), 2))
+    choice = rng.random()
+    if choice < 0.6:
+        op = rng.choice(["+", "-", "*", "/", "%"])
+        return BinaryOp(
+            op, gen_numeric(rng, depth - 1), gen_numeric(rng, depth - 1)
+        )
+    if choice < 0.7:
+        return UnaryOp("-", gen_numeric(rng, depth - 1))
+    if choice < 0.85:
+        return FunctionCall("ABS", [gen_numeric(rng, depth - 1)])
+    return Case(
+        [(gen_boolean(rng, depth - 1), gen_numeric(rng, depth - 1))],
+        gen_numeric(rng, depth - 1),
+    )
+
+
+def gen_string(rng, depth):
+    if depth <= 0 or rng.random() < 0.4:
+        if rng.random() < 0.6:
+            return ColumnRef(rng.choice(STR_COLUMNS))
+        return Literal(rng.choice(["x", "alpha", "", "%", None]))
+    choice = rng.random()
+    if choice < 0.4:
+        return BinaryOp(
+            "||", gen_string(rng, depth - 1), gen_string(rng, depth - 1)
+        )
+    if choice < 0.7:
+        return FunctionCall(
+            rng.choice(["UPPER", "LOWER", "TRIM"]),
+            [gen_string(rng, depth - 1)],
+        )
+    return FunctionCall(
+        "COALESCE", [gen_string(rng, depth - 1), gen_string(rng, depth - 1)]
+    )
+
+
+def gen_boolean(rng, depth):
+    if depth <= 0 or rng.random() < 0.25:
+        if rng.random() < 0.5:
+            return ColumnRef("flag")
+        return Literal(rng.choice([True, False, None]))
+    choice = rng.random()
+    if choice < 0.3:
+        op = rng.choice(["AND", "OR"])
+        return BinaryOp(
+            op, gen_boolean(rng, depth - 1), gen_boolean(rng, depth - 1)
+        )
+    if choice < 0.45:
+        return UnaryOp("NOT", gen_boolean(rng, depth - 1))
+    if choice < 0.6:
+        op = rng.choice(["=", "<>", "<", "<=", ">", ">="])
+        return BinaryOp(
+            op, gen_numeric(rng, depth - 1), gen_numeric(rng, depth - 1)
+        )
+    if choice < 0.7:
+        return IsNull(
+            gen_numeric(rng, depth - 1), negated=rng.random() < 0.5
+        )
+    if choice < 0.8:
+        return InList(
+            gen_numeric(rng, depth - 1),
+            [
+                Literal(rng.choice([1, 2, 42, None, -7]))
+                for _ in range(rng.randint(1, 3))
+            ],
+            negated=rng.random() < 0.5,
+        )
+    if choice < 0.9:
+        return Between(
+            gen_numeric(rng, depth - 1),
+            gen_numeric(rng, depth - 1),
+            gen_numeric(rng, depth - 1),
+            negated=rng.random() < 0.5,
+        )
+    return Like(
+        gen_string(rng, depth - 1),
+        Literal(rng.choice(["%a%", "a_b%", "", "%", "alpha"])),
+        negated=rng.random() < 0.5,
+    )
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_numeric_parity(seed):
+    rng = random.Random(seed)
+    for _ in range(8):
+        check_parity(gen_numeric(rng, rng.randint(1, 4)))
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_boolean_parity(seed):
+    rng = random.Random(seed + 1000)
+    for _ in range(8):
+        check_parity(gen_boolean(rng, rng.randint(1, 4)))
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_string_parity(seed):
+    rng = random.Random(seed + 2000)
+    for _ in range(8):
+        check_parity(gen_string(rng, rng.randint(1, 4)))
+
+
+def test_interpreting_planner_matches_compiling_planner():
+    rng = random.Random(7)
+    compiled = ExpressionPlanner(compiled=True)
+    interpreted = ExpressionPlanner(compiled=False)
+    for _ in range(50):
+        expr = gen_boolean(rng, 3)
+        for row in ROWS:
+            try:
+                a = compiled.scalar(expr)(env_for(row))
+                a_err = None
+            except EvaluationError as exc:
+                a, a_err = None, type(exc)
+            try:
+                b = interpreted.scalar(expr)(env_for(row))
+                b_err = None
+            except EvaluationError as exc:
+                b, b_err = None, type(exc)
+            assert a_err == b_err and a == b, expr.to_sql()
+
+
+# --- pinned three-valued-logic corner cases ----------------------------------
+
+
+TVL = [True, False, None]
+
+
+def test_and_or_not_truth_tables():
+    for x in TVL:
+        for y in TVL:
+            check_parity(
+                BinaryOp("AND", Literal(x), Literal(y)), rows=[ROWS[0]]
+            )
+            check_parity(
+                BinaryOp("OR", Literal(x), Literal(y)), rows=[ROWS[0]]
+            )
+        check_parity(UnaryOp("NOT", Literal(x)), rows=[ROWS[0]])
+
+
+def test_null_comparisons_are_unknown():
+    expr = BinaryOp("=", ColumnRef("b"), Literal(2))
+    compiled = compile_expr(expr)
+    assert compiled(env_for(ROWS[1])) is None  # b is NULL → unknown
+    assert compile_predicate(expr)(env_for(ROWS[1])) is False
+
+
+def test_in_list_null_semantics():
+    # 5 IN (1, NULL) is unknown, 1 IN (1, NULL) is true
+    assert compile_expr(
+        InList(Literal(5), [Literal(1), Literal(None)])
+    )({}) is None
+    assert compile_expr(
+        InList(Literal(1), [Literal(1), Literal(None)])
+    )({}) is True
+    # NOT IN flips true/false but keeps unknown
+    assert compile_expr(
+        InList(Literal(5), [Literal(1), Literal(None)], negated=True)
+    )({}) is None
+
+
+def test_between_null_semantics():
+    # 5 BETWEEN NULL AND 10 is unknown; 20 BETWEEN NULL AND 10 is false
+    assert compile_expr(
+        Between(Literal(5), Literal(None), Literal(10))
+    )({}) is None
+    assert compile_expr(
+        Between(Literal(20), Literal(None), Literal(10))
+    )({}) is False
+
+
+def test_like_null_semantics():
+    assert compile_expr(
+        Like(Literal(None), Literal("%a%"))
+    )({}) is None
+    assert compile_expr(Like(Literal("abc"), Literal("a%")))({}) is True
+
+
+def test_error_parity_division_by_zero():
+    expr = BinaryOp("/", ColumnRef("a"), Literal(0))
+    check_parity(expr)
+
+
+def test_error_parity_unknown_column():
+    expr = ColumnRef("nope")
+    check_parity(expr)
+
+
+def test_error_parity_incomparable_types():
+    expr = BinaryOp(">", Literal("x"), Literal(1))
+    check_parity(expr)
+
+
+def test_null_propagating_call_still_evaluates_later_args():
+    # the oracle evaluates LENGTH(s) even when the first argument is
+    # NULL — an error in a later argument must surface identically
+    expr = FunctionCall(
+        "MOD", [Literal(None), BinaryOp("/", Literal(1), Literal(0))]
+    )
+    check_parity(expr, rows=[ROWS[0]])
+
+
+def test_aggregate_parity():
+    rows = [
+        {"v": 3},
+        {"v": None},
+        {"v": 3},
+        {"v": 1.5},
+        {"v": None},
+        {"v": 7},
+    ]
+    for func in ["COUNT", "SUM", "AVG", "MIN", "MAX", "FIRST", "LAST"]:
+        for distinct in (False, True):
+            agg = AggregateCall(func, ColumnRef("v"), distinct)
+            assert compile_aggregate(agg)(rows) == evaluate_aggregate(
+                agg, rows
+            ), (func, distinct)
+    star = AggregateCall("COUNT", None)
+    assert compile_aggregate(star)(rows) == evaluate_aggregate(star, rows)
+    empty = AggregateCall("SUM", ColumnRef("v"))
+    assert compile_aggregate(empty)([]) is None
+    assert evaluate_aggregate(empty, []) is None

@@ -20,7 +20,7 @@ import sys
 
 from repro import Orchid
 from repro.etl import EtlEngine
-from repro.exec import set_default_compiled
+from repro.exec import set_default_batched, set_default_compiled
 from repro.mapping import execute_mappings
 from repro.obs import Observability
 from repro.ohm import execute
@@ -46,9 +46,17 @@ def main(argv=None) -> None:
         help="run every engine with the tree-walking expression "
         "interpreter (the semantic oracle) instead of the compiler",
     )
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="run every engine over columnar row batches "
+        "(equivalent to REPRO_BATCH=1)",
+    )
     args = parser.parse_args(argv)
     if args.interpreted:
         set_default_compiled(False)
+    if args.batched:
+        set_default_batched(True)
 
     obs = Observability(trace=args.trace, stats=args.stats is not None)
     # with --stats json, stdout is reserved for the metrics document

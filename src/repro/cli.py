@@ -10,12 +10,14 @@
     orchid export-ohm job.xml -o g.json   # persist the abstract layer
 
 Every subcommand additionally accepts ``--trace`` (print the span tree
-of the run), ``--stats {json,text}`` (print the metrics registry), and
+of the run), ``--stats {json,text}`` (print the metrics registry),
 ``--interpreted`` (evaluate expressions with the tree-walking oracle
-instead of the compiler — see ``docs/execution.md``). Trace/stats
-reports go to *stderr* so the primary document on stdout stays
-machine-readable; see ``docs/observability.md`` for the span and metric
-naming conventions.
+instead of the compiler), ``--row-mode`` (force row-at-a-time execution
+even when ``REPRO_BATCH`` enables the columnar tier), and
+``--batch-size N`` (enable columnar batches of N rows — see
+``docs/execution.md``). Trace/stats reports go to *stderr* so the
+primary document on stdout stays machine-readable; see
+``docs/observability.md`` for the span and metric naming conventions.
 """
 
 from __future__ import annotations
@@ -24,7 +26,11 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.exec import set_default_compiled
+from repro.exec import (
+    set_default_batch_size,
+    set_default_batched,
+    set_default_compiled,
+)
 from repro.fasttrack.orchid import Orchid
 from repro.obs import Observability
 
@@ -67,6 +73,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="evaluate expressions with the tree-walking interpreter "
         "instead of the expression compiler (the semantic oracle; "
         "equivalent to REPRO_COMPILED=0)",
+    )
+    observability.add_argument(
+        "--row-mode",
+        action="store_true",
+        help="force row-at-a-time execution, overriding REPRO_BATCH "
+        "(equivalent to REPRO_BATCH=0)",
+    )
+    observability.add_argument(
+        "--batch-size",
+        type=int,
+        metavar="N",
+        help="run block-capable operators over columnar batches of N "
+        "rows (enables batched mode; equivalent to REPRO_BATCH=N)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -132,14 +151,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     obs = Observability(
         trace=bool(args.trace), stats=args.stats is not None
     )
+    if args.row_mode and args.batch_size is not None:
+        parser.error("--row-mode and --batch-size are mutually exclusive")
     if args.interpreted:
         set_default_compiled(False)
+    if args.row_mode:
+        set_default_batched(False)
+    elif args.batch_size is not None:
+        if args.batch_size < 1:
+            parser.error("--batch-size must be >= 1")
+        set_default_batched(True)
+        set_default_batch_size(args.batch_size)
     orchid = Orchid(obs=obs)
     try:
         return _dispatch(args, orchid)
     finally:
         if args.interpreted:
             set_default_compiled(None)
+        if args.row_mode or args.batch_size is not None:
+            set_default_batched(None)
+            set_default_batch_size(None)
         if args.trace:
             sys.stderr.write(obs.tracer.to_text() + "\n")
         if args.stats == "json":

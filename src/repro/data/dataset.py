@@ -31,7 +31,8 @@ class Dataset:
         validate: bool = True,
     ):
         self._relation = relation
-        self._rows: List[Row] = []
+        self._rows: Optional[List[Row]] = []
+        self._block = None  # columnar backing (repro.exec.block.RowBlock)
         for row in rows:
             self.append(row, validate=validate)
 
@@ -48,13 +49,54 @@ class Dataset:
         out._rows = rows
         return out
 
+    @classmethod
+    def adopt_block(cls, relation: Relation, block) -> "Dataset":
+        """Wrap a :class:`~repro.exec.block.RowBlock` without converting
+        it to rows — the columnar trusted-materialization path, so
+        adjacent block-capable operators never round-trip through row
+        dicts. The column-name set must match the relation exactly (the
+        schema check the source boundary owns); rows materialize lazily
+        on first :attr:`rows` access and the block stays available via
+        :meth:`as_block`."""
+        if set(block.columns) != set(relation.attribute_names):
+            raise SchemaError(
+                f"block columns {sorted(block.columns)} do not match "
+                f"relation {relation.name!r} attributes "
+                f"{sorted(relation.attribute_names)}"
+            )
+        out = cls(relation)
+        out._rows = None
+        out._block = block
+        return out
+
     @property
     def relation(self) -> Relation:
         return self._relation
 
     @property
     def rows(self) -> List[Row]:
+        if self._rows is None:
+            # lazy row materialization of a block-backed dataset
+            self._rows = self._block.to_rows(self._relation.attribute_names)
         return self._rows
+
+    def peek_block(self):
+        """The columnar backing if this dataset has one, else ``None``
+        (no conversion is performed either way)."""
+        return self._block
+
+    def as_block(self):
+        """This dataset as a :class:`~repro.exec.block.RowBlock`,
+        columnarizing (and caching) on first call for row-backed data.
+        The block shares the dataset's values; columns are immutable by
+        convention."""
+        if self._block is None:
+            from repro.exec.block import RowBlock
+
+            self._block = RowBlock.from_rows(
+                self._relation.attribute_names, self._rows
+            )
+        return self._block
 
     @property
     def name(self) -> str:
@@ -64,6 +106,8 @@ class Dataset:
         """Append a row. When ``validate`` is set, unknown columns raise,
         missing columns become NULL, and values are checked (with lossless
         numeric coercion) against the attribute types."""
+        rows = self.rows  # materializes a block backing before mutation
+        self._block = None  # the columnar form would go stale
         if validate:
             unknown = set(row) - set(self._relation.attribute_names)
             if unknown:
@@ -83,9 +127,9 @@ class Dataset:
                     normalized[attr.name] = None
                 else:
                     normalized[attr.name] = coerce_value(attr.dtype, value)
-            self._rows.append(normalized)
+            rows.append(normalized)
         else:
-            self._rows.append(dict(row))
+            rows.append(dict(row))
 
     def extend(self, rows: Iterable[Mapping], validate: bool = True) -> None:
         for row in rows:
@@ -94,25 +138,32 @@ class Dataset:
     def renamed(self, new_name: str) -> "Dataset":
         """Same rows over the relation renamed to ``new_name``."""
         out = Dataset(self._relation.renamed(new_name), validate=False)
-        out._rows = [dict(r) for r in self._rows]
+        if self._rows is None:
+            # block-backed: share the (immutable-by-convention) columns
+            out._rows = None
+            out._block = self._block
+        else:
+            out._rows = [dict(r) for r in self._rows]
         return out
 
     def with_relation(self, relation: Relation) -> "Dataset":
         """Same rows, re-validated against ``relation``."""
-        return Dataset(relation, self._rows)
+        return Dataset(relation, self.rows)
 
     def head(self, n: int = 5) -> List[Row]:
-        return self._rows[:n]
+        return self.rows[:n]
 
     def column(self, name: str) -> List[object]:
         self._relation.attribute(name)  # raise on unknown column
+        if self._rows is None:
+            return list(self._block.columns[name])
         return [row[name] for row in self._rows]
 
     def sort_key(self) -> List[Tuple]:
         """Canonical sortable projection of all rows, for bag comparison."""
         names = self._relation.attribute_names
         return sorted(
-            tuple(_orderable(row.get(n)) for n in names) for row in self._rows
+            tuple(_orderable(row.get(n)) for n in names) for row in self.rows
         )
 
     def same_bag(self, other: "Dataset") -> bool:
@@ -124,28 +175,30 @@ class Dataset:
             return False
         names = self._relation.attribute_names
         mine = sorted(
-            tuple(_orderable(row.get(n)) for n in names) for row in self._rows
+            tuple(_orderable(row.get(n)) for n in names) for row in self.rows
         )
         theirs = sorted(
-            tuple(_orderable(row.get(n)) for n in names) for row in other._rows
+            tuple(_orderable(row.get(n)) for n in names) for row in other.rows
         )
         return mine == theirs
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __len__(self) -> int:
+        if self._rows is None:
+            return self._block.length
         return len(self._rows)
 
     def __repr__(self) -> str:
-        return f"Dataset({self._relation.name!r}, {len(self._rows)} rows)"
+        return f"Dataset({self._relation.name!r}, {len(self)} rows)"
 
     def to_table(self, limit: int = 20) -> str:
         """Pretty-print as an aligned text table (for examples & debug)."""
         names = list(self._relation.attribute_names)
         rows = [
             ["NULL" if row.get(n) is None else str(row.get(n)) for n in names]
-            for row in self._rows[:limit]
+            for row in self.rows[:limit]
         ]
         widths = [
             max([len(n)] + [len(r[i]) for r in rows]) for i, n in enumerate(names)
@@ -154,8 +207,8 @@ class Dataset:
             return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
         lines = [fmt(names), "-+-".join("-" * w for w in widths)]
         lines += [fmt(r) for r in rows]
-        if len(self._rows) > limit:
-            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        if len(self) > limit:
+            lines.append(f"... ({len(self) - limit} more rows)")
         return "\n".join(lines)
 
 

@@ -24,7 +24,12 @@ from repro.data.dataset import Dataset, Instance
 from repro.errors import ExecutionError
 from repro.etl.model import Job
 from repro.etl.stages.access import TableSource, TableTarget
-from repro.exec import ExpressionPlanner, resolve_compiled
+from repro.exec import (
+    ExpressionPlanner,
+    resolve_batch_size,
+    resolve_batched,
+    resolve_compiled,
+)
 from repro.obs import NULL_OBS, Observability
 
 
@@ -67,12 +72,18 @@ class EtlEngine:
         self,
         obs: Optional[Observability] = None,
         compiled: Optional[bool] = None,
+        batched: Optional[bool] = None,
+        batch_size: Optional[int] = None,
     ):
         self._obs = obs or NULL_OBS
         #: whether stages lower expressions through the compiler
         #: (``False`` falls back to the interpreting oracle; ``None``
         #: at the constructor meant the process default).
         self.compiled = resolve_compiled(compiled)
+        #: whether stages route through the columnar block kernels
+        #: (requires the compiler; stages fall back per operator).
+        self.batched = self.compiled and resolve_batched(batched)
+        self.batch_size = resolve_batch_size(batch_size)
         #: statistics of the most recently *completed* run.
         self.last_run: EtlRunStats = EtlRunStats()
 
@@ -107,7 +118,9 @@ class EtlEngine:
         instance = instance or Instance()
         # one planner per run: expressions shared by several stages are
         # lowered once, and the job's own registry is captured
-        planner = ExpressionPlanner(job.registry, self.compiled)
+        planner = ExpressionPlanner(
+            job.registry, self.compiled, self.batched, self.batch_size
+        )
         job.propagate_schemas()
         by_port: Dict[Tuple[str, int], Dataset] = {}
         link_data: Dict[str, Dataset] = {}
@@ -179,9 +192,13 @@ def run_job(
     instance: Optional[Instance] = None,
     obs: Optional[Observability] = None,
     compiled: Optional[bool] = None,
+    batched: Optional[bool] = None,
+    batch_size: Optional[int] = None,
 ) -> Instance:
     """Convenience: run ``job`` and return the target datasets."""
-    return EtlEngine(obs=obs, compiled=compiled).execute(job, instance)
+    return EtlEngine(
+        obs=obs, compiled=compiled, batched=batched, batch_size=batch_size
+    ).execute(job, instance)
 
 
 def run_job_with_links(
@@ -189,9 +206,13 @@ def run_job_with_links(
     instance: Optional[Instance] = None,
     obs: Optional[Observability] = None,
     compiled: Optional[bool] = None,
+    batched: Optional[bool] = None,
+    batch_size: Optional[int] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Run ``job`` returning targets plus every link's dataset."""
-    return EtlEngine(obs=obs, compiled=compiled).run(job, instance)
+    return EtlEngine(
+        obs=obs, compiled=compiled, batched=batched, batch_size=batch_size
+    ).run(job, instance)
 
 
 __all__ = ["EtlEngine", "EtlRunStats", "run_job", "run_job_with_links"]

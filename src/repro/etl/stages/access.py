@@ -115,6 +115,19 @@ class TableTarget(Stage):
         the default checked path is what the interpreting oracle runs."""
         names = self.relation.attribute_names
         if trusted:
+            blk = data.peek_block()
+            if blk is not None:
+                # columnar delivery: subset to the target attribute set
+                # without a row round-trip (targets never see missing
+                # columns — validate() checked the link carries them all)
+                from repro.exec.block import RowBlock
+
+                return Dataset.adopt_block(
+                    self.relation,
+                    RowBlock(
+                        {n: blk.columns[n] for n in names}, blk.length
+                    ),
+                )
             return Dataset.adopt(
                 self.relation, [{n: row.get(n) for n in names} for row in data]
             )

@@ -19,7 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.data.dataset import Dataset
 from repro.errors import ValidationError
 from repro.etl.model import Stage
-from repro.exec import ExpressionPlanner, kernels
+from repro.exec import ExpressionPlanner, block, kernels
+from repro.exec.block import RowBlock, relation_resolver
 from repro.expr.ast import Expr, Literal
 from repro.expr.parser import parse
 from repro.expr.typecheck import TypeContext, check_boolean
@@ -139,6 +140,12 @@ class FilterStage(Stage):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
         has_predicates = any(not o.reject for o in self.outputs)
+        if planner.batched:
+            results = self._execute_block(
+                data, out_relations, planner, has_predicates, obs
+            )
+            if results is not None:
+                return results
         specs = []
         for output in self.outputs:
             if output.reject:
@@ -162,6 +169,38 @@ class FilterStage(Stage):
             )
             for output, rows, rel in zip(self.outputs, routed, out_relations)
         ]
+
+    def _execute_block(self, data, out_relations, planner, has_predicates, obs):
+        """Columnar routing, or ``None`` when a predicate cannot be
+        lowered (every predicate must compile — routing is all-or-
+        nothing per stage)."""
+        blk = data.as_block()
+        resolve = relation_resolver(data.relation.name, blk.columns)
+        specs = []
+        for output in self.outputs:
+            if output.reject:
+                specs.append(("fallback" if has_predicates else "always", None))
+            else:
+                predicate = planner.block_predicate(output.where, resolve)
+                if predicate is None:
+                    return None
+                specs.append(("pred", predicate))
+        routed = block.route_block(
+            blk, specs, only_once=self.row_only_once, obs=obs
+        )
+        results = []
+        for output, indices, rel in zip(self.outputs, routed, out_relations):
+            taken = blk.take(indices)
+            if output.columns is not None:
+                taken = RowBlock(
+                    {
+                        out: taken.columns[source]
+                        for out, source in output.columns
+                    },
+                    taken.length,
+                )
+            results.append(planner.materialize_block(rel, taken))
+        return results
 
     @staticmethod
     def _project(output: FilterOutput, row) -> dict:
@@ -234,6 +273,18 @@ class SwitchStage(Stage):
     def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
+        if planner.batched:
+            blk = data.as_block()
+            resolve = relation_resolver(data.relation.name, blk.columns)
+            selector = planner.block_scalar(self.selector, resolve)
+            if selector is not None:
+                routed = block.switch_block(
+                    blk, selector, self.cases, self.has_default, obs=obs
+                )
+                return [
+                    planner.materialize_block(rel, blk.take(indices))
+                    for indices, rel in zip(routed, out_relations)
+                ]
         routed = kernels.switch_rows(
             data.rows,
             planner.scalar(self.selector),
@@ -307,6 +358,19 @@ class CopyStage(Stage):
     def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
+        if planner.batched:
+            blk = data.as_block()
+            # column subsets alias the input lists — copies cost nothing
+            return [
+                planner.materialize_block(
+                    rel,
+                    RowBlock(
+                        {n: blk.columns[n] for n in rel.attribute_names},
+                        blk.length,
+                    ),
+                )
+                for rel in out_relations
+            ]
         results = []
         for rel in out_relations:
             names = rel.attribute_names
@@ -346,6 +410,13 @@ class FunnelStage(Stage):
     def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         out = out_relations[0]
         planner = planner or ExpressionPlanner(registry)
+        if planner.batched:
+            merged = block.union_block(
+                [data.as_block() for data in inputs],
+                out.attribute_names,
+                obs=obs,
+            )
+            return [planner.materialize_block(out, merged)]
         rows = kernels.union_rows(
             [data.rows for data in inputs], out.attribute_names, obs=obs
         )
@@ -358,6 +429,7 @@ class PeekStage(Stage):
     transformation semantics; compiles to an identity)."""
 
     STAGE_TYPE = "Peek"
+    supports_compiled = True
 
     def __init__(self, sample: int = 10, **kwargs):
         super().__init__(**kwargs)
@@ -368,8 +440,17 @@ class PeekStage(Stage):
         (incoming,) = inputs
         return [incoming.renamed(out_names[0])]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
+        planner = planner or ExpressionPlanner(registry)
+        if planner.batched:
+            # identity: pass the columnar form straight through without
+            # materializing rows (the sample converts only its slice)
+            blk = data.as_block()
+            self.peeked = blk.slice(0, self.sample).to_rows(
+                data.relation.attribute_names
+            )
+            return [planner.materialize_block(out_relations[0], blk)]
         self.peeked = [dict(r) for r in data.rows[: self.sample]]
         return [
             Dataset(out_relations[0], [dict(r) for r in data], validate=False)

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.data.dataset import Dataset
 from repro.errors import ValidationError
 from repro.etl.model import Stage
-from repro.exec import ExpressionPlanner, kernels
+from repro.exec import ExpressionPlanner, block, kernels
+from repro.exec.block import relation_resolver
 from repro.expr.algebra import conjoin
 from repro.expr.ast import AggregateCall, BinaryOp, ColumnRef, Expr
 from repro.expr.parser import parse
@@ -152,6 +153,21 @@ class JoinStage(Stage):
         left, right = inputs
         condition = self.effective_condition(left.relation, right.relation)
         plan = self.merged_columns(left.relation, right.relation)
+        planner = planner or ExpressionPlanner(registry)
+        if planner.batched:
+            joined = block.hash_join_block(
+                left.as_block(),
+                right.as_block(),
+                left.relation,
+                right.relation,
+                condition,
+                self.join_type,
+                plan,
+                planner,
+                obs=obs,
+            )
+            if joined is not None:
+                return [planner.materialize_block(out_relations[0], joined)]
 
         def merge(left_row, right_row) -> dict:
             merged = {}
@@ -160,7 +176,6 @@ class JoinStage(Stage):
                 merged[out_name] = None if row is None else row[source]
             return merged
 
-        planner = planner or ExpressionPlanner(registry)
         rows: list = []
         kernels.hash_join(
             left.rows,
@@ -248,6 +263,17 @@ class LookupStage(Stage):
         stream, reference = inputs
         planner = planner or ExpressionPlanner(registry)
         returned = self._returned(reference.relation)
+        if planner.batched:
+            enriched = block.lookup_block(
+                stream.as_block(),
+                reference.as_block(),
+                self.keys,
+                returned,
+                self.on_failure,
+                label=self.name,
+                obs=obs,
+            )
+            return [planner.materialize_block(out_relations[0], enriched)]
         index: Dict[tuple, dict] = {}
         for row in reference:
             key = tuple(row[r] for _s, r in self.keys)
@@ -342,6 +368,20 @@ class AggregatorStage(Stage):
     def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
+        if planner.batched:
+            blk = data.as_block()
+            resolve = relation_resolver(None, blk.columns)
+            lowered = []
+            for out, call in self.aggregate_calls():
+                plan = planner.block_aggregate(call, resolve)
+                if plan is None:
+                    break
+                lowered.append((out, plan[0], plan[1]))
+            else:
+                grouped = block.group_aggregate_block(
+                    blk, self.group_keys, lowered, obs=obs
+                )
+                return [planner.materialize_block(out_relations[0], grouped)]
         rows = kernels.group_aggregate_rows(
             data.rows,
             self.group_keys,
@@ -370,7 +410,7 @@ class AggregatorStage(Stage):
 
 
 class SortStage(Stage):
-    """Stable multi-key sort; NULLs first ascending, last descending."""
+    """Stable multi-key sort; NULLs sort last in both directions."""
 
     STAGE_TYPE = "Sort"
     supports_compiled = True
@@ -398,6 +438,9 @@ class SortStage(Stage):
     def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
+        if planner.batched:
+            ordered = block.sort_block(data.as_block(), self.keys, obs=obs)
+            return [planner.materialize_block(out_relations[0], ordered)]
         rows = kernels.sort_rows(data.rows, self.keys, obs=obs)
         return [planner.materialize(out_relations[0], rows, fresh=True)]
 
@@ -443,6 +486,11 @@ class RemoveDuplicatesStage(Stage):
     def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
+        if planner.batched:
+            unique = block.dedup_block(
+                data.as_block(), self.keys, self.retain, obs=obs
+            )
+            return [planner.materialize_block(out_relations[0], unique)]
         rows = kernels.dedup_rows(data.rows, self.keys, self.retain, obs=obs)
         return [planner.materialize(out_relations[0], rows, fresh=True)]
 

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.data.dataset import Dataset
 from repro.errors import ValidationError
 from repro.etl.model import Stage
-from repro.exec import ExpressionPlanner, kernels
+from repro.exec import ExpressionPlanner, block, kernels
+from repro.exec.block import RowBlock, relation_resolver
 from repro.expr.ast import Expr
 from repro.expr.evaluator import Environment
 from repro.expr.parser import parse
@@ -157,6 +158,12 @@ class Transformer(Stage):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
         relation_name = data.relation.name
+        if planner.batched:
+            results = self._execute_block(
+                data, out_relations, planner, relation_name, obs
+            )
+            if results is not None:
+                return results
         var_fns = [
             (name, planner.scalar(expr)) for name, expr in self.stage_variables
         ]
@@ -200,6 +207,64 @@ class Transformer(Stage):
             )
         ]
 
+    def _execute_block(self, data, out_relations, planner, relation_name, obs):
+        """Columnar execution, or ``None`` when any stage variable,
+        constraint, or derivation cannot be lowered column-wise.
+
+        The environment block mirrors the row path's per-row
+        environment: plain names are the anonymous row (input columns,
+        shadowed by stage variables), while ``link.column`` keys keep
+        the raw input columns — exactly what a link-qualified reference
+        resolves to first."""
+        blk = data.as_block()
+        env_columns = dict(blk.columns)
+        for name, col in blk.columns.items():
+            env_columns[f"{relation_name}.{name}"] = col
+        env_blk = RowBlock(env_columns, blk.length)
+        # stage variables compute top-down; each sees the ones before it
+        for name, expr in self.stage_variables:
+            resolve = relation_resolver(None, env_blk.columns)
+            fn = planner.block_scalar(expr, resolve)
+            if fn is None:
+                return None
+            env_blk = env_blk.with_columns({name: fn(env_blk)})
+        resolve = relation_resolver(None, env_blk.columns)
+        specs = []
+        for link in self.outputs:
+            if link.otherwise:
+                specs.append(("fallback", None))
+            elif link.constraint is None:
+                specs.append(("always", None))
+            else:
+                predicate = planner.block_predicate(link.constraint, resolve)
+                if predicate is None:
+                    return None
+                specs.append(("pred", predicate))
+        lowered_links = []
+        for link in self.outputs:
+            derivations = [
+                (col, planner.block_scalar(expr, resolve))
+                for col, expr in link.derivations
+            ]
+            if any(fn is None for _col, fn in derivations):
+                return None
+            lowered_links.append(derivations)
+        routed = block.route_block(env_blk, specs, obs=obs)
+        return [
+            planner.materialize_block(
+                rel,
+                block.project_block(
+                    env_blk.take(indices),
+                    derivations,
+                    batch_size=planner.batch_size,
+                    obs=obs,
+                ),
+            )
+            for derivations, indices, rel in zip(
+                lowered_links, routed, out_relations
+            )
+        ]
+
     def to_config(self):
         return {
             "outputs": [o.to_config() for o in self.outputs],
@@ -226,6 +291,7 @@ class Modify(Stage):
     """
 
     STAGE_TYPE = "Modify"
+    supports_compiled = True
 
     def __init__(
         self,
@@ -271,7 +337,7 @@ class Modify(Stage):
         (incoming,) = inputs
         return [Relation(out_names[0], self._result_attributes(incoming))]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
         out = out_relations[0]
         old_of = {}
@@ -279,6 +345,21 @@ class Modify(Stage):
         for attr in data.relation:
             new_name = old_to_new.get(attr.name, attr.name)
             old_of[new_name] = attr.name
+        if planner is not None and planner.batched:
+            blk = data.as_block()
+            columns = {}
+            for attr in out:
+                col = blk.columns[old_of[attr.name]]
+                if attr.name in self.convert:
+                    type_name = self.convert[attr.name]
+                    col = [
+                        None if v is None else _convert_value(v, type_name)
+                        for v in col
+                    ]
+                columns[attr.name] = col
+            return [
+                planner.materialize_block(out, RowBlock(columns, blk.length))
+            ]
         result = Dataset(out, validate=False)
         for row in data:
             new_row = {}
@@ -317,6 +398,7 @@ class SurrogateKey(Stage):
     Generator stage)."""
 
     STAGE_TYPE = "SurrogateKey"
+    supports_compiled = True
 
     def __init__(self, generated_column: str, start: int = 1, **kwargs):
         super().__init__(**kwargs)
@@ -336,8 +418,17 @@ class SurrogateKey(Stage):
         attrs.append(Attribute(self.generated_column, INTEGER, nullable=False))
         return [Relation(out_names[0], attrs)]
 
-    def execute(self, inputs, out_relations, registry):
+    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
+        if planner is not None and planner.batched:
+            blk = data.as_block()
+            generated = list(range(self.start, self.start + blk.length))
+            return [
+                planner.materialize_block(
+                    out_relations[0],
+                    blk.with_columns({self.generated_column: generated}),
+                )
+            ]
         result = Dataset(out_relations[0], validate=False)
         for i, row in enumerate(data):
             new_row = dict(row)

@@ -19,6 +19,18 @@ programmatically (the CLI's ``--interpreted`` flag), and the
 ``REPRO_COMPILED`` environment variable overrides it from outside
 (``REPRO_COMPILED=0`` keeps CI's oracle runs green). Engine
 constructors accept ``compiled=None`` meaning "use the default".
+
+On top of the compiled tier sits the *batched* (columnar) tier: block
+kernels over :class:`repro.exec.block.RowBlock` columns with
+expressions lowered by :mod:`repro.exec.compile_block`. It resolves the
+same way — ``batched=True`` engine kwargs, :func:`set_default_batched`
+(the CLI's ``--row-mode`` / ``--batch-size`` flags), or the
+``REPRO_BATCH`` environment variable (``REPRO_BATCH=1`` switches it on;
+an integer > 1, or ``REPRO_BATCH_SIZE``, also sets the batch size).
+Batched execution requires the compiler, so under the interpreting
+oracle (``compiled=False``) it switches itself off — and operators the
+block tier cannot express identically fall back to the row kernels per
+operator, never changing results.
 """
 
 from __future__ import annotations
@@ -42,11 +54,23 @@ from repro.exec.compile_expr import (
     compile_predicate,
     is_foldable,
 )
-from repro.exec import kernels
+from repro.exec.compile_block import (
+    aggregate_values_reducer,
+    compile_block_expr,
+    compile_block_predicate,
+)
+from repro.exec import block, kernels
+from repro.exec.block import RowBlock
 
 _FALSE_VALUES = ("0", "false", "no", "off")
 
+#: default rows per block in batched mode (overridable per engine, via
+#: ``set_default_batch_size``, or with ``REPRO_BATCH_SIZE``)
+DEFAULT_BATCH_SIZE = 1024
+
 _default_compiled: Optional[bool] = None
+_default_batched: Optional[bool] = None
+_default_batch_size: Optional[int] = None
 
 
 def default_compiled() -> bool:
@@ -74,6 +98,71 @@ def resolve_compiled(value: Optional[bool]) -> bool:
     return default_compiled() if value is None else bool(value)
 
 
+def default_batched() -> bool:
+    """The process-wide batched-mode default: a
+    :func:`set_default_batched` override wins, else the ``REPRO_BATCH``
+    environment variable (any non-false value enables), else False."""
+    if _default_batched is not None:
+        return _default_batched
+    raw = os.environ.get("REPRO_BATCH")
+    if raw is None:
+        return False
+    return raw.strip().lower() not in _FALSE_VALUES
+
+
+def set_default_batched(value: Optional[bool]) -> None:
+    """Override the process-wide batched default (None restores the
+    environment-variable/False resolution)."""
+    global _default_batched
+    _default_batched = value
+
+
+def resolve_batched(value: Optional[bool]) -> bool:
+    """Resolve an engine constructor's ``batched`` argument: an explicit
+    True/False wins, None means the process default."""
+    return default_batched() if value is None else bool(value)
+
+
+def default_batch_size() -> int:
+    """The process-wide batch size: a :func:`set_default_batch_size`
+    override wins, else ``REPRO_BATCH_SIZE``, else an integer
+    ``REPRO_BATCH`` value > 1 (so ``REPRO_BATCH=4096`` both enables
+    batching and sizes the blocks), else :data:`DEFAULT_BATCH_SIZE`."""
+    if _default_batch_size is not None:
+        return _default_batch_size
+    for variable in ("REPRO_BATCH_SIZE", "REPRO_BATCH"):
+        raw = os.environ.get(variable)
+        if raw is None:
+            continue
+        try:
+            parsed = int(raw)
+        except ValueError:
+            continue
+        if parsed > 1:
+            return parsed
+    return DEFAULT_BATCH_SIZE
+
+
+def set_default_batch_size(value: Optional[int]) -> None:
+    """Override the process-wide batch size (None restores the
+    environment-variable/:data:`DEFAULT_BATCH_SIZE` resolution)."""
+    global _default_batch_size
+    if value is not None and int(value) < 1:
+        raise ValueError(f"batch size must be >= 1, got {value!r}")
+    _default_batch_size = None if value is None else int(value)
+
+
+def resolve_batch_size(value: Optional[int]) -> int:
+    """Resolve an engine constructor's ``batch_size`` argument: an
+    explicit size wins, None means the process default."""
+    if value is None:
+        return default_batch_size()
+    size = int(value)
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {value!r}")
+    return size
+
+
 class ExpressionPlanner:
     """Lowers expressions to per-member closures for the kernels.
 
@@ -90,9 +179,16 @@ class ExpressionPlanner:
         self,
         registry: Optional[FunctionRegistry] = None,
         compiled: Optional[bool] = None,
+        batched: Optional[bool] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.registry = registry or DEFAULT_REGISTRY
         self.compiled = resolve_compiled(compiled)
+        # the block tier builds on the compiler; under the interpreting
+        # oracle it switches itself off so REPRO_COMPILED=0 stays a pure
+        # row-at-a-time oracle run even with REPRO_BATCH=1
+        self.batched = self.compiled and resolve_batched(batched)
+        self.batch_size = resolve_batch_size(batch_size)
         self._scalars: dict = {}
         self._predicates: dict = {}
         self._aggregates: dict = {}
@@ -144,6 +240,47 @@ class ExpressionPlanner:
             return Dataset.adopt(relation, rows)
         return Dataset(relation, rows, validate=False)
 
+    # -- block (columnar) lowering --------------------------------------
+
+    def block_scalar(self, expr: Expr, resolve) -> Optional[Callable]:
+        """A ``RowBlock → column`` function for ``expr`` under the given
+        column resolver, or ``None`` when the operator must take the row
+        path (batched mode off, or the expression isn't expressible
+        column-wise). Compiled once per operator invocation — resolvers
+        are call-site-specific, so these are not cached planner-wide."""
+        if not self.batched:
+            return None
+        return compile_block_expr(expr, self.registry, resolve)
+
+    def block_predicate(self, expr: Expr, resolve) -> Optional[Callable]:
+        """A ``RowBlock → bool column`` function with SQL WHERE semantics
+        (True only where definitely true), or ``None`` for row fallback."""
+        if not self.batched:
+            return None
+        return compile_block_predicate(expr, self.registry, resolve)
+
+    def block_aggregate(self, agg: AggregateCall, resolve):
+        """``(values_fn, reducer)`` for columnar grouped aggregation —
+        ``values_fn`` evaluates the argument once over a whole block,
+        ``reducer`` folds one group's gathered values. ``(None, None)``
+        is ``COUNT(*)`` (group size); a bare ``None`` means row
+        fallback."""
+        if not self.batched:
+            return None
+        if agg.arg is None:
+            return (None, None)
+        values_fn = compile_block_expr(agg.arg, self.registry, resolve)
+        if values_fn is None:
+            return None
+        return (values_fn, aggregate_values_reducer(agg))
+
+    def materialize_block(self, relation, rowblock: RowBlock):
+        """Adopt a kernel-output block as a Dataset without converting
+        through rows — the columnar analogue of ``materialize(...,
+        fresh=True)``. Only called on block paths (which only run in
+        batched mode, which implies compiled/trusted)."""
+        return Dataset.adopt_block(relation, rowblock)
+
     def aggregate(self, agg: AggregateCall) -> Callable[[list], Any]:
         """A ``members → value`` closure over a group of rows or
         environments."""
@@ -163,13 +300,25 @@ class ExpressionPlanner:
 
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "ExpressionPlanner",
+    "RowBlock",
+    "aggregate_values_reducer",
+    "block",
     "compile_aggregate",
+    "compile_block_expr",
+    "compile_block_predicate",
     "compile_expr",
     "compile_predicate",
+    "default_batch_size",
+    "default_batched",
     "default_compiled",
     "is_foldable",
     "kernels",
+    "resolve_batch_size",
+    "resolve_batched",
     "resolve_compiled",
+    "set_default_batch_size",
+    "set_default_batched",
     "set_default_compiled",
 ]

@@ -1,0 +1,606 @@
+"""Columnar batches: the :class:`RowBlock` container and block kernels.
+
+The row kernels in :mod:`repro.exec.kernels` pay per-row dispatch on
+every operator: an environment rebind, a closure call, and a dict build
+per row. This module adds the columnar tier ROADMAP calls for — the
+same operator semantics, executed over *columns*:
+
+* a :class:`RowBlock` is a dict of column lists plus a length. NULLs are
+  in-band ``None`` entries (the same three-valued-logic convention the
+  row engines use), so a column *is* its own null mask:
+  ``block.null_mask(name)`` derives the boolean form when needed;
+* block kernels consume and produce whole blocks: filtering builds a
+  selection vector and gathers once, projection rebinds whole columns
+  (a pass-through column is shared, not copied), grouped aggregation
+  gathers per-column accumulators, and the hash join builds/probes over
+  key columns and emits index vectors;
+* columns are **immutable by convention**: kernels may alias an input
+  column into an output block, and nothing may mutate a column list in
+  place. Fresh lists are built wherever rows are reordered or selected.
+
+Operators that stay row-shaped (nest/unnest, UNKNOWN/opaque bodies)
+simply fall back to the row kernels — ``Dataset`` converts lazily in
+both directions.
+
+Kernels report ``exec.block.<name>.blocks_in/.blocks_out/.rows_in/
+.rows_out`` when given an :class:`~repro.obs.Observability`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ExecutionError
+from repro.exec.kernels import (
+    _hash_key,
+    _sort_value,
+    key_encoder,
+    split_equi_condition,
+)
+from repro.expr.ast import Expr
+from repro.schema.model import Relation
+
+#: A compiled block expression: RowBlock → column (list of values).
+BlockFn = Callable[["RowBlock"], List[Any]]
+
+
+def _observe_block(
+    obs, kernel: str, blocks_in: int, blocks_out: int, rows_in: int, rows_out: int
+) -> None:
+    if obs is not None and obs.enabled:
+        metrics = obs.metrics
+        metrics.count(f"exec.block.{kernel}.blocks_in", blocks_in)
+        metrics.count(f"exec.block.{kernel}.blocks_out", blocks_out)
+        metrics.count(f"exec.block.{kernel}.rows_in", rows_in)
+        metrics.count(f"exec.block.{kernel}.rows_out", rows_out)
+
+
+class RowBlock:
+    """A batch of rows stored column-wise.
+
+    ``columns`` maps column name → list of values (``None`` = NULL);
+    every list has exactly ``length`` entries. Several names may alias
+    the *same* list object (projection rebinding), which is why columns
+    are immutable by convention.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Dict[str, List[Any]], length: int):
+        self.columns = columns
+        self.length = length
+
+    # -- construction / conversion ----------------------------------------
+
+    @classmethod
+    def from_rows(cls, names: Sequence[str], rows: Sequence[dict]) -> "RowBlock":
+        """Columnarize ``rows`` (each must hold every name)."""
+        columns = {n: [row[n] for row in rows] for n in names}
+        return cls(columns, len(rows))
+
+    def to_rows(self, names: Optional[Sequence[str]] = None) -> List[dict]:
+        """Materialize as fresh row dicts, columns ordered by ``names``
+        (default: this block's column order)."""
+        names = list(self.columns) if names is None else list(names)
+        if not names:
+            return [{} for _ in range(self.length)]
+        cols = [self.columns[n] for n in names]
+        return [dict(zip(names, values)) for values in zip(*cols)]
+
+    @classmethod
+    def concat(cls, blocks: Sequence["RowBlock"]) -> "RowBlock":
+        """Concatenate blocks sharing a column-name set."""
+        if len(blocks) == 1:
+            return blocks[0]
+        if not blocks:
+            return cls({}, 0)
+        names = list(blocks[0].columns)
+        columns: Dict[str, List[Any]] = {n: [] for n in names}
+        length = 0
+        for block in blocks:
+            for n in names:
+                columns[n].extend(block.columns[n])
+            length += block.length
+        return cls(columns, length)
+
+    # -- cheap structural ops ----------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> List[Any]:
+        return self.columns[name]
+
+    def null_mask(self, name: str) -> List[bool]:
+        """True where the column is NULL (the in-band ``None`` entries)."""
+        return [value is None for value in self.columns[name]]
+
+    def slice(self, start: int, stop: int) -> "RowBlock":
+        """Row range ``[start, stop)`` — aliased column lists stay aliased."""
+        start = max(0, start)
+        stop = min(self.length, stop)
+        shared: Dict[int, List[Any]] = {}
+        columns: Dict[str, List[Any]] = {}
+        for name, col in self.columns.items():
+            cut = shared.get(id(col))
+            if cut is None:
+                cut = shared[id(col)] = col[start:stop]
+            columns[name] = cut
+        return RowBlock(columns, max(0, stop - start))
+
+    def take(self, indices: Sequence[int]) -> "RowBlock":
+        """Gather the given row positions (a selection vector) into a new
+        block — aliased column lists are gathered once and stay aliased."""
+        shared: Dict[int, List[Any]] = {}
+        columns: Dict[str, List[Any]] = {}
+        for name, col in self.columns.items():
+            taken = shared.get(id(col))
+            if taken is None:
+                taken = shared[id(col)] = [col[i] for i in indices]
+            columns[name] = taken
+        return RowBlock(columns, len(indices))
+
+    def chunks(self, size: Optional[int]) -> Iterator["RowBlock"]:
+        """Split into row ranges of at most ``size`` rows (no copy when
+        the block already fits)."""
+        if not size or size >= self.length:
+            yield self
+            return
+        for start in range(0, self.length, size):
+            yield self.slice(start, min(start + size, self.length))
+
+    def with_columns(self, extra: Dict[str, List[Any]]) -> "RowBlock":
+        """A new block sharing these columns plus ``extra`` (no copies)."""
+        columns = dict(self.columns)
+        columns.update(extra)
+        return RowBlock(columns, self.length)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"RowBlock({len(self.columns)} cols × {self.length} rows)"
+
+
+# -- selection kernels ---------------------------------------------------------
+
+
+def filter_block(
+    block: RowBlock,
+    predicate: BlockFn,
+    batch_size: Optional[int] = None,
+    obs=None,
+) -> RowBlock:
+    """SQL WHERE over a block: evaluate the predicate column chunk-wise,
+    turn it into a selection vector, gather once."""
+    indices: List[int] = []
+    chunks_seen = 0
+    offset = 0
+    for chunk in block.chunks(batch_size):
+        chunks_seen += 1
+        mask = predicate(chunk)
+        indices.extend(offset + i for i, flag in enumerate(mask) if flag)
+        offset += chunk.length
+    out = block.take(indices)
+    _observe_block(obs, "filter", chunks_seen, 1, block.length, out.length)
+    return out
+
+
+def project_block(
+    block: RowBlock,
+    derivations: Sequence[Tuple[str, BlockFn]],
+    defaults: Optional[dict] = None,
+    batch_size: Optional[int] = None,
+    obs=None,
+) -> RowBlock:
+    """Column rebinding: evaluate each derivation as a whole column.
+    A pass-through column reference costs nothing — the output aliases
+    the input list. ``defaults`` broadcast constant columns (e.g.
+    NULL-filled underived target columns) before derivations apply."""
+    outputs: List[RowBlock] = []
+    chunks_seen = 0
+    for chunk in block.chunks(batch_size):
+        chunks_seen += 1
+        columns: Dict[str, List[Any]] = {}
+        if defaults:
+            for name, value in defaults.items():
+                columns[name] = [value] * chunk.length
+        for name, fn in derivations:
+            columns[name] = fn(chunk)
+        outputs.append(RowBlock(columns, chunk.length))
+    out = RowBlock.concat(outputs)
+    _observe_block(obs, "project", chunks_seen, 1, block.length, out.length)
+    return out
+
+
+def route_block(
+    block: RowBlock,
+    specs: Sequence[Tuple[str, Optional[BlockFn]]],
+    only_once: bool = False,
+    obs=None,
+) -> List[List[int]]:
+    """Multi-output routing over a block: one selection vector per output.
+
+    Mirrors :func:`repro.exec.kernels.route_rows` — ``specs`` are
+    ``(kind, predicate)`` with kinds ``"always"`` / ``"pred"`` /
+    ``"fallback"``; with ``only_once`` a row stops being considered by
+    later predicate outputs after its first match."""
+    n = block.length
+    all_indices = list(range(n))
+    has_predicates = any(kind == "pred" for kind, _ in specs)
+    matched = [False] * n
+    outputs: List[List[int]] = []
+    for kind, predicate in specs:
+        if kind == "always":
+            outputs.append(all_indices)
+        elif kind == "pred":
+            mask = predicate(block)
+            if only_once:
+                selected = [i for i in all_indices if mask[i] and not matched[i]]
+            else:
+                selected = [i for i in all_indices if mask[i]]
+            for i in selected:
+                matched[i] = True
+            outputs.append(selected)
+        else:  # fallback
+            outputs.append([])
+    if has_predicates:
+        unmatched = [i for i in all_indices if not matched[i]]
+        for spec_index, (kind, _p) in enumerate(specs):
+            if kind == "fallback":
+                outputs[spec_index] = list(unmatched)
+    _observe_block(
+        obs, "route", 1, len(outputs), n, sum(len(o) for o in outputs)
+    )
+    return outputs
+
+
+def switch_block(
+    block: RowBlock,
+    selector: BlockFn,
+    cases: Sequence[Any],
+    has_default: bool,
+    obs=None,
+) -> List[List[int]]:
+    """Selector routing over a block: one selection vector per case (plus
+    the trailing default when configured); first matching case wins."""
+    values = selector(block)
+    n_outputs = len(cases) + (1 if has_default else 0)
+    outputs: List[List[int]] = [[] for _ in range(n_outputs)]
+    for i, value in enumerate(values):
+        for case_index, case in enumerate(cases):
+            if value == case:
+                outputs[case_index].append(i)
+                break
+        else:
+            if has_default:
+                outputs[-1].append(i)
+    _observe_block(
+        obs, "switch", 1, n_outputs, block.length, sum(len(o) for o in outputs)
+    )
+    return outputs
+
+
+# -- grouping kernels ----------------------------------------------------------
+
+
+def _group_indices(
+    block: RowBlock, key_names: Sequence[str]
+) -> List[List[int]]:
+    """Row-index groups by encoded key columns, first-seen order."""
+    groups: Dict[Any, List[int]] = {}
+    order: List[Any] = []
+    if len(key_names) == 1:
+        encode = key_encoder()
+        col = block.columns[key_names[0]]
+        for i, value in enumerate(col):
+            key = encode(value)
+            members = groups.get(key)
+            if members is None:
+                groups[key] = members = []
+                order.append(key)
+            members.append(i)
+    else:
+        encoders = [key_encoder() for _ in key_names]
+        cols = [block.columns[k] for k in key_names]
+        for i in range(block.length):
+            key = tuple(
+                encode(col[i]) for encode, col in zip(encoders, cols)
+            )
+            members = groups.get(key)
+            if members is None:
+                groups[key] = members = []
+                order.append(key)
+            members.append(i)
+    return [groups[key] for key in order]
+
+
+def group_aggregate_block(
+    block: RowBlock,
+    key_names: Sequence[str],
+    aggregates: Sequence[Tuple[str, Optional[BlockFn], Optional[Callable]]],
+    obs=None,
+) -> RowBlock:
+    """Grouped aggregation over columns: rows are partitioned by encoded
+    key columns (NULL keys equal, ``1 == 1.0``), each aggregate argument
+    is evaluated *once* as a whole column, then gathered per group and
+    reduced. ``aggregates`` are ``(name, values_fn, reducer)`` — a
+    ``(name, None, None)`` entry is ``COUNT(*)`` (the group size)."""
+    groups = _group_indices(block, key_names)
+    columns: Dict[str, List[Any]] = {}
+    for k in key_names:
+        col = block.columns[k]
+        columns[k] = [col[members[0]] for members in groups]
+    for name, values_fn, reducer in aggregates:
+        if values_fn is None and reducer is None:
+            columns[name] = [len(members) for members in groups]
+        else:
+            values = values_fn(block)
+            columns[name] = [
+                reducer([values[i] for i in members]) for members in groups
+            ]
+    out = RowBlock(columns, len(groups))
+    _observe_block(obs, "group_aggregate", 1, 1, block.length, out.length)
+    return out
+
+
+def dedup_block(
+    block: RowBlock,
+    key_names: Sequence[str],
+    retain: str = "first",
+    obs=None,
+) -> RowBlock:
+    """One row per key (first or last occurrence), first-seen key order."""
+    groups = _group_indices(block, key_names)
+    pick = -1 if retain == "last" else 0
+    out = block.take([members[pick] for members in groups])
+    _observe_block(obs, "dedup", 1, 1, block.length, out.length)
+    return out
+
+
+# -- set kernels ---------------------------------------------------------------
+
+
+def union_block(
+    blocks: Sequence[RowBlock],
+    names: Sequence[str],
+    distinct: bool = False,
+    obs=None,
+) -> RowBlock:
+    """Bag union projected onto ``names``; ``distinct`` keeps the first
+    occurrence of each row (NULLs equal)."""
+    columns: Dict[str, List[Any]] = {n: [] for n in names}
+    for block in blocks:
+        for n in names:
+            columns[n].extend(block.columns[n])
+    length = sum(block.length for block in blocks)
+    out = RowBlock(columns, length)
+    total_in = length
+    if distinct:
+        encoders = [key_encoder() for _ in names]
+        cols = [out.columns[n] for n in names]
+        seen = set()
+        indices: List[int] = []
+        for i in range(length):
+            key = tuple(encode(col[i]) for encode, col in zip(encoders, cols))
+            if key not in seen:
+                seen.add(key)
+                indices.append(i)
+        out = out.take(indices)
+    _observe_block(obs, "union", len(blocks), 1, total_in, out.length)
+    return out
+
+
+# -- sorting -------------------------------------------------------------------
+
+
+def sort_block(
+    block: RowBlock,
+    keys: Sequence[Tuple[str, str]],
+    obs=None,
+) -> RowBlock:
+    """Stable multi-key sort by repeated stable index sorts (right-to-left,
+    exactly the row kernel's strategy, so the permutation is identical)."""
+    indices = list(range(block.length))
+    for col_name, direction in reversed(list(keys)):
+        descending = direction == "desc"
+        col = block.columns[col_name]
+        decorated = [_sort_value(value, descending) for value in col]
+        indices.sort(key=decorated.__getitem__, reverse=descending)
+    out = block.take(indices)
+    _observe_block(obs, "sort", 1, 1, block.length, out.length)
+    return out
+
+
+# -- joins ---------------------------------------------------------------------
+
+
+def hash_join_block(
+    left: RowBlock,
+    right: RowBlock,
+    left_relation: Relation,
+    right_relation: Relation,
+    condition: Expr,
+    kind: str,
+    plan: Sequence[Tuple[str, str, str]],
+    planner,
+    obs=None,
+) -> Optional[RowBlock]:
+    """Hash join over key columns, or ``None`` when the condition needs
+    the row path (no equi-conjuncts, residual conjuncts, or a key
+    expression the block compiler cannot lower).
+
+    Build/probe produce paired index vectors (``-1`` = outer padding);
+    output columns are gathered straight from the ``(output name, side,
+    source column)`` plan. Emission order matches the row kernel:
+    matches in probe order with left paddings inline, right paddings
+    last."""
+    pairs, residual = split_equi_condition(
+        condition, left_relation, right_relation
+    )
+    if not pairs or residual:
+        return None
+    left_resolve = relation_resolver(left_relation.name, left.columns)
+    right_resolve = relation_resolver(right_relation.name, right.columns)
+    left_key_fns = [planner.block_scalar(l, left_resolve) for l, _r in pairs]
+    right_key_fns = [planner.block_scalar(r, right_resolve) for _l, r in pairs]
+    if any(fn is None for fn in left_key_fns + right_key_fns):
+        return None
+
+    right_key_cols = [fn(right) for fn in right_key_fns]
+    index: Dict[tuple, List[int]] = {}
+    if len(right_key_cols) == 1:
+        for i, value in enumerate(right_key_cols[0]):
+            key = _hash_key((value,))
+            if key is not None:
+                index.setdefault(key, []).append(i)
+    else:
+        for i in range(right.length):
+            key = _hash_key([col[i] for col in right_key_cols])
+            if key is not None:
+                index.setdefault(key, []).append(i)
+
+    left_key_cols = [fn(left) for fn in left_key_fns]
+    pad_left = kind in ("left", "full")
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    matched_right = [False] * right.length
+    if len(left_key_cols) == 1:
+        probe_keys = ((_hash_key((v,)) for v in left_key_cols[0]))
+    else:
+        probe_keys = (
+            _hash_key([col[i] for col in left_key_cols])
+            for i in range(left.length)
+        )
+    for i, key in enumerate(probe_keys):
+        hits = index.get(key) if key is not None else None
+        if hits:
+            for j in hits:
+                matched_right[j] = True
+                left_idx.append(i)
+                right_idx.append(j)
+        elif pad_left:
+            left_idx.append(i)
+            right_idx.append(-1)
+    if kind in ("right", "full"):
+        for j, was_matched in enumerate(matched_right):
+            if not was_matched:
+                left_idx.append(-1)
+                right_idx.append(j)
+
+    columns: Dict[str, List[Any]] = {}
+    for out_name, side, source in plan:
+        src_cols = left.columns if side == "left" else right.columns
+        src_idx = left_idx if side == "left" else right_idx
+        col = src_cols[source]
+        columns[out_name] = [None if i < 0 else col[i] for i in src_idx]
+    out = RowBlock(columns, len(left_idx))
+    _observe_block(obs, "join", 2, 1, left.length + right.length, out.length)
+    return out
+
+
+def lookup_block(
+    stream: RowBlock,
+    reference: RowBlock,
+    key_pairs: Sequence[Tuple[str, str]],
+    returned: Sequence[str],
+    on_failure: str,
+    label: str = "",
+    obs=None,
+) -> RowBlock:
+    """Key lookup enriching a stream from a reference (first reference
+    match wins). Keys are *raw* Python tuples — exactly the row-path
+    Lookup stage's dict semantics (``1`` and ``1.0`` collide, NULL
+    matches NULL) — so both paths agree bit-for-bit. ``on_failure``:
+    ``continue`` null-fills, ``drop`` discards, ``fail`` raises on the
+    first unmatched stream row."""
+    reference_key_cols = [reference.columns[r] for _s, r in key_pairs]
+    index: Dict[tuple, int] = {}
+    for i in range(reference.length):
+        key = tuple(col[i] for col in reference_key_cols)
+        if key not in index:
+            index[key] = i
+    stream_key_cols = [stream.columns[s] for s, _r in key_pairs]
+    kept: List[int] = []
+    hits: List[int] = []
+    for i in range(stream.length):
+        key = tuple(col[i] for col in stream_key_cols)
+        j = index.get(key, -1)
+        if j < 0:
+            if on_failure == "drop":
+                continue
+            if on_failure == "fail":
+                raise ExecutionError(f"Lookup {label!r} failed for key {key!r}")
+        kept.append(i)
+        hits.append(j)
+    taken = stream.take(kept)
+    columns = dict(taken.columns)
+    for name in returned:
+        col = reference.columns[name]
+        columns[name] = [None if j < 0 else col[j] for j in hits]
+    out = RowBlock(columns, taken.length)
+    _observe_block(
+        obs, "lookup", 2, 1, stream.length + reference.length, out.length
+    )
+    return out
+
+
+# -- name resolution -----------------------------------------------------------
+
+
+def relation_resolver(
+    relation_name: Optional[str], columns: Iterable[str]
+) -> Callable:
+    """Column-reference resolver for the common case where the block's
+    columns are both the anonymous row and the ``relation_name``-bound
+    row (how :func:`repro.exec.kernels.row_binder` binds). Mirrors
+    :meth:`repro.expr.evaluator.Environment.lookup`: qualified misses
+    fall through to the dotted anonymous column (join outputs keep
+    ``edge.column`` names), then to the plain name. Returns the column
+    key, or ``None`` when the row path must resolve (and possibly raise
+    its own unbound/ambiguous error)."""
+    names = set(columns)
+
+    def resolve(ref):
+        name = ref.name
+        qualifier = ref.qualifier
+        if qualifier is None:
+            return name if name in names else None
+        if qualifier == relation_name and name in names:
+            return name
+        dotted = f"{qualifier}.{name}"
+        if dotted in names:
+            return dotted
+        if name in names:
+            return name
+        return None
+
+    return resolve
+
+
+__all__ = [
+    "BlockFn",
+    "RowBlock",
+    "filter_block",
+    "project_block",
+    "route_block",
+    "switch_block",
+    "group_aggregate_block",
+    "dedup_block",
+    "union_block",
+    "sort_block",
+    "hash_join_block",
+    "lookup_block",
+    "relation_resolver",
+]

@@ -1,0 +1,539 @@
+"""Columnar expression compiler: lower an AST to a column function, once.
+
+Where :mod:`repro.exec.compile_expr` lowers an expression to an
+``env → value`` closure called per row, this module lowers the same AST
+to a ``RowBlock → column`` function called per *block*: node dispatch,
+registry lookups, and name resolution happen once per operator, and the
+per-row residue is a tight elementwise loop.
+
+The semantics contract is the row compiler's, verbatim — the block
+functions call the very same evaluator helpers (``_and3``, ``_arith``,
+``_check_comparable``…) elementwise, so the NULL rules still live in one
+place and the three modes (interpreted / compiled-row / batched) agree
+bit-for-bit. Laziness that is observable row-wise is preserved
+column-wise: CASE evaluates each WHEN's values only on the sub-block its
+condition matched (via ``take``), exactly the rows the row path would
+touch.
+
+Name resolution is pluggable: ``resolve(ref) → column key or None``
+(each runtime builds its resolver from how it binds environments —
+see :func:`repro.exec.block.relation_resolver`). Anything the block
+tier cannot express *identically* — an unresolvable column, an IN list
+with non-constant items, an aggregate call — raises the internal
+:class:`BlockCompileError`, and the public entry points return ``None``
+so the caller falls back to the row kernels (which then raise the
+oracle's own errors, if any).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.exec.block import BlockFn, RowBlock
+from repro.exec.compile_expr import _COMPARATORS, is_foldable
+from repro.expr.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.expr.evaluator import (
+    _LIKE_CACHE,
+    Environment,
+    _and3,
+    _arith,
+    _as_bool,
+    _check_comparable,
+    _is_number,
+    _like_to_regex,
+    _or3,
+    evaluate,
+)
+from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
+
+#: resolve(ColumnRef) → column key in the block, or None (row fallback).
+ResolveFn = Callable[[ColumnRef], Optional[str]]
+
+#: sentinel: "this node is not a compile-time constant"
+_MISSING = object()
+
+
+class BlockCompileError(Exception):
+    """Internal: the expression needs the row path (never escapes the
+    public entry points)."""
+
+
+def compile_block_expr(
+    expr: Expr,
+    registry: Optional[FunctionRegistry] = None,
+    resolve: Optional[ResolveFn] = None,
+) -> Optional[BlockFn]:
+    """Compile ``expr`` into a ``RowBlock → column`` function returning
+    one value per row (what :func:`~repro.expr.evaluator.evaluate`
+    returns row-wise). ``None`` means the caller must use the row path."""
+    registry = registry or DEFAULT_REGISTRY
+    if resolve is None:
+        resolve = lambda ref: None  # noqa: E731 — no columns resolvable
+    try:
+        fn, _const = _compile(expr, registry, resolve)
+    except BlockCompileError:
+        return None
+    return fn
+
+
+def compile_block_predicate(
+    expr: Expr,
+    registry: Optional[FunctionRegistry] = None,
+    resolve: Optional[ResolveFn] = None,
+) -> Optional[BlockFn]:
+    """Like :func:`compile_block_expr` but reduced to SQL WHERE booleans:
+    the output column holds ``True`` only where the predicate is
+    definitely true (unknown filters out)."""
+    inner = compile_block_expr(expr, registry, resolve)
+    if inner is None:
+        return None
+
+    def predicate(block, _inner=inner):
+        return [value is True for value in _inner(block)]
+
+    return predicate
+
+
+def aggregate_values_reducer(agg: AggregateCall) -> Callable[[List[Any]], Any]:
+    """A ``values → value`` reducer over one group's *raw* argument
+    values (NULLs included, member order preserved). Mirrors
+    :func:`repro.exec.compile_expr.compile_aggregate`: NULLs are
+    stripped, DISTINCT dedups by equality, SUM/AVG/MIN/MAX of an empty
+    (or all-NULL) group is NULL, COUNT is 0. Column-major grouped
+    aggregation evaluates the argument once per block, gathers per
+    group, and reduces with this."""
+    func = agg.func
+    distinct = agg.distinct
+    if func in ("FIRST", "LAST"):
+        take_first = func == "FIRST"
+
+        def order_sensitive(values):
+            if not values:
+                return None
+            return values[0] if take_first else values[-1]
+
+        return order_sensitive
+
+    def reduce_values(values):
+        values = [value for value in values if value is not None]
+        if distinct:
+            deduped = []
+            for value in values:
+                if value not in deduped:
+                    deduped.append(value)
+            values = deduped
+        if func == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if func == "SUM":
+            return sum(values)
+        if func == "AVG":
+            return sum(values) / len(values)
+        if func == "MIN":
+            return min(values)
+        if func == "MAX":
+            return max(values)
+        raise EvaluationError(f"unknown aggregate {func!r}")
+
+    return reduce_values
+
+
+# -- node lowering ------------------------------------------------------------
+
+#: compiled node: (block → column function, constant value or _MISSING)
+_Compiled = Tuple[BlockFn, Any]
+
+
+def _const(value) -> _Compiled:
+    def broadcast(block, _value=value):
+        return [_value] * block.length
+
+    return broadcast, value
+
+
+def _compile(expr: Expr, registry: FunctionRegistry, resolve: ResolveFn) -> _Compiled:
+    if isinstance(expr, Literal):
+        return _const(expr.value)
+    if is_foldable(expr):
+        try:
+            value = evaluate(expr, Environment({}), registry)
+        except EvaluationError:
+            # data-independent error: the row path raises it per row (but
+            # not at all over zero rows) — defer and re-raise per block
+            def failing(block, _expr=expr, _registry=registry):
+                if block.length == 0:
+                    return []
+                value = evaluate(_expr, Environment({}), _registry)
+                return [value] * block.length  # pragma: no cover — raises
+
+            return failing, _MISSING
+        return _const(value)
+    if isinstance(expr, ColumnRef):
+        key = resolve(expr)
+        if key is None:
+            raise BlockCompileError(f"unresolvable column {expr.to_sql()}")
+
+        def column(block, _key=key):
+            return block.columns[_key]
+
+        return column, _MISSING
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr, registry, resolve)
+    if isinstance(expr, UnaryOp):
+        return _compile_unary(expr, registry, resolve)
+    if isinstance(expr, FunctionCall):
+        return _compile_call(expr, registry, resolve)
+    if isinstance(expr, Case):
+        return _compile_case(expr, registry, resolve)
+    if isinstance(expr, IsNull):
+        operand, _c = _compile(expr.operand, registry, resolve)
+        if expr.negated:
+            return (
+                lambda block: [v is not None for v in operand(block)],
+                _MISSING,
+            )
+        return lambda block: [v is None for v in operand(block)], _MISSING
+    if isinstance(expr, InList):
+        return _compile_in(expr, registry, resolve)
+    if isinstance(expr, Between):
+        return _compile_between(expr, registry, resolve)
+    if isinstance(expr, Like):
+        return _compile_like(expr, registry, resolve)
+    # AggregateCall (handled by the operators' grouped paths) and any
+    # future node kinds take the row path
+    raise BlockCompileError(f"cannot block-compile node {expr!r}")
+
+
+def _cmp_cell(left, right, op, comparator):
+    if left is None or right is None:
+        return None
+    _check_comparable(left, right, op)
+    return comparator(left, right)
+
+
+def _compile_binary(
+    expr: BinaryOp, registry: FunctionRegistry, resolve: ResolveFn
+) -> _Compiled:
+    op = expr.op
+    left, left_const = _compile(expr.left, registry, resolve)
+    right, right_const = _compile(expr.right, registry, resolve)
+    if op == "AND":
+        return (
+            lambda block: [_and3(l, r) for l, r in zip(left(block), right(block))],
+            _MISSING,
+        )
+    if op == "OR":
+        return (
+            lambda block: [_or3(l, r) for l, r in zip(left(block), right(block))],
+            _MISSING,
+        )
+    if op == "||":
+
+        def concat(block):
+            return [
+                None if l is None or r is None else str(l) + str(r)
+                for l, r in zip(left(block), right(block))
+            ]
+
+        return concat, _MISSING
+    comparator = _COMPARATORS.get(op)
+    if comparator is not None:
+        # specialize the very common column-vs-constant comparison: no
+        # broadcast list, no zip, one helper call per row
+        if right_const is not _MISSING:
+
+            def compare_const_right(block, _rv=right_const):
+                return [
+                    _cmp_cell(l, _rv, op, comparator) for l in left(block)
+                ]
+
+            return compare_const_right, _MISSING
+        if left_const is not _MISSING:
+
+            def compare_const_left(block, _lv=left_const):
+                return [
+                    _cmp_cell(_lv, r, op, comparator) for r in right(block)
+                ]
+
+            return compare_const_left, _MISSING
+
+        def compare(block):
+            return [
+                _cmp_cell(l, r, op, comparator)
+                for l, r in zip(left(block), right(block))
+            ]
+
+        return compare, _MISSING
+    if right_const is not _MISSING:
+        return (
+            lambda block, _rv=right_const: [
+                _arith(op, l, _rv) for l in left(block)
+            ],
+            _MISSING,
+        )
+    if left_const is not _MISSING:
+        return (
+            lambda block, _lv=left_const: [
+                _arith(op, _lv, r) for r in right(block)
+            ],
+            _MISSING,
+        )
+    return (
+        lambda block: [
+            _arith(op, l, r) for l, r in zip(left(block), right(block))
+        ],
+        _MISSING,
+    )
+
+
+def _neg_cell(value):
+    if value is None:
+        return None
+    if not _is_number(value):
+        raise EvaluationError(f"unary minus needs a number, got {value!r}")
+    return -value
+
+
+def _compile_unary(
+    expr: UnaryOp, registry: FunctionRegistry, resolve: ResolveFn
+) -> _Compiled:
+    operand, _c = _compile(expr.operand, registry, resolve)
+    if expr.op == "NOT":
+        return (
+            lambda block: [
+                None if v is None else (not _as_bool(v)) for v in operand(block)
+            ],
+            _MISSING,
+        )
+    return lambda block: [_neg_cell(v) for v in operand(block)], _MISSING
+
+
+def _compile_call(
+    expr: FunctionCall, registry: FunctionRegistry, resolve: ResolveFn
+) -> _Compiled:
+    function = registry.lookup(expr.name)
+    function.check_arity(len(expr.args))
+    args = [_compile(a, registry, resolve)[0] for a in expr.args]
+    if not function.null_propagating:
+        if not args:
+            # zero-arg functions may be impure: call once per row
+            return (
+                lambda block: [function() for _ in range(block.length)],
+                _MISSING,
+            )
+
+        def call_raw(block):
+            return [function(*values) for values in zip(*[a(block) for a in args])]
+
+        return call_raw, _MISSING
+    if len(args) == 1:
+        (only,) = args
+        return (
+            lambda block: [
+                None if v is None else function(v) for v in only(block)
+            ],
+            _MISSING,
+        )
+    if len(args) == 2:
+        first, second = args
+
+        def call_two(block):
+            return [
+                None if a is None or b is None else function(a, b)
+                for a, b in zip(first(block), second(block))
+            ]
+
+        return call_two, _MISSING
+
+    def call(block):
+        out = []
+        for values in zip(*[a(block) for a in args]):
+            if any(v is None for v in values):
+                out.append(None)
+            else:
+                out.append(function(*values))
+        return out
+
+    return call, _MISSING
+
+
+def _compile_case(
+    expr: Case, registry: FunctionRegistry, resolve: ResolveFn
+) -> _Compiled:
+    branches = [
+        (
+            _compile(cond, registry, resolve)[0],
+            _compile(value, registry, resolve)[0],
+        )
+        for cond, value in expr.whens
+    ]
+    default = (
+        None
+        if expr.default is None
+        else _compile(expr.default, registry, resolve)[0]
+    )
+
+    def case(block):
+        # peel matched rows off a shrinking pending sub-block so each
+        # WHEN's condition/value touch exactly the rows the row-at-a-time
+        # path would evaluate them on (observable through errors and
+        # impure functions)
+        out: List[Any] = [None] * block.length
+        pending = list(range(block.length))
+        sub = block
+        for cond, value in branches:
+            if not pending:
+                break
+            flags = cond(sub)
+            matched = [i for i, flag in enumerate(flags) if flag is True]
+            if not matched:
+                continue
+            values = value(sub.take(matched))
+            for local, v in zip(matched, values):
+                out[pending[local]] = v
+            if len(matched) == len(pending):
+                pending = []
+                break
+            remaining = [i for i, flag in enumerate(flags) if flag is not True]
+            sub = sub.take(remaining)
+            pending = [pending[i] for i in remaining]
+        if default is not None and pending:
+            for index, v in zip(pending, default(sub)):
+                out[index] = v
+        return out
+
+    return case, _MISSING
+
+
+def _compile_in(
+    expr: InList, registry: FunctionRegistry, resolve: ResolveFn
+) -> _Compiled:
+    operand, _c = _compile(expr.operand, registry, resolve)
+    item_values = []
+    for item in expr.items:
+        _fn, const = _compile(item, registry, resolve)
+        if const is _MISSING:
+            # the row path evaluates list items lazily per row; only a
+            # fully-constant list is expressible column-wise
+            raise BlockCompileError("IN list with non-constant items")
+        item_values.append(const)
+    negated = expr.negated
+
+    def contains_cell(value, _items=tuple(item_values), _negated=negated):
+        if value is None:
+            return None
+        saw_null = False
+        for item_value in _items:
+            if item_value is None:
+                saw_null = True
+            else:
+                _check_comparable(value, item_value, "=")
+                if value == item_value:
+                    return False if _negated else True
+        if saw_null:
+            return None
+        return True if _negated else False
+
+    return lambda block: [contains_cell(v) for v in operand(block)], _MISSING
+
+
+def _between_cell(value, low, high, negated):
+    ge_low = None
+    if value is not None and low is not None:
+        _check_comparable(value, low, ">=")
+        ge_low = value >= low
+    le_high = None
+    if value is not None and high is not None:
+        _check_comparable(value, high, "<=")
+        le_high = value <= high
+    result = _and3(ge_low, le_high)
+    if result is None:
+        return None
+    return (not result) if negated else result
+
+
+def _compile_between(
+    expr: Between, registry: FunctionRegistry, resolve: ResolveFn
+) -> _Compiled:
+    operand, _c = _compile(expr.operand, registry, resolve)
+    low, _cl = _compile(expr.low, registry, resolve)
+    high, _ch = _compile(expr.high, registry, resolve)
+    negated = expr.negated
+
+    def between(block):
+        return [
+            _between_cell(v, lo, hi, negated)
+            for v, lo, hi in zip(operand(block), low(block), high(block))
+        ]
+
+    return between, _MISSING
+
+
+def _like_cell(value, matcher, negated):
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise EvaluationError("LIKE needs string operands")
+    result = matcher(value) is not None
+    return (not result) if negated else result
+
+
+def _compile_like(
+    expr: Like, registry: FunctionRegistry, resolve: ResolveFn
+) -> _Compiled:
+    operand, _c = _compile(expr.operand, registry, resolve)
+    negated = expr.negated
+    if isinstance(expr.pattern, Literal) and isinstance(
+        expr.pattern.value, str
+    ):
+        matcher = _like_to_regex(expr.pattern.value).match
+        return (
+            lambda block: [
+                _like_cell(v, matcher, negated) for v in operand(block)
+            ],
+            _MISSING,
+        )
+    pattern, _cp = _compile(expr.pattern, registry, resolve)
+
+    def dynamic_cell(value, pattern_value, _negated=negated):
+        if value is None or pattern_value is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern_value, str):
+            raise EvaluationError("LIKE needs string operands")
+        compiled = _LIKE_CACHE.get(pattern_value)
+        if compiled is None:
+            compiled = _like_to_regex(pattern_value)
+            _LIKE_CACHE[pattern_value] = compiled
+        result = compiled.match(value) is not None
+        return (not result) if _negated else result
+
+    def like(block):
+        return [
+            dynamic_cell(v, p) for v, p in zip(operand(block), pattern(block))
+        ]
+
+    return like, _MISSING
+
+
+__all__ = [
+    "BlockCompileError",
+    "aggregate_values_reducer",
+    "compile_block_expr",
+    "compile_block_predicate",
+]

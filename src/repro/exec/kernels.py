@@ -54,17 +54,48 @@ def _observe(obs, kernel: str, rows_in: int, rows_out: int) -> None:
         obs.metrics.count(f"exec.kernel.{kernel}.rows_out", rows_out)
 
 
+_NULL_KEY = ("null",)
+
+
 def group_key_value(value: object) -> Tuple:
     """Hashable group/dedup-key encoding where NULLs compare equal and
     ``1 == 1.0`` (SQL GROUP BY behaviour). The single definition every
     runtime shares."""
     if value is None:
-        return ("null",)
+        return _NULL_KEY
     if isinstance(value, bool):
         return ("bool", value)
     if isinstance(value, (int, float)):
         return ("num", float(value))
     return (type(value).__name__, str(value))
+
+
+def key_encoder() -> Callable[[object], Tuple]:
+    """A memoizing :func:`group_key_value` for one grouping pass.
+
+    Grouped workloads see the same key values over and over (profiling
+    shows the per-row tuple construction dominating small-group
+    aggregations), so the encoding is cached per *class* then per value
+    — the class level keeps ``1`` / ``1.0`` / ``True`` from colliding as
+    dict keys while still encoding ``1 == 1.0``. Unhashable values fall
+    back to the uncached encoding."""
+    memos: Dict[type, dict] = {}
+
+    def encode(value, _memos=memos, _encode=group_key_value):
+        if value is None:
+            return _NULL_KEY
+        cache = _memos.get(value.__class__)
+        if cache is None:
+            cache = _memos[value.__class__] = {}
+        try:
+            return cache[value]
+        except KeyError:
+            cache[value] = key = _encode(value)
+            return key
+        except TypeError:  # unhashable value
+            return _encode(value)
+
+    return encode
 
 
 def row_binder(relation_name: Optional[str]) -> Callable[[dict], Environment]:
@@ -216,9 +247,12 @@ def group_rows(
     (NULL keys compare equal); groups come back in first-seen order."""
     groups: Dict[tuple, List] = {}
     order: List[tuple] = []
+    encoders = [key_encoder() for _ in key_fns]
     for item in items:
         env = bind(item) if bind is not None else item
-        key = tuple(group_key_value(fn(env)) for fn in key_fns)
+        key = tuple(
+            encode(fn(env)) for encode, fn in zip(encoders, key_fns)
+        )
         members = groups.get(key)
         if members is None:
             groups[key] = members = []
@@ -239,13 +273,28 @@ def group_aggregate_rows(
     values followed by each ``(name, aggregate_fn)`` over the members."""
     groups: Dict[tuple, List[dict]] = {}
     order: List[tuple] = []
-    for row in rows:
-        key = tuple(group_key_value(row[k]) for k in key_names)
-        members = groups.get(key)
-        if members is None:
-            groups[key] = members = []
-            order.append(key)
-        members.append(row)
+    if len(key_names) == 1:
+        # single-key fast path: no per-row tuple-of-generator build
+        encode = key_encoder()
+        k0 = key_names[0]
+        for row in rows:
+            key = encode(row[k0])
+            members = groups.get(key)
+            if members is None:
+                groups[key] = members = []
+                order.append(key)
+            members.append(row)
+    else:
+        encoders = [key_encoder() for _ in key_names]
+        for row in rows:
+            key = tuple(
+                encode(row[k]) for encode, k in zip(encoders, key_names)
+            )
+            members = groups.get(key)
+            if members is None:
+                groups[key] = members = []
+                order.append(key)
+            members.append(row)
     out: List[dict] = []
     for key in order:
         members = groups[key]
@@ -268,8 +317,9 @@ def dedup_rows(
     chosen: Dict[tuple, dict] = {}
     order: List[tuple] = []
     keep_last = retain == "last"
+    encoders = [key_encoder() for _ in key_names]
     for row in rows:
-        key = tuple(group_key_value(row[k]) for k in key_names)
+        key = tuple(encode(row[k]) for encode, k in zip(encoders, key_names))
         if key not in chosen:
             order.append(key)
             chosen[key] = row
@@ -344,8 +394,9 @@ def union_rows(
     if distinct:
         deduped: List[dict] = []
         seen = set()
+        encoders = [key_encoder() for _ in names]
         for row in rows:
-            key = tuple(group_key_value(row[n]) for n in names)
+            key = tuple(encode(row[n]) for encode, n in zip(encoders, names))
             if key not in seen:
                 seen.add(key)
                 deduped.append(row)
@@ -358,9 +409,11 @@ def union_rows(
 
 
 def _sort_value(value, descending: bool):
-    # None sorts first ascending / last descending under reverse
+    # NULLS LAST in *both* directions: the sort applies `reverse=True`
+    # for descending keys, so NULL needs the low sentinel there and the
+    # high sentinel ascending to always land at the end
     if value is None:
-        return (0, "", "")
+        return (0, "", "") if descending else (2, "", "")
     if isinstance(value, bool):
         return (1, "bool", value)
     if isinstance(value, (int, float)):
@@ -374,7 +427,7 @@ def sort_rows(
     obs=None,
 ) -> List[dict]:
     """Stable multi-key sort (``(column, 'asc'|'desc')`` pairs); NULLs
-    first ascending, last descending. Returns copies."""
+    sort last in both directions. Returns copies."""
     out = [dict(r) for r in rows]
     # stable sort by applying keys right-to-left
     for col, direction in reversed(list(keys)):
@@ -549,6 +602,7 @@ def hash_join(
 
 __all__ = [
     "group_key_value",
+    "key_encoder",
     "row_binder",
     "filter_rows",
     "project_rows",

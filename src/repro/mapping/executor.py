@@ -28,7 +28,7 @@ from typing import Dict, List, Optional
 
 from repro.data.dataset import Dataset, Instance, Row
 from repro.errors import ExecutionError
-from repro.exec import ExpressionPlanner, kernels
+from repro.exec import ExpressionPlanner, block, kernels
 from repro.expr.algebra import transform
 from repro.expr.ast import AggregateCall, ColumnRef, Expr, Literal
 from repro.expr.evaluator import Environment, evaluate
@@ -45,11 +45,16 @@ class MappingExecutor:
         registry: Optional[FunctionRegistry] = None,
         obs: Optional[Observability] = None,
         compiled: Optional[bool] = None,
+        batched: Optional[bool] = None,
+        batch_size: Optional[int] = None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
-        self._planner = ExpressionPlanner(self.registry, compiled)
+        self._planner = ExpressionPlanner(
+            self.registry, compiled, batched, batch_size
+        )
         self.compiled = self._planner.compiled
+        self.batched = self._planner.batched
 
     # -- single mapping ------------------------------------------------------------
 
@@ -58,6 +63,10 @@ class MappingExecutor:
         target relation."""
         if mapping.is_opaque:
             return self._execute_opaque(mapping, instance)
+        if self._planner.batched:
+            result = self._execute_block(mapping, instance)
+            if result is not None:
+                return result
         joined = self._satisfying_rows(mapping, instance)
         if mapping.is_grouping:
             return self._grouped_result(mapping, joined)
@@ -71,6 +80,54 @@ class MappingExecutor:
             obs=self._obs,
         )
         return Dataset(mapping.target, rows, validate=False)
+
+    def _execute_block(
+        self, mapping: Mapping, instance: Instance
+    ) -> Optional[Dataset]:
+        """Columnar evaluation of the common single-source, non-grouping
+        mapping shape (filter then project over one bound relation), or
+        ``None`` for the row path — multi-source cross products,
+        grouping, and expressions the block compiler cannot lower all
+        fall back."""
+        if len(mapping.sources) != 1 or mapping.is_grouping:
+            return None
+        binding = mapping.sources[0]
+        target_names = set(mapping.target.attribute_names)
+        if any(col not in target_names for col, _e in mapping.derivations):
+            return None
+        dataset = self._source_dataset(binding.relation.name, instance)
+        blk = dataset.as_block()
+        names = set(blk.columns)
+        var = binding.var
+
+        def resolve(ref):
+            # the row path binds the single source row under its mapping
+            # variable only; an unqualified reference resolves through
+            # the Environment's single-named-binding fall-through
+            if ref.qualifier is None or ref.qualifier == var:
+                return ref.name if ref.name in names else None
+            return None
+
+        predicate = self._planner.block_predicate(mapping.where, resolve)
+        if predicate is None:
+            return None
+        derivations = [
+            (col, self._planner.block_scalar(expr, resolve))
+            for col, expr in mapping.derivations
+        ]
+        if any(fn is None for _col, fn in derivations):
+            return None
+        filtered = block.filter_block(
+            blk, predicate, self._planner.batch_size, obs=self._obs
+        )
+        projected = block.project_block(
+            filtered,
+            derivations,
+            defaults={attr.name: None for attr in mapping.target},
+            batch_size=self._planner.batch_size,
+            obs=self._obs,
+        )
+        return Dataset.adopt_block(mapping.target, projected)
 
     def _source_dataset(self, name: str, instance: Instance) -> Dataset:
         if name not in instance:
@@ -217,11 +274,17 @@ def execute_mappings(
     registry: Optional[FunctionRegistry] = None,
     obs: Optional[Observability] = None,
     compiled: Optional[bool] = None,
+    batched: Optional[bool] = None,
+    batch_size: Optional[int] = None,
 ) -> Instance:
     """Convenience wrapper over :class:`MappingExecutor`."""
-    return MappingExecutor(registry, obs=obs, compiled=compiled).execute(
-        mappings, instance
-    )
+    return MappingExecutor(
+        registry,
+        obs=obs,
+        compiled=compiled,
+        batched=batched,
+        batch_size=batch_size,
+    ).execute(mappings, instance)
 
 
 __all__ = ["MappingExecutor", "execute_mappings"]

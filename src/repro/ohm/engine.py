@@ -9,7 +9,12 @@ in the integration tests.
 Row work is dispatched onto the shared kernels in
 :mod:`repro.exec.kernels`; expressions are lowered once per operator by
 an :class:`~repro.exec.ExpressionPlanner` (pass ``compiled=False`` to
-fall back to the tree-walking interpreter, the semantic oracle).
+fall back to the tree-walking interpreter, the semantic oracle). With
+``batched=True`` the executor routes block-capable operators (FILTER,
+PROJECT, JOIN, UNION, GROUP, SPLIT, TARGET) through the columnar
+kernels in :mod:`repro.exec.block`, falling back per operator to the
+row kernels whenever an expression cannot be lowered column-wise;
+row-shaped operators (NEST, UNNEST, UNKNOWN) always take the row path.
 
 Conventions:
 
@@ -37,7 +42,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance, Row
 from repro.errors import ExecutionError
-from repro.exec import ExpressionPlanner, kernels
+from repro.exec import ExpressionPlanner, block, kernels
+from repro.exec.block import relation_resolver
 from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
 from repro.obs import NULL_OBS, Observability
 from repro.ohm.graph import OhmGraph
@@ -70,11 +76,16 @@ class OhmExecutor:
         registry: Optional[FunctionRegistry] = None,
         obs: Optional[Observability] = None,
         compiled: Optional[bool] = None,
+        batched: Optional[bool] = None,
+        batch_size: Optional[int] = None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
-        self._planner = ExpressionPlanner(self.registry, compiled)
+        self._planner = ExpressionPlanner(
+            self.registry, compiled, batched, batch_size
+        )
         self.compiled = self._planner.compiled
+        self.batched = self._planner.batched
 
     def run(
         self, graph: OhmGraph, instance: Instance
@@ -116,6 +127,13 @@ class OhmExecutor:
         if isinstance(op, Group):
             return [self._run_group(op, inputs[0], out_relations[0])]
         if isinstance(op, Split):
+            if self._planner.batched:
+                # every output shares the (immutable) input columns
+                shared = inputs[0].as_block()
+                return [
+                    self._planner.materialize_block(out, shared)
+                    for out in out_relations
+                ]
             return [
                 self._planner.materialize(
                     out, [dict(r) for r in inputs[0]], fresh=True
@@ -144,6 +162,15 @@ class OhmExecutor:
         return checked.renamed(out.name)
 
     def _run_filter(self, op: Filter, data: Dataset, out: Relation) -> Dataset:
+        if self._planner.batched:
+            blk = data.as_block()
+            resolve = relation_resolver(data.relation.name, blk.columns)
+            predicate = self._planner.block_predicate(op.condition, resolve)
+            if predicate is not None:
+                kept = block.filter_block(
+                    blk, predicate, self._planner.batch_size, obs=self._obs
+                )
+                return self._planner.materialize_block(out, kept)
         kept = kernels.filter_rows(
             data.rows,
             self._planner.predicate(op.condition),
@@ -155,6 +182,21 @@ class OhmExecutor:
         )
 
     def _run_project(self, op: Project, data: Dataset, out: Relation) -> Dataset:
+        if self._planner.batched:
+            blk = data.as_block()
+            resolve = relation_resolver(data.relation.name, blk.columns)
+            lowered = [
+                (name, self._planner.block_scalar(expr, resolve))
+                for name, expr in op.derivations
+            ]
+            if all(fn is not None for _name, fn in lowered):
+                produced = block.project_block(
+                    blk,
+                    lowered,
+                    batch_size=self._planner.batch_size,
+                    obs=self._obs,
+                )
+                return self._planner.materialize_block(out, produced)
         rows = kernels.project_rows(
             data.rows,
             [(name, self._planner.scalar(expr)) for name, expr in op.derivations],
@@ -167,6 +209,20 @@ class OhmExecutor:
         self, op: Join, left: Dataset, right: Dataset, out: Relation
     ) -> Dataset:
         attrs = Join.joined_attributes(left.relation, right.relation)
+        if self._planner.batched:
+            joined = block.hash_join_block(
+                left.as_block(),
+                right.as_block(),
+                left.relation,
+                right.relation,
+                op.condition,
+                op.kind,
+                [(attr.name, side, source) for attr, side, source in attrs],
+                self._planner,
+                obs=self._obs,
+            )
+            if joined is not None:
+                return self._planner.materialize_block(out, joined)
 
         def merge(left_row: Optional[Row], right_row: Optional[Row]) -> Row:
             merged: Row = {}
@@ -195,6 +251,14 @@ class OhmExecutor:
     def _run_union(
         self, op: Union, inputs: List[Dataset], out: Relation
     ) -> Dataset:
+        if self._planner.batched:
+            unioned = block.union_block(
+                [dataset.as_block() for dataset in inputs],
+                out.attribute_names,
+                distinct=op.distinct,
+                obs=self._obs,
+            )
+            return self._planner.materialize_block(out, unioned)
         rows = kernels.union_rows(
             [dataset.rows for dataset in inputs],
             out.attribute_names,
@@ -204,6 +268,10 @@ class OhmExecutor:
         return self._planner.materialize(out, rows, fresh=True)
 
     def _run_group(self, op: Group, data: Dataset, out: Relation) -> Dataset:
+        if self._planner.batched:
+            produced = self._group_block(op, data)
+            if produced is not None:
+                return self._planner.materialize_block(out, produced)
         rows = kernels.group_aggregate_rows(
             data.rows,
             op.keys,
@@ -211,6 +279,23 @@ class OhmExecutor:
             obs=self._obs,
         )
         return self._planner.materialize(out, rows, fresh=True)
+
+    def _group_block(self, op: Group, data: Dataset):
+        """The GROUP operator over columns, or ``None`` when any
+        aggregate argument needs the row path. Aggregate members are
+        bound anonymously on the row path, so the resolver here carries
+        no relation qualifier."""
+        blk = data.as_block()
+        resolve = relation_resolver(None, blk.columns)
+        lowered = []
+        for name, agg in op.aggregates:
+            plan = self._planner.block_aggregate(agg, resolve)
+            if plan is None:
+                return None
+            lowered.append((name, plan[0], plan[1]))
+        return block.group_aggregate_block(
+            blk, op.keys, lowered, obs=self._obs
+        )
 
     def _run_nest(self, op: Nest, data: Dataset, out: Relation) -> Dataset:
         rows = kernels.nest_rows(
@@ -246,6 +331,22 @@ class OhmExecutor:
 
     def _run_target(self, op: Target, data: Dataset) -> Dataset:
         names = op.relation.attribute_names
+        if self._planner.batched:
+            blk = data.peek_block()
+            if blk is not None:
+                # trusted delivery straight from the columnar form:
+                # subset/NULL-fill to the target attribute set without a
+                # row round-trip (missing columns become NULL, matching
+                # the row path's row.get)
+                columns = {
+                    n: blk.columns[n]
+                    if n in blk.columns
+                    else [None] * blk.length
+                    for n in names
+                }
+                return Dataset.adopt_block(
+                    op.relation, block.RowBlock(columns, blk.length)
+                )
         if self.compiled:
             # trusted delivery: upstream kernels already shaped the rows
             return Dataset.adopt(
@@ -311,11 +412,17 @@ def execute(
     registry: Optional[FunctionRegistry] = None,
     obs: Optional[Observability] = None,
     compiled: Optional[bool] = None,
+    batched: Optional[bool] = None,
+    batch_size: Optional[int] = None,
 ) -> Instance:
     """Execute ``graph`` over ``instance``; returns the target datasets."""
-    return OhmExecutor(registry, obs=obs, compiled=compiled).execute(
-        graph, instance
-    )
+    return OhmExecutor(
+        registry,
+        obs=obs,
+        compiled=compiled,
+        batched=batched,
+        batch_size=batch_size,
+    ).execute(graph, instance)
 
 
 def execute_with_edges(
@@ -324,11 +431,17 @@ def execute_with_edges(
     registry: Optional[FunctionRegistry] = None,
     obs: Optional[Observability] = None,
     compiled: Optional[bool] = None,
+    batched: Optional[bool] = None,
+    batch_size: Optional[int] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Execute and also return every intermediate edge's data by name."""
-    return OhmExecutor(registry, obs=obs, compiled=compiled).run(
-        graph, instance
-    )
+    return OhmExecutor(
+        registry,
+        obs=obs,
+        compiled=compiled,
+        batched=batched,
+        batch_size=batch_size,
+    ).run(graph, instance)
 
 
 __all__ = ["OhmExecutor", "execute", "execute_with_edges"]

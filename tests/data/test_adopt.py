@@ -1,0 +1,114 @@
+"""Trusted-materialization invariants: ``Dataset.adopt`` and
+``Dataset.adopt_block``.
+
+These are the compiled/batched engines' fast paths: ownership of
+kernel-built rows or blocks transfers to the dataset with *no* copying
+and *no* per-row validation, so every structural guarantee must be
+enforced at the adoption boundary (schema shape) or documented as the
+caller's obligation (freshness). These tests pin both: schema
+mismatches raise at the source boundary, adopted data is never
+re-copied, and the lazy block↔row conversions behave.
+"""
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.errors import SchemaError
+from repro.exec.block import RowBlock
+from repro.schema.model import Attribute, Relation
+from repro.schema.types import INTEGER, STRING
+
+RELATION = Relation(
+    "T",
+    [
+        Attribute("id", INTEGER, nullable=False),
+        Attribute("name", STRING),
+    ],
+)
+ROWS = [{"id": 1, "name": "a"}, {"id": 2, "name": None}]
+
+
+def make_block():
+    return RowBlock.from_rows(["id", "name"], ROWS)
+
+
+# --- adopt (row lists) --------------------------------------------------------
+
+
+def test_adopt_does_not_copy_the_row_list():
+    rows = [dict(r) for r in ROWS]
+    data = Dataset.adopt(RELATION, rows)
+    assert data.rows is rows  # ownership transfer, not a copy
+    assert data.rows[0] is rows[0]
+    assert len(data) == 2
+
+
+def test_adopt_skips_validation_by_design():
+    # the trusted path trusts: upstream kernels already shaped the rows,
+    # so even a NULL in a non-nullable column is not re-checked here
+    data = Dataset.adopt(RELATION, [{"id": None, "name": "x"}])
+    assert data.rows[0]["id"] is None
+    with pytest.raises(SchemaError):
+        Dataset(RELATION, [{"id": None, "name": "x"}])  # checked path does
+
+
+# --- adopt_block --------------------------------------------------------------
+
+
+def test_adopt_block_schema_mismatch_raises_at_the_boundary():
+    missing = RowBlock({"id": [1]}, 1)
+    with pytest.raises(SchemaError, match="do not match"):
+        Dataset.adopt_block(RELATION, missing)
+    extra = RowBlock({"id": [1], "name": ["a"], "stray": [0]}, 1)
+    with pytest.raises(SchemaError, match="stray"):
+        Dataset.adopt_block(RELATION, extra)
+
+
+def test_adopt_block_keeps_the_block_without_conversion():
+    blk = make_block()
+    data = Dataset.adopt_block(RELATION, blk)
+    assert data.peek_block() is blk  # not re-copied, not re-built
+    assert data.as_block() is blk
+    assert len(data) == 2  # length answered from the block, no rows yet
+
+
+def test_adopted_block_materializes_rows_lazily_and_once():
+    data = Dataset.adopt_block(RELATION, make_block())
+    rows = data.rows
+    assert rows == ROWS
+    assert data.rows is rows  # cached, not rebuilt per access
+    # row order follows the relation's attribute order
+    assert list(rows[0]) == ["id", "name"]
+
+
+def test_as_block_columnarizes_row_backed_data_once():
+    data = Dataset(RELATION, ROWS)
+    blk = data.as_block()
+    assert blk.to_rows(["id", "name"]) == ROWS
+    assert data.as_block() is blk  # cached
+
+
+def test_append_materializes_rows_and_invalidates_the_block():
+    data = Dataset.adopt_block(RELATION, make_block())
+    data.append({"id": 3, "name": "c"})
+    assert data.peek_block() is None  # the columnar form went stale
+    assert [r["id"] for r in data.rows] == [1, 2, 3]
+    rebuilt = data.as_block()
+    assert rebuilt.columns["id"] == [1, 2, 3]
+
+
+def test_renamed_shares_the_block_of_block_backed_data():
+    blk = make_block()
+    data = Dataset.adopt_block(RELATION, blk)
+    renamed = data.renamed("T2")
+    assert renamed.relation.name == "T2"
+    assert renamed.peek_block() is blk  # columns shared, not copied
+    assert renamed.rows == ROWS
+
+
+def test_column_reads_straight_from_the_block():
+    data = Dataset.adopt_block(RELATION, make_block())
+    assert data.column("name") == ["a", None]
+    assert data.peek_block() is not None  # no row materialization happened
+    with pytest.raises(SchemaError):
+        data.column("nope")

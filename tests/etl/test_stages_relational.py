@@ -205,12 +205,19 @@ class TestSortStage:
         (out,) = run(stage, [orders_data(orders)])
         assert [r["orderID"] for r in out] == [2, 1, 3, 4]
 
-    def test_nulls_first_ascending(self, run, orders):
+    def test_nulls_last_ascending(self, run, orders):
         data = orders_data(orders)
         data.append({"orderID": 5, "customerID": None, "amount": 1.0})
         stage = SortStage([("customerID", "asc")])
         (out,) = run(stage, [data])
-        assert out.rows[0]["orderID"] == 5
+        assert out.rows[-1]["orderID"] == 5
+
+    def test_nulls_last_descending(self, run, orders):
+        data = orders_data(orders)
+        data.append({"orderID": 5, "customerID": None, "amount": 1.0})
+        stage = SortStage([("customerID", "desc")])
+        (out,) = run(stage, [data])
+        assert out.rows[-1]["orderID"] == 5
 
     def test_bad_direction_rejected(self):
         with pytest.raises(ValidationError):

@@ -1,0 +1,348 @@
+"""Unit tests for the RowBlock container and the block kernels.
+
+Mirrors :mod:`tests.exec.test_kernels` over the columnar tier: the same
+fixtures, the same expected outputs (the kernels must agree row-for-row
+with the row path), plus the container's structural contracts — column
+aliasing survives slice/take, defaults broadcast, NULL keys group.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec import ExpressionPlanner, block, kernels
+from repro.exec.block import RowBlock, relation_resolver
+from repro.exec.compile_block import (
+    aggregate_values_reducer,
+    compile_block_expr,
+    compile_block_predicate,
+)
+from repro.expr.ast import AggregateCall, ColumnRef
+from repro.expr.parser import parse
+from repro.obs import Observability
+from repro.schema.model import Attribute, Relation
+from repro.schema.types import INTEGER, STRING
+
+ROWS = [
+    {"id": 1, "grp": "a", "v": 10},
+    {"id": 2, "grp": "b", "v": None},
+    {"id": 3, "grp": "a", "v": 30},
+    {"id": 4, "grp": None, "v": 40},
+    {"id": 5, "grp": None, "v": 50},
+]
+NAMES = ["id", "grp", "v"]
+RESOLVE = relation_resolver("T", NAMES)
+
+
+def make_block(rows=ROWS):
+    return RowBlock.from_rows(NAMES, rows)
+
+
+def predicate(sql):
+    fn = compile_block_predicate(parse(sql), None, RESOLVE)
+    assert fn is not None, sql
+    return fn
+
+
+def scalar(sql):
+    fn = compile_block_expr(parse(sql), None, RESOLVE)
+    assert fn is not None, sql
+    return fn
+
+
+def ids(blk):
+    return blk.columns["id"]
+
+
+# --- container ----------------------------------------------------------------
+
+
+def test_from_rows_to_rows_round_trip():
+    blk = make_block()
+    assert blk.length == len(blk) == len(ROWS)
+    assert blk.names == NAMES
+    assert blk.to_rows() == ROWS
+    # explicit name order prevails and missing keys are an error upstream
+    assert blk.to_rows(["v", "id"]) == [
+        {"v": r["v"], "id": r["id"]} for r in ROWS
+    ]
+    assert RowBlock({}, 0).to_rows() == []
+
+
+def test_null_mask_is_the_in_band_none_entries():
+    blk = make_block()
+    assert blk.null_mask("v") == [False, True, False, False, False]
+    assert blk.null_mask("grp") == [False, False, False, True, True]
+
+
+def test_slice_clamps_and_preserves_aliasing():
+    shared = [1, 2, 3, 4, 5]
+    blk = RowBlock({"x": shared, "y": shared}, 5)
+    cut = blk.slice(1, 3)
+    assert cut.length == 2
+    assert cut.columns["x"] == [2, 3]
+    assert cut.columns["x"] is cut.columns["y"]  # aliased stays aliased
+    assert blk.slice(-10, 99).columns["x"] == shared
+    assert blk.slice(4, 2).length == 0
+
+
+def test_take_gathers_aliased_columns_once():
+    shared = ["a", "b", "c"]
+    blk = RowBlock({"x": shared, "y": shared, "z": [1, 2, 3]}, 3)
+    out = blk.take([2, 0])
+    assert out.columns["x"] == ["c", "a"]
+    assert out.columns["x"] is out.columns["y"]
+    assert out.columns["z"] == [3, 1]
+    assert out.length == 2
+
+
+def test_chunks_split_and_whole_block_shortcut():
+    blk = make_block()
+    assert list(blk.chunks(None)) == [blk]  # no copy when it fits
+    assert list(blk.chunks(10)) == [blk]
+    sizes = [c.length for c in blk.chunks(2)]
+    assert sizes == [2, 2, 1]
+    assert [ids(c) for c in blk.chunks(2)] == [[1, 2], [3, 4], [5]]
+
+
+def test_concat_and_with_columns_share_lists():
+    blk = make_block()
+    assert RowBlock.concat([blk]) is blk
+    assert RowBlock.concat([]).length == 0
+    both = RowBlock.concat([blk.slice(0, 2), blk.slice(2, 5)])
+    assert ids(both) == [1, 2, 3, 4, 5]
+    extra = blk.with_columns({"doubled": [i * 2 for i in ids(blk)]})
+    assert extra.columns["id"] is blk.columns["id"]  # no copies
+    assert extra.columns["doubled"] == [2, 4, 6, 8, 10]
+
+
+# --- selection kernels --------------------------------------------------------
+
+
+def test_filter_block_drops_unknown():
+    out = block.filter_block(make_block(), predicate("v > 15"))
+    assert ids(out) == [3, 4, 5]  # NULL v filters out
+
+
+@pytest.mark.parametrize("batch_size", [None, 1, 2, 100])
+def test_filter_block_chunking_is_invisible(batch_size):
+    out = block.filter_block(make_block(), predicate("T.id <= 2"), batch_size)
+    assert ids(out) == [1, 2]
+
+
+def test_project_block_defaults_and_pass_through_aliasing():
+    blk = make_block()
+    out = block.project_block(
+        blk,
+        [("double", scalar("id * 2")), ("v", scalar("v"))],
+        defaults={"extra": None, "double": 0},
+    )
+    assert out.to_rows(["extra", "double", "v"]) == [
+        {"extra": None, "double": r["id"] * 2, "v": r["v"]} for r in ROWS
+    ]
+    # a bare column reference costs nothing: the output aliases the input
+    assert out.columns["v"] is blk.columns["v"]
+
+
+def test_route_block_fallback_and_only_once():
+    specs = [
+        ("pred", predicate("id < 3")),
+        ("pred", predicate("id < 5")),
+        ("fallback", None),
+    ]
+    blk = make_block()
+    outs = block.route_block(blk, specs)
+    assert outs == [[0, 1], [0, 1, 2, 3], [4]]
+    once = block.route_block(blk, specs, only_once=True)
+    assert once == [[0, 1], [2, 3], [4]]
+
+
+def test_route_block_always_does_not_count_as_match():
+    specs = [
+        ("always", None),
+        ("pred", predicate("id = 1")),
+        ("fallback", None),
+    ]
+    outs = block.route_block(make_block(), specs)
+    assert outs == [[0, 1, 2, 3, 4], [0], [1, 2, 3, 4]]
+
+
+def test_route_block_no_predicates_never_falls_back():
+    outs = block.route_block(
+        make_block(), [("always", None), ("fallback", None)]
+    )
+    assert outs == [[0, 1, 2, 3, 4], []]
+
+
+def test_switch_block_first_match_and_default():
+    outs = block.switch_block(
+        make_block(), scalar("grp"), ["a", "b"], True
+    )
+    assert outs == [[0, 2], [1], [3, 4]]  # NULL selector → default
+    no_default = block.switch_block(
+        make_block(), scalar("grp"), ["a", "b"], False
+    )
+    assert no_default == [[0, 2], [1]]
+
+
+# --- grouping kernels ---------------------------------------------------------
+
+
+def _sum_aggregate(name, column):
+    return (
+        name,
+        scalar(column),
+        aggregate_values_reducer(AggregateCall("SUM", ColumnRef(column))),
+    )
+
+
+def test_group_aggregate_block_null_keys_and_count_star():
+    out = block.group_aggregate_block(
+        make_block(), ["grp"], [_sum_aggregate("total", "v"), ("n", None, None)]
+    )
+    assert out.to_rows(["grp", "total", "n"]) == [
+        {"grp": "a", "total": 40, "n": 2},
+        {"grp": "b", "total": None, "n": 1},
+        {"grp": None, "total": 90, "n": 2},
+    ]
+
+
+def test_group_aggregate_block_numeric_keys_collide_like_rows():
+    rows = [{"id": 1, "grp": 1, "v": 5}, {"id": 2, "grp": 1.0, "v": 7}]
+    out = block.group_aggregate_block(
+        RowBlock.from_rows(NAMES, rows), ["grp"], [("n", None, None)]
+    )
+    assert out.length == 1  # 1 and 1.0 are one group, like the row kernel
+    assert out.columns["n"] == [2]
+
+
+def test_dedup_block_first_and_last():
+    first = block.dedup_block(make_block(), ["grp"], "first")
+    assert ids(first) == [1, 2, 4]
+    last = block.dedup_block(make_block(), ["grp"], "last")
+    assert ids(last) == [3, 2, 5]
+
+
+def test_union_block_distinct():
+    a = RowBlock.from_rows(["x", "y"], [{"x": 1, "y": "p"}])
+    b = RowBlock.from_rows(
+        ["x", "y"], [{"x": 1, "y": "p"}, {"x": None, "y": "q"}]
+    )
+    out = block.union_block([a, b], ["x", "y"], distinct=True)
+    assert out.to_rows() == [{"x": 1, "y": "p"}, {"x": None, "y": "q"}]
+    bag = block.union_block([a, b], ["x", "y"])
+    assert bag.length == 3
+
+
+def test_sort_block_matches_row_kernel_permutation():
+    for keys in [
+        [("grp", "asc"), ("id", "desc")],
+        [("grp", "desc"), ("id", "asc")],
+        [("v", "desc")],
+    ]:
+        expected = [r["id"] for r in kernels.sort_rows(ROWS, keys)]
+        assert ids(block.sort_block(make_block(), keys)) == expected, keys
+
+
+# --- joins --------------------------------------------------------------------
+
+LEFT_REL = Relation("L", [Attribute("k", INTEGER), Attribute("s", STRING)])
+RIGHT_REL = Relation("R", [Attribute("k", INTEGER), Attribute("t", STRING)])
+LEFT_ROWS = [
+    {"k": 1, "s": "x"},
+    {"k": 2, "s": "y"},
+    {"k": None, "s": "z"},
+]
+RIGHT_ROWS = [
+    {"k": 1.0, "t": "hit"},
+    {"k": None, "t": "nope"},
+    {"k": 3, "t": "miss"},
+]
+JOIN_PLAN = [("s", "left", "s"), ("t", "right", "t")]
+
+
+def _join(kind, condition="L.k = R.k"):
+    return block.hash_join_block(
+        RowBlock.from_rows(["k", "s"], LEFT_ROWS),
+        RowBlock.from_rows(["k", "t"], RIGHT_ROWS),
+        LEFT_REL,
+        RIGHT_REL,
+        parse(condition),
+        kind,
+        JOIN_PLAN,
+        # pinned so the kernel is exercised regardless of the process
+        # mode defaults (REPRO_COMPILED=0 would otherwise disable it)
+        ExpressionPlanner(compiled=True, batched=True),
+    )
+
+
+def test_hash_join_block_kinds_match_row_kernel():
+    for kind, expected in [
+        ("inner", [("x", "hit")]),
+        ("left", [("x", "hit"), ("y", None), ("z", None)]),
+        ("right", [("x", "hit"), (None, "nope"), (None, "miss")]),
+        (
+            "full",
+            [
+                ("x", "hit"),
+                ("y", None),
+                ("z", None),
+                (None, "nope"),
+                (None, "miss"),
+            ],
+        ),
+    ]:
+        out = _join(kind)
+        assert out is not None, kind
+        assert list(zip(out.columns["s"], out.columns["t"])) == expected, kind
+
+
+def test_hash_join_block_falls_back_without_equi_keys():
+    assert _join("inner", "L.k < R.k") is None  # no equi-conjunct
+    assert _join("inner", "L.k = R.k AND L.s <> R.t") is None  # residual
+
+
+def test_lookup_block_failure_modes():
+    stream = RowBlock.from_rows(["k", "s"], LEFT_ROWS)
+    reference = RowBlock.from_rows(["k", "t"], RIGHT_ROWS)
+    kept = block.lookup_block(
+        stream, reference, [("k", "k")], ["t"], "continue"
+    )
+    # raw-tuple keys: 1 matches 1.0 and NULL matches NULL — exactly the
+    # row-path Lookup stage's dict semantics
+    assert kept.to_rows(["s", "t"]) == [
+        {"s": "x", "t": "hit"},
+        {"s": "y", "t": None},
+        {"s": "z", "t": "nope"},
+    ]
+    dropped = block.lookup_block(
+        stream, reference, [("k", "k")], ["t"], "drop"
+    )
+    assert dropped.to_rows(["s", "t"]) == [
+        {"s": "x", "t": "hit"},
+        {"s": "z", "t": "nope"},
+    ]
+    with pytest.raises(ExecutionError, match="Lookup"):
+        block.lookup_block(
+            stream, reference, [("k", "k")], ["t"], "fail", label="lk"
+        )
+
+
+def test_lookup_block_first_reference_match_wins():
+    stream = RowBlock.from_rows(["k"], [{"k": 7}])
+    reference = RowBlock.from_rows(
+        ["k", "t"], [{"k": 7, "t": "first"}, {"k": 7, "t": "second"}]
+    )
+    out = block.lookup_block(stream, reference, [("k", "k")], ["t"], "fail")
+    assert out.columns["t"] == ["first"]
+
+
+# --- observability ------------------------------------------------------------
+
+
+def test_block_kernels_record_row_counts():
+    obs = Observability(stats=True)
+    block.filter_block(make_block(), predicate("id < 3"), 2, obs=obs)
+    assert obs.metrics.counter("exec.block.filter.rows_in") == len(ROWS)
+    assert obs.metrics.counter("exec.block.filter.rows_out") == 2
+    assert obs.metrics.counter("exec.block.filter.blocks_in") == 3  # chunks
+    assert obs.metrics.counter("exec.block.filter.blocks_out") == 1

@@ -133,8 +133,29 @@ def test_union_rows_distinct():
 
 
 def test_sort_rows_null_placement():
+    # NULLs sort last in both directions
     rows = kernels.sort_rows(ROWS, [("grp", "asc"), ("id", "desc")])
-    assert [r["id"] for r in rows] == [5, 4, 3, 1, 2]
+    assert [r["id"] for r in rows] == [3, 1, 2, 5, 4]
+    rows = kernels.sort_rows(ROWS, [("grp", "desc"), ("id", "asc")])
+    assert [r["id"] for r in rows] == [2, 1, 3, 4, 5]
+
+
+def test_sort_rows_mixed_types_nulls_last():
+    # regression: a column mixing ints, strings, and NULLs must order
+    # deterministically (numbers, then strings by type name, NULLs last)
+    # instead of raising or placing NULLs first
+    mixed = [
+        {"id": 1, "k": "b"},
+        {"id": 2, "k": None},
+        {"id": 3, "k": 10},
+        {"id": 4, "k": "a"},
+        {"id": 5, "k": 2},
+        {"id": 6, "k": None},
+    ]
+    ascending = kernels.sort_rows(mixed, [("k", "asc"), ("id", "asc")])
+    assert [r["id"] for r in ascending] == [5, 3, 4, 1, 2, 6]
+    descending = kernels.sort_rows(mixed, [("k", "desc"), ("id", "asc")])
+    assert [r["id"] for r in descending] == [1, 4, 3, 5, 2, 6]
 
 
 def test_nest_unnest_round_trip():

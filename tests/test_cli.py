@@ -136,3 +136,56 @@ class TestObservabilityFlags:
         assert main(["show", job_xml_path]) == 0
         err = capsys.readouterr().err
         assert "compile.job" not in err
+
+
+class TestBatchModeFlags:
+    def test_row_mode_and_batch_size_are_mutually_exclusive(
+        self, job_xml_path, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main(["show", job_xml_path, "--row-mode", "--batch-size", "64"])
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_batch_size_must_be_positive(self, job_xml_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["show", job_xml_path, "--batch-size", "0"])
+        assert "--batch-size" in capsys.readouterr().err
+
+    def test_batch_size_sets_defaults_during_dispatch_then_restores(
+        self, job_xml_path, monkeypatch
+    ):
+        import repro.cli as cli
+        from repro.exec import default_batch_size, default_batched
+
+        ambient = (default_batched(), default_batch_size())
+        seen = {}
+        real = cli._dispatch
+
+        def spy(args, orchid):
+            seen["batched"] = default_batched()
+            seen["size"] = default_batch_size()
+            return real(args, orchid)
+
+        monkeypatch.setattr(cli, "_dispatch", spy)
+        assert main(["show", job_xml_path, "--batch-size", "64"]) == 0
+        assert seen == {"batched": True, "size": 64}
+        # the flag's effect does not leak past the invocation
+        assert (default_batched(), default_batch_size()) == ambient
+
+    def test_row_mode_overrides_repro_batch(self, job_xml_path, monkeypatch):
+        import repro.cli as cli
+        from repro.exec import default_batched
+
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        assert default_batched() is True
+        seen = {}
+        real = cli._dispatch
+
+        def spy(args, orchid):
+            seen["batched"] = default_batched()
+            return real(args, orchid)
+
+        monkeypatch.setattr(cli, "_dispatch", spy)
+        assert main(["show", job_xml_path, "--row-mode"]) == 0
+        assert seen == {"batched": False}
+        assert default_batched() is True  # environment resolution restored

@@ -13,6 +13,11 @@ Run:  python examples/quickstart.py
       python examples/quickstart.py --stats json     # metrics JSON ONLY on
                                                      # stdout (narrative moves
                                                      # to stderr) — pipeable
+      python examples/quickstart.py --on-error reject --poison 5 --stats json
+                                                     # fault-tolerant run: 5
+                                                     # seeded bad rows land on
+                                                     # the reject channel and
+                                                     # show up as exec.errors.*
 """
 
 import argparse
@@ -51,6 +56,21 @@ def main(argv=None) -> None:
         action="store_true",
         help="run every engine over columnar row batches "
         "(equivalent to REPRO_BATCH=1)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=["fail_fast", "skip", "reject"],
+        default=None,
+        help="row-level error policy for the fault-tolerance demo "
+        "(see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--poison",
+        type=int,
+        default=0,
+        metavar="N",
+        help="poison N seeded rows of the demo workload so they error "
+        "inside the Transformer (pairs with --on-error)",
     )
     args = parser.parse_args(argv)
     if args.interpreted:
@@ -104,6 +124,37 @@ def main(argv=None) -> None:
     for name, result in checks.items():
         status = "OK" if result.same_bags(baseline) else "MISMATCH"
         print(f"  {name:<18} {status}", file=out)
+
+    # --- fault tolerance (docs/robustness.md) -------------------------------------
+    if args.on_error or args.poison:
+        from repro.resilience import format_row
+        from repro.workloads import build_faulty_job, generate_faulty_instance
+
+        policy = args.on_error or "reject"
+        faulty_instance, fault_plan = generate_faulty_instance(
+            n=100, seed=7, poison=args.poison or 5
+        )
+        faulty_engine = EtlEngine(obs=obs, on_error=policy)
+        delivered, _links = faulty_engine.run(
+            build_faulty_job(), faulty_instance
+        )
+        run = faulty_engine.last_run
+        print(
+            f"\n=== Fault-tolerant run (policy={policy}) ===", file=out
+        )
+        print(
+            f"  {len(fault_plan.poisoned['Orders'])} poisoned rows, "
+            f"{len(delivered.dataset('Premium'))} delivered, "
+            f"{run.total_rejected} rejected, "
+            f"{sum(run.skip_counts.values())} skipped",
+            file=out,
+        )
+        for record in run.rejected[:3]:
+            print(
+                f"    [{record.error_code}] {record.stage} "
+                f"row {record.row_index}: {format_row(record.row)}",
+                file=out,
+            )
 
     # --- observability reports ----------------------------------------------------
     if args.trace:

@@ -18,6 +18,12 @@ even when ``REPRO_BATCH`` enables the columnar tier), and
 ``docs/execution.md``). Trace/stats reports go to *stderr* so the
 primary document on stdout stays machine-readable; see
 ``docs/observability.md`` for the span and metric naming conventions.
+
+Fault-tolerance flags (``docs/robustness.md``) set the matching process
+defaults for anything the invocation executes: ``--on-error
+{fail_fast,skip,reject}`` (row error policy, REPRO_ON_ERROR),
+``--max-retries N`` (transient-failure retry budget, REPRO_MAX_RETRIES)
+and ``--checkpoint-dir DIR`` (resumable ETL runs, REPRO_CHECKPOINT_DIR).
 """
 
 from __future__ import annotations
@@ -33,6 +39,12 @@ from repro.exec import (
 )
 from repro.fasttrack.orchid import Orchid
 from repro.obs import Observability
+from repro.resilience import (
+    POLICIES,
+    set_default_checkpoint_dir,
+    set_default_max_retries,
+    set_default_on_error,
+)
 
 
 def _read(path: str) -> str:
@@ -86,6 +98,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help="run block-capable operators over columnar batches of N "
         "rows (enables batched mode; equivalent to REPRO_BATCH=N)",
+    )
+    observability.add_argument(
+        "--on-error",
+        choices=list(POLICIES),
+        help="row-level error policy for everything this invocation "
+        "executes (equivalent to REPRO_ON_ERROR)",
+    )
+    observability.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        help="retry transient source/target failures up to N times with "
+        "exponential backoff (equivalent to REPRO_MAX_RETRIES)",
+    )
+    observability.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="snapshot completed ETL stages under DIR so interrupted "
+        "runs resume from the last good frontier (equivalent to "
+        "REPRO_CHECKPOINT_DIR)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -162,6 +194,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--batch-size must be >= 1")
         set_default_batched(True)
         set_default_batch_size(args.batch_size)
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.on_error:
+        set_default_on_error(args.on_error)
+    if args.max_retries is not None:
+        set_default_max_retries(args.max_retries)
+    if args.checkpoint_dir:
+        set_default_checkpoint_dir(args.checkpoint_dir)
     orchid = Orchid(obs=obs)
     try:
         return _dispatch(args, orchid)
@@ -171,6 +211,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.row_mode or args.batch_size is not None:
             set_default_batched(None)
             set_default_batch_size(None)
+        if args.on_error:
+            set_default_on_error(None)
+        if args.max_retries is not None:
+            set_default_max_retries(None)
+        if args.checkpoint_dir:
+            set_default_checkpoint_dir(None)
         if args.trace:
             sys.stderr.write(obs.tracer.to_text() + "\n")
         if args.stats == "json":

@@ -125,8 +125,14 @@ def compile_job(
     obs: Optional[Observability] = None,
 ) -> OhmGraph:
     """Compile an ETL job into an OHM instance (both import steps:
-    wrap into the intermediate layer, then compile each stage)."""
+    wrap into the intermediate layer, then compile each stage).
+
+    Reject links are a *runtime* error channel, not transformation
+    semantics: a job carrying one is compiled as if the reject channel
+    (and anything downstream reachable only through it) were absent."""
     obs = obs or NULL_OBS
+    if job.reject_links:
+        job = job.without_reject_channel()
     with obs.tracer.span("compile.phase.wrap"), obs.metrics.timer(
         "compile.phase.wrap.seconds"
     ):

@@ -32,9 +32,16 @@ NodeT = TypeVar("NodeT")
 class Edge:
     """A schema-annotated dataflow edge between two node ports. Each edge
     carries a name (e.g. a DataStage link name like ``DSLink10``) which
-    doubles as the name of the relation flowing along it."""
+    doubles as the name of the relation flowing along it.
 
-    __slots__ = ("src", "src_port", "dst", "dst_port", "name", "schema")
+    ``kind`` distinguishes ordinary data edges (``"data"``) from reject
+    channels (``"reject"``): a reject edge is out-of-band for its
+    *producer* (it does not count toward the producer's declared output
+    ports, and its schema is the standard reject relation rather than a
+    stage-computed one) but is a perfectly ordinary input for its
+    consumer."""
+
+    __slots__ = ("src", "src_port", "dst", "dst_port", "name", "schema", "kind")
 
     def __init__(
         self,
@@ -44,6 +51,7 @@ class Edge:
         dst_port: int,
         name: Optional[str] = None,
         schema: Optional[Relation] = None,
+        kind: str = "data",
     ):
         self.src = src
         self.src_port = src_port
@@ -51,12 +59,18 @@ class Edge:
         self.dst_port = dst_port
         self.name = name or f"Link{next(_edge_counter)}"
         self.schema = schema
+        self.kind = kind
+
+    @property
+    def is_reject(self) -> bool:
+        return self.kind == "reject"
 
     def __repr__(self) -> str:
         schema = "" if self.schema is None else f" :: {self.schema!r}"
+        kind = "" if self.kind == "data" else f" [{self.kind}]"
         return (
             f"{self.src}[{self.src_port}] -> {self.dst}[{self.dst_port}] "
-            f"({self.name}){schema}"
+            f"({self.name}){kind}{schema}"
         )
 
 
@@ -89,6 +103,7 @@ class DataflowGraph(Generic[NodeT]):
         src_port: int = 0,
         dst_port: int = 0,
         name: Optional[str] = None,
+        kind: str = "data",
     ) -> Edge:
         src_id = src if isinstance(src, str) else src.uid
         dst_id = dst if isinstance(dst, str) else dst.uid
@@ -105,7 +120,7 @@ class DataflowGraph(Generic[NodeT]):
                 raise GraphError(
                     f"input port {dst_id}[{dst_port}] already connected"
                 )
-        edge = Edge(src_id, src_port, dst_id, dst_port, name)
+        edge = Edge(src_id, src_port, dst_id, dst_port, name, kind=kind)
         self._insert_edge(edge)
         return edge
 
@@ -157,7 +172,10 @@ class DataflowGraph(Generic[NodeT]):
         clone._nodes = dict(self._nodes)
         for e in self._edges:
             clone._insert_edge(
-                Edge(e.src, e.src_port, e.dst, e.dst_port, e.name, e.schema)
+                Edge(
+                    e.src, e.src_port, e.dst, e.dst_port, e.name, e.schema,
+                    kind=e.kind,
+                )
             )
         return clone
 
@@ -188,6 +206,7 @@ class DataflowGraph(Generic[NodeT]):
                 after.dst_port,
                 after.name,
                 after.schema,
+                kind=after.kind,
             )
         )
 
@@ -263,12 +282,24 @@ class DataflowGraph(Generic[NodeT]):
         return order
 
     def validate_structure(self) -> None:
-        """Port multiplicities honoured, contiguous ports, acyclic."""
+        """Port multiplicities honoured, contiguous ports, acyclic.
+
+        Reject edges are out-of-band on the producer side: they do not
+        count toward the producer's declared output multiplicity (their
+        ports must still be contiguous *after* the data ports), but they
+        are ordinary inputs on the consumer side."""
         self.topological_order()
         for uid, node in self._nodes.items():
             incoming = self.in_edges(uid)
             outgoing = self.out_edges(uid)
-            node.check_port_counts(len(incoming), len(outgoing))
+            data_out = [e for e in outgoing if not e.is_reject]
+            node.check_port_counts(len(incoming), len(data_out))
+            if len(outgoing) != len(data_out) and not getattr(
+                node, "supports_reject_link", False
+            ):
+                raise ValidationError(
+                    f"{node.KIND} {uid}: does not support a reject link"
+                )
             for kind, edges, port_of in (
                 ("input", incoming, lambda e: e.dst_port),
                 ("output", outgoing, lambda e: e.src_port),
@@ -277,6 +308,14 @@ class DataflowGraph(Generic[NodeT]):
                 if ports != list(range(len(ports))):
                     raise ValidationError(
                         f"{node.KIND} {uid}: non-contiguous {kind} ports {ports}"
+                    )
+            for edge in data_out:
+                if any(
+                    edge.src_port > r.src_port for r in outgoing if r.is_reject
+                ):
+                    raise ValidationError(
+                        f"{node.KIND} {uid}: reject port "
+                        "must follow all data output ports"
                     )
 
     def propagate_schemas(self) -> None:
@@ -297,9 +336,16 @@ class DataflowGraph(Generic[NodeT]):
             out_edges = self.out_edges(node.uid)
             if not out_edges:
                 continue
-            outputs = node.output_relations(inputs, [e.name for e in out_edges])
-            for edge, schema in zip(out_edges, outputs):
-                edge.schema = schema
+            data_edges = [e for e in out_edges if not e.is_reject]
+            if data_edges:
+                outputs = node.output_relations(
+                    inputs, [e.name for e in data_edges]
+                )
+                for edge, schema in zip(data_edges, outputs):
+                    edge.schema = schema
+            for edge in out_edges:
+                if edge.is_reject:
+                    edge.schema = node.reject_relation(edge.name)
 
     def kinds_in_order(self) -> List[str]:
         """Node kinds in topological order — handy in tests asserting a

@@ -252,10 +252,18 @@ def _from_sql_value(dtype: AtomicType, value):
 class SqliteRunner:
     """Loads an :class:`Instance` into an in-memory sqlite database and
     executes generated SELECT statements against it — the stand-in for
-    "the DBMS managing the source data"."""
+    "the DBMS managing the source data".
 
-    def __init__(self, instance: Instance):
+    ``retry`` (a :class:`~repro.resilience.RetryPolicy`, or an int
+    retry budget) re-runs queries that fail transiently — a locked or
+    busy database (``sqlite3.OperationalError``), or an injected
+    :class:`~repro.errors.TransientError` — with exponential backoff."""
+
+    def __init__(self, instance: Instance, retry=None):
+        from repro.resilience import resolve_retry
+
         self.connection = sqlite3.connect(":memory:")
+        self.retry = resolve_retry(retry)
         for dataset in instance:
             self._create_table(dataset)
 
@@ -280,7 +288,16 @@ class SqliteRunner:
     def query(self, sql: str, result_relation: Relation) -> Dataset:
         """Run a SELECT; rows are coerced back to the relation's types."""
         try:
-            cursor = self.connection.execute(sql)
+            if self.retry is not None:
+                from repro.errors import TransientError
+
+                cursor = self.retry.call(
+                    lambda: self.connection.execute(sql),
+                    name="deploy.sql",
+                    retry_on=(TransientError, sqlite3.OperationalError),
+                )
+            else:
+                cursor = self.connection.execute(sql)
         except sqlite3.Error as exc:
             raise ExecutionError(f"sqlite rejected generated SQL: {exc}\n{sql}")
         names = [d[0] for d in cursor.description]

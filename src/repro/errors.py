@@ -67,7 +67,79 @@ class DeploymentError(OrchidError):
 
 
 class ExecutionError(OrchidError):
-    """A runtime engine failed while executing a job, graph, or mapping."""
+    """A runtime engine failed while executing a job, graph, or mapping.
+
+    Carries structured context so a failure is debuggable without a
+    rerun: the stage/operator that raised, the link being produced, the
+    row index within that stage's input, and a repr of the offending
+    row. All context fields are optional; when present they are
+    appended to the message (the original message stays a prefix, so
+    ``pytest.raises(..., match=...)`` against it keeps working).
+
+    :ivar stage: name of the ETL stage or OHM operator that failed.
+    :ivar link: name of the link/edge being produced, if known.
+    :ivar row_index: 0-based index of the offending row in the stage's
+        input, if the failure is row-level.
+    :ivar row: the offending row (a dict), if the failure is row-level.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage: "str | None" = None,
+        link: "str | None" = None,
+        row_index: "int | None" = None,
+        row: "dict | None" = None,
+    ):
+        super().__init__(_with_context(message, stage, link, row_index, row))
+        self.stage = stage
+        self.link = link
+        self.row_index = row_index
+        self.row = row
+
+    def context(self) -> dict:
+        """The structured context as a dict (None entries omitted)."""
+        fields = {
+            "stage": self.stage,
+            "link": self.link,
+            "row_index": self.row_index,
+            "row": self.row,
+        }
+        return {k: v for k, v in fields.items() if v is not None}
+
+
+def _with_context(message, stage, link, row_index, row) -> str:
+    parts = []
+    if stage is not None:
+        parts.append(f"stage={stage!r}")
+    if link is not None:
+        parts.append(f"link={link!r}")
+    if row_index is not None:
+        parts.append(f"row_index={row_index}")
+    if row is not None:
+        parts.append(f"row={row!r}")
+    if not parts:
+        return message
+    return f"{message} [{', '.join(parts)}]"
+
+
+class TransientError(ExecutionError):
+    """A failure that may succeed on retry (flaky endpoint, busy DB).
+
+    Sources, targets, and the SQL runner raise (or translate to) this
+    class for conditions worth retrying; :class:`repro.resilience.
+    RetryPolicy` retries exactly this type by default."""
+
+
+class FaultInjected(ExecutionError):
+    """An artificial failure raised by the ``repro.faults`` harness."""
+
+
+#: failure types that row-level error policies must never absorb as data
+#: errors: they signal broken infrastructure, not a bad row, and have
+#: their own recovery paths (retry for transient endpoints, the
+#: degradation ladder for kernel faults).
+INFRASTRUCTURE_ERRORS = (TransientError, FaultInjected)
 
 
 class SerializationError(OrchidError):

@@ -12,13 +12,30 @@ link, seconds per stage. Passing an :class:`~repro.obs.Observability`
 additionally records them into the shared metrics registry
 (``etl.link.<name>.rows``, ``etl.stage.<name>.seconds``) and emits one
 ``etl.stage.<type>`` span per executed stage under an ``etl.run`` root.
+
+Fault tolerance (see ``docs/robustness.md``) is layered on the same
+loop:
+
+* a per-run (or per-stage ``on_error``) row policy — ``fail_fast`` /
+  ``skip`` / ``reject`` — absorbed via a per-stage
+  :class:`~repro.resilience.ErrorContext`; rejected rows flow onto a
+  stage's dedicated reject link when one is declared
+  (:meth:`Job.reject_link`), otherwise into
+  :attr:`EtlRunStats.rejected`;
+* transient source/target failures are retried under a
+  :class:`~repro.resilience.RetryPolicy` with exponential backoff;
+* a :class:`~repro.resilience.CheckpointStore` snapshots each completed
+  stage so an interrupted run resumes from the last good frontier;
+* a failing batched kernel degrades per stage to row kernels, then to
+  the interpreting oracle (``exec.degrade.*`` counters), never changing
+  results — only how they are computed.
 """
 
 from __future__ import annotations
 
 import warnings
 from time import perf_counter
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance
 from repro.errors import ExecutionError
@@ -31,6 +48,14 @@ from repro.exec import (
     resolve_compiled,
 )
 from repro.obs import NULL_OBS, Observability
+from repro.resilience import (
+    ErrorContext,
+    RejectedRow,
+    rejects_dataset,
+    resolve_checkpoint,
+    resolve_on_error,
+    resolve_retry,
+)
 
 
 class EtlRunStats:
@@ -38,18 +63,40 @@ class EtlRunStats:
 
     :ivar link_counts: link name → rows that flowed over the link.
     :ivar stage_seconds: stage name → wall-clock execution seconds.
+    :ivar reject_counts: stage name → rows rejected under ``reject``.
+    :ivar skip_counts: stage name → rows dropped under ``skip``.
+    :ivar rejected: :class:`~repro.resilience.RejectedRow` records that
+        were *not* routed onto an in-job reject link.
+    :ivar restored_stages: stage names restored from a checkpoint
+        instead of executed.
     """
 
-    __slots__ = ("link_counts", "stage_seconds")
+    __slots__ = (
+        "link_counts",
+        "stage_seconds",
+        "reject_counts",
+        "skip_counts",
+        "rejected",
+        "restored_stages",
+    )
 
     def __init__(self):
         self.link_counts: Dict[str, int] = {}
         self.stage_seconds: Dict[str, float] = {}
+        self.reject_counts: Dict[str, int] = {}
+        self.skip_counts: Dict[str, int] = {}
+        self.rejected: List[RejectedRow] = []
+        self.restored_stages: List[str] = []
 
     @property
     def total_rows(self) -> int:
         """Rows moved across all links (the monitor's headline number)."""
         return sum(self.link_counts.values())
+
+    @property
+    def total_rejected(self) -> int:
+        """Rows rejected anywhere in the run (on reject links or not)."""
+        return sum(self.reject_counts.values())
 
     def __repr__(self) -> str:
         return (
@@ -66,6 +113,12 @@ class EtlEngine:
     :attr:`last_run` only once the run completes, so an engine shared by
     two callers (or a re-entrant run) never observes a half-filled
     snapshot — each run's numbers replace the previous run's wholesale.
+
+    ``on_error`` / ``retry`` / ``checkpoint`` default to the process
+    triads (``REPRO_ON_ERROR``, ``REPRO_MAX_RETRIES``,
+    ``REPRO_CHECKPOINT_DIR``); ``degrade=False`` disables the batched →
+    rows → oracle fallback ladder (useful when debugging a kernel — the
+    first failure then surfaces directly).
     """
 
     def __init__(
@@ -74,6 +127,10 @@ class EtlEngine:
         compiled: Optional[bool] = None,
         batched: Optional[bool] = None,
         batch_size: Optional[int] = None,
+        on_error: Optional[str] = None,
+        retry=None,
+        checkpoint=None,
+        degrade: bool = True,
     ):
         self._obs = obs or NULL_OBS
         #: whether stages lower expressions through the compiler
@@ -84,6 +141,14 @@ class EtlEngine:
         #: (requires the compiler; stages fall back per operator).
         self.batched = self.compiled and resolve_batched(batched)
         self.batch_size = resolve_batch_size(batch_size)
+        #: the run-level row error policy (stages may override per-stage
+        #: via ``Stage.on_error``).
+        self.on_error = resolve_on_error(on_error)
+        #: retry policy for transient source/target failures, or None.
+        self.retry = resolve_retry(retry)
+        #: checkpoint store for resumable runs, or None.
+        self.checkpoint = resolve_checkpoint(checkpoint)
+        self.degrade = degrade
         #: statistics of the most recently *completed* run.
         self.last_run: EtlRunStats = EtlRunStats()
 
@@ -103,6 +168,68 @@ class EtlEngine:
         )
         return dict(self.last_run.link_counts)
 
+    # -- fault-tolerant building blocks ---------------------------------------
+
+    def _endpoint(self, fn, name: str):
+        """Run a source extract / target load, retrying transients."""
+        if self.retry is not None:
+            return self.retry.call(fn, name=name, obs=self._obs)
+        return fn()
+
+    def _ladder(self, planner: ExpressionPlanner) -> List[ExpressionPlanner]:
+        """The degradation ladder for this run, most capable tier first:
+        batched blocks → compiled row kernels → interpreting oracle."""
+        tiers = [planner]
+        if not self.degrade:
+            return tiers
+        if self.batched:
+            tiers.append(
+                ExpressionPlanner(
+                    planner.registry, True, False, self.batch_size
+                )
+            )
+        if self.compiled:
+            tiers.append(
+                ExpressionPlanner(
+                    planner.registry, False, False, self.batch_size
+                )
+            )
+        return tiers
+
+    def _execute_stage(
+        self, stage, inputs, out_relations, registry, tiers, ctx, metrics
+    ):
+        """One stage through the degradation ladder.
+
+        Each failing tier drops to the next; the context is reset per
+        attempt so a failed attempt's partial rejects are not counted
+        twice. When every tier fails, the last tier's exception (the
+        oracle's — the most trustworthy diagnosis) propagates."""
+        if not stage.supports_compiled:
+            if stage.supports_policies:
+                return stage.execute(inputs, out_relations, registry, errors=ctx)
+            return stage.execute(inputs, out_relations, registry)
+        last_exc = None
+        for i, planner in enumerate(tiers):
+            if i:
+                prev = tiers[i - 1]
+                metrics.count(
+                    "exec.degrade.block_to_rows"
+                    if prev.batched
+                    else "exec.degrade.rows_to_oracle"
+                )
+            ctx.reset()
+            kwargs = {"planner": planner, "obs": self._obs}
+            if stage.supports_policies:
+                kwargs["errors"] = ctx
+            try:
+                return stage.execute(inputs, out_relations, registry, **kwargs)
+            except Exception as exc:  # noqa: BLE001 — ladder decides
+                last_exc = exc
+        raise last_exc
+
+    # -- the run loop ---------------------------------------------------------
+
     def run(
         self, job: Job, instance: Optional[Instance] = None
     ) -> Tuple[Instance, Dict[str, Dataset]]:
@@ -121,48 +248,99 @@ class EtlEngine:
         planner = ExpressionPlanner(
             job.registry, self.compiled, self.batched, self.batch_size
         )
+        tiers = self._ladder(planner)
         job.propagate_schemas()
         by_port: Dict[Tuple[str, int], Dataset] = {}
         link_data: Dict[str, Dataset] = {}
         targets = Instance()
+        frontier = (
+            self.checkpoint.load_frontier(job) if self.checkpoint else {}
+        )
         with tracer.span("etl.run", job=job.name):
             for stage in job.topological_order():
                 in_edges = job.in_edges(stage.uid)
                 inputs = [by_port[(e.src, e.src_port)] for e in in_edges]
                 out_edges = job.out_edges(stage.uid)
+                # a reject edge is out-of-band for the producer: data
+                # edges carry stage outputs, the (always last) reject
+                # edge carries this stage's rejected-row dataset
+                data_edges = [e for e in out_edges if not e.is_reject]
+                reject_edge = next(
+                    (e for e in out_edges if e.is_reject), None
+                )
+
+                restored = frontier.get(stage.uid)
+                if restored is not None and all(
+                    e.name in restored[0] for e in out_edges
+                ):
+                    saved_outputs, delivered = restored
+                    outputs = [saved_outputs[e.name] for e in out_edges]
+                    if delivered is not None:
+                        targets.put(delivered)
+                    stats.restored_stages.append(stage.name)
+                    metrics.count("exec.checkpoint.restored")
+                    for edge, dataset in zip(out_edges, outputs):
+                        by_port[(edge.src, edge.src_port)] = dataset
+                        link_data[edge.name] = dataset
+                        stats.link_counts[edge.name] = len(dataset)
+                    continue
+
+                ctx = ErrorContext(
+                    stage.name, stage.on_error or self.on_error
+                )
+                delivered = None
                 with tracer.span(
                     f"etl.stage.{stage.STAGE_TYPE}", stage=stage.name
                 ) as span:
                     started = perf_counter() if observing else 0.0
                     if isinstance(stage, TableTarget):
-                        delivered = stage.load(inputs[0], trusted=self.compiled)
+                        delivered = self._endpoint(
+                            lambda: stage.load(
+                                inputs[0],
+                                trusted=self.compiled,
+                                errors=ctx if ctx.handling else None,
+                            ),
+                            stage.name,
+                        )
                         targets.put(delivered)
                         outputs = []
                     elif isinstance(stage, TableSource):
-                        outputs = [
-                            stage.extract(instance).renamed(e.name)
-                            for e in out_edges
-                        ]
+                        outputs = self._endpoint(
+                            lambda: [
+                                stage.extract(instance).renamed(e.name)
+                                for e in data_edges
+                            ],
+                            stage.name,
+                        )
                     else:
-                        out_relations = [e.schema for e in out_edges]
-                        if stage.supports_compiled:
-                            outputs = stage.execute(
-                                inputs,
-                                out_relations,
-                                job.registry,
-                                planner=planner,
-                                obs=self._obs,
-                            )
-                        else:
-                            outputs = stage.execute(
-                                inputs, out_relations, job.registry
-                            )
-                        if len(outputs) != len(out_edges):
+                        out_relations = [e.schema for e in data_edges]
+                        outputs = self._execute_stage(
+                            stage,
+                            inputs,
+                            out_relations,
+                            job.registry,
+                            tiers,
+                            ctx,
+                            metrics,
+                        )
+                        if len(outputs) != len(data_edges):
                             raise ExecutionError(
                                 f"{stage.STAGE_TYPE} {stage.name!r} produced "
                                 f"{len(outputs)} outputs for "
-                                f"{len(out_edges)} links"
+                                f"{len(data_edges)} links",
+                                stage=stage.name,
                             )
+                    if reject_edge is not None:
+                        outputs = list(outputs) + [
+                            rejects_dataset(ctx.rejected, reject_edge.name)
+                        ]
+                    elif ctx.rejected:
+                        stats.rejected.extend(ctx.rejected)
+                    if ctx.rejected:
+                        stats.reject_counts[stage.name] = len(ctx.rejected)
+                    if ctx.skipped:
+                        stats.skip_counts[stage.name] = ctx.skipped
+                    ctx.publish(metrics, span)
                     if observing:
                         seconds = perf_counter() - started
                         stats.stage_seconds[stage.name] = seconds
@@ -173,11 +351,21 @@ class EtlEngine:
                             rows_in=sum(len(d) for d in inputs),
                             rows_out=sum(len(d) for d in outputs),
                         )
+                if self.checkpoint is not None:
+                    self.checkpoint.save_stage(
+                        job,
+                        stage.uid,
+                        [(e.name, d) for e, d in zip(out_edges, outputs)],
+                        delivered=delivered,
+                    )
+                    metrics.count("exec.checkpoint.saved")
                 for edge, dataset in zip(out_edges, outputs):
                     by_port[(edge.src, edge.src_port)] = dataset
                     link_data[edge.name] = dataset
                     stats.link_counts[edge.name] = len(dataset)
                     metrics.count(f"etl.link.{edge.name}.rows", len(dataset))
+        if self.checkpoint is not None:
+            self.checkpoint.clear(job)
         self.last_run = stats
         return targets, link_data
 
@@ -194,10 +382,19 @@ def run_job(
     compiled: Optional[bool] = None,
     batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
+    on_error: Optional[str] = None,
+    retry=None,
+    checkpoint=None,
 ) -> Instance:
     """Convenience: run ``job`` and return the target datasets."""
     return EtlEngine(
-        obs=obs, compiled=compiled, batched=batched, batch_size=batch_size
+        obs=obs,
+        compiled=compiled,
+        batched=batched,
+        batch_size=batch_size,
+        on_error=on_error,
+        retry=retry,
+        checkpoint=checkpoint,
     ).execute(job, instance)
 
 
@@ -208,10 +405,19 @@ def run_job_with_links(
     compiled: Optional[bool] = None,
     batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
+    on_error: Optional[str] = None,
+    retry=None,
+    checkpoint=None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Run ``job`` returning targets plus every link's dataset."""
     return EtlEngine(
-        obs=obs, compiled=compiled, batched=batched, batch_size=batch_size
+        obs=obs,
+        compiled=compiled,
+        batched=batched,
+        batch_size=batch_size,
+        on_error=on_error,
+        retry=retry,
+        checkpoint=checkpoint,
     ).run(job, instance)
 
 

@@ -59,13 +59,32 @@ class Stage:
     #: with the historical three-argument ``execute`` keep working.
     supports_compiled = False
 
+    #: Stages whose row loop honours an ``errors=`` :class:`~repro.
+    #: resilience.ErrorContext` (skip/reject row-level error policies)
+    #: set this True. On other stages a non-``fail_fast`` policy leaves
+    #: behaviour unchanged: any row error still aborts the stage.
+    supports_policies = False
+
+    #: Stages that may carry an out-of-band reject link
+    #: (:meth:`Job.reject_link`). The engine routes the stage's rejected
+    #: rows onto that link as a dataset of the standard reject relation.
+    supports_reject_link = False
+
     def __init__(
         self,
         name: Optional[str] = None,
         annotations: Optional[Dict[str, str]] = None,
+        on_error: Optional[str] = None,
     ):
         self.name = name or f"{self.STAGE_TYPE}_{next(_stage_counter)}"
         self.annotations: Dict[str, str] = dict(annotations or {})
+        if on_error is not None:
+            from repro.resilience import check_policy
+
+            check_policy(on_error)
+        #: per-stage error policy override (``fail_fast``/``skip``/
+        #: ``reject``); ``None`` defers to the engine-level policy.
+        self.on_error = on_error
 
     # graph-node interface ----------------------------------------------------
 
@@ -107,6 +126,14 @@ class Stage:
     ) -> List[Relation]:
         """Schemas of each output link."""
         raise NotImplementedError
+
+    @classmethod
+    def reject_relation(cls, name: str) -> Relation:
+        """Schema of a reject link leaving this stage: the standard
+        reject-channel relation (see :mod:`repro.resilience`)."""
+        from repro.resilience import reject_relation
+
+        return reject_relation(name)
 
     # runtime interface ----------------------------------------------------------
 
@@ -177,16 +204,118 @@ class Job(DataflowGraph[Stage]):
         name: Optional[str] = None,
         src_port: int = 0,
         dst_port: int = 0,
+        kind: str = "data",
     ) -> Edge:
         """Connect two stages with a named link (``DSLink<n>`` default)."""
         return self.connect(
             src, dst, src_port=src_port, dst_port=dst_port,
+            name=name or next_link_name(), kind=kind,
+        )
+
+    def reject_link(
+        self,
+        src,
+        dst,
+        name: Optional[str] = None,
+        dst_port: int = 0,
+    ) -> Edge:
+        """Attach a reject channel from ``src`` to ``dst``.
+
+        The link is out-of-band for ``src`` (it occupies the port after
+        the stage's data outputs and does not count toward its declared
+        output multiplicity); the engine routes rows rejected by ``src``
+        under the ``reject`` error policy onto it as a dataset of the
+        standard reject relation. ``dst`` consumes it like any other
+        input link. At most one reject link per stage."""
+        src_id = src if isinstance(src, str) else src.uid
+        stage = self.node(src_id)
+        if not getattr(stage, "supports_reject_link", False):
+            raise ValidationError(
+                f"{stage.STAGE_TYPE} {stage.name!r} does not support a "
+                "reject link"
+            )
+        existing = self.out_edges(src_id)
+        if any(e.is_reject for e in existing):
+            raise ValidationError(
+                f"stage {stage.name!r} already has a reject link"
+            )
+        return self.link(
+            src, dst,
             name=name or next_link_name(),
+            src_port=len(existing),
+            dst_port=dst_port,
+            kind="reject",
         )
 
     @property
     def links(self) -> List[Edge]:
         return self.edges
+
+    @property
+    def reject_links(self) -> List[Edge]:
+        return [e for e in self.edges if e.is_reject]
+
+    def without_reject_channel(self) -> "Job":
+        """A copy of this job with reject links — and any stages reachable
+        *only* through them — removed.
+
+        The OHM compiler (and everything downstream of it: mapping
+        extraction, pushdown, optimization) models the data channel
+        only, so reject plumbing is stripped before import. Stages that
+        mix reject and data inputs cannot be stripped cleanly and are
+        rejected."""
+        clone = Job(self.name, registry=self.registry)
+        reject_fed: Dict[str, int] = {}
+        for edge in self.edges:
+            if edge.is_reject:
+                reject_fed[edge.dst] = reject_fed.get(edge.dst, 0) + 1
+        # stages fed only by reject edges (transitively) are dropped
+        dropped = set()
+        changed = True
+        while changed:
+            changed = False
+            for stage in self.nodes:
+                uid = stage.uid
+                if uid in dropped:
+                    continue
+                in_edges = [
+                    e for e in self.in_edges(uid) if e.src not in dropped
+                ]
+                if not in_edges and stage.min_inputs == 0:
+                    continue
+                live = [e for e in in_edges if not e.is_reject]
+                if in_edges and not live:
+                    dropped.add(uid)
+                    changed = True
+                elif not in_edges and stage.min_inputs > 0:
+                    dropped.add(uid)
+                    changed = True
+        for stage in self.nodes:
+            uid = stage.uid
+            if uid in dropped:
+                continue
+            bad = [
+                e
+                for e in self.in_edges(uid)
+                if (e.is_reject or e.src in dropped)
+            ]
+            if bad:
+                raise ValidationError(
+                    f"stage {uid!r} mixes reject and data inputs; cannot "
+                    "strip the reject channel cleanly"
+                )
+            clone.add(stage)
+        for edge in self.edges:
+            if edge.is_reject or edge.src in dropped or edge.dst in dropped:
+                continue
+            new = clone.link(
+                edge.src, edge.dst,
+                name=edge.name,
+                src_port=edge.src_port,
+                dst_port=edge.dst_port,
+            )
+            new.schema = edge.schema
+        return clone
 
     def stages_of_type(self, stage_type: str) -> List[Stage]:
         return [s for s in self.nodes if s.STAGE_TYPE == stage_type]

@@ -62,13 +62,15 @@ class TableSource(Stage):
     def extract(self, instance: Instance) -> Dataset:
         if self.relation.name not in instance:
             raise ExecutionError(
-                f"source table {self.relation.name!r} not in instance"
+                f"source table {self.relation.name!r} not in instance",
+                stage=self.name,
             )
         return instance.dataset(self.relation.name).with_relation(self.relation)
 
     def execute(self, inputs, out_relations, registry):
         raise ExecutionError(
-            "TableSource is executed by the engine via extract()"
+            "TableSource is executed by the engine via extract()",
+            stage=self.name,
         )
 
     def to_config(self):
@@ -107,13 +109,31 @@ class TableTarget(Stage):
     def output_relations(self, inputs, out_names):
         return []
 
-    def load(self, data: Dataset, trusted: bool = False) -> Dataset:
+    def load(
+        self, data: Dataset, trusted: bool = False, errors=None
+    ) -> Dataset:
         """Deliver ``data`` into the target relation.
 
         ``trusted`` skips the per-row type re-validation (the compiled
         engine's fast path — upstream kernels already shaped the rows);
-        the default checked path is what the interpreting oracle runs."""
+        the default checked path is what the interpreting oracle runs.
+
+        ``errors`` (an active :class:`~repro.resilience.ErrorContext`)
+        forces the checked path — a skip/reject policy at a target means
+        the caller cares about bad rows, so they are validated even in
+        compiled mode and failures land on the policy's channel instead
+        of aborting the load."""
         names = self.relation.attribute_names
+        if errors is not None and errors.handling:
+            from repro.errors import SchemaError
+
+            result = Dataset(self.relation)
+            for index, row in enumerate(data):
+                try:
+                    result.append({n: row.get(n) for n in names})
+                except SchemaError as exc:
+                    errors.record(index, dict(row), exc)
+            return result
         if trusted:
             blk = data.peek_block()
             if blk is not None:
@@ -137,7 +157,10 @@ class TableTarget(Stage):
         return result
 
     def execute(self, inputs, out_relations, registry):
-        raise ExecutionError("TableTarget is executed by the engine via load()")
+        raise ExecutionError(
+            "TableTarget is executed by the engine via load()",
+            stage=self.name,
+        )
 
     def to_config(self):
         return {"relation": _relation_to_config(self.relation)}
@@ -185,8 +208,10 @@ class SequentialFileTarget(TableTarget):
         super().__init__(relation, **kwargs)
         self.path = path
 
-    def load(self, data: Dataset, trusted: bool = False) -> Dataset:
-        result = super().load(data, trusted=trusted)
+    def load(
+        self, data: Dataset, trusted: bool = False, errors=None
+    ) -> Dataset:
+        result = super().load(data, trusted=trusted, errors=errors)
         write_csv(result, self.path)
         return result
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.data.dataset import Dataset
-from repro.errors import ValidationError
+from repro.errors import INFRASTRUCTURE_ERRORS, ValidationError
 from repro.etl.model import Stage
 from repro.exec import ExpressionPlanner, block, kernels
 from repro.exec.block import RowBlock, relation_resolver
@@ -80,6 +80,8 @@ class FilterStage(Stage):
     min_outputs = 1
     max_outputs = None
     supports_compiled = True
+    supports_policies = True
+    supports_reject_link = True
 
     def __init__(
         self,
@@ -136,7 +138,10 @@ class FilterStage(Stage):
                 relations.append(Relation(name, attrs))
         return relations
 
-    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
+    def execute(
+        self, inputs, out_relations, registry, planner=None, obs=None,
+        errors=None,
+    ):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
         has_predicates = any(not o.reject for o in self.outputs)
@@ -154,13 +159,31 @@ class FilterStage(Stage):
                 specs.append(("fallback" if has_predicates else "always", None))
             else:
                 specs.append(("pred", planner.predicate(output.where)))
+        on_error = None
+        redirects: List[dict] = []
+        if errors is not None and errors.handling:
+            if errors.policy == "reject" and self.outputs[-1].reject:
+                # a Filter that already has a reject output keeps its
+                # error rows in-band: a row whose predicate *errors* is
+                # as unroutable as one that matches nothing, so it lands
+                # on the same reject link instead of aborting the run
+                def on_error(_i, item, exc):
+                    if isinstance(exc, INFRASTRUCTURE_ERRORS):
+                        raise exc
+                    redirects.append(item)
+            else:
+                on_error = errors.kernel_handler()
         routed = kernels.route_rows(
             data.rows,
             specs,
             kernels.row_binder(data.relation.name),
             only_once=self.row_only_once,
             obs=obs,
+            on_error=on_error,
         )
+        if redirects:
+            routed[-1].extend(redirects)
+            errors.redirected += len(redirects)
         return [
             planner.materialize(
                 rel,
@@ -232,6 +255,8 @@ class SwitchStage(Stage):
     min_outputs = 1
     max_outputs = None
     supports_compiled = True
+    supports_policies = True
+    supports_reject_link = True
 
     def __init__(
         self,
@@ -270,7 +295,10 @@ class SwitchStage(Stage):
         (incoming,) = inputs
         return [incoming.renamed(name) for name in out_names]
 
-    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
+    def execute(
+        self, inputs, out_relations, registry, planner=None, obs=None,
+        errors=None,
+    ):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
         if planner.batched:
@@ -285,6 +313,7 @@ class SwitchStage(Stage):
                     planner.materialize_block(rel, blk.take(indices))
                     for indices, rel in zip(routed, out_relations)
                 ]
+        on_error = errors.kernel_handler() if errors is not None else None
         routed = kernels.switch_rows(
             data.rows,
             planner.scalar(self.selector),
@@ -292,6 +321,7 @@ class SwitchStage(Stage):
             self.has_default,
             kernels.row_binder(data.relation.name),
             obs=obs,
+            on_error=on_error,
         )
         return [
             planner.materialize(rel, [dict(row) for row in rows], fresh=True)

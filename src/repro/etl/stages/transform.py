@@ -79,6 +79,8 @@ class Transformer(Stage):
     min_outputs = 1
     max_outputs = None
     supports_compiled = True
+    supports_policies = True
+    supports_reject_link = True
 
     def __init__(
         self,
@@ -154,7 +156,10 @@ class Transformer(Stage):
             relations.append(Relation(name, attrs))
         return relations
 
-    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
+    def execute(
+        self, inputs, out_relations, registry, planner=None, obs=None,
+        errors=None,
+    ):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
         relation_name = data.relation.name
@@ -164,6 +169,7 @@ class Transformer(Stage):
             )
             if results is not None:
                 return results
+        handling = errors is not None and errors.handling
         var_fns = [
             (name, planner.scalar(expr)) for name, expr in self.stage_variables
         ]
@@ -173,13 +179,27 @@ class Transformer(Stage):
         # variable may reference earlier ones); the link-qualified binding
         # stays the raw input row
         envs = []
-        for row in data.rows:
-            env = Environment(dict(row)).bind(relation_name, row)
-            anon = env.bindings[None]
-            for name, fn in var_fns:
-                anon[name] = fn(env)
-            envs.append(env)
+        if handling and var_fns:
+            for index, row in enumerate(data.rows):
+                env = Environment(dict(row)).bind(relation_name, row)
+                anon = env.bindings[None]
+                try:
+                    for name, fn in var_fns:
+                        anon[name] = fn(env)
+                except Exception as exc:
+                    errors.record(index, row, exc)
+                    continue
+                envs.append(env)
+        else:
+            for row in data.rows:
+                env = Environment(dict(row)).bind(relation_name, row)
+                anon = env.bindings[None]
+                for name, fn in var_fns:
+                    anon[name] = fn(env)
+                envs.append(env)
 
+        row_of = lambda env: env.bindings[relation_name]  # noqa: E731
+        on_error = errors.kernel_handler(row_of=row_of) if handling else None
         specs = []
         for link in self.outputs:
             if link.otherwise:
@@ -188,7 +208,7 @@ class Transformer(Stage):
                 specs.append(("always", None))
             else:
                 specs.append(("pred", planner.predicate(link.constraint)))
-        routed = kernels.route_rows(envs, specs, obs=obs)
+        routed = kernels.route_rows(envs, specs, obs=obs, on_error=on_error)
         return [
             planner.materialize(
                 rel,
@@ -199,6 +219,11 @@ class Transformer(Stage):
                         for col, expr in link.derivations
                     ],
                     obs=obs,
+                    on_error=(
+                        errors.kernel_handler(row_of=row_of, link=rel.name)
+                        if handling
+                        else None
+                    ),
                 ),
                 fresh=True,
             )
@@ -292,6 +317,8 @@ class Modify(Stage):
 
     STAGE_TYPE = "Modify"
     supports_compiled = True
+    supports_policies = True
+    supports_reject_link = True
 
     def __init__(
         self,
@@ -337,7 +364,10 @@ class Modify(Stage):
         (incoming,) = inputs
         return [Relation(out_names[0], self._result_attributes(incoming))]
 
-    def execute(self, inputs, out_relations, registry, planner=None, obs=None):
+    def execute(
+        self, inputs, out_relations, registry, planner=None, obs=None,
+        errors=None,
+    ):
         (data,) = inputs
         out = out_relations[0]
         old_of = {}
@@ -360,14 +390,21 @@ class Modify(Stage):
             return [
                 planner.materialize_block(out, RowBlock(columns, blk.length))
             ]
+        handling = errors is not None and errors.handling
         result = Dataset(out, validate=False)
-        for row in data:
-            new_row = {}
-            for attr in out:
-                value = row[old_of[attr.name]]
-                if attr.name in self.convert and value is not None:
-                    value = _convert_value(value, self.convert[attr.name])
-                new_row[attr.name] = value
+        for index, row in enumerate(data):
+            try:
+                new_row = {}
+                for attr in out:
+                    value = row[old_of[attr.name]]
+                    if attr.name in self.convert and value is not None:
+                        value = _convert_value(value, self.convert[attr.name])
+                    new_row[attr.name] = value
+            except Exception as exc:
+                if handling:
+                    errors.record(index, dict(row), exc)
+                    continue
+                raise
             result.append(new_row, validate=False)
         return [result]
 

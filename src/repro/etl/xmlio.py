@@ -91,6 +91,8 @@ def job_to_xml(job: Job) -> str:
         stage_el = ET.SubElement(stages_el, "stage")
         stage_el.set("name", stage.name)
         stage_el.set("type", stage.STAGE_TYPE)
+        if getattr(stage, "on_error", None):
+            stage_el.set("onError", stage.on_error)
         if stage.annotations:
             annotations_el = ET.SubElement(stage_el, "annotations")
             for key, value in sorted(stage.annotations.items()):
@@ -107,6 +109,8 @@ def job_to_xml(job: Job) -> str:
         link_el.set("fromPort", str(edge.src_port))
         link_el.set("to", edge.dst)
         link_el.set("toPort", str(edge.dst_port))
+        if edge.is_reject:
+            link_el.set("kind", edge.kind)
     ET.indent(root)
     return ET.tostring(root, encoding="unicode")
 
@@ -144,6 +148,11 @@ def job_from_xml(text: str) -> Job:
         stage = stage_class.from_config(
             stage_el.get("name"), config, annotations=annotations
         )
+        on_error = stage_el.get("onError")
+        if on_error:
+            from repro.resilience import check_policy
+
+            stage.on_error = check_policy(on_error)
         job.add(stage)
     links_el = root.find("links")
     for link_el in links_el.findall("link") if links_el is not None else []:
@@ -153,6 +162,7 @@ def job_from_xml(text: str) -> Job:
             name=link_el.get("name"),
             src_port=int(link_el.get("fromPort", "0")),
             dst_port=int(link_el.get("toPort", "0")),
+            kind=link_el.get("kind", "data"),
         )
     return job
 

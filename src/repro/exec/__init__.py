@@ -163,6 +163,30 @@ def resolve_batch_size(value: Optional[int]) -> int:
     return size
 
 
+# -- kernel fault injection ---------------------------------------------------
+#
+# The fault harness (repro.faults) installs a process-wide hook that may
+# wrap every closure the planner hands to the kernels. The hook receives
+# (tier, kind, fn) — tier is "block" / "compiled" / "oracle", kind is
+# "scalar" / "predicate" / "aggregate" — and returns fn or a wrapper
+# that raises repro.errors.FaultInjected on the invocations the fault
+# plan selects. With no hook installed (the normal case) the planner's
+# hot path is untouched.
+
+_kernel_fault_hook: Optional[Callable] = None
+
+
+def set_kernel_fault_hook(hook: Optional[Callable]) -> None:
+    """Install (or with ``None`` remove) the process-wide kernel fault
+    hook. Test/diagnostics machinery only — see :mod:`repro.faults`."""
+    global _kernel_fault_hook
+    _kernel_fault_hook = hook
+
+
+def kernel_fault_hook() -> Optional[Callable]:
+    return _kernel_fault_hook
+
+
 class ExpressionPlanner:
     """Lowers expressions to per-member closures for the kernels.
 
@@ -209,7 +233,7 @@ class ExpressionPlanner:
                     return evaluate(_expr, env, _registry)
 
             self._scalars[key] = fn
-        return fn
+        return self._faulted("scalar", fn)
 
     def predicate(self, expr: Expr) -> Callable[[Any], bool]:
         """An ``env → bool`` closure with SQL WHERE semantics (unknown
@@ -226,7 +250,7 @@ class ExpressionPlanner:
                     return evaluate_predicate(_expr, env, _registry)
 
             self._predicates[key] = fn
-        return fn
+        return self._faulted("predicate", fn)
 
     def materialize(self, relation, rows, fresh: bool = False):
         """Materialize kernel output ``rows`` as a Dataset.
@@ -250,14 +274,18 @@ class ExpressionPlanner:
         are call-site-specific, so these are not cached planner-wide."""
         if not self.batched:
             return None
-        return compile_block_expr(expr, self.registry, resolve)
+        fn = compile_block_expr(expr, self.registry, resolve)
+        return None if fn is None else self._faulted("scalar", fn, tier="block")
 
     def block_predicate(self, expr: Expr, resolve) -> Optional[Callable]:
         """A ``RowBlock → bool column`` function with SQL WHERE semantics
         (True only where definitely true), or ``None`` for row fallback."""
         if not self.batched:
             return None
-        return compile_block_predicate(expr, self.registry, resolve)
+        fn = compile_block_predicate(expr, self.registry, resolve)
+        return (
+            None if fn is None else self._faulted("predicate", fn, tier="block")
+        )
 
     def block_aggregate(self, agg: AggregateCall, resolve):
         """``(values_fn, reducer)`` for columnar grouped aggregation —
@@ -272,6 +300,7 @@ class ExpressionPlanner:
         values_fn = compile_block_expr(agg.arg, self.registry, resolve)
         if values_fn is None:
             return None
+        values_fn = self._faulted("aggregate", values_fn, tier="block")
         return (values_fn, aggregate_values_reducer(agg))
 
     def materialize_block(self, relation, rowblock: RowBlock):
@@ -296,7 +325,18 @@ class ExpressionPlanner:
                     return evaluate_aggregate(_agg, members, _registry)
 
             self._aggregates[key] = fn
-        return fn
+        return self._faulted("aggregate", fn)
+
+    def _faulted(self, kind: str, fn: Callable, tier: Optional[str] = None):
+        """Hand ``fn`` to the installed kernel fault hook (if any); the
+        closure cache always stores the unwrapped function, so removing
+        the hook restores clean execution."""
+        hook = _kernel_fault_hook
+        if hook is None:
+            return fn
+        if tier is None:
+            tier = "compiled" if self.compiled else "oracle"
+        return hook(tier, kind, fn)
 
 
 __all__ = [
@@ -314,7 +354,9 @@ __all__ = [
     "default_batched",
     "default_compiled",
     "is_foldable",
+    "kernel_fault_hook",
     "kernels",
+    "set_kernel_fault_hook",
     "resolve_batch_size",
     "resolve_batched",
     "resolve_compiled",

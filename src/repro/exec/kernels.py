@@ -46,6 +46,9 @@ ValueFn = Callable[[Any], Any]
 PredicateFn = Callable[[Any], bool]
 #: Optional item → environment adapter given to row-oriented kernels.
 BindFn = Optional[Callable[[Any], Any]]
+#: Optional per-item error absorber ``(index, item, exc) -> None`` from
+#: an active skip/reject error policy (repro.resilience.ErrorContext).
+OnErrorFn = Optional[Callable[[int, Any, BaseException], None]]
 
 
 def _observe(obs, kernel: str, rows_in: int, rows_out: int) -> None:
@@ -129,10 +132,24 @@ def filter_rows(
     predicate: PredicateFn,
     bind: BindFn = None,
     obs=None,
+    on_error: OnErrorFn = None,
 ) -> List:
     """Keep the items whose predicate holds (SQL WHERE: unknown drops).
-    Returns the original items, not copies."""
-    if bind is None:
+    Returns the original items, not copies.
+
+    ``on_error(index, item, exc)`` — supplied by an active skip/reject
+    error policy — absorbs a per-item evaluation error; the item then
+    reaches no output. Without it the unguarded fast path runs and any
+    error propagates."""
+    if on_error is not None:
+        kept = []
+        for index, item in enumerate(items):
+            try:
+                if predicate(bind(item) if bind is not None else item):
+                    kept.append(item)
+            except Exception as exc:
+                on_error(index, item, exc)
+    elif bind is None:
         kept = [item for item in items if predicate(item)]
     else:
         kept = [item for item in items if predicate(bind(item))]
@@ -146,11 +163,27 @@ def project_rows(
     bind: BindFn = None,
     defaults: Optional[dict] = None,
     obs=None,
+    on_error: OnErrorFn = None,
 ) -> List[dict]:
     """Build one output row per item from ``(name, fn)`` derivations.
     ``defaults`` pre-populates each output row (e.g. NULL-filled
-    underived target columns) before the derivations apply."""
+    underived target columns) before the derivations apply.
+    ``on_error(index, item, exc)`` absorbs a failing item (no output row
+    is produced for it); see :func:`filter_rows`."""
     out: List[dict] = []
+    if on_error is not None:
+        for index, item in enumerate(items):
+            env = bind(item) if bind is not None else item
+            try:
+                row = dict(defaults) if defaults else {}
+                for name, fn in derivations:
+                    row[name] = fn(env)
+            except Exception as exc:
+                on_error(index, item, exc)
+                continue
+            out.append(row)
+        _observe(obs, "project", len(items), len(out))
+        return out
     if defaults:
         for item in items:
             env = bind(item) if bind is not None else item
@@ -172,6 +205,7 @@ def route_rows(
     bind: BindFn = None,
     only_once: bool = False,
     obs=None,
+    on_error: OnErrorFn = None,
 ) -> List[List]:
     """Route each item to zero or more outputs.
 
@@ -185,10 +219,37 @@ def route_rows(
     * ``"fallback"`` — receives items no ``"pred"`` output accepted
       (reject / otherwise links); never fires when there are no
       ``"pred"`` outputs at all.
-    """
+
+    ``on_error(index, item, exc)`` absorbs a per-item predicate error;
+    placements are buffered per item, so a failing item reaches *no*
+    output (not even the ones whose predicates already held)."""
     outputs: List[List] = [[] for _ in specs]
     has_predicates = any(kind == "pred" for kind, _ in specs)
     fallbacks = [i for i, (kind, _) in enumerate(specs) if kind == "fallback"]
+    if on_error is not None:
+        for index, item in enumerate(items):
+            env = bind(item) if bind is not None else item
+            placed: List[int] = []
+            matched = False
+            try:
+                for i, (kind, predicate) in enumerate(specs):
+                    if kind == "always":
+                        placed.append(i)
+                    elif kind == "pred":
+                        if matched and only_once:
+                            continue
+                        if predicate(env):
+                            matched = True
+                            placed.append(i)
+                if has_predicates and not matched:
+                    placed.extend(fallbacks)
+            except Exception as exc:
+                on_error(index, item, exc)
+                continue
+            for i in placed:
+                outputs[i].append(item)
+        _observe(obs, "route", len(items), sum(len(o) for o in outputs))
+        return outputs
     for item in items:
         env = bind(item) if bind is not None else item
         matched = False
@@ -215,12 +276,30 @@ def switch_rows(
     has_default: bool,
     bind: BindFn = None,
     obs=None,
+    on_error: OnErrorFn = None,
 ) -> List[List]:
     """Route each item to exactly one output by selector value: the
     first matching case wins; unmatched items go to the trailing default
-    output when configured, else nowhere."""
+    output when configured, else nowhere. ``on_error(index, item, exc)``
+    absorbs a selector error (the item reaches no output)."""
     n_outputs = len(cases) + (1 if has_default else 0)
     outputs: List[List] = [[] for _ in range(n_outputs)]
+    if on_error is not None:
+        for index, item in enumerate(items):
+            try:
+                value = selector(bind(item) if bind is not None else item)
+            except Exception as exc:
+                on_error(index, item, exc)
+                continue
+            for i, case in enumerate(cases):
+                if value == case:
+                    outputs[i].append(item)
+                    break
+            else:
+                if has_default:
+                    outputs[-1].append(item)
+        _observe(obs, "switch", len(items), sum(len(o) for o in outputs))
+        return outputs
     for item in items:
         value = selector(bind(item) if bind is not None else item)
         for i, case in enumerate(cases):
@@ -242,17 +321,29 @@ def group_rows(
     key_fns: Sequence[ValueFn],
     bind: BindFn = None,
     obs=None,
+    on_error: OnErrorFn = None,
 ) -> List[List]:
     """Partition items into groups by the encoded key-function values
-    (NULL keys compare equal); groups come back in first-seen order."""
+    (NULL keys compare equal); groups come back in first-seen order.
+    ``on_error(index, item, exc)`` absorbs a key evaluation error (the
+    item joins no group)."""
     groups: Dict[tuple, List] = {}
     order: List[tuple] = []
     encoders = [key_encoder() for _ in key_fns]
-    for item in items:
+    for index, item in enumerate(items):
         env = bind(item) if bind is not None else item
-        key = tuple(
-            encode(fn(env)) for encode, fn in zip(encoders, key_fns)
-        )
+        if on_error is not None:
+            try:
+                key = tuple(
+                    encode(fn(env)) for encode, fn in zip(encoders, key_fns)
+                )
+            except Exception as exc:
+                on_error(index, item, exc)
+                continue
+        else:
+            key = tuple(
+                encode(fn(env)) for encode, fn in zip(encoders, key_fns)
+            )
         members = groups.get(key)
         if members is None:
             groups[key] = members = []

@@ -1,0 +1,254 @@
+"""Deterministic seeded fault injection.
+
+Everything the resilience tier defends against can be manufactured here,
+reproducibly: poisoned rows (type-valid values that explode inside
+expressions, like a zero divisor), transient and permanent endpoint
+failures, and kernel faults at a chosen execution tier. A
+:class:`FaultPlan` is seeded, so a failing parity run can be replayed
+exactly from its seed.
+
+Usage::
+
+    plan = FaultPlan(seed=7)
+    bad = plan.poison(instance, "Orders", "qty", count=5, value=0)
+    src = plan.flaky_source(TableSource(orders), failures=2)
+    plan.fault_kernels(tier="block", first=3)
+    with plan.injected():          # installs the exec kernel hook
+        engine.run(job, bad)
+
+The harness raises :class:`~repro.errors.TransientError` from flaky
+endpoints (so retry policies engage) and :class:`~repro.errors.
+FaultInjected` from kernels (so the degradation ladder engages); a
+``permanent`` endpoint raises a plain :class:`~repro.errors.
+ExecutionError` that no retry will absorb.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from repro.data.dataset import Dataset, Instance
+from repro.errors import ExecutionError, FaultInjected, TransientError
+from repro.etl.stages.access import TableSource, TableTarget
+from repro.exec import set_kernel_fault_hook
+
+#: execution tiers a kernel fault can target (see ExpressionPlanner)
+TIERS = ("block", "compiled", "oracle")
+
+
+class FaultPlan:
+    """A reproducible schedule of injected faults.
+
+    All randomness flows from ``seed``; all counters live on the plan,
+    so two plans with the same seed and the same configuration calls
+    inject exactly the same faults.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: relation name -> row indices poisoned by :meth:`poison`
+        self.poisoned: Dict[str, List[int]] = {}
+        # kernel-fault schedule per tier: remaining "first N" budget
+        self._kernel_budget: Dict[str, int] = {}
+        self._kernel_rate: Dict[str, float] = {}
+        self._kernel_rng = random.Random(seed ^ 0x5EED)
+        #: how many kernel faults actually fired, per tier
+        self.kernel_faults_fired: Dict[str, int] = {}
+
+    # -- row poisoning --------------------------------------------------------
+
+    def poison(
+        self,
+        instance: Instance,
+        relation: str,
+        column: str,
+        count: Optional[int] = None,
+        rate: Optional[float] = None,
+        value=0,
+    ) -> Instance:
+        """A copy of ``instance`` with ``column`` of seeded-chosen rows
+        of ``relation`` replaced by ``value``.
+
+        The poison value must be *type-valid* for the column (the
+        default 0 in a divisor column is the canonical case): sources
+        re-validate types, so a type-invalid value would fail at the
+        boundary rather than exercising row-level expression errors.
+        Exactly one of ``count`` / ``rate`` selects how many rows."""
+        if (count is None) == (rate is None):
+            raise ValueError("pass exactly one of count= or rate=")
+        source = instance.dataset(relation)
+        rows = [dict(r) for r in source.rows]
+        if count is None:
+            chosen = [
+                i for i in range(len(rows)) if self._rng.random() < rate
+            ]
+        else:
+            count = min(count, len(rows))
+            chosen = sorted(self._rng.sample(range(len(rows)), count))
+        for i in chosen:
+            rows[i][column] = value
+        self.poisoned[relation] = chosen
+        rebuilt = Dataset(source.relation, rows, validate=False)
+        out = Instance()
+        for name in instance.names:
+            out.add(rebuilt if name == relation else instance.dataset(name))
+        return out
+
+    # -- endpoint faults ------------------------------------------------------
+
+    def flaky_source(
+        self, source: TableSource, failures: int = 1, permanent: bool = False
+    ) -> "FlakySource":
+        """Wrap an ETL table source so its first ``failures`` extracts
+        raise :class:`TransientError` (every extract, when
+        ``permanent``)."""
+        return FlakySource(source, failures=failures, permanent=permanent)
+
+    def flaky_target(
+        self, target: TableTarget, failures: int = 1, permanent: bool = False
+    ) -> "FlakyTarget":
+        """Wrap an ETL table target so its first ``failures`` loads
+        raise :class:`TransientError` (every load, when ``permanent``)."""
+        return FlakyTarget(target, failures=failures, permanent=permanent)
+
+    def flaky_callable(self, fn, failures: int = 1, permanent: bool = False):
+        """Wrap any 0+-arg callable the same way (used for e.g. the SQL
+        runner's connection)."""
+        state = {"remaining": failures}
+
+        def wrapped(*args, **kwargs):
+            if permanent:
+                raise ExecutionError("injected permanent endpoint failure")
+            if state["remaining"] > 0:
+                state["remaining"] -= 1
+                raise TransientError("injected transient endpoint failure")
+            return fn(*args, **kwargs)
+
+        return wrapped
+
+    # -- kernel faults --------------------------------------------------------
+
+    def fault_kernels(
+        self,
+        tier: str = "block",
+        first: Optional[int] = None,
+        rate: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Schedule kernel faults at ``tier``: either the first ``first``
+        closure invocations at that tier raise, or each raises with
+        probability ``rate`` (seeded). Returns the plan for chaining."""
+        if tier not in TIERS:
+            raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        if (first is None) == (rate is None):
+            raise ValueError("pass exactly one of first= or rate=")
+        if first is not None:
+            self._kernel_budget[tier] = first
+        else:
+            self._kernel_rate[tier] = rate
+        return self
+
+    def _should_fault(self, tier: str) -> bool:
+        budget = self._kernel_budget.get(tier, 0)
+        if budget > 0:
+            self._kernel_budget[tier] = budget - 1
+            return True
+        rate = self._kernel_rate.get(tier)
+        if rate is not None and self._kernel_rng.random() < rate:
+            return True
+        return False
+
+    def hook(self, tier: str, kind: str, fn):
+        """The ``repro.exec`` kernel fault hook bound to this plan."""
+        if tier not in self._kernel_budget and tier not in self._kernel_rate:
+            return fn
+        plan = self
+
+        def faulted(*args, **kwargs):
+            if plan._should_fault(tier):
+                plan.kernel_faults_fired[tier] = (
+                    plan.kernel_faults_fired.get(tier, 0) + 1
+                )
+                raise FaultInjected(
+                    f"injected {tier} {kind} kernel fault (seed={plan.seed})"
+                )
+            return fn(*args, **kwargs)
+
+        return faulted
+
+    @contextmanager
+    def injected(self):
+        """Install this plan's kernel hook for the duration of a block."""
+        set_kernel_fault_hook(self.hook)
+        try:
+            yield self
+        finally:
+            set_kernel_fault_hook(None)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, poisoned={self.poisoned}, "
+            f"kernel_budget={self._kernel_budget})"
+        )
+
+
+class FlakySource(TableSource):
+    """A table source whose first N extracts fail transiently."""
+
+    STAGE_TYPE = "TableSource"
+
+    def __init__(
+        self, inner: TableSource, failures: int = 1, permanent: bool = False
+    ):
+        super().__init__(inner.relation, name=inner.name)
+        self._inner = inner
+        self.failures_remaining = failures
+        self.permanent = permanent
+
+    def extract(self, instance):
+        if self.permanent:
+            raise ExecutionError(
+                "injected permanent source failure", stage=self.name
+            )
+        if self.failures_remaining > 0:
+            self.failures_remaining -= 1
+            raise TransientError(
+                "injected transient source failure", stage=self.name
+            )
+        return self._inner.extract(instance)
+
+
+class FlakyTarget(TableTarget):
+    """A table target whose first N loads fail transiently."""
+
+    STAGE_TYPE = "TableTarget"
+
+    def __init__(
+        self, inner: TableTarget, failures: int = 1, permanent: bool = False
+    ):
+        super().__init__(inner.relation, name=inner.name)
+        self._inner = inner
+        self.failures_remaining = failures
+        self.permanent = permanent
+
+    def load(self, data, trusted: bool = False, errors=None):
+        if self.permanent:
+            raise ExecutionError(
+                "injected permanent target failure", stage=self.name
+            )
+        if self.failures_remaining > 0:
+            self.failures_remaining -= 1
+            raise TransientError(
+                "injected transient target failure", stage=self.name
+            )
+        return self._inner.load(data, trusted=trusted, errors=errors)
+
+
+__all__ = [
+    "TIERS",
+    "FaultPlan",
+    "FlakySource",
+    "FlakyTarget",
+]

@@ -35,10 +35,22 @@ from repro.expr.evaluator import Environment, evaluate
 from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
 from repro.mapping.model import Mapping, MappingSet
 from repro.obs import NULL_OBS, Observability
+from repro.resilience import (
+    ErrorContext,
+    rejects_dataset,
+    resolve_on_error,
+)
 
 
 class MappingExecutor:
-    """Interprets mappings over instances."""
+    """Interprets mappings over instances.
+
+    ``on_error`` sets the row error policy (``fail_fast`` / ``skip`` /
+    ``reject``) applied per mapping: a source-row combination whose
+    where clause or derivations error is dropped (``skip``) or captured
+    (``reject`` — see :meth:`run_with_rejects`) instead of aborting.
+    A failing execution tier degrades per mapping from batched blocks
+    through compiled row kernels to the interpreting oracle."""
 
     def __init__(
         self,
@@ -47,6 +59,8 @@ class MappingExecutor:
         compiled: Optional[bool] = None,
         batched: Optional[bool] = None,
         batch_size: Optional[int] = None,
+        on_error: Optional[str] = None,
+        degrade: bool = True,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
@@ -55,19 +69,73 @@ class MappingExecutor:
         )
         self.compiled = self._planner.compiled
         self.batched = self._planner.batched
+        self.on_error = resolve_on_error(on_error)
+        self.degrade = degrade
+
+    # -- fault tolerance -----------------------------------------------------------
+
+    def _tiers(self) -> List["MappingExecutor"]:
+        """Degradation ladder: this executor, then (on failure) sibling
+        executors at the lower tiers sharing registry and obs."""
+        tiers: List[MappingExecutor] = [self]
+        if not self.degrade:
+            return tiers
+        if self.batched:
+            tiers.append(
+                MappingExecutor(
+                    self.registry,
+                    self._obs,
+                    compiled=True,
+                    batched=False,
+                    batch_size=self._planner.batch_size,
+                    degrade=False,
+                )
+            )
+        if self.compiled:
+            tiers.append(
+                MappingExecutor(
+                    self.registry,
+                    self._obs,
+                    compiled=False,
+                    batched=False,
+                    degrade=False,
+                )
+            )
+        return tiers
+
+    @staticmethod
+    def _source_row_of(mapping: Mapping):
+        """Maps a bound :class:`Environment` back to the source row (or,
+        for multi-source mappings, the per-variable rows) recorded on
+        the reject channel."""
+        variables = [b.var for b in mapping.sources]
+        if len(variables) == 1:
+            var = variables[0]
+            return lambda env: env.bindings[var]
+        return lambda env: {
+            var: dict(env.bindings[var]) for var in variables
+        }
 
     # -- single mapping ------------------------------------------------------------
 
-    def execute_mapping(self, mapping: Mapping, instance: Instance) -> Dataset:
+    def execute_mapping(
+        self,
+        mapping: Mapping,
+        instance: Instance,
+        errors: Optional[ErrorContext] = None,
+    ) -> Dataset:
         """Evaluate one mapping; returns the dataset it asserts into its
-        target relation."""
+        target relation. Row errors are absorbed into ``errors`` when an
+        active policy context is supplied."""
         if mapping.is_opaque:
             return self._execute_opaque(mapping, instance)
         if self._planner.batched:
             result = self._execute_block(mapping, instance)
             if result is not None:
                 return result
-        joined = self._satisfying_rows(mapping, instance)
+        handling = errors is not None and errors.handling
+        row_of = self._source_row_of(mapping) if handling else None
+        joined = self._satisfying_rows(mapping, instance, errors=errors)
         if mapping.is_grouping:
             return self._grouped_result(mapping, joined)
         rows = kernels.project_rows(
@@ -78,6 +146,9 @@ class MappingExecutor:
             ],
             defaults={attr.name: None for attr in mapping.target},
             obs=self._obs,
+            on_error=(
+                errors.kernel_handler(row_of=row_of) if handling else None
+            ),
         )
         return Dataset(mapping.target, rows, validate=False)
 
@@ -137,7 +208,10 @@ class MappingExecutor:
         return instance.dataset(name)
 
     def _satisfying_rows(
-        self, mapping: Mapping, instance: Instance
+        self,
+        mapping: Mapping,
+        instance: Instance,
+        errors: Optional[ErrorContext] = None,
     ) -> List[Environment]:
         """Environments for every combination of source rows satisfying
         the where clause (with a straightforward nested-loop join)."""
@@ -152,10 +226,16 @@ class MappingExecutor:
             for var, row in zip(variables, combo):
                 env.bind(var, row)
             candidates.append(env)
+        handling = errors is not None and errors.handling
         return kernels.filter_rows(
             candidates,
             self._planner.predicate(mapping.where),
             obs=self._obs,
+            on_error=(
+                errors.kernel_handler(row_of=self._source_row_of(mapping))
+                if handling
+                else None
+            ),
         )
 
     def _grouped_result(
@@ -240,12 +320,46 @@ class MappingExecutor:
     def run(self, mappings: MappingSet, instance: Instance):
         """Like :meth:`execute` but also returns the intermediate
         relations' datasets keyed by name."""
+        targets, intermediates, _rejected = self._run_impl(mappings, instance)
+        return targets, intermediates
+
+    def run_with_rejects(self, mappings: MappingSet, instance: Instance):
+        """Like :meth:`run`, additionally returning the rows rejected
+        under the ``reject`` policy as a dataset of the standard reject
+        relation (:data:`~repro.resilience.REJECT_COLUMNS`)."""
+        targets, intermediates, rejected = self._run_impl(mappings, instance)
+        return targets, intermediates, rejects_dataset(rejected)
+
+    def _run_impl(self, mappings: MappingSet, instance: Instance):
+        metrics = self._obs.metrics
+        tiers = self._tiers()
+        rejected = []
         working = Instance()
         for dataset in instance:
             working.put(dataset)
         produced: Dict[str, Dataset] = {}
         for mapping in mappings.in_dependency_order():
-            result = self.execute_mapping(mapping, working)
+            ctx = ErrorContext(mapping.name, self.on_error)
+            last_exc = None
+            for i, executor in enumerate(tiers):
+                if i:
+                    metrics.count(
+                        "exec.degrade.block_to_rows"
+                        if tiers[i - 1].batched
+                        else "exec.degrade.rows_to_oracle"
+                    )
+                ctx.reset()
+                try:
+                    result = executor.execute_mapping(
+                        mapping, working, errors=ctx
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 — ladder decides
+                    last_exc = exc
+            else:
+                raise last_exc
+            rejected.extend(ctx.rejected)
+            ctx.publish(metrics)
             if mapping.target.name in produced:
                 existing = produced[mapping.target.name]
                 merged = Dataset(existing.relation, validate=False)
@@ -265,7 +379,7 @@ class MappingExecutor:
                 targets.put(dataset.with_relation(dataset.relation))
             else:
                 intermediates[name] = dataset
-        return targets, intermediates
+        return targets, intermediates, rejected
 
 
 def execute_mappings(
@@ -276,6 +390,7 @@ def execute_mappings(
     compiled: Optional[bool] = None,
     batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
+    on_error: Optional[str] = None,
 ) -> Instance:
     """Convenience wrapper over :class:`MappingExecutor`."""
     return MappingExecutor(
@@ -284,6 +399,7 @@ def execute_mappings(
         compiled=compiled,
         batched=batched,
         batch_size=batch_size,
+        on_error=on_error,
     ).execute(mappings, instance)
 
 

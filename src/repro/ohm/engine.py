@@ -33,6 +33,14 @@ plus per-operator metrics ``ohm.operator.<uid>.rows_in`` /
 ``.rows_out`` (counters) and ``.seconds`` (timer) — the row/timing
 numbers a query-plan monitor would show for the abstract layer — and
 the per-kernel ``exec.kernel.*`` row counts.
+
+Fault tolerance mirrors the ETL engine (``docs/robustness.md``): an
+``on_error`` policy (``fail_fast`` / ``skip`` / ``reject``) absorbs
+row-level expression errors in FILTER, PROJECT, and TARGET delivery;
+:meth:`OhmExecutor.run_with_rejects` additionally returns the rejected
+rows as a reject :class:`~repro.data.dataset.Dataset`. A failing tier
+(a batched kernel, then the compiled row kernels) degrades per operator
+down to the interpreting oracle, counted in ``exec.degrade.*``.
 """
 
 from __future__ import annotations
@@ -61,6 +69,12 @@ from repro.ohm.operators import (
     Unknown,
     Unnest,
 )
+from repro.resilience import (
+    ErrorContext,
+    RejectedRow,
+    rejects_dataset,
+    resolve_on_error,
+)
 from repro.schema.model import Relation
 
 
@@ -78,6 +92,8 @@ class OhmExecutor:
         compiled: Optional[bool] = None,
         batched: Optional[bool] = None,
         batch_size: Optional[int] = None,
+        on_error: Optional[str] = None,
+        degrade: bool = True,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
@@ -86,6 +102,10 @@ class OhmExecutor:
         )
         self.compiled = self._planner.compiled
         self.batched = self._planner.batched
+        #: run-level row error policy; an operator may override via an
+        #: ``on_error`` attribute of its own.
+        self.on_error = resolve_on_error(on_error)
+        self.degrade = degrade
 
     def run(
         self, graph: OhmGraph, instance: Instance
@@ -96,12 +116,61 @@ class OhmExecutor:
         TARGET operator (named by target relation), and every intermediate
         edge's dataset keyed by edge name (useful to inspect
         materialization points such as ``DSLink10``)."""
-        return self._run_impl(graph, instance)
+        targets, edge_data, _rejected = self._run_impl(graph, instance)
+        return targets, edge_data
+
+    def run_with_rejects(
+        self, graph: OhmGraph, instance: Instance
+    ) -> Tuple[Instance, Dict[str, Dataset], Dataset]:
+        """Like :meth:`run`, additionally returning the rows rejected
+        under the ``reject`` policy as a dataset of the standard reject
+        relation (:data:`~repro.resilience.REJECT_COLUMNS`)."""
+        targets, edge_data, rejected = self._run_impl(graph, instance)
+        return targets, edge_data, rejects_dataset(rejected)
 
     def execute(self, graph: OhmGraph, instance: Instance) -> Instance:
         """Execute and return only the target datasets."""
         targets, _edges = self.run(graph, instance)
         return targets
+
+    # -- fault tolerance ------------------------------------------------------
+
+    def _ladder(self) -> List[ExpressionPlanner]:
+        """Degradation tiers, most capable first (see the ETL engine)."""
+        tiers = [self._planner]
+        if not self.degrade:
+            return tiers
+        if self.batched:
+            tiers.append(
+                ExpressionPlanner(
+                    self.registry, True, False, self._planner.batch_size
+                )
+            )
+        if self.compiled:
+            tiers.append(
+                ExpressionPlanner(
+                    self.registry, False, False, self._planner.batch_size
+                )
+            )
+        return tiers
+
+    def _attempt(self, fn, tiers, ctx, metrics):
+        """Run ``fn(planner)`` down the degradation ladder; the context
+        is reset per attempt and the last tier's error propagates."""
+        last_exc = None
+        for i, planner in enumerate(tiers):
+            if i:
+                metrics.count(
+                    "exec.degrade.block_to_rows"
+                    if tiers[i - 1].batched
+                    else "exec.degrade.rows_to_oracle"
+                )
+            ctx.reset()
+            try:
+                return fn(planner)
+            except Exception as exc:  # noqa: BLE001 — ladder decides
+                last_exc = exc
+        raise last_exc
 
     # -- per-operator semantics ----------------------------------------------
 
@@ -111,42 +180,53 @@ class OhmExecutor:
         inputs: List[Dataset],
         out_relations: List[Relation],
         instance: Optional[Instance] = None,
+        planner: Optional[ExpressionPlanner] = None,
+        errors: Optional[ErrorContext] = None,
     ) -> List[Dataset]:
+        planner = planner or self._planner
         if isinstance(op, Source):
             return [
                 self._run_source(op, out, instance) for out in out_relations
             ]
         if isinstance(op, Filter):
-            return [self._run_filter(op, inputs[0], out_relations[0])]
+            return [
+                self._run_filter(op, inputs[0], out_relations[0], planner, errors)
+            ]
         if isinstance(op, Project):  # covers all PROJECT subtypes
-            return [self._run_project(op, inputs[0], out_relations[0])]
+            return [
+                self._run_project(op, inputs[0], out_relations[0], planner, errors)
+            ]
         if isinstance(op, Join):
-            return [self._run_join(op, inputs[0], inputs[1], out_relations[0])]
+            return [
+                self._run_join(op, inputs[0], inputs[1], out_relations[0], planner)
+            ]
         if isinstance(op, Union):
-            return [self._run_union(op, inputs, out_relations[0])]
+            return [self._run_union(op, inputs, out_relations[0], planner)]
         if isinstance(op, Group):
-            return [self._run_group(op, inputs[0], out_relations[0])]
+            return [self._run_group(op, inputs[0], out_relations[0], planner)]
         if isinstance(op, Split):
-            if self._planner.batched:
+            if planner.batched:
                 # every output shares the (immutable) input columns
                 shared = inputs[0].as_block()
                 return [
-                    self._planner.materialize_block(out, shared)
+                    planner.materialize_block(out, shared)
                     for out in out_relations
                 ]
             return [
-                self._planner.materialize(
+                planner.materialize(
                     out, [dict(r) for r in inputs[0]], fresh=True
                 )
                 for out in out_relations
             ]
         if isinstance(op, Nest):
-            return [self._run_nest(op, inputs[0], out_relations[0])]
+            return [self._run_nest(op, inputs[0], out_relations[0], planner)]
         if isinstance(op, Unnest):
-            return [self._run_unnest(op, inputs[0], out_relations[0])]
+            return [self._run_unnest(op, inputs[0], out_relations[0], planner)]
         if isinstance(op, Unknown):
             return self._run_unknown(op, inputs, out_relations)
-        raise ExecutionError(f"no execution semantics for {op.KIND} {op.uid}")
+        raise ExecutionError(
+            f"no execution semantics for {op.KIND} {op.uid}", stage=op.uid
+        )
 
     def _run_source(
         self, op: Source, out: Relation, instance: Optional[Instance]
@@ -155,61 +235,85 @@ class OhmExecutor:
             if op.provider is not None:
                 return op.provider().renamed(out.name)
             raise ExecutionError(
-                f"source relation {op.relation.name!r} not present in instance"
+                f"source relation {op.relation.name!r} not present in instance",
+                stage=op.uid,
             )
         dataset = instance.dataset(op.relation.name)
         checked = dataset.with_relation(op.relation)  # validates types
         return checked.renamed(out.name)
 
-    def _run_filter(self, op: Filter, data: Dataset, out: Relation) -> Dataset:
-        if self._planner.batched:
+    def _run_filter(
+        self,
+        op: Filter,
+        data: Dataset,
+        out: Relation,
+        planner: ExpressionPlanner,
+        errors: Optional[ErrorContext] = None,
+    ) -> Dataset:
+        if planner.batched:
             blk = data.as_block()
             resolve = relation_resolver(data.relation.name, blk.columns)
-            predicate = self._planner.block_predicate(op.condition, resolve)
+            predicate = planner.block_predicate(op.condition, resolve)
             if predicate is not None:
                 kept = block.filter_block(
-                    blk, predicate, self._planner.batch_size, obs=self._obs
+                    blk, predicate, planner.batch_size, obs=self._obs
                 )
-                return self._planner.materialize_block(out, kept)
+                return planner.materialize_block(out, kept)
+        on_error = errors.kernel_handler() if errors is not None else None
         kept = kernels.filter_rows(
             data.rows,
-            self._planner.predicate(op.condition),
+            planner.predicate(op.condition),
             kernels.row_binder(data.relation.name),
             obs=self._obs,
+            on_error=on_error,
         )
-        return self._planner.materialize(
+        return planner.materialize(
             out, [dict(row) for row in kept], fresh=True
         )
 
-    def _run_project(self, op: Project, data: Dataset, out: Relation) -> Dataset:
-        if self._planner.batched:
+    def _run_project(
+        self,
+        op: Project,
+        data: Dataset,
+        out: Relation,
+        planner: ExpressionPlanner,
+        errors: Optional[ErrorContext] = None,
+    ) -> Dataset:
+        if planner.batched:
             blk = data.as_block()
             resolve = relation_resolver(data.relation.name, blk.columns)
             lowered = [
-                (name, self._planner.block_scalar(expr, resolve))
+                (name, planner.block_scalar(expr, resolve))
                 for name, expr in op.derivations
             ]
             if all(fn is not None for _name, fn in lowered):
                 produced = block.project_block(
                     blk,
                     lowered,
-                    batch_size=self._planner.batch_size,
+                    batch_size=planner.batch_size,
                     obs=self._obs,
                 )
-                return self._planner.materialize_block(out, produced)
+                return planner.materialize_block(out, produced)
+        on_error = errors.kernel_handler() if errors is not None else None
         rows = kernels.project_rows(
             data.rows,
-            [(name, self._planner.scalar(expr)) for name, expr in op.derivations],
+            [(name, planner.scalar(expr)) for name, expr in op.derivations],
             kernels.row_binder(data.relation.name),
             obs=self._obs,
+            on_error=on_error,
         )
-        return self._planner.materialize(out, rows, fresh=True)
+        return planner.materialize(out, rows, fresh=True)
 
     def _run_join(
-        self, op: Join, left: Dataset, right: Dataset, out: Relation
+        self,
+        op: Join,
+        left: Dataset,
+        right: Dataset,
+        out: Relation,
+        planner: ExpressionPlanner,
     ) -> Dataset:
         attrs = Join.joined_attributes(left.relation, right.relation)
-        if self._planner.batched:
+        if planner.batched:
             joined = block.hash_join_block(
                 left.as_block(),
                 right.as_block(),
@@ -218,11 +322,11 @@ class OhmExecutor:
                 op.condition,
                 op.kind,
                 [(attr.name, side, source) for attr, side, source in attrs],
-                self._planner,
+                planner,
                 obs=self._obs,
             )
             if joined is not None:
-                return self._planner.materialize_block(out, joined)
+                return planner.materialize_block(out, joined)
 
         def merge(left_row: Optional[Row], right_row: Optional[Row]) -> Row:
             merged: Row = {}
@@ -243,44 +347,54 @@ class OhmExecutor:
             op.kind,
             merge,
             rows.append,
-            self._planner,
+            planner,
             obs=self._obs,
         )
-        return self._planner.materialize(out, rows, fresh=True)
+        return planner.materialize(out, rows, fresh=True)
 
     def _run_union(
-        self, op: Union, inputs: List[Dataset], out: Relation
+        self,
+        op: Union,
+        inputs: List[Dataset],
+        out: Relation,
+        planner: ExpressionPlanner,
     ) -> Dataset:
-        if self._planner.batched:
+        if planner.batched:
             unioned = block.union_block(
                 [dataset.as_block() for dataset in inputs],
                 out.attribute_names,
                 distinct=op.distinct,
                 obs=self._obs,
             )
-            return self._planner.materialize_block(out, unioned)
+            return planner.materialize_block(out, unioned)
         rows = kernels.union_rows(
             [dataset.rows for dataset in inputs],
             out.attribute_names,
             distinct=op.distinct,
             obs=self._obs,
         )
-        return self._planner.materialize(out, rows, fresh=True)
+        return planner.materialize(out, rows, fresh=True)
 
-    def _run_group(self, op: Group, data: Dataset, out: Relation) -> Dataset:
-        if self._planner.batched:
-            produced = self._group_block(op, data)
+    def _run_group(
+        self,
+        op: Group,
+        data: Dataset,
+        out: Relation,
+        planner: ExpressionPlanner,
+    ) -> Dataset:
+        if planner.batched:
+            produced = self._group_block(op, data, planner)
             if produced is not None:
-                return self._planner.materialize_block(out, produced)
+                return planner.materialize_block(out, produced)
         rows = kernels.group_aggregate_rows(
             data.rows,
             op.keys,
-            [(name, self._planner.aggregate(agg)) for name, agg in op.aggregates],
+            [(name, planner.aggregate(agg)) for name, agg in op.aggregates],
             obs=self._obs,
         )
-        return self._planner.materialize(out, rows, fresh=True)
+        return planner.materialize(out, rows, fresh=True)
 
-    def _group_block(self, op: Group, data: Dataset):
+    def _group_block(self, op: Group, data: Dataset, planner: ExpressionPlanner):
         """The GROUP operator over columns, or ``None`` when any
         aggregate argument needs the row path. Aggregate members are
         bound anonymously on the row path, so the resolver here carries
@@ -289,7 +403,7 @@ class OhmExecutor:
         resolve = relation_resolver(None, blk.columns)
         lowered = []
         for name, agg in op.aggregates:
-            plan = self._planner.block_aggregate(agg, resolve)
+            plan = planner.block_aggregate(agg, resolve)
             if plan is None:
                 return None
             lowered.append((name, plan[0], plan[1]))
@@ -297,18 +411,22 @@ class OhmExecutor:
             blk, op.keys, lowered, obs=self._obs
         )
 
-    def _run_nest(self, op: Nest, data: Dataset, out: Relation) -> Dataset:
+    def _run_nest(
+        self, op: Nest, data: Dataset, out: Relation, planner: ExpressionPlanner
+    ) -> Dataset:
         rows = kernels.nest_rows(
             data.rows, op.keys, op.nested, op.into, obs=self._obs
         )
-        return self._planner.materialize(out, rows, fresh=True)
+        return planner.materialize(out, rows, fresh=True)
 
-    def _run_unnest(self, op: Unnest, data: Dataset, out: Relation) -> Dataset:
+    def _run_unnest(
+        self, op: Unnest, data: Dataset, out: Relation, planner: ExpressionPlanner
+    ) -> Dataset:
         scalar_names = [a.name for a in data.relation if a.name != op.attr]
         rows = kernels.unnest_rows(
             data.rows, op.attr, scalar_names, obs=self._obs
         )
-        return self._planner.materialize(out, rows, fresh=True)
+        return planner.materialize(out, rows, fresh=True)
 
     def _run_unknown(
         self, op: Unknown, inputs: List[Dataset], out_relations: List[Relation]
@@ -316,22 +434,42 @@ class OhmExecutor:
         if op.executor is None:
             raise ExecutionError(
                 f"UNKNOWN operator {op.reference!r} carries no executable "
-                "behaviour; cannot run this graph directly"
+                "behaviour; cannot run this graph directly",
+                stage=op.uid,
             )
         outputs = op.executor(inputs)
         if len(outputs) != len(out_relations):
             raise ExecutionError(
                 f"UNKNOWN {op.reference!r} produced {len(outputs)} outputs, "
-                f"expected {len(out_relations)}"
+                f"expected {len(out_relations)}",
+                stage=op.uid,
             )
         return [
             Dataset(out, [dict(r) for r in produced], validate=False)
             for out, produced in zip(out_relations, outputs)
         ]
 
-    def _run_target(self, op: Target, data: Dataset) -> Dataset:
+    def _run_target(
+        self,
+        op: Target,
+        data: Dataset,
+        planner: ExpressionPlanner,
+        errors: Optional[ErrorContext] = None,
+    ) -> Dataset:
         names = op.relation.attribute_names
-        if self._planner.batched:
+        if errors is not None and errors.handling:
+            # an active policy forces the checked path — bad rows land on
+            # the policy's channel, never abort the delivery
+            from repro.errors import SchemaError
+
+            result = Dataset(op.relation)
+            for index, row in enumerate(data):
+                try:
+                    result.append({n: row.get(n) for n in names})
+                except SchemaError as exc:
+                    errors.record(index, dict(row), exc)
+            return result
+        if planner.batched:
             blk = data.peek_block()
             if blk is not None:
                 # trusted delivery straight from the columnar form:
@@ -359,36 +497,61 @@ class OhmExecutor:
 
     def _run_impl(
         self, graph: OhmGraph, instance: Instance
-    ) -> Tuple[Instance, Dict[str, Dataset]]:
+    ) -> Tuple[Instance, Dict[str, Dataset], List[RejectedRow]]:
         tracer = self._obs.tracer
         metrics = self._obs.metrics
         observing = self._obs.enabled
+        tiers = self._ladder()
         graph.propagate_schemas()
         edge_data: Dict[str, Dataset] = {}
         by_edge: Dict[Tuple[str, int], Dataset] = {}
         targets = Instance()
+        rejected: List[RejectedRow] = []
         with tracer.span("ohm.run", graph=graph.name):
             for op in graph.topological_order():
                 inputs = [
                     by_edge[(e.src, e.src_port)] for e in graph.in_edges(op.uid)
                 ]
                 out_edges = graph.out_edges(op.uid)
+                ctx = ErrorContext(
+                    op.uid, getattr(op, "on_error", None) or self.on_error
+                )
                 with tracer.span(f"ohm.op.{op.KIND}", uid=op.uid) as span:
                     started = perf_counter() if observing else 0.0
                     if isinstance(op, Target):
-                        delivered = self._run_target(op, inputs[0])
+                        delivered = self._attempt(
+                            lambda p: self._run_target(
+                                op, inputs[0], p, errors=ctx
+                            ),
+                            tiers,
+                            ctx,
+                            metrics,
+                        )
                         targets.put(delivered)
                         outputs = [delivered]
                     else:
                         out_relations = [e.schema for e in out_edges]
-                        outputs = self._run_operator(
-                            op, inputs, out_relations, instance
+                        outputs = self._attempt(
+                            lambda p: self._run_operator(
+                                op,
+                                inputs,
+                                out_relations,
+                                instance,
+                                planner=p,
+                                errors=ctx,
+                            ),
+                            tiers,
+                            ctx,
+                            metrics,
                         )
                         if len(outputs) != len(out_edges):
                             raise ExecutionError(
                                 f"{op.KIND} {op.uid} produced {len(outputs)} "
-                                f"outputs for {len(out_edges)} edges"
+                                f"outputs for {len(out_edges)} edges",
+                                stage=op.uid,
                             )
+                    rejected.extend(ctx.rejected)
+                    ctx.publish(metrics, span)
                     if observing:
                         seconds = perf_counter() - started
                         rows_in = sum(len(d) for d in inputs)
@@ -403,7 +566,7 @@ class OhmExecutor:
                 for edge, dataset in zip(out_edges, outputs):
                     by_edge[(edge.src, edge.src_port)] = dataset
                     edge_data[edge.name] = dataset
-        return targets, edge_data
+        return targets, edge_data, rejected
 
 
 def execute(
@@ -414,6 +577,7 @@ def execute(
     compiled: Optional[bool] = None,
     batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
+    on_error: Optional[str] = None,
 ) -> Instance:
     """Execute ``graph`` over ``instance``; returns the target datasets."""
     return OhmExecutor(
@@ -422,6 +586,7 @@ def execute(
         compiled=compiled,
         batched=batched,
         batch_size=batch_size,
+        on_error=on_error,
     ).execute(graph, instance)
 
 
@@ -433,6 +598,7 @@ def execute_with_edges(
     compiled: Optional[bool] = None,
     batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
+    on_error: Optional[str] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Execute and also return every intermediate edge's data by name."""
     return OhmExecutor(
@@ -441,6 +607,7 @@ def execute_with_edges(
         compiled=compiled,
         batched=batched,
         batch_size=batch_size,
+        on_error=on_error,
     ).run(graph, instance)
 
 

@@ -9,6 +9,12 @@ from repro.workloads.generators import (
     generate_chain_instance,
     generate_star_instance,
 )
+from repro.workloads.faulty import (
+    build_faulty_job,
+    generate_faulty_instance,
+    orders_schema,
+    premium_schema,
+)
 from repro.workloads.kitchen_sink import (
     build_kitchen_sink_job,
     generate_kitchen_sink_instance,
@@ -23,6 +29,10 @@ from repro.workloads.paper_example import (
 )
 
 __all__ = [
+    "build_faulty_job",
+    "generate_faulty_instance",
+    "orders_schema",
+    "premium_schema",
     "build_kitchen_sink_job",
     "generate_kitchen_sink_instance",
     "kitchen_sink_schemas",

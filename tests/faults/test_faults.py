@@ -1,0 +1,143 @@
+"""The deterministic fault-injection harness: same seed, same faults."""
+
+import pytest
+
+from repro.errors import ExecutionError, FaultInjected, TransientError
+from repro.etl.stages import TableSource, TableTarget
+from repro.faults import TIERS, FaultPlan
+from repro.workloads import generate_faulty_instance, orders_schema
+
+
+class TestPoison:
+    def test_same_seed_poisons_the_same_rows(self):
+        a_instance, a_plan = generate_faulty_instance(n=50, seed=4, poison=6)
+        b_instance, b_plan = generate_faulty_instance(n=50, seed=4, poison=6)
+        assert a_plan.poisoned["Orders"] == b_plan.poisoned["Orders"]
+        assert a_instance.dataset("Orders").rows == \
+            b_instance.dataset("Orders").rows
+
+    def test_different_seeds_differ(self):
+        _, a = generate_faulty_instance(n=200, seed=1, poison=10)
+        _, b = generate_faulty_instance(n=200, seed=2, poison=10)
+        assert a.poisoned["Orders"] != b.poisoned["Orders"]
+
+    def test_poison_replaces_only_the_chosen_cells(self):
+        instance, plan = generate_faulty_instance(n=30, seed=5, poison=3)
+        chosen = set(plan.poisoned["Orders"])
+        assert len(chosen) == 3
+        for i, row in enumerate(instance.dataset("Orders").rows):
+            if i in chosen:
+                assert row["qty"] == 0
+            else:
+                assert row["qty"] != 0
+
+    def test_poison_does_not_mutate_the_original_instance(self):
+        clean, _ = generate_faulty_instance(n=10, seed=6)
+        plan = FaultPlan(seed=6)
+        plan.poison(clean, "Orders", "qty", count=4, value=0)
+        assert all(r["qty"] != 0 for r in clean.dataset("Orders").rows)
+
+    def test_count_is_clamped_to_the_dataset(self):
+        instance, plan = generate_faulty_instance(n=5, seed=7, poison=50)
+        assert len(plan.poisoned["Orders"]) == 5
+        assert all(r["qty"] == 0 for r in instance.dataset("Orders").rows)
+
+    def test_rate_selection_is_seeded(self):
+        clean, _ = generate_faulty_instance(n=100, seed=8)
+        first = FaultPlan(seed=8)
+        second = FaultPlan(seed=8)
+        first.poison(clean, "Orders", "qty", rate=0.2, value=0)
+        second.poison(clean, "Orders", "qty", rate=0.2, value=0)
+        assert first.poisoned["Orders"] == second.poisoned["Orders"]
+        assert 0 < len(first.poisoned["Orders"]) < 100
+
+    def test_exactly_one_of_count_or_rate(self):
+        clean, _ = generate_faulty_instance(n=10, seed=9)
+        plan = FaultPlan(seed=9)
+        with pytest.raises(ValueError, match="exactly one"):
+            plan.poison(clean, "Orders", "qty", count=2, rate=0.5)
+        with pytest.raises(ValueError, match="exactly one"):
+            plan.poison(clean, "Orders", "qty")
+
+
+class TestKernelFaults:
+    def test_unknown_tier_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            FaultPlan().fault_kernels(tier="gpu", first=1)
+
+    def test_exactly_one_of_first_or_rate(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultPlan().fault_kernels(tier="block", first=1, rate=0.5)
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultPlan().fault_kernels(tier="block")
+
+    def test_unconfigured_tier_passes_kernels_through(self):
+        plan = FaultPlan(seed=1).fault_kernels(tier="block", first=5)
+        fn = lambda: "ran"  # noqa: E731
+        assert plan.hook("compiled", "scalar", fn) is fn
+
+    def test_first_n_budget_fires_then_clears(self):
+        plan = FaultPlan(seed=1).fault_kernels(tier="block", first=2)
+        wrapped = plan.hook("block", "scalar", lambda: "ran")
+        for _ in range(2):
+            with pytest.raises(FaultInjected, match="seed=1"):
+                wrapped()
+        assert wrapped() == "ran"
+        assert plan.kernel_faults_fired["block"] == 2
+
+    def test_rate_schedule_is_reproducible(self):
+        def schedule(seed):
+            plan = FaultPlan(seed=seed).fault_kernels(tier="compiled", rate=0.5)
+            wrapped = plan.hook("compiled", "scalar", lambda: "ran")
+            fired = []
+            for _ in range(32):
+                try:
+                    wrapped()
+                    fired.append(False)
+                except FaultInjected:
+                    fired.append(True)
+            return fired
+
+        assert schedule(7) == schedule(7)
+        assert any(schedule(7)) and not all(schedule(7))
+
+    def test_tier_names_match_the_planner(self):
+        assert TIERS == ("block", "compiled", "oracle")
+
+
+class TestFlakyEndpoints:
+    def test_flaky_source_fails_then_delegates(self):
+        instance, plan = generate_faulty_instance(n=6, seed=2)
+        source = plan.flaky_source(TableSource(orders_schema()), failures=2)
+        for _ in range(2):
+            with pytest.raises(TransientError):
+                source.extract(instance)
+        assert len(source.extract(instance)) == 6
+        assert source.name == "src_Orders"
+
+    def test_permanent_source_raises_execution_error(self):
+        instance, plan = generate_faulty_instance(n=3, seed=2)
+        source = plan.flaky_source(
+            TableSource(orders_schema()), permanent=True
+        )
+        with pytest.raises(ExecutionError) as info:
+            source.extract(instance)
+        assert not isinstance(info.value, TransientError)
+
+    def test_flaky_target_fails_then_delegates(self):
+        instance, plan = generate_faulty_instance(n=4, seed=3)
+        target = plan.flaky_target(TableTarget(orders_schema()), failures=1)
+        data = instance.dataset("Orders")
+        with pytest.raises(TransientError):
+            target.load(data)
+        assert len(target.load(data)) == 4
+
+    def test_flaky_callable(self):
+        plan = FaultPlan(seed=4)
+        fn = plan.flaky_callable(lambda: "ok", failures=1)
+        with pytest.raises(TransientError):
+            fn()
+        assert fn() == "ok"
+        always = plan.flaky_callable(lambda: "ok", permanent=True)
+        with pytest.raises(ExecutionError):
+            always()

@@ -1,0 +1,206 @@
+"""PARALLEL — the partitioned kernels and the wavefront scheduler vs
+serial columnar execution.
+
+The kernel bench drives the join/aggregate path the parallel tier is
+built for: a 40k-row orders block probed against a 2k-row customers
+build side (distinct keys — the scalar fast path), then a 12-group
+rollup over the join output. Serial columnar kernels are A/B'd against
+the chunk-partitioned kernels across a worker sweep (1 = serial
+reference, then 2/4/8 threads); bit-identical output is asserted before
+anything is timed. Because the chunking is a function of the data size
+alone, the sweep also demonstrates the determinism contract — every
+worker count computes the same partitions.
+
+The speedup comes from the partitioned kernels being algorithmically
+leaner (broadcast scalar build dict + C-speed chunk scatter vs the
+serial tuple-hash build/probe), so it holds even on single-core,
+GIL-bound runners. The wavefront measurement over the star-join job is
+recorded as context without a floor: stage scheduling is bookkeeping-
+bound and roughly ties serial on one core.
+
+The perf baseline lands in ``BENCH_parallel.json`` (repo root). The
+parallel/serial pipeline speedup floor defaults to 1.3× and can be
+relaxed via ``REPRO_BENCH_PARALLEL_FLOOR`` (CI smoke uses 1.1 to
+tolerate shared runners).
+"""
+
+import os
+import random
+import time
+
+from repro.etl.engine import EtlEngine
+from repro.exec import ExpressionPlanner
+from repro.exec.block import RowBlock, group_aggregate_block, hash_join_block
+from repro.expr.parser import parse
+from repro.schema.model import Attribute, Relation
+from repro.schema.types import FLOAT, INTEGER, STRING
+from repro.workloads import build_star_join_job, generate_star_instance
+
+from _artifacts import record, record_baseline
+
+N_ORDERS = 40_000
+N_CUSTOMERS = 2_000
+N_REGIONS = 12
+WORKER_SWEEP = [1, 2, 4, 8]
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_PARALLEL_FLOOR", "1.3"))
+
+ORDERS_REL = Relation(
+    "O", [Attribute("customerID", INTEGER), Attribute("amount", FLOAT)]
+)
+CUSTOMERS_REL = Relation(
+    "C", [Attribute("customerID", INTEGER), Attribute("region", STRING)]
+)
+JOIN_PLAN = [
+    ("customerID", "left", "customerID"),
+    ("amount", "left", "amount"),
+    ("region", "right", "region"),
+]
+AGGREGATES = [
+    ("total", lambda blk: blk.columns["amount"], sum),
+    ("n", None, None),
+]
+
+
+def _build_blocks():
+    rnd = random.Random(42)
+    orders = RowBlock(
+        {
+            "customerID": [
+                rnd.randrange(N_CUSTOMERS) for _ in range(N_ORDERS)
+            ],
+            "amount": [rnd.random() * 500 for _ in range(N_ORDERS)],
+        },
+        N_ORDERS,
+    )
+    customers = RowBlock(
+        {
+            "customerID": list(range(N_CUSTOMERS)),
+            "region": [f"r{i % N_REGIONS}" for i in range(N_CUSTOMERS)],
+        },
+        N_CUSTOMERS,
+    )
+    return orders, customers
+
+
+def _planner(workers: int) -> ExpressionPlanner:
+    return ExpressionPlanner(
+        None, True, True, 1024, parallel=workers > 1, workers=workers
+    )
+
+
+def _pipeline(orders, customers, condition, planner):
+    joined = hash_join_block(
+        orders,
+        customers,
+        ORDERS_REL,
+        CUSTOMERS_REL,
+        condition,
+        "inner",
+        JOIN_PLAN,
+        planner,
+    )
+    return group_aggregate_block(
+        joined, ["region"], AGGREGATES, planner=planner
+    )
+
+
+def _best_seconds(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bench_parallel_kernels_vs_serial(benchmark):
+    orders, customers = _build_blocks()
+    condition = parse("O.customerID = C.customerID")
+    serial = _planner(1)
+    assert not serial.parallel
+
+    def measure():
+        # every worker count must be bit-identical before it is timed
+        baseline = _pipeline(orders, customers, condition, serial)
+        sweep = {}
+        for workers in WORKER_SWEEP:
+            planner = _planner(workers)
+            result = _pipeline(orders, customers, condition, planner)
+            assert result.columns == baseline.columns, (
+                f"parallel kernels diverged at workers={workers}"
+            )
+            sweep[str(workers)] = _best_seconds(
+                lambda p=planner: _pipeline(orders, customers, condition, p)
+            )
+        serial_s = sweep["1"]
+        parallel_s = sweep["4"]
+        return {
+            "input_rows": N_ORDERS + N_CUSTOMERS,
+            "groups": N_REGIONS,
+            "worker_sweep_seconds": sweep,
+            "serial": {
+                "seconds": serial_s,
+                "rows_per_sec": (N_ORDERS + N_CUSTOMERS) / serial_s,
+            },
+            "parallel": {
+                "workers": 4,
+                "seconds": parallel_s,
+                "rows_per_sec": (N_ORDERS + N_CUSTOMERS) / parallel_s,
+            },
+            "speedup": serial_s / parallel_s,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "wavefront": _wavefront_measure(),
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert results["speedup"] >= SPEEDUP_FLOOR, (
+        f"partitioned kernels only {results['speedup']:.2f}x faster than "
+        f"the serial columnar path (floor {SPEEDUP_FLOOR}x)"
+    )
+    record_baseline("parallel", results)
+    lines = ["partitioned kernels vs serial columnar (join + aggregate):"]
+    lines.append(
+        f"  {N_ORDERS} orders x {N_CUSTOMERS} customers -> "
+        f"{results['groups']} groups: "
+        f"{results['serial']['seconds'] * 1000:.1f} ms serial vs "
+        f"{results['parallel']['seconds'] * 1000:.1f} ms at 4 workers "
+        f"({results['speedup']:.2f}x)"
+    )
+    for workers, seconds in results["worker_sweep_seconds"].items():
+        lines.append(f"  workers {workers:>2}: {seconds * 1000:7.1f} ms")
+    wave = results["wavefront"]
+    lines.append(
+        f"  star-join wavefront ({wave['branches']} branches): "
+        f"{wave['serial_seconds'] * 1000:.1f} ms serial vs "
+        f"{wave['parallel_seconds'] * 1000:.1f} ms at 4 workers "
+        f"({wave['speedup']:.2f}x, informational)"
+    )
+    record("PARALLEL", "\n".join(lines))
+
+
+def _wavefront_measure() -> dict:
+    """End-to-end star-join job: the wavefront scheduler's stage-level
+    parallelism, serial engine vs ``workers=4``. Recorded without a
+    floor — on a single core the wave adds thread handoffs but no
+    concurrency, so parity (~1.0x) is the expected, honest result; the
+    kernel bench above is where single-core speedup comes from."""
+    branches = 4
+    job = build_star_join_job(branches)
+    instance = generate_star_instance(branches, n_facts=2_000, seed=9)
+    serial_engine = EtlEngine(compiled=True, batched=True)
+    parallel_engine = EtlEngine(
+        compiled=True, batched=True, parallel=True, workers=4
+    )
+    baseline = serial_engine.execute(job, instance)
+    assert parallel_engine.execute(job, instance).same_bags(baseline)
+    serial_s = _best_seconds(lambda: serial_engine.execute(job, instance))
+    parallel_s = _best_seconds(
+        lambda: parallel_engine.execute(job, instance)
+    )
+    return {
+        "branches": branches,
+        "facts": 2_000,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s,
+    }

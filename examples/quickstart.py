@@ -13,6 +13,11 @@ Run:  python examples/quickstart.py
       python examples/quickstart.py --stats json     # metrics JSON ONLY on
                                                      # stdout (narrative moves
                                                      # to stderr) — pipeable
+      python examples/quickstart.py --batched --workers 4
+                                                     # parallel tier: wavefront
+                                                     # scheduling + partitioned
+                                                     # kernels (see
+                                                     # docs/execution-model.md)
       python examples/quickstart.py --on-error reject --poison 5 --stats json
                                                      # fault-tolerant run: 5
                                                      # seeded bad rows land on
@@ -25,7 +30,12 @@ import sys
 
 from repro import Orchid
 from repro.etl import EtlEngine
-from repro.exec import set_default_batched, set_default_compiled
+from repro.exec import (
+    set_default_batched,
+    set_default_compiled,
+    set_default_parallel,
+    set_default_workers,
+)
 from repro.mapping import execute_mappings
 from repro.obs import Observability
 from repro.ohm import execute
@@ -58,6 +68,15 @@ def main(argv=None) -> None:
         "(equivalent to REPRO_BATCH=1)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run independent stages/operators (and, with --batched, "
+        "partitioned join/aggregate kernels) on N worker threads "
+        "(see docs/execution-model.md)",
+    )
+    parser.add_argument(
         "--on-error",
         choices=["fail_fast", "skip", "reject"],
         default=None,
@@ -77,6 +96,9 @@ def main(argv=None) -> None:
         set_default_compiled(False)
     if args.batched:
         set_default_batched(True)
+    if args.workers is not None:
+        set_default_workers(args.workers)
+        set_default_parallel(args.workers > 1)
 
     obs = Observability(trace=args.trace, stats=args.stats is not None)
     # with --stats json, stdout is reserved for the metrics document

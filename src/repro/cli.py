@@ -15,7 +15,9 @@ of the run), ``--stats {json,text}`` (print the metrics registry),
 instead of the compiler), ``--row-mode`` (force row-at-a-time execution
 even when ``REPRO_BATCH`` enables the columnar tier), and
 ``--batch-size N`` (enable columnar batches of N rows — see
-``docs/execution.md``). Trace/stats reports go to *stderr* so the
+``docs/execution.md``), and ``--workers N`` (run independent
+stages/operators and partitioned kernels on N worker threads — see
+``docs/execution-model.md``). Trace/stats reports go to *stderr* so the
 primary document on stdout stays machine-readable; see
 ``docs/observability.md`` for the span and metric naming conventions.
 
@@ -36,6 +38,8 @@ from repro.exec import (
     set_default_batch_size,
     set_default_batched,
     set_default_compiled,
+    set_default_parallel,
+    set_default_workers,
 )
 from repro.fasttrack.orchid import Orchid
 from repro.obs import Observability
@@ -98,6 +102,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help="run block-capable operators over columnar batches of N "
         "rows (enables batched mode; equivalent to REPRO_BATCH=N)",
+    )
+    observability.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="run independent stages/operators and partitioned "
+        "join/aggregate kernels on N worker threads; N=1 forces serial "
+        "(equivalent to REPRO_WORKERS plus REPRO_PARALLEL=1 — see "
+        "docs/execution-model.md)",
     )
     observability.add_argument(
         "--on-error",
@@ -194,6 +207,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--batch-size must be >= 1")
         set_default_batched(True)
         set_default_batch_size(args.batch_size)
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        set_default_workers(args.workers)
+        set_default_parallel(args.workers > 1)
     if args.max_retries is not None and args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
     if args.on_error:
@@ -211,6 +229,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.row_mode or args.batch_size is not None:
             set_default_batched(None)
             set_default_batch_size(None)
+        if args.workers is not None:
+            set_default_workers(None)
+            set_default_parallel(None)
         if args.on_error:
             set_default_on_error(None)
         if args.max_retries is not None:

@@ -46,7 +46,10 @@ from repro.exec import (
     resolve_batch_size,
     resolve_batched,
     resolve_compiled,
+    resolve_parallel,
+    resolve_workers,
 )
+from repro.exec.parallel import WorkerUnavailable, topological_waves
 from repro.obs import NULL_OBS, Observability
 from repro.resilience import (
     ErrorContext,
@@ -131,6 +134,8 @@ class EtlEngine:
         retry=None,
         checkpoint=None,
         degrade: bool = True,
+        parallel: Optional[bool] = None,
+        workers: Optional[int] = None,
     ):
         self._obs = obs or NULL_OBS
         #: whether stages lower expressions through the compiler
@@ -149,6 +154,13 @@ class EtlEngine:
         #: checkpoint store for resumable runs, or None.
         self.checkpoint = resolve_checkpoint(checkpoint)
         self.degrade = degrade
+        #: wavefront scheduling: independent stages of one topological
+        #: level run concurrently on a worker pool; with ``batched``,
+        #: large joins/aggregations additionally partition across the
+        #: same pool. Serial when workers < 2.
+        self._parallel_opt = parallel
+        self.workers = resolve_workers(workers)
+        self.parallel = resolve_parallel(parallel) and self.workers >= 2
         #: statistics of the most recently *completed* run.
         self.last_run: EtlRunStats = EtlRunStats()
 
@@ -230,6 +242,117 @@ class EtlEngine:
 
     # -- the run loop ---------------------------------------------------------
 
+    def _restore_stage(
+        self, stage, restored, out_edges, targets, by_port, link_data, stats
+    ) -> None:
+        """Wire a checkpoint-restored stage's saved outputs in place of
+        executing it."""
+        metrics = self._obs.metrics
+        saved_outputs, delivered = restored
+        outputs = [saved_outputs[e.name] for e in out_edges]
+        if delivered is not None:
+            targets.put(delivered)
+        stats.restored_stages.append(stage.name)
+        metrics.count("exec.checkpoint.restored")
+        for edge, dataset in zip(out_edges, outputs):
+            by_port[(edge.src, edge.src_port)] = dataset
+            link_data[edge.name] = dataset
+            stats.link_counts[edge.name] = len(dataset)
+
+    def _compute_stage(
+        self, stage, inputs, data_edges, instance, registry, tiers, ctx
+    ):
+        """One stage's pure compute (endpoint retry included) — safe off
+        the main thread: no spans, no shared-state writes (the metrics
+        registry is internally locked). Returns ``(outputs,
+        delivered)``."""
+        metrics = self._obs.metrics
+        if isinstance(stage, TableTarget):
+            delivered = self._endpoint(
+                lambda: stage.load(
+                    inputs[0],
+                    trusted=self.compiled,
+                    errors=ctx if ctx.handling else None,
+                ),
+                stage.name,
+            )
+            return [], delivered
+        if isinstance(stage, TableSource):
+            outputs = self._endpoint(
+                lambda: [
+                    stage.extract(instance).renamed(e.name)
+                    for e in data_edges
+                ],
+                stage.name,
+            )
+            return outputs, None
+        out_relations = [e.schema for e in data_edges]
+        outputs = self._execute_stage(
+            stage, inputs, out_relations, registry, tiers, ctx, metrics
+        )
+        if len(outputs) != len(data_edges):
+            raise ExecutionError(
+                f"{stage.STAGE_TYPE} {stage.name!r} produced "
+                f"{len(outputs)} outputs for {len(data_edges)} links",
+                stage=stage.name,
+            )
+        return outputs, None
+
+    def _finish_stage(
+        self, stage, inputs, outputs, delivered, reject_edge, ctx, span,
+        seconds, targets, stats,
+    ):
+        """One stage's bookkeeping — always on the calling thread, in
+        topological order, so wavefront runs publish byte-identically to
+        serial runs. Returns the outputs with the reject-link dataset
+        appended when the stage declares one."""
+        metrics = self._obs.metrics
+        if isinstance(stage, TableTarget):
+            targets.put(delivered)
+        # a reject edge is out-of-band for the producer: data edges
+        # carry stage outputs, the (always last) reject edge carries
+        # this stage's rejected-row dataset
+        if reject_edge is not None:
+            outputs = list(outputs) + [
+                rejects_dataset(ctx.rejected, reject_edge.name)
+            ]
+        elif ctx.rejected:
+            stats.rejected.extend(ctx.rejected)
+        if ctx.rejected:
+            stats.reject_counts[stage.name] = len(ctx.rejected)
+        if ctx.skipped:
+            stats.skip_counts[stage.name] = ctx.skipped
+        ctx.publish(metrics, span)
+        if self._obs.enabled:
+            stats.stage_seconds[stage.name] = seconds
+            metrics.observe(f"etl.stage.{stage.name}.seconds", seconds)
+            span.set(
+                rows_in=sum(len(d) for d in inputs),
+                rows_out=sum(len(d) for d in outputs),
+            )
+        return outputs
+
+    def _commit_stage(
+        self, job, stage, out_edges, outputs, delivered, by_port,
+        link_data, stats,
+    ) -> None:
+        """Checkpoint and wire a finished stage's outputs onto its
+        links."""
+        metrics = self._obs.metrics
+        if self.checkpoint is not None:
+            self.checkpoint.save_stage(
+                job,
+                stage.uid,
+                [(e.name, d) for e, d in zip(out_edges, outputs)],
+                delivered=delivered,
+            )
+            metrics.count("exec.checkpoint.saved")
+        for edge, dataset in zip(out_edges, outputs):
+            by_port[(edge.src, edge.src_port)] = dataset
+            link_data[edge.name] = dataset
+            stats.link_counts[edge.name] = len(dataset)
+            metrics.count(f"etl.link.{edge.name}.rows", len(dataset))
+
     def run(
         self, job: Job, instance: Optional[Instance] = None
     ) -> Tuple[Instance, Dict[str, Dataset]]:
@@ -239,14 +362,14 @@ class EtlEngine:
         target stage (keyed by target relation name) and the dataset that
         flowed over every link (keyed by link name)."""
         tracer = self._obs.tracer
-        metrics = self._obs.metrics
         observing = self._obs.enabled
         stats = EtlRunStats()
         instance = instance or Instance()
         # one planner per run: expressions shared by several stages are
         # lowered once, and the job's own registry is captured
         planner = ExpressionPlanner(
-            job.registry, self.compiled, self.batched, self.batch_size
+            job.registry, self.compiled, self.batched, self.batch_size,
+            parallel=self._parallel_opt, workers=self.workers,
         )
         tiers = self._ladder(planner)
         job.propagate_schemas()
@@ -256,118 +379,163 @@ class EtlEngine:
         frontier = (
             self.checkpoint.load_frontier(job) if self.checkpoint else {}
         )
+        order = job.topological_order()
+        if self.parallel:
+            waves = topological_waves(
+                order,
+                lambda s: s.uid,
+                lambda s: (e.src for e in job.in_edges(s.uid)),
+            )
+        else:
+            waves = [order]
         with tracer.span("etl.run", job=job.name):
-            for stage in job.topological_order():
-                in_edges = job.in_edges(stage.uid)
-                inputs = [by_port[(e.src, e.src_port)] for e in in_edges]
-                out_edges = job.out_edges(stage.uid)
-                # a reject edge is out-of-band for the producer: data
-                # edges carry stage outputs, the (always last) reject
-                # edge carries this stage's rejected-row dataset
-                data_edges = [e for e in out_edges if not e.is_reject]
-                reject_edge = next(
-                    (e for e in out_edges if e.is_reject), None
-                )
-
-                restored = frontier.get(stage.uid)
-                if restored is not None and all(
-                    e.name in restored[0] for e in out_edges
-                ):
-                    saved_outputs, delivered = restored
-                    outputs = [saved_outputs[e.name] for e in out_edges]
-                    if delivered is not None:
-                        targets.put(delivered)
-                    stats.restored_stages.append(stage.name)
-                    metrics.count("exec.checkpoint.restored")
-                    for edge, dataset in zip(out_edges, outputs):
-                        by_port[(edge.src, edge.src_port)] = dataset
-                        link_data[edge.name] = dataset
-                        stats.link_counts[edge.name] = len(dataset)
-                    continue
-
-                ctx = ErrorContext(
-                    stage.name, stage.on_error or self.on_error
-                )
-                delivered = None
-                with tracer.span(
-                    f"etl.stage.{stage.STAGE_TYPE}", stage=stage.name
-                ) as span:
-                    started = perf_counter() if observing else 0.0
-                    if isinstance(stage, TableTarget):
-                        delivered = self._endpoint(
-                            lambda: stage.load(
-                                inputs[0],
-                                trusted=self.compiled,
-                                errors=ctx if ctx.handling else None,
-                            ),
-                            stage.name,
-                        )
-                        targets.put(delivered)
-                        outputs = []
-                    elif isinstance(stage, TableSource):
-                        outputs = self._endpoint(
-                            lambda: [
-                                stage.extract(instance).renamed(e.name)
-                                for e in data_edges
-                            ],
-                            stage.name,
-                        )
-                    else:
-                        out_relations = [e.schema for e in data_edges]
-                        outputs = self._execute_stage(
-                            stage,
-                            inputs,
-                            out_relations,
-                            job.registry,
-                            tiers,
-                            ctx,
-                            metrics,
-                        )
-                        if len(outputs) != len(data_edges):
-                            raise ExecutionError(
-                                f"{stage.STAGE_TYPE} {stage.name!r} produced "
-                                f"{len(outputs)} outputs for "
-                                f"{len(data_edges)} links",
-                                stage=stage.name,
-                            )
-                    if reject_edge is not None:
-                        outputs = list(outputs) + [
-                            rejects_dataset(ctx.rejected, reject_edge.name)
-                        ]
-                    elif ctx.rejected:
-                        stats.rejected.extend(ctx.rejected)
-                    if ctx.rejected:
-                        stats.reject_counts[stage.name] = len(ctx.rejected)
-                    if ctx.skipped:
-                        stats.skip_counts[stage.name] = ctx.skipped
-                    ctx.publish(metrics, span)
-                    if observing:
-                        seconds = perf_counter() - started
-                        stats.stage_seconds[stage.name] = seconds
-                        metrics.observe(
-                            f"etl.stage.{stage.name}.seconds", seconds
-                        )
-                        span.set(
-                            rows_in=sum(len(d) for d in inputs),
-                            rows_out=sum(len(d) for d in outputs),
-                        )
-                if self.checkpoint is not None:
-                    self.checkpoint.save_stage(
-                        job,
-                        stage.uid,
-                        [(e.name, d) for e, d in zip(out_edges, outputs)],
-                        delivered=delivered,
+            for wave in waves:
+                if self.parallel and len(wave) >= 2:
+                    self._run_stage_wave(
+                        wave, job, instance, tiers, planner, frontier,
+                        targets, by_port, link_data, stats,
                     )
-                    metrics.count("exec.checkpoint.saved")
-                for edge, dataset in zip(out_edges, outputs):
-                    by_port[(edge.src, edge.src_port)] = dataset
-                    link_data[edge.name] = dataset
-                    stats.link_counts[edge.name] = len(dataset)
-                    metrics.count(f"etl.link.{edge.name}.rows", len(dataset))
+                    continue
+                for stage in wave:
+                    inputs = [
+                        by_port[(e.src, e.src_port)]
+                        for e in job.in_edges(stage.uid)
+                    ]
+                    out_edges = job.out_edges(stage.uid)
+                    data_edges = [e for e in out_edges if not e.is_reject]
+                    reject_edge = next(
+                        (e for e in out_edges if e.is_reject), None
+                    )
+                    restored = frontier.get(stage.uid)
+                    if restored is not None and all(
+                        e.name in restored[0] for e in out_edges
+                    ):
+                        self._restore_stage(
+                            stage, restored, out_edges,
+                            targets, by_port, link_data, stats,
+                        )
+                        continue
+                    ctx = ErrorContext(
+                        stage.name, stage.on_error or self.on_error
+                    )
+                    with tracer.span(
+                        f"etl.stage.{stage.STAGE_TYPE}", stage=stage.name
+                    ) as span:
+                        started = perf_counter() if observing else 0.0
+                        outputs, delivered = self._compute_stage(
+                            stage, inputs, data_edges, instance,
+                            job.registry, tiers, ctx,
+                        )
+                        seconds = (
+                            perf_counter() - started if observing else 0.0
+                        )
+                        outputs = self._finish_stage(
+                            stage, inputs, outputs, delivered, reject_edge,
+                            ctx, span, seconds, targets, stats,
+                        )
+                    self._commit_stage(
+                        job, stage, out_edges, outputs, delivered,
+                        by_port, link_data, stats,
+                    )
         if self.checkpoint is not None:
             self.checkpoint.clear(job)
         self.last_run = stats
         return targets, link_data
+
+    def _run_stage_wave(
+        self, wave, job, instance, tiers, planner, frontier,
+        targets, by_port, link_data, stats,
+    ) -> None:
+        """Run one topological wave of mutually-independent stages on the
+        planner's worker pool. Compute (including endpoint retries) fans
+        out to workers; bookkeeping — spans, stats, checkpoints, link
+        wiring — replays on this thread in topological order, so results,
+        reject routing, and checkpoints are byte-identical to a serial
+        run. An unavailable worker recomputes its stage inline
+        (``exec.degrade.parallel_to_serial``); a genuine stage error
+        propagates exactly as the serial loop's would."""
+        tracer = self._obs.tracer
+        metrics = self._obs.metrics
+        prepared = []
+        for stage in wave:
+            inputs = [
+                by_port[(e.src, e.src_port)]
+                for e in job.in_edges(stage.uid)
+            ]
+            out_edges = job.out_edges(stage.uid)
+            data_edges = [e for e in out_edges if not e.is_reject]
+            reject_edge = next((e for e in out_edges if e.is_reject), None)
+            restored = frontier.get(stage.uid)
+            if restored is not None and all(
+                e.name in restored[0] for e in out_edges
+            ):
+                prepared.append(
+                    {"stage": stage, "out_edges": out_edges,
+                     "restored": restored}
+                )
+                continue
+            ctx = ErrorContext(stage.name, stage.on_error or self.on_error)
+            prepared.append(
+                {"stage": stage, "inputs": inputs, "out_edges": out_edges,
+                 "data_edges": data_edges, "reject_edge": reject_edge,
+                 "ctx": ctx, "restored": None}
+            )
+
+        def make_task(entry):
+            def task():
+                started = perf_counter()
+                result = self._compute_stage(
+                    entry["stage"], entry["inputs"], entry["data_edges"],
+                    instance, job.registry, tiers, entry["ctx"],
+                )
+                return result, perf_counter() - started
+
+            return task
+
+        live = [e for e in prepared if e["restored"] is None]
+        pool = planner.pool()
+        entries = pool.run_all([make_task(e) for e in live])
+        metrics.count("exec.parallel.waves")
+        metrics.count("exec.parallel.tasks", len(live))
+        results = iter(entries)
+        with tracer.span(
+            "exec.parallel.wave", stages=len(wave), workers=pool.workers
+        ):
+            for entry in prepared:
+                stage = entry["stage"]
+                if entry["restored"] is not None:
+                    self._restore_stage(
+                        stage, entry["restored"], entry["out_edges"],
+                        targets, by_port, link_data, stats,
+                    )
+                    continue
+                error, payload = next(results)
+                if isinstance(error, WorkerUnavailable):
+                    metrics.count("exec.degrade.parallel_to_serial")
+                    entry["ctx"].reset()
+                    started = perf_counter()
+                    payload = (
+                        self._compute_stage(
+                            stage, entry["inputs"], entry["data_edges"],
+                            instance, job.registry, tiers, entry["ctx"],
+                        ),
+                        perf_counter() - started,
+                    )
+                elif error is not None:
+                    raise error
+                (outputs, delivered), seconds = payload
+                with tracer.span(
+                    f"etl.stage.{stage.STAGE_TYPE}", stage=stage.name
+                ) as span:
+                    outputs = self._finish_stage(
+                        stage, entry["inputs"], outputs, delivered,
+                        entry["reject_edge"], entry["ctx"], span, seconds,
+                        targets, stats,
+                    )
+                self._commit_stage(
+                    job, stage, entry["out_edges"], outputs, delivered,
+                    by_port, link_data, stats,
+                )
 
     def execute(self, job: Job, instance: Optional[Instance] = None) -> Instance:
         """Run and return only the target datasets."""
@@ -385,6 +553,8 @@ def run_job(
     on_error: Optional[str] = None,
     retry=None,
     checkpoint=None,
+    parallel: Optional[bool] = None,
+    workers: Optional[int] = None,
 ) -> Instance:
     """Convenience: run ``job`` and return the target datasets."""
     return EtlEngine(
@@ -395,6 +565,8 @@ def run_job(
         on_error=on_error,
         retry=retry,
         checkpoint=checkpoint,
+        parallel=parallel,
+        workers=workers,
     ).execute(job, instance)
 
 
@@ -408,6 +580,8 @@ def run_job_with_links(
     on_error: Optional[str] = None,
     retry=None,
     checkpoint=None,
+    parallel: Optional[bool] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Run ``job`` returning targets plus every link's dataset."""
     return EtlEngine(
@@ -418,6 +592,8 @@ def run_job_with_links(
         on_error=on_error,
         retry=retry,
         checkpoint=checkpoint,
+        parallel=parallel,
+        workers=workers,
     ).run(job, instance)
 
 

@@ -379,7 +379,7 @@ class AggregatorStage(Stage):
                 lowered.append((out, plan[0], plan[1]))
             else:
                 grouped = block.group_aggregate_block(
-                    blk, self.group_keys, lowered, obs=obs
+                    blk, self.group_keys, lowered, obs=obs, planner=planner
                 )
                 return [planner.materialize_block(out_relations[0], grouped)]
         rows = kernels.group_aggregate_rows(

@@ -31,6 +31,17 @@ Batched execution requires the compiler, so under the interpreting
 oracle (``compiled=False``) it switches itself off — and operators the
 block tier cannot express identically fall back to the row kernels per
 operator, never changing results.
+
+The fourth tier is *parallel* execution (:mod:`repro.exec.parallel`):
+independent stages run as topological wavefronts and the block join /
+grouped-aggregation kernels partition by key hash across a worker pool,
+deterministically (results stay bit-identical to serial runs). It
+resolves through the same triad — ``parallel=True`` / ``workers=N``
+engine kwargs, :func:`set_default_parallel` / :func:`set_default_workers`
+(the CLI's ``--workers N``), or ``REPRO_PARALLEL`` / ``REPRO_WORKERS``
+— and a failing worker degrades to the serial path per operator
+(``exec.degrade.parallel_to_serial``). See ``docs/execution-model.md``
+for the full four-tier handbook.
 """
 
 from __future__ import annotations
@@ -59,8 +70,19 @@ from repro.exec.compile_block import (
     compile_block_expr,
     compile_block_predicate,
 )
-from repro.exec import block, kernels
+from repro.exec import block, kernels, parallel
 from repro.exec.block import RowBlock
+from repro.exec.parallel import (
+    WorkerPool,
+    default_parallel,
+    default_workers,
+    resolve_parallel,
+    resolve_workers,
+    set_default_executor,
+    set_default_parallel,
+    set_default_workers,
+    set_parallel_threshold,
+)
 
 _FALSE_VALUES = ("0", "false", "no", "off")
 
@@ -205,6 +227,8 @@ class ExpressionPlanner:
         compiled: Optional[bool] = None,
         batched: Optional[bool] = None,
         batch_size: Optional[int] = None,
+        parallel: Optional[bool] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.registry = registry or DEFAULT_REGISTRY
         self.compiled = resolve_compiled(compiled)
@@ -213,9 +237,34 @@ class ExpressionPlanner:
         # row-at-a-time oracle run even with REPRO_BATCH=1
         self.batched = self.compiled and resolve_batched(batched)
         self.batch_size = resolve_batch_size(batch_size)
+        # the parallel tier partitions *block* kernels, so it sits on top
+        # of the batched tier the same way batched sits on compiled; a
+        # worker count below 2 means there is nothing to fan out to
+        self.workers = resolve_workers(workers)
+        self.parallel = (
+            self.batched and self.workers >= 2 and resolve_parallel(parallel)
+        )
+        self._pool: Optional[WorkerPool] = None
         self._scalars: dict = {}
         self._predicates: dict = {}
         self._aggregates: dict = {}
+
+    def pool(self) -> WorkerPool:
+        """The planner's worker pool (lazily built; threads by default,
+        see :func:`repro.exec.parallel.set_default_executor`)."""
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers)
+        return self._pool
+
+    def partitions_for(self, n_rows: int) -> int:
+        """The degree of kernel parallelism chosen from the observed
+        cardinality ``n_rows``: 0 when this planner is serial or the
+        input is too small, else the data-size-driven partition count
+        (:func:`repro.exec.parallel.partitions_for` — independent of the
+        worker count, so results are too)."""
+        if not self.parallel:
+            return 0
+        return parallel.partitions_for(n_rows)
 
     def scalar(self, expr: Expr) -> Callable[[Any], Any]:
         """An ``env → value`` closure for ``expr``."""
@@ -343,6 +392,16 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "ExpressionPlanner",
     "RowBlock",
+    "WorkerPool",
+    "default_parallel",
+    "default_workers",
+    "parallel",
+    "resolve_parallel",
+    "resolve_workers",
+    "set_default_executor",
+    "set_default_parallel",
+    "set_default_workers",
+    "set_parallel_threshold",
     "aggregate_values_reducer",
     "block",
     "compile_aggregate",

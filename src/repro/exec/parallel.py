@@ -1,0 +1,750 @@
+"""Parallel kernel execution across workers (the fourth execution tier).
+
+Two forms of parallelism, both strictly *deterministic* (see
+``docs/execution-model.md``):
+
+* **wavefront scheduling** — the engines group a job graph's stages /
+  operators into topological waves (:func:`topological_waves`); every
+  node in a wave has all of its inputs ready, so the wave's compute runs
+  concurrently on a :class:`WorkerPool` while all bookkeeping (spans,
+  metrics, statistics, checkpoints, output wiring) stays on the calling
+  thread in topological order;
+* **partitioned block kernels** — hash join and grouped aggregation
+  split their :class:`~repro.exec.block.RowBlock` inputs into
+  *contiguous* row chunks (the join broadcasts one shared build index;
+  both use the same :func:`~repro.exec.kernels.key_encoder` encoding as
+  the serial kernels), run one kernel task per chunk on workers, and
+  concatenate the results in chunk order — which *is* the exact serial
+  emission order.
+
+Determinism rules the design:
+
+* the partition count is a function of the **data size only** — never of
+  the worker count — so ``--workers 2`` and ``--workers 8`` build
+  identical partitions (:data:`PARALLEL_MIN_PARTITION_ROWS`);
+* partitioned kernels restore the exact serial row order (probe order
+  with left paddings inline, right paddings last; groups in global
+  first-seen order with members in ascending row order), so outputs are
+  bit-identical to the serial kernels — including float reduction order
+  — and order-sensitive downstream operators (dedup ``retain=first``,
+  stable sorts) see the same input;
+* worker failure degrades to the serial path (counted as
+  ``exec.degrade.parallel_to_serial``), never changing results.
+
+Resolution follows the process-triad convention of :mod:`repro.exec`:
+an explicit engine kwarg wins, then :func:`set_default_parallel` /
+:func:`set_default_workers` (the CLI's ``--workers N``), then the
+``REPRO_PARALLEL`` / ``REPRO_WORKERS`` environment variables.
+
+Workers are threads by default (a process-wide pool per worker count);
+tests inject any object with ``submit(fn)`` via
+:func:`set_default_executor`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exec.kernels import key_encoder
+
+_FALSE_VALUES = ("0", "false", "no", "off")
+
+#: a partitioned kernel engages only at or above this many input rows
+#: (below it, partitioning overhead beats the gain); tunable via
+#: ``set_parallel_threshold`` or ``REPRO_PARALLEL_MIN_ROWS``. The
+#: partition count derives from the row count alone, so results are
+#: independent of the worker count.
+PARALLEL_MIN_PARTITION_ROWS = 8192
+
+#: hard cap on partitions per kernel call (diminishing returns beyond).
+MAX_PARTITIONS = 8
+
+#: workers used when ``REPRO_WORKERS`` and ``set_default_workers`` are
+#: both unset: the machine's cores, clamped to [2, 8] so ``parallel=
+#: True`` always means real fan-out even on single-core boxes.
+DEFAULT_WORKERS = max(2, min(8, os.cpu_count() or 1))
+
+_default_parallel: Optional[bool] = None
+_default_workers: Optional[int] = None
+_parallel_threshold: Optional[int] = None
+_default_executor: Optional[Any] = None
+
+_pool_lock = threading.Lock()
+_shared_executors: Dict[int, Any] = {}
+
+#: set while a thread is executing a pool task, so nested batches (a
+#: partitioned kernel inside a wavefront compute task) run inline
+#: instead of starving the shared executor — see ``WorkerPool``.
+_in_worker = threading.local()
+
+
+def _flagged(task: Callable[[], Any]) -> Callable[[], Any]:
+    def run():
+        _in_worker.active = True
+        try:
+            return task()
+        finally:
+            _in_worker.active = False
+
+    return run
+
+
+class WorkerUnavailable(RuntimeError):
+    """The worker pool could not run a task (executor rejected or broke
+    down). Engines treat this as "degrade to serial", never as a task
+    failure."""
+
+
+# -- the resolution triads ----------------------------------------------------
+
+
+def default_parallel() -> bool:
+    """The process-wide parallel default: a :func:`set_default_parallel`
+    override wins, else the ``REPRO_PARALLEL`` environment variable (any
+    non-false value enables), else False."""
+    if _default_parallel is not None:
+        return _default_parallel
+    raw = os.environ.get("REPRO_PARALLEL")
+    if raw is None:
+        return False
+    return raw.strip().lower() not in _FALSE_VALUES
+
+
+def set_default_parallel(value: Optional[bool]) -> None:
+    """Override the process-wide parallel default (None restores the
+    environment-variable/False resolution)."""
+    global _default_parallel
+    _default_parallel = value
+
+
+def resolve_parallel(value: Optional[bool]) -> bool:
+    """Resolve an engine constructor's ``parallel`` argument: an explicit
+    True/False wins, None means the process default."""
+    return default_parallel() if value is None else bool(value)
+
+
+def default_workers() -> int:
+    """The process-wide worker count: a :func:`set_default_workers`
+    override wins, else ``REPRO_WORKERS``, else :data:`DEFAULT_WORKERS`.
+    An integer ``REPRO_PARALLEL`` value > 1 also sets the count (so
+    ``REPRO_PARALLEL=4`` both enables parallelism and sizes the pool)."""
+    if _default_workers is not None:
+        return _default_workers
+    for variable in ("REPRO_WORKERS", "REPRO_PARALLEL"):
+        raw = os.environ.get(variable)
+        if raw is None:
+            continue
+        try:
+            parsed = int(raw)
+        except ValueError:
+            continue
+        if parsed > 1:
+            return parsed
+    return DEFAULT_WORKERS
+
+
+def set_default_workers(value: Optional[int]) -> None:
+    """Override the process-wide worker count (None restores the
+    environment-variable/:data:`DEFAULT_WORKERS` resolution)."""
+    global _default_workers
+    if value is not None and int(value) < 1:
+        raise ValueError(f"worker count must be >= 1, got {value!r}")
+    _default_workers = None if value is None else int(value)
+
+
+def resolve_workers(value: Optional[int]) -> int:
+    """Resolve an engine constructor's ``workers`` argument: an explicit
+    count wins, None means the process default."""
+    if value is None:
+        return default_workers()
+    workers = int(value)
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {value!r}")
+    return workers
+
+
+def parallel_threshold() -> int:
+    """Rows below which partitioned kernels stay serial: a
+    :func:`set_parallel_threshold` override wins, else
+    ``REPRO_PARALLEL_MIN_ROWS``, else
+    :data:`PARALLEL_MIN_PARTITION_ROWS`."""
+    if _parallel_threshold is not None:
+        return _parallel_threshold
+    raw = os.environ.get("REPRO_PARALLEL_MIN_ROWS")
+    if raw is not None:
+        try:
+            parsed = int(raw)
+            if parsed >= 1:
+                return parsed
+        except ValueError:
+            pass
+    return PARALLEL_MIN_PARTITION_ROWS
+
+
+def set_parallel_threshold(value: Optional[int]) -> None:
+    """Override the partitioned-kernel row threshold (None restores the
+    environment-variable/default resolution). Mostly a test hook — it
+    lets small inputs exercise the partitioned kernels."""
+    global _parallel_threshold
+    if value is not None and int(value) < 1:
+        raise ValueError(f"threshold must be >= 1, got {value!r}")
+    _parallel_threshold = None if value is None else int(value)
+
+
+def partitions_for(n_rows: int) -> int:
+    """The degree of parallelism for a kernel over ``n_rows`` input rows:
+    0 below the threshold (stay serial), otherwise one partition per
+    threshold-of-rows, capped at :data:`MAX_PARTITIONS`. Depends on the
+    observed cardinality only — *never* on the worker count — so every
+    worker count computes identical partitions."""
+    threshold = parallel_threshold()
+    if n_rows < threshold:
+        return 0
+    return max(2, min(MAX_PARTITIONS, n_rows // threshold))
+
+
+# -- the worker pool ----------------------------------------------------------
+
+
+def set_default_executor(executor: Optional[Any]) -> None:
+    """Inject an executor for every :class:`WorkerPool` built without an
+    explicit one — anything with ``submit(fn) -> future`` (test hook:
+    inline executors, broken executors). ``None`` restores the shared
+    thread pools."""
+    global _default_executor
+    _default_executor = executor
+
+
+def _shared_executor(workers: int):
+    """One lazily-built process-wide thread pool per worker count, so
+    per-run engines do not churn threads."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    with _pool_lock:
+        executor = _shared_executors.get(workers)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-exec-{workers}"
+            )
+            _shared_executors[workers] = executor
+        return executor
+
+
+class WorkerPool:
+    """A deterministic fan-out helper over an executor.
+
+    ``run_all(tasks)`` submits every 0-arg task and returns, in task
+    order, one ``(error, result)`` pair per task — a failed submit
+    surfaces as a :class:`WorkerUnavailable` entry, a task exception as
+    itself. Nothing is raised from ``run_all``, so callers choose the
+    policy: the partitioned kernels raise the first error (their caller
+    degrades to the serial kernel), the engine wavefronts recompute
+    :class:`WorkerUnavailable` entries inline and re-raise genuine task
+    errors exactly as the serial loop would.
+
+    Nested batches run **inline**: a task that itself calls a
+    ``WorkerPool`` (a wavefront compute task running a partitioned
+    kernel) executes that inner batch sequentially on its own worker
+    thread. Without this, a wave filling every worker with compute tasks
+    that then block on queued kernel chunks starves the shared executor
+    into deadlock. Inline execution is result-identical — the chunks and
+    their merge order never depend on where they run."""
+
+    __slots__ = ("workers", "_executor")
+
+    def __init__(self, workers: Optional[int] = None, executor: Optional[Any] = None):
+        self.workers = resolve_workers(workers)
+        self._executor = executor
+
+    def _resolve_executor(self):
+        if self._executor is not None:
+            return self._executor
+        if _default_executor is not None:
+            return _default_executor
+        return _shared_executor(self.workers)
+
+    @staticmethod
+    def _run_inline(
+        tasks: Sequence[Callable[[], Any]]
+    ) -> List[Tuple[Optional[BaseException], Any]]:
+        entries: List[Tuple[Optional[BaseException], Any]] = []
+        for task in tasks:
+            try:
+                entries.append((None, task()))
+            except Exception as exc:  # noqa: BLE001 — caller decides
+                entries.append((exc, None))
+        return entries
+
+    def run_all(
+        self, tasks: Sequence[Callable[[], Any]]
+    ) -> List[Tuple[Optional[BaseException], Any]]:
+        if len(tasks) == 1 or getattr(_in_worker, "active", False):
+            # no fan-out for a single task or from inside a worker
+            # thread (nested batches would starve the shared executor)
+            return self._run_inline(tasks)
+        try:
+            executor = self._resolve_executor()
+        except Exception as exc:  # noqa: BLE001
+            return [(WorkerUnavailable(str(exc)), None)] * len(tasks)
+        futures: List[Tuple[Optional[Any], Optional[BaseException]]] = []
+        for task in tasks:
+            try:
+                futures.append((executor.submit(_flagged(task)), None))
+            except Exception as exc:  # noqa: BLE001 — pool broke down
+                futures.append((None, WorkerUnavailable(str(exc))))
+        entries: List[Tuple[Optional[BaseException], Any]] = []
+        for future, submit_error in futures:
+            if future is None:
+                entries.append((submit_error, None))
+                continue
+            try:
+                entries.append((None, future.result()))
+            except Exception as exc:  # noqa: BLE001 — caller decides
+                entries.append((exc, None))
+        return entries
+
+    def run(self, tasks: Sequence[Callable[[], Any]]) -> List[Any]:
+        """``run_all`` raising the first error (in task order)."""
+        entries = self.run_all(tasks)
+        for error, _result in entries:
+            if error is not None:
+                raise error
+        return [result for _error, result in entries]
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(workers={self.workers})"
+
+
+# -- wavefront scheduling -----------------------------------------------------
+
+
+def topological_waves(
+    order: Sequence[Any],
+    key: Callable[[Any], Any],
+    parents: Callable[[Any], Iterable[Any]],
+) -> List[List[Any]]:
+    """Group topologically-ordered nodes into level-synchronous waves.
+
+    ``key(node)`` is the node's identity, ``parents(node)`` yields the
+    identities it depends on. A node's wave is one past its deepest
+    parent, so every node in a wave has all inputs available once the
+    previous waves completed — the members of one wave are mutually
+    independent and may run concurrently. Within a wave, the input order
+    (topological) is preserved, which is what keeps wavefront bookkeeping
+    byte-identical to the serial loop."""
+    level: Dict[Any, int] = {}
+    waves: List[List[Any]] = []
+    for node in order:
+        depth = 0
+        for parent in parents(node):
+            parent_level = level.get(parent)
+            if parent_level is not None and parent_level + 1 > depth:
+                depth = parent_level + 1
+        level[key(node)] = depth
+        while len(waves) <= depth:
+            waves.append([])
+        waves[depth].append(node)
+    return waves
+
+
+def max_wavefront(waves: Sequence[Sequence[Any]]) -> int:
+    """The widest wave — the graph's available stage-level parallelism."""
+    return max((len(wave) for wave in waves), default=0)
+
+
+# -- observability ------------------------------------------------------------
+
+
+def _count(obs, name: str, n: int = 1) -> None:
+    if obs is not None and obs.enabled:
+        obs.metrics.count(name, n)
+
+
+def _faulted_partition(task: Callable[[], Any]) -> Callable[[], Any]:
+    """Route a partition task through the process-wide kernel fault hook
+    (tier ``"parallel"``), so :mod:`repro.faults` can kill chosen
+    partitions and exercise the degradation path."""
+    from repro.exec import kernel_fault_hook
+
+    hook = kernel_fault_hook()
+    if hook is None:
+        return task
+    return hook("parallel", "partition", task)
+
+
+# -- partitioned hash join ----------------------------------------------------
+
+
+def _chunk_bounds(length: int, n_partitions: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` probe ranges. Boundaries depend on the
+    data size and partition count alone — :func:`partitions_for` already
+    ties the count to the data size, so the chunking (and with it every
+    fault-injection schedule) is invariant under the worker count."""
+    bounds = [length * k // n_partitions for k in range(n_partitions + 1)]
+    return [(bounds[k], bounds[k + 1]) for k in range(n_partitions)]
+
+
+def _build_join_index(
+    key_cols: Sequence[List[Any]], length: int
+) -> Tuple[Optional[Dict[Any, int]], Optional[Dict[Any, List[int]]]]:
+    """Build-side hash index over encoded keys, NULLs excluded (a join
+    key with a NULL component never matches). Returns ``(unique, None)``
+    — a scalar key→row dict — when every build key is distinct, else
+    ``(None, multi)`` mapping each key to its ascending row list
+    (exactly the serial build order)."""
+    unique: Dict[Any, int] = {}
+    duplicates = False
+    if len(key_cols) == 1:
+        encode = key_encoder()
+        col = key_cols[0]
+        for j in range(length):
+            value = col[j]
+            if value is None:
+                continue
+            key = encode(value)
+            if key in unique:
+                duplicates = True
+                break
+            unique[key] = j
+    else:
+        encoders = [key_encoder() for _ in key_cols]
+        for j in range(length):
+            components = []
+            for encode, col in zip(encoders, key_cols):
+                value = col[j]
+                if value is None:
+                    components = None
+                    break
+                components.append(encode(value))
+            if components is None:
+                continue
+            key = tuple(components)
+            if key in unique:
+                duplicates = True
+                break
+            unique[key] = j
+    if not duplicates:
+        return unique, None
+    multi: Dict[Any, List[int]] = {}
+    if len(key_cols) == 1:
+        encode = key_encoder()
+        for j, value in enumerate(key_cols[0]):
+            if value is not None:
+                multi.setdefault(encode(value), []).append(j)
+    else:
+        encoders = [key_encoder() for _ in key_cols]
+        for j in range(length):
+            components = []
+            for encode, col in zip(encoders, key_cols):
+                value = col[j]
+                if value is None:
+                    components = None
+                    break
+                components.append(encode(value))
+            if components is not None:
+                multi.setdefault(tuple(components), []).append(j)
+    return None, multi
+
+
+def partitioned_join(
+    left,
+    right,
+    left_key_cols: Sequence[List[Any]],
+    right_key_cols: Sequence[List[Any]],
+    kind: str,
+    plan: Sequence[Tuple[str, str, str]],
+    pool: WorkerPool,
+    n_partitions: int,
+    obs=None,
+):
+    """Broadcast-build hash join with a chunk-partitioned probe; exact
+    serial emission order.
+
+    The build side is indexed once on the calling thread (NULL keys
+    excluded, so the in-band NULL probe encoding simply misses); probe
+    partitions are *contiguous* row ranges, so concatenating their
+    results in chunk order reproduces the serial kernel's probe-order
+    output with left paddings inline and right paddings last. With
+    distinct build keys each chunk scatters at most one match per left
+    row into a shared ``match_of`` array (disjoint slices — no
+    collisions) via a single C-speed list comprehension; duplicate build
+    keys fall back to per-chunk index-pair lists. Raises on any
+    partition failure; the caller degrades to the serial kernel.
+    Returns a :class:`~repro.exec.block.RowBlock`."""
+    from repro.exec.block import RowBlock
+
+    n_left = left.length
+    n_right = right.length
+    build, multi_build = _build_join_index(right_key_cols, n_right)
+    chunks = _chunk_bounds(n_left, n_partitions)
+    pad_left = kind in ("left", "full")
+
+    # -1 = no match for this left row (pad under left/full, drop otherwise)
+    match_of: List[int] = [-1] * n_left
+    single_key = len(left_key_cols) == 1
+
+    # one memoizing encoder per kernel call, shared by every chunk: a
+    # distinct key value is encoded once per call, not once per chunk.
+    # Concurrent memo writes are benign — both threads store the same
+    # encoding, and dict operations are atomic under the GIL.
+    shared_encode = key_encoder() if single_key else None
+    shared_encoders = (
+        None if single_key else [key_encoder() for _ in left_key_cols]
+    )
+
+    if multi_build is None:
+
+        def probe_chunk(lo: int, hi: int) -> None:
+            get = build.get
+            if single_key:
+                encode = shared_encode
+                match_of[lo:hi] = [
+                    get(encode(value), -1)
+                    for value in left_key_cols[0][lo:hi]
+                ]
+            else:
+                encoders = shared_encoders
+                cols = left_key_cols
+                match_of[lo:hi] = [
+                    get(
+                        tuple(e(c[i]) for e, c in zip(encoders, cols)), -1
+                    )
+                    for i in range(lo, hi)
+                ]
+
+    else:
+
+        def probe_chunk(lo: int, hi: int) -> Tuple[List[int], List[int]]:
+            get = multi_build.get
+            li: List[int] = []
+            ri: List[int] = []
+            if single_key:
+                encode = shared_encode
+                col = left_key_cols[0]
+                keys = (encode(v) for v in col[lo:hi])
+            else:
+                encoders = shared_encoders
+                cols = left_key_cols
+                keys = (
+                    tuple(e(c[i]) for e, c in zip(encoders, cols))
+                    for i in range(lo, hi)
+                )
+            for i, key in enumerate(keys, lo):
+                hits = get(key)
+                if hits is not None:
+                    for j in hits:
+                        li.append(i)
+                        ri.append(j)
+                elif pad_left:
+                    li.append(i)
+                    ri.append(-1)
+            return li, ri
+
+    tasks = [
+        _faulted_partition(lambda lo=lo, hi=hi: probe_chunk(lo, hi))
+        for lo, hi in chunks
+    ]
+    chunk_results = pool.run(tasks)
+
+    left_pads = False
+    if multi_build is None:
+        if pad_left:
+            left_idx = list(range(n_left))
+            right_idx = match_of
+            left_pads = any(j < 0 for j in right_idx)
+        else:
+            left_idx = [i for i, j in enumerate(match_of) if j >= 0]
+            right_idx = [j for j in match_of if j >= 0]
+    else:
+        left_idx = []
+        right_idx = []
+        for li, ri in chunk_results:
+            left_idx.extend(li)
+            right_idx.extend(ri)
+        left_pads = pad_left and any(j < 0 for j in right_idx)
+    right_pads = False
+    if kind in ("right", "full"):
+        matched = [False] * n_right
+        for j in right_idx:
+            if j >= 0:
+                matched[j] = True
+        unmatched = [j for j in range(n_right) if not matched[j]]
+        if unmatched:
+            if right_idx is match_of:
+                right_idx = list(right_idx)
+            left_idx.extend([-1] * len(unmatched))
+            right_idx.extend(unmatched)
+            right_pads = True
+    # a right join pads the LEFT side's columns; a left join the right's
+    left_has_null = right_pads
+    right_has_null = left_pads
+
+    columns: Dict[str, List[Any]] = {}
+    for out_name, side, source in plan:
+        if side == "left":
+            col = left.columns[source]
+            idx = left_idx
+            has_null = left_has_null
+        else:
+            col = right.columns[source]
+            idx = right_idx
+            has_null = right_has_null
+        if has_null:
+            columns[out_name] = [None if i < 0 else col[i] for i in idx]
+        else:
+            columns[out_name] = [col[i] for i in idx]
+    _count(obs, "exec.parallel.join.partitions", n_partitions)
+    _count(obs, "exec.parallel.join.rows_in", n_left + n_right)
+    _count(obs, "exec.parallel.join.rows_out", len(left_idx))
+    return RowBlock(columns, len(left_idx))
+
+
+# -- partitioned grouped aggregation ------------------------------------------
+
+
+def partitioned_group_aggregate(
+    block,
+    key_names: Sequence[str],
+    aggregates: Sequence[Tuple[str, Optional[Callable], Optional[Callable]]],
+    pool: WorkerPool,
+    n_partitions: int,
+    obs=None,
+):
+    """Chunk-partitioned grouped aggregation; exact serial order.
+
+    Phase 1 groups *contiguous* row chunks independently; merging the
+    per-chunk group maps in chunk order restores both invariants of the
+    serial kernel for free — the global first-seen group order (a chunk's
+    new keys append after every earlier chunk's) and ascending member
+    lists (list ``extend`` in chunk order). Phase 2 reduces contiguous
+    *group* ranges in parallel: every aggregate argument is evaluated
+    once over the whole block (exactly like the serial kernel) and each
+    reducer folds its group's members in ascending row order, so float
+    reductions are bit-identical to serial. Raises on any partition
+    failure; the caller degrades to the serial kernel. Unlike the join,
+    NULL keys are real groups (SQL GROUP BY), so the encoding keeps
+    them in-band."""
+    from repro.exec.block import RowBlock
+
+    length = block.length
+    key_cols = [block.columns[k] for k in key_names]
+    single_key = len(key_cols) == 1
+    chunks = _chunk_bounds(length, n_partitions)
+
+    # shared memoizing encoders (see partitioned_join: one encoding per
+    # distinct value per call; concurrent memo writes are benign)
+    shared_encode = key_encoder() if single_key else None
+    shared_encoders = (
+        None if single_key else [key_encoder() for _ in key_cols]
+    )
+
+    def group_chunk(lo: int, hi: int) -> Tuple[Dict[Any, List[int]], List[Any]]:
+        groups: Dict[Any, List[int]] = {}
+        order: List[Any] = []
+        if single_key:
+            encode = shared_encode
+            col = key_cols[0]
+            for i in range(lo, hi):
+                key = encode(col[i])
+                members = groups.get(key)
+                if members is None:
+                    groups[key] = [i]
+                    order.append(key)
+                else:
+                    members.append(i)
+        else:
+            encoders = shared_encoders
+            for i in range(lo, hi):
+                key = tuple(
+                    encode(col[i]) for encode, col in zip(encoders, key_cols)
+                )
+                members = groups.get(key)
+                if members is None:
+                    groups[key] = [i]
+                    order.append(key)
+                else:
+                    members.append(i)
+        return groups, order
+
+    tasks = [
+        _faulted_partition(lambda lo=lo, hi=hi: group_chunk(lo, hi))
+        for lo, hi in chunks
+    ]
+    groups: Dict[Any, List[int]] = {}
+    order: List[Any] = []
+    for chunk_groups, chunk_order in pool.run(tasks):
+        for key in chunk_order:
+            members = groups.get(key)
+            if members is None:
+                groups[key] = chunk_groups[key]
+                order.append(key)
+            else:
+                members.extend(chunk_groups[key])
+    group_lists = [groups[key] for key in order]
+    n_groups = len(group_lists)
+
+    # aggregate argument columns: one whole-block evaluation per
+    # aggregate, shared read-only by every reduction chunk
+    value_cols: List[Optional[List[Any]]] = []
+    for _name, values_fn, _reducer in aggregates:
+        value_cols.append(None if values_fn is None else values_fn(block))
+
+    def reduce_chunk(lo: int, hi: int) -> List[List[Any]]:
+        out: List[List[Any]] = []
+        for (_name, values_fn, reducer), values in zip(
+            aggregates, value_cols
+        ):
+            if values_fn is None and reducer is None:
+                out.append([len(m) for m in group_lists[lo:hi]])
+            else:
+                out.append(
+                    [
+                        reducer([values[i] for i in members])
+                        for members in group_lists[lo:hi]
+                    ]
+                )
+        return out
+
+    reduce_tasks = [
+        _faulted_partition(lambda lo=lo, hi=hi: reduce_chunk(lo, hi))
+        for lo, hi in _chunk_bounds(n_groups, n_partitions)
+    ]
+    agg_cols: List[List[Any]] = [[] for _ in aggregates]
+    for chunk_cols in pool.run(reduce_tasks):
+        for acc, piece in zip(agg_cols, chunk_cols):
+            acc.extend(piece)
+
+    columns: Dict[str, List[Any]] = {}
+    for name, col in zip(key_names, key_cols):
+        columns[name] = [col[members[0]] for members in group_lists]
+    for (name, _values_fn, _reducer), values in zip(aggregates, agg_cols):
+        columns[name] = values
+    _count(obs, "exec.parallel.group.partitions", n_partitions)
+    _count(obs, "exec.parallel.group.rows_in", length)
+    _count(obs, "exec.parallel.group.rows_out", n_groups)
+    return RowBlock(columns, n_groups)
+
+
+__all__ = [
+    "DEFAULT_WORKERS",
+    "MAX_PARTITIONS",
+    "PARALLEL_MIN_PARTITION_ROWS",
+    "WorkerPool",
+    "WorkerUnavailable",
+    "default_parallel",
+    "default_workers",
+    "max_wavefront",
+    "parallel_threshold",
+    "partitioned_group_aggregate",
+    "partitioned_join",
+    "partitions_for",
+    "resolve_parallel",
+    "resolve_workers",
+    "set_default_executor",
+    "set_default_parallel",
+    "set_default_workers",
+    "set_parallel_threshold",
+    "topological_waves",
+]

@@ -34,8 +34,11 @@ from repro.errors import ExecutionError, FaultInjected, TransientError
 from repro.etl.stages.access import TableSource, TableTarget
 from repro.exec import set_kernel_fault_hook
 
-#: execution tiers a kernel fault can target (see ExpressionPlanner)
-TIERS = ("block", "compiled", "oracle")
+#: execution tiers a kernel fault can target: "block" / "compiled" /
+#: "oracle" wrap planner closures (see ExpressionPlanner._faulted);
+#: "parallel" wraps whole partition tasks of the partitioned kernels
+#: (see repro.exec.parallel), exercising the parallel→serial degrade
+TIERS = ("parallel", "block", "compiled", "oracle")
 
 
 class FaultPlan:

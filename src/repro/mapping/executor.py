@@ -28,7 +28,8 @@ from typing import Dict, List, Optional
 
 from repro.data.dataset import Dataset, Instance, Row
 from repro.errors import ExecutionError
-from repro.exec import ExpressionPlanner, block, kernels
+from repro.exec import ExpressionPlanner, block, kernels, resolve_parallel
+from repro.exec.parallel import WorkerUnavailable, topological_waves
 from repro.expr.algebra import transform
 from repro.expr.ast import AggregateCall, ColumnRef, Expr, Literal
 from repro.expr.evaluator import Environment, evaluate
@@ -61,16 +62,25 @@ class MappingExecutor:
         batch_size: Optional[int] = None,
         on_error: Optional[str] = None,
         degrade: bool = True,
+        parallel: Optional[bool] = None,
+        workers: Optional[int] = None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
         self._planner = ExpressionPlanner(
-            self.registry, compiled, batched, batch_size
+            self.registry, compiled, batched, batch_size,
+            parallel=parallel, workers=workers,
         )
         self.compiled = self._planner.compiled
         self.batched = self._planner.batched
         self.on_error = resolve_on_error(on_error)
         self.degrade = degrade
+        #: wavefront scheduling: mappings whose source relations are all
+        #: settled run concurrently (a mapping waits for every producer
+        #: of each relation it reads); merge order of a shared target is
+        #: the dependency order, exactly as in the serial loop.
+        self.workers = self._planner.workers
+        self.parallel = resolve_parallel(parallel) and self.workers >= 2
 
     # -- fault tolerance -----------------------------------------------------------
 
@@ -330,6 +340,43 @@ class MappingExecutor:
         targets, intermediates, rejected = self._run_impl(mappings, instance)
         return targets, intermediates, rejects_dataset(rejected)
 
+    def _compute_mapping(self, mapping, working, tiers, ctx, metrics):
+        """One mapping through the degradation ladder — pure compute,
+        safe off the main thread (``working`` is only read)."""
+        last_exc = None
+        for i, executor in enumerate(tiers):
+            if i:
+                metrics.count(
+                    "exec.degrade.block_to_rows"
+                    if tiers[i - 1].batched
+                    else "exec.degrade.rows_to_oracle"
+                )
+            ctx.reset()
+            try:
+                return executor.execute_mapping(mapping, working, errors=ctx)
+            except Exception as exc:  # noqa: BLE001 — ladder decides
+                last_exc = exc
+        raise last_exc
+
+    def _finish_mapping(
+        self, mapping, result, ctx, produced, working, rejected
+    ) -> None:
+        """One mapping's bookkeeping — always on the calling thread, in
+        dependency order: publish row-error outcomes, union (bag) into a
+        shared target, make the result visible to later mappings."""
+        rejected.extend(ctx.rejected)
+        ctx.publish(self._obs.metrics)
+        if mapping.target.name in produced:
+            existing = produced[mapping.target.name]
+            merged = Dataset(existing.relation, validate=False)
+            merged.extend(existing.rows, validate=False)
+            merged.extend(result.rows, validate=False)
+            produced[mapping.target.name] = merged
+            working.put(merged)
+        else:
+            produced[mapping.target.name] = result
+            working.put(result)
+
     def _run_impl(self, mappings: MappingSet, instance: Instance):
         metrics = self._obs.metrics
         tiers = self._tiers()
@@ -338,38 +385,25 @@ class MappingExecutor:
         for dataset in instance:
             working.put(dataset)
         produced: Dict[str, Dataset] = {}
-        for mapping in mappings.in_dependency_order():
-            ctx = ErrorContext(mapping.name, self.on_error)
-            last_exc = None
-            for i, executor in enumerate(tiers):
-                if i:
-                    metrics.count(
-                        "exec.degrade.block_to_rows"
-                        if tiers[i - 1].batched
-                        else "exec.degrade.rows_to_oracle"
-                    )
-                ctx.reset()
-                try:
-                    result = executor.execute_mapping(
-                        mapping, working, errors=ctx
-                    )
-                    break
-                except Exception as exc:  # noqa: BLE001 — ladder decides
-                    last_exc = exc
-            else:
-                raise last_exc
-            rejected.extend(ctx.rejected)
-            ctx.publish(metrics)
-            if mapping.target.name in produced:
-                existing = produced[mapping.target.name]
-                merged = Dataset(existing.relation, validate=False)
-                merged.extend(existing.rows, validate=False)
-                merged.extend(result.rows, validate=False)
-                produced[mapping.target.name] = merged
-                working.put(merged)
-            else:
-                produced[mapping.target.name] = result
-                working.put(result)
+        order = mappings.in_dependency_order()
+        if self.parallel:
+            waves = self._mapping_waves(order)
+        else:
+            waves = [order]
+        for wave in waves:
+            if self.parallel and len(wave) >= 2:
+                self._run_mapping_wave(
+                    wave, working, tiers, produced, rejected, metrics
+                )
+                continue
+            for mapping in wave:
+                ctx = ErrorContext(mapping.name, self.on_error)
+                result = self._compute_mapping(
+                    mapping, working, tiers, ctx, metrics
+                )
+                self._finish_mapping(
+                    mapping, result, ctx, produced, working, rejected
+                )
         final_names = set(mappings.final_target_names())
         targets = Instance()
         intermediates: Dict[str, Dataset] = {}
@@ -381,6 +415,73 @@ class MappingExecutor:
                 intermediates[name] = dataset
         return targets, intermediates, rejected
 
+    def _mapping_waves(self, order: List[Mapping]) -> List[List[Mapping]]:
+        """Group dependency-ordered mappings into waves of mutually
+        independent mappings: a mapping depends on *every* producer of
+        each source relation it reads (matching
+        :meth:`MappingSet.in_dependency_order`), so two producers of one
+        shared target may share a wave, while any reader of that target
+        lands strictly later."""
+        producers: Dict[str, List[int]] = {}
+        for i, mapping in enumerate(order):
+            producers.setdefault(mapping.target.name, []).append(i)
+        index = {id(m): i for i, m in enumerate(order)}
+        return topological_waves(
+            order,
+            lambda m: index[id(m)],
+            lambda m: (
+                i
+                for b in m.sources
+                for i in producers.get(b.relation.name, ())
+                if i != index[id(m)]
+            ),
+        )
+
+    def _run_mapping_wave(
+        self, wave, working, tiers, produced, rejected, metrics
+    ) -> None:
+        """Run one wave of independent mappings on the planner's worker
+        pool. Compute fans out against a read-only ``working`` instance;
+        bookkeeping (reject publication, shared-target unions, making
+        results visible) replays on this thread in dependency order, so
+        merge order and the rejected multiset are byte-identical to a
+        serial run. An unavailable worker recomputes inline
+        (``exec.degrade.parallel_to_serial``); a genuine mapping error
+        propagates exactly as the serial loop's would."""
+        contexts = [
+            ErrorContext(mapping.name, self.on_error) for mapping in wave
+        ]
+
+        def make_task(mapping, ctx):
+            def task():
+                return self._compute_mapping(
+                    mapping, working, tiers, ctx, metrics
+                )
+
+            return task
+
+        pool = self._planner.pool()
+        entries = pool.run_all(
+            [make_task(m, c) for m, c in zip(wave, contexts)]
+        )
+        metrics.count("exec.parallel.waves")
+        metrics.count("exec.parallel.tasks", len(wave))
+        with self._obs.tracer.span(
+            "exec.parallel.wave", mappings=len(wave), workers=pool.workers
+        ):
+            for mapping, ctx, (error, result) in zip(wave, contexts, entries):
+                if isinstance(error, WorkerUnavailable):
+                    metrics.count("exec.degrade.parallel_to_serial")
+                    ctx.reset()
+                    result = self._compute_mapping(
+                        mapping, working, tiers, ctx, metrics
+                    )
+                elif error is not None:
+                    raise error
+                self._finish_mapping(
+                    mapping, result, ctx, produced, working, rejected
+                )
+
 
 def execute_mappings(
     mappings: MappingSet,
@@ -391,6 +492,8 @@ def execute_mappings(
     batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
     on_error: Optional[str] = None,
+    parallel: Optional[bool] = None,
+    workers: Optional[int] = None,
 ) -> Instance:
     """Convenience wrapper over :class:`MappingExecutor`."""
     return MappingExecutor(
@@ -400,6 +503,8 @@ def execute_mappings(
         batched=batched,
         batch_size=batch_size,
         on_error=on_error,
+        parallel=parallel,
+        workers=workers,
     ).execute(mappings, instance)
 
 

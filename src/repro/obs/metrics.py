@@ -27,6 +27,7 @@ Conventions:
 from __future__ import annotations
 
 import json
+from threading import Lock
 from time import perf_counter
 from typing import Any, Dict, List, Tuple
 
@@ -71,25 +72,31 @@ class Metrics:
         self.gauges: Dict[str, float] = {}
         # name -> [observation count, total seconds]
         self._timers: Dict[str, List[float]] = {}
+        # parallel wavefronts and partitioned kernels record from worker
+        # threads; a lock keeps read-modify-write accumulation exact
+        self._lock = Lock()
 
     # -- recording -----------------------------------------------------------
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the counter ``name`` (creating it at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` to ``value`` (last write wins)."""
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def observe(self, name: str, seconds: float) -> None:
         """Add one observation of ``seconds`` to the timer ``name``."""
-        entry = self._timers.get(name)
-        if entry is None:
-            self._timers[name] = [1, seconds]
-        else:
-            entry[0] += 1
-            entry[1] += seconds
+        with self._lock:
+            entry = self._timers.get(name)
+            if entry is None:
+                self._timers[name] = [1, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
 
     def timer(self, name: str) -> _TimerContext:
         """Time a ``with`` block into the timer ``name``."""

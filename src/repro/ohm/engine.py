@@ -50,8 +50,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance, Row
 from repro.errors import ExecutionError
-from repro.exec import ExpressionPlanner, block, kernels
+from repro.exec import ExpressionPlanner, block, kernels, resolve_parallel
 from repro.exec.block import relation_resolver
+from repro.exec.parallel import WorkerUnavailable, topological_waves
 from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
 from repro.obs import NULL_OBS, Observability
 from repro.ohm.graph import OhmGraph
@@ -94,14 +95,22 @@ class OhmExecutor:
         batch_size: Optional[int] = None,
         on_error: Optional[str] = None,
         degrade: bool = True,
+        parallel: Optional[bool] = None,
+        workers: Optional[int] = None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
         self._planner = ExpressionPlanner(
-            self.registry, compiled, batched, batch_size
+            self.registry, compiled, batched, batch_size,
+            parallel=parallel, workers=workers,
         )
         self.compiled = self._planner.compiled
         self.batched = self._planner.batched
+        #: wavefront scheduling: independent operators of one
+        #: topological level run concurrently on the planner's worker
+        #: pool (kernel partitioning additionally requires ``batched``).
+        self.workers = self._planner.workers
+        self.parallel = resolve_parallel(parallel) and self.workers >= 2
         #: run-level row error policy; an operator may override via an
         #: ``on_error`` attribute of its own.
         self.on_error = resolve_on_error(on_error)
@@ -408,7 +417,7 @@ class OhmExecutor:
                 return None
             lowered.append((name, plan[0], plan[1]))
         return block.group_aggregate_block(
-            blk, op.keys, lowered, obs=self._obs
+            blk, op.keys, lowered, obs=self._obs, planner=planner
         )
 
     def _run_nest(
@@ -495,6 +504,59 @@ class OhmExecutor:
             result.append({n: row.get(n) for n in names})
         return result
 
+    def _compute_op(self, op, inputs, out_edges, instance, tiers, ctx, metrics):
+        """One operator's pure compute through the degradation ladder —
+        safe off the main thread (no spans, no shared-state writes)."""
+        if isinstance(op, Target):
+            delivered = self._attempt(
+                lambda p: self._run_target(op, inputs[0], p, errors=ctx),
+                tiers,
+                ctx,
+                metrics,
+            )
+            return [delivered]
+        out_relations = [e.schema for e in out_edges]
+        outputs = self._attempt(
+            lambda p: self._run_operator(
+                op, inputs, out_relations, instance, planner=p, errors=ctx
+            ),
+            tiers,
+            ctx,
+            metrics,
+        )
+        if len(outputs) != len(out_edges):
+            raise ExecutionError(
+                f"{op.KIND} {op.uid} produced {len(outputs)} "
+                f"outputs for {len(out_edges)} edges",
+                stage=op.uid,
+            )
+        return outputs
+
+    def _finish_op(
+        self, op, inputs, outputs, out_edges, ctx, span, seconds,
+        targets, by_edge, edge_data, rejected,
+    ) -> None:
+        """One operator's bookkeeping — always on the calling thread, in
+        topological order, so wavefront runs publish byte-identically to
+        serial runs."""
+        metrics = self._obs.metrics
+        if isinstance(op, Target):
+            targets.put(outputs[0])
+        rejected.extend(ctx.rejected)
+        ctx.publish(metrics, span)
+        if self._obs.enabled:
+            rows_in = sum(len(d) for d in inputs)
+            rows_out = sum(len(d) for d in outputs)
+            span.set(rows_in=rows_in, rows_out=rows_out)
+            prefix = f"ohm.operator.{op.uid}"
+            metrics.count(f"{prefix}.rows_in", rows_in)
+            metrics.count(f"{prefix}.rows_out", rows_out)
+            metrics.observe(f"{prefix}.seconds", seconds)
+        if not isinstance(op, Target):
+            for edge, dataset in zip(out_edges, outputs):
+                by_edge[(edge.src, edge.src_port)] = dataset
+                edge_data[edge.name] = dataset
+
     def _run_impl(
         self, graph: OhmGraph, instance: Instance
     ) -> Tuple[Instance, Dict[str, Dataset], List[RejectedRow]]:
@@ -507,66 +569,107 @@ class OhmExecutor:
         by_edge: Dict[Tuple[str, int], Dataset] = {}
         targets = Instance()
         rejected: List[RejectedRow] = []
+        order = graph.topological_order()
+        if self.parallel:
+            waves = topological_waves(
+                order,
+                lambda op: op.uid,
+                lambda op: (e.src for e in graph.in_edges(op.uid)),
+            )
+        else:
+            waves = [order]
         with tracer.span("ohm.run", graph=graph.name):
-            for op in graph.topological_order():
-                inputs = [
-                    by_edge[(e.src, e.src_port)] for e in graph.in_edges(op.uid)
-                ]
-                out_edges = graph.out_edges(op.uid)
-                ctx = ErrorContext(
-                    op.uid, getattr(op, "on_error", None) or self.on_error
-                )
-                with tracer.span(f"ohm.op.{op.KIND}", uid=op.uid) as span:
-                    started = perf_counter() if observing else 0.0
-                    if isinstance(op, Target):
-                        delivered = self._attempt(
-                            lambda p: self._run_target(
-                                op, inputs[0], p, errors=ctx
-                            ),
-                            tiers,
-                            ctx,
-                            metrics,
-                        )
-                        targets.put(delivered)
-                        outputs = [delivered]
-                    else:
-                        out_relations = [e.schema for e in out_edges]
-                        outputs = self._attempt(
-                            lambda p: self._run_operator(
-                                op,
-                                inputs,
-                                out_relations,
-                                instance,
-                                planner=p,
-                                errors=ctx,
-                            ),
-                            tiers,
-                            ctx,
-                            metrics,
-                        )
-                        if len(outputs) != len(out_edges):
-                            raise ExecutionError(
-                                f"{op.KIND} {op.uid} produced {len(outputs)} "
-                                f"outputs for {len(out_edges)} edges",
-                                stage=op.uid,
-                            )
-                    rejected.extend(ctx.rejected)
-                    ctx.publish(metrics, span)
-                    if observing:
-                        seconds = perf_counter() - started
-                        rows_in = sum(len(d) for d in inputs)
-                        rows_out = sum(len(d) for d in outputs)
-                        span.set(rows_in=rows_in, rows_out=rows_out)
-                        prefix = f"ohm.operator.{op.uid}"
-                        metrics.count(f"{prefix}.rows_in", rows_in)
-                        metrics.count(f"{prefix}.rows_out", rows_out)
-                        metrics.observe(f"{prefix}.seconds", seconds)
-                if isinstance(op, Target):
+            for wave in waves:
+                if self.parallel and len(wave) >= 2:
+                    self._run_wave(
+                        wave, graph, instance, tiers,
+                        targets, by_edge, edge_data, rejected,
+                    )
                     continue
-                for edge, dataset in zip(out_edges, outputs):
-                    by_edge[(edge.src, edge.src_port)] = dataset
-                    edge_data[edge.name] = dataset
+                for op in wave:
+                    inputs = [
+                        by_edge[(e.src, e.src_port)]
+                        for e in graph.in_edges(op.uid)
+                    ]
+                    out_edges = graph.out_edges(op.uid)
+                    ctx = ErrorContext(
+                        op.uid, getattr(op, "on_error", None) or self.on_error
+                    )
+                    with tracer.span(f"ohm.op.{op.KIND}", uid=op.uid) as span:
+                        started = perf_counter() if observing else 0.0
+                        outputs = self._compute_op(
+                            op, inputs, out_edges, instance, tiers, ctx, metrics
+                        )
+                        seconds = (
+                            perf_counter() - started if observing else 0.0
+                        )
+                        self._finish_op(
+                            op, inputs, outputs, out_edges, ctx, span, seconds,
+                            targets, by_edge, edge_data, rejected,
+                        )
         return targets, edge_data, rejected
+
+    def _run_wave(
+        self, wave, graph, instance, tiers,
+        targets, by_edge, edge_data, rejected,
+    ) -> None:
+        """Run one topological wave of mutually-independent operators on
+        the planner's worker pool. Compute fans out; bookkeeping (spans,
+        metrics, output wiring) replays on this thread in topological
+        order. An unavailable worker recomputes inline
+        (``exec.degrade.parallel_to_serial``); a genuine operator error
+        propagates exactly as the serial loop's would."""
+        tracer = self._obs.tracer
+        metrics = self._obs.metrics
+        prepared = []
+        for op in wave:
+            inputs = [
+                by_edge[(e.src, e.src_port)] for e in graph.in_edges(op.uid)
+            ]
+            out_edges = graph.out_edges(op.uid)
+            ctx = ErrorContext(
+                op.uid, getattr(op, "on_error", None) or self.on_error
+            )
+            prepared.append((op, inputs, out_edges, ctx))
+
+        def make_task(op, inputs, out_edges, ctx):
+            def task():
+                started = perf_counter()
+                outputs = self._compute_op(
+                    op, inputs, out_edges, instance, tiers, ctx, metrics
+                )
+                return outputs, perf_counter() - started
+
+            return task
+
+        pool = self._planner.pool()
+        entries = pool.run_all([make_task(*entry) for entry in prepared])
+        metrics.count("exec.parallel.waves")
+        metrics.count("exec.parallel.tasks", len(wave))
+        with tracer.span(
+            "exec.parallel.wave", operators=len(wave), workers=pool.workers
+        ):
+            for (op, inputs, out_edges, ctx), (error, payload) in zip(
+                prepared, entries
+            ):
+                if isinstance(error, WorkerUnavailable):
+                    metrics.count("exec.degrade.parallel_to_serial")
+                    ctx.reset()
+                    started = perf_counter()
+                    payload = (
+                        self._compute_op(
+                            op, inputs, out_edges, instance, tiers, ctx, metrics
+                        ),
+                        perf_counter() - started,
+                    )
+                elif error is not None:
+                    raise error
+                outputs, seconds = payload
+                with tracer.span(f"ohm.op.{op.KIND}", uid=op.uid) as span:
+                    self._finish_op(
+                        op, inputs, outputs, out_edges, ctx, span, seconds,
+                        targets, by_edge, edge_data, rejected,
+                    )
 
 
 def execute(

@@ -23,6 +23,10 @@ Run:  python examples/quickstart.py
                                                      # seeded bad rows land on
                                                      # the reject channel and
                                                      # show up as exec.errors.*
+      python examples/quickstart.py --explain        # cost-based plan: estimated
+                                                     # vs actual cardinalities
+                                                     # and per-operator costs
+                                                     # (see docs/planning.md)
 """
 
 import argparse
@@ -82,6 +86,12 @@ def main(argv=None) -> None:
         default=None,
         help="row-level error policy for the fault-tolerance demo "
         "(see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the cost-based plan for the example job: estimated vs "
+        "actual cardinalities and per-operator costs (docs/planning.md)",
     )
     parser.add_argument(
         "--poison",
@@ -146,6 +156,28 @@ def main(argv=None) -> None:
     for name, result in checks.items():
         status = "OK" if result.same_bags(baseline) else "MISMATCH"
         print(f"  {name:<18} {status}", file=out)
+
+    # --- cost-based plan (docs/planning.md) ---------------------------------------
+    if args.explain:
+        from repro.cost import (
+            CardinalityEstimator,
+            actuals_from_edges,
+            actuals_from_metrics,
+            catalog_for,
+            explain_graph,
+        )
+        from repro.ohm import OhmExecutor
+
+        catalog = catalog_for(instance)
+        estimator = CardinalityEstimator(catalog)
+        estimate = estimator.estimate_graph(graph)
+        explain_obs = Observability(stats=True)
+        explained = OhmExecutor(obs=explain_obs, catalog=catalog)
+        _targets, edge_data = explained.run(graph, instance)
+        actuals = actuals_from_metrics(explain_obs.metrics)
+        actuals.update(actuals_from_edges(edge_data))
+        print("\n=== Cost plan (estimated vs actual) ===", file=out)
+        print(explain_graph(graph, estimate=estimate, actuals=actuals), file=out)
 
     # --- fault tolerance (docs/robustness.md) -------------------------------------
     if args.on_error or args.poison:

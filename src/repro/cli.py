@@ -34,10 +34,12 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.config import MODES
 from repro.exec import (
     set_default_batch_size,
     set_default_batched,
     set_default_compiled,
+    set_default_mode,
     set_default_parallel,
     set_default_workers,
 )
@@ -113,6 +115,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "docs/execution-model.md)",
     )
     observability.add_argument(
+        "--mode",
+        choices=list(MODES),
+        help="pin the execution tier (rows/block/parallel) or let the "
+        "cost model pick per run from the input size (auto; equivalent "
+        "to REPRO_MODE — see docs/planning.md)",
+    )
+    observability.add_argument(
         "--on-error",
         choices=list(POLICIES),
         help="row-level error policy for everything this invocation "
@@ -175,6 +184,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print the hybrid SQL + ETL deployment of a job",
     )
     p.add_argument("job", help="path to the job XML document")
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print the per-operator cost plan (estimated "
+        "cardinalities and row-unit costs)",
+    )
+    p.add_argument(
+        "--sample",
+        type=int,
+        metavar="N",
+        help="build a statistics catalog from N seeded synthetic rows "
+        "per source relation, enabling cost-based placement",
+    )
+
+    p = sub.add_parser(
+        "explain",
+        parents=[observability],
+        help="run a job over synthetic data and print estimated vs "
+        "actual cardinalities and costs per operator",
+    )
+    p.add_argument("job", help="path to the job XML document")
+    p.add_argument(
+        "--sample",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="synthetic rows per source relation (default: 1000)",
+    )
 
     p = sub.add_parser(
         "optimize",
@@ -212,6 +249,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--workers must be >= 1")
         set_default_workers(args.workers)
         set_default_parallel(args.workers > 1)
+    if args.mode:
+        set_default_mode(args.mode)
     if args.max_retries is not None and args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
     if args.on_error:
@@ -232,6 +271,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.workers is not None:
             set_default_workers(None)
             set_default_parallel(None)
+        if args.mode:
+            set_default_mode(None)
         if args.on_error:
             set_default_on_error(None)
         if args.max_retries is not None:
@@ -244,6 +285,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sys.stderr.write(obs.metrics.to_json() + "\n")
         elif args.stats == "text":
             sys.stderr.write(obs.metrics.to_text() + "\n")
+
+
+def _synthetic_instance(graph, n_rows: int):
+    """A seeded synthetic instance covering every table source of an
+    OHM graph (provider-backed sources generate their own data)."""
+    from repro.ohm.operators import Source
+    from repro.workloads import synthesize_instance
+
+    return synthesize_instance(
+        [
+            op.relation
+            for op in graph.operators
+            if isinstance(op, Source) and op.provider is None
+        ],
+        n_rows,
+    )
 
 
 def _dispatch(args: argparse.Namespace, orchid: Orchid) -> int:
@@ -279,8 +336,53 @@ def _dispatch(args: argparse.Namespace, orchid: Orchid) -> int:
         return 0
 
     if args.command == "pushdown":
+        from repro.cost import CardinalityEstimator, catalog_for, explain_graph
+
         graph = orchid.import_etl(_read(args.job))
-        _write(orchid.to_hybrid(graph).describe(), None)
+        if args.sample:
+            if args.sample < 1:
+                raise SystemExit("--sample must be >= 1")
+            orchid.catalog = catalog_for(
+                _synthetic_instance(graph, args.sample)
+            )
+        plan = orchid.to_hybrid(graph)
+        out = [plan.describe()]
+        if args.explain:
+            graph.propagate_schemas()
+            out.append(explain_graph(
+                graph,
+                estimate=plan.estimate,
+                estimator=CardinalityEstimator(orchid.catalog),
+            ))
+        _write("\n\n".join(out), None)
+        return 0
+
+    if args.command == "explain":
+        from repro.cost import (
+            CardinalityEstimator,
+            actuals_from_edges,
+            actuals_from_metrics,
+            catalog_for,
+            explain_graph,
+        )
+        from repro.obs import Observability as _Obs
+        from repro.ohm.engine import OhmExecutor
+
+        if args.sample < 1:
+            raise SystemExit("--sample must be >= 1")
+        graph = orchid.import_etl(_read(args.job))
+        graph.propagate_schemas()
+        instance = _synthetic_instance(graph, args.sample)
+        catalog = catalog_for(instance)
+        estimate = CardinalityEstimator(catalog).estimate_graph(graph)
+        run_obs = _Obs(stats=True)
+        executor = OhmExecutor(obs=run_obs, catalog=catalog)
+        _targets, edge_data = executor.run(graph, instance)
+        actuals = actuals_from_metrics(run_obs.metrics)
+        actuals.update(actuals_from_edges(edge_data))
+        _write(
+            explain_graph(graph, estimate=estimate, actuals=actuals), None
+        )
         return 0
 
     if args.command == "optimize":

@@ -1,0 +1,226 @@
+"""Per-platform operator cost functions (the "how much" half of planning).
+
+Costs are in abstract *row-units*: 1.0 is one row touched once by a
+compiled row kernel. Every other platform is expressed relative to that,
+calibrated against the repository's own benchmarks:
+
+* the interpreting oracle is ~5x slower per row than compiled closures
+  (``BENCH_engines``: 1.6-2.3x end to end with materialization amortized);
+* block kernels are ~0.35x — the ~2.1x columnar speedup of
+  ``BENCH_columnar`` plus the batch-build overhead modelled separately;
+* sqlite evaluates an operator in C at ~0.2x, but *moving* rows costs:
+  loading a row into the DBMS is ~0.3 units (executemany), and
+  materializing a result row back out into Python dicts is ~2.0 units —
+  which is exactly why pushing a pass-through projection loses while
+  pushing a reducing filter + group wins;
+* a partitioned-kernel task costs ~``PARALLEL_TASK_ROWS`` units of fixed
+  dispatch overhead, which is where the partition threshold comes from.
+
+Two derived crossovers replace previously hard-coded constants:
+
+* :func:`derived_parallel_min_rows` — partitioning pays once the block
+  work a second partition removes from the critical path exceeds the
+  dispatch overhead of both partitions:
+  ``n * BLOCK_ROW_COST / 2 > 2 * PARALLEL_TASK_ROWS``, i.e.
+  ``n > 4 * PARALLEL_TASK_ROWS / BLOCK_ROW_COST``;
+* :func:`derived_block_min_rows` — the block tier pays once the per-row
+  saving beats the per-operator batch-build overhead:
+  ``n * (ROW_COST - BLOCK_ROW_COST) > BLOCK_SETUP_ROWS``.
+
+This module is deliberately a leaf: no imports from the engines, so the
+config layer and ``repro.exec.parallel`` can consult it lazily without
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: per-row cost of one operator on the interpreting oracle.
+ORACLE_ROW_COST = 5.0
+#: per-row cost of one operator as a compiled row kernel (the unit).
+ROW_COST = 1.0
+#: per-row cost of one operator as a vectorized block kernel.
+BLOCK_ROW_COST = 0.35
+#: fixed per-operator overhead of the block path (column builds,
+#: block compilation), in row-units.
+BLOCK_SETUP_ROWS = 256.0
+#: per-row cost of one operator evaluated inside sqlite.
+SQL_ROW_COST = 0.2
+#: per-row cost of loading a base row into the DBMS.
+SQL_LOAD_COST = 0.3
+#: per-row cost of materializing a query-result row back into Python.
+SQL_TRANSFER_COST = 2.0
+#: fixed dispatch overhead per partitioned-kernel task, in row-units.
+PARALLEL_TASK_ROWS = 700.0
+#: per-row cost of reading a base row in the ETL engine (source scan).
+SCAN_COST = 0.1
+#: per-row cost of delivering a row to a target.
+WRITE_COST = 0.1
+
+#: relative operator weight by OHM operator kind — a JOIN touches two
+#: inputs and hashes, a GROUP hashes and folds, a SPLIT merely aliases.
+OPERATOR_FACTORS: Dict[str, float] = {
+    "SOURCE": 0.0,
+    "TARGET": 0.0,
+    "FILTER": 1.0,
+    "PROJECT": 1.2,
+    "BASIC PROJECT": 1.0,
+    "KEYGEN": 1.0,
+    "COLUMN SPLIT": 1.2,
+    "COLUMN MERGE": 1.2,
+    "JOIN": 2.5,
+    "GROUP": 2.0,
+    "UNION": 0.6,
+    "SPLIT": 0.3,
+    "NEST": 2.0,
+    "UNNEST": 1.5,
+    "UNKNOWN": 1.0,
+}
+DEFAULT_OPERATOR_FACTOR = 1.0
+
+#: the execution tiers ``choose_tier`` selects between.
+TIERS = ("rows", "block", "parallel")
+
+
+def operator_factor(kind: str) -> float:
+    return OPERATOR_FACTORS.get(kind, DEFAULT_OPERATOR_FACTOR)
+
+
+def derived_parallel_min_rows() -> int:
+    """The partitioned-kernel engagement threshold the cost model
+    derives (see module docstring) — 8000 rows at the shipped
+    constants, replacing the old hard-coded 8192."""
+    return int(4 * PARALLEL_TASK_ROWS / BLOCK_ROW_COST)
+
+
+def derived_block_min_rows() -> int:
+    """Rows at which the block tier starts beating row kernels."""
+    return int(BLOCK_SETUP_ROWS / (ROW_COST - BLOCK_ROW_COST)) + 1
+
+
+def choose_tier(n_rows: int, workers: int = 1) -> str:
+    """Pick the cheapest execution tier for a run whose largest input
+    has ``n_rows`` rows: row kernels below the block crossover, block
+    kernels above it, partitioned-parallel once the biggest input would
+    actually partition (and there are workers to fan out to). Purely a
+    function of data size and worker count, so ``mode="auto"`` stays
+    deterministic."""
+    if workers >= 2 and n_rows >= derived_parallel_min_rows():
+        return "parallel"
+    if n_rows >= derived_block_min_rows():
+        return "block"
+    return "rows"
+
+
+class CostModel:
+    """Costs operators on each platform from cardinality estimates.
+
+    All methods return abstract row-units; only *comparisons* between
+    them are meaningful. Instantiating with keyword overrides rescales
+    individual constants (the benchmarks do this to stress decisions).
+    """
+
+    def __init__(
+        self,
+        oracle_row_cost: float = ORACLE_ROW_COST,
+        row_cost: float = ROW_COST,
+        block_row_cost: float = BLOCK_ROW_COST,
+        block_setup_rows: float = BLOCK_SETUP_ROWS,
+        sql_row_cost: float = SQL_ROW_COST,
+        sql_load_cost: float = SQL_LOAD_COST,
+        sql_transfer_cost: float = SQL_TRANSFER_COST,
+    ):
+        self.oracle_row_cost = oracle_row_cost
+        self.row_cost = row_cost
+        self.block_row_cost = block_row_cost
+        self.block_setup_rows = block_setup_rows
+        self.sql_row_cost = sql_row_cost
+        self.sql_load_cost = sql_load_cost
+        self.sql_transfer_cost = sql_transfer_cost
+
+    # -- per-operator costs --------------------------------------------------
+
+    def etl_operator_cost(
+        self,
+        kind: str,
+        rows_in: float,
+        rows_out: float,
+        tier: str = "rows",
+    ) -> float:
+        """One operator executed by the ETL engine at ``tier``."""
+        if kind == "SOURCE":
+            return SCAN_COST * rows_out
+        if kind == "TARGET":
+            return WRITE_COST * rows_in
+        per_row = {
+            "rows": self.row_cost,
+            "block": self.block_row_cost,
+            "parallel": self.block_row_cost,
+            "oracle": self.oracle_row_cost,
+        }.get(tier, self.row_cost)
+        cost = operator_factor(kind) * per_row * max(rows_in, 0.0)
+        if tier in ("block", "parallel"):
+            cost += self.block_setup_rows
+        return cost
+
+    def sql_operator_cost(
+        self, kind: str, rows_in: float, rows_out: float
+    ) -> float:
+        """One operator evaluated inside the DBMS (no data movement —
+        that is costed at the region boundary)."""
+        if kind in ("SOURCE", "TARGET"):
+            return 0.0
+        return operator_factor(kind) * self.sql_row_cost * max(rows_in, 0.0)
+
+    # -- region costs --------------------------------------------------------
+
+    def sql_load(self, base_rows: float) -> float:
+        """Loading ``base_rows`` source rows into the DBMS."""
+        return self.sql_load_cost * max(base_rows, 0.0)
+
+    def sql_transfer(self, frontier_rows: float) -> float:
+        """Materializing ``frontier_rows`` query-result rows back out."""
+        return self.sql_transfer_cost * max(frontier_rows, 0.0)
+
+    # -- tier selection ------------------------------------------------------
+
+    def block_min_rows(self) -> int:
+        return int(self.block_setup_rows / (self.row_cost - self.block_row_cost)) + 1
+
+    def parallel_min_rows(self) -> int:
+        return int(4 * PARALLEL_TASK_ROWS / self.block_row_cost)
+
+    def choose_tier(self, n_rows: int, workers: int = 1) -> str:
+        if workers >= 2 and n_rows >= self.parallel_min_rows():
+            return "parallel"
+        if n_rows >= self.block_min_rows():
+            return "block"
+        return "rows"
+
+
+#: the shared default model (all methods are pure, so sharing is safe).
+DEFAULT_MODEL = CostModel()
+
+
+__all__ = [
+    "BLOCK_ROW_COST",
+    "BLOCK_SETUP_ROWS",
+    "CostModel",
+    "DEFAULT_MODEL",
+    "DEFAULT_OPERATOR_FACTOR",
+    "OPERATOR_FACTORS",
+    "ORACLE_ROW_COST",
+    "PARALLEL_TASK_ROWS",
+    "ROW_COST",
+    "SCAN_COST",
+    "SQL_LOAD_COST",
+    "SQL_ROW_COST",
+    "SQL_TRANSFER_COST",
+    "TIERS",
+    "WRITE_COST",
+    "choose_tier",
+    "derived_block_min_rows",
+    "derived_parallel_min_rows",
+    "operator_factor",
+]

@@ -15,7 +15,7 @@ from repro.deploy.platform import (
     RuntimePlatform,
     plan_deployment,
 )
-from repro.deploy.pushdown import HybridPlan, plan_pushdown
+from repro.deploy.pushdown import FragmentDecision, HybridPlan, plan_pushdown
 from repro.deploy.shapes import BoxShape, analyze_box
 from repro.deploy.sql import (
     DEFAULT_DIALECT,
@@ -36,6 +36,7 @@ __all__ = [
     "RpOperator",
     "RuntimePlatform",
     "plan_deployment",
+    "FragmentDecision",
     "HybridPlan",
     "plan_pushdown",
     "BoxShape",

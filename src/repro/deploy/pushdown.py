@@ -12,12 +12,33 @@ maximal pushed region is exactly a region whose composed mapping is one
 single-block SELECT (or a UNION ALL of them). The *frontier* edges — the
 cuts between the pushed region and the residual ETL job — become SQL
 statements; the residual graph deploys to the ETL platform as usual.
+
+Pushability says what *can* move; since the cost-based planning layer
+(:mod:`repro.cost`) it no longer says what *should*. When
+``plan_pushdown`` is given a :class:`~repro.cost.StatisticsCatalog`
+covering the pushable sources (and ``cost`` resolves to True — kwarg >
+``set_default_cost_based`` > ``REPRO_COST`` > True), it starts from the
+maximal pushable region and greedily *peels* operators back onto the ETL
+side while the modelled total cost improves: pushing a reducing
+filter + join + group wins (few rows cross the expensive DBMS→Python
+transfer boundary), pushing a pass-through projection loses (every row
+pays transfer for no reduction). The all-ETL plan is a legal outcome —
+an empty pushed region skips the DBMS entirely. ``cost=False`` (or no
+catalog) keeps the paper's pushability-only maximal pushdown exactly.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.cost import (
+    CardinalityEstimator,
+    CostModel,
+    DEFAULT_MODEL,
+    GraphEstimate,
+    StatisticsCatalog,
+    resolve_cost_based,
+)
 from repro.data.dataset import Dataset, Instance
 from repro.dataflow import Edge
 from repro.deploy.datastage import DATASTAGE, deploy_to_job
@@ -121,15 +142,52 @@ def _classify(
     return states
 
 
+class FragmentDecision:
+    """Why one fragment of a hybrid plan landed where it did.
+
+    :ivar name: the frontier relation (SQL fragments) or residual job
+        name (the ETL fragment).
+    :ivar placement: ``"sql"`` or ``"etl"``.
+    :ivar rows: estimated rows the fragment produces (None without a
+        catalog — pushability-only mode plans blind).
+    :ivar cost: estimated cost of the fragment in row-units, including
+        the transfer of its output for SQL fragments.
+    :ivar reason: one human-readable sentence.
+    """
+
+    __slots__ = ("name", "placement", "rows", "cost", "reason")
+
+    def __init__(
+        self,
+        name: str,
+        placement: str,
+        rows: Optional[float] = None,
+        cost: Optional[float] = None,
+        reason: str = "",
+    ):
+        self.name = name
+        self.placement = placement
+        self.rows = rows
+        self.cost = cost
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"FragmentDecision({self.name!r} -> {self.placement})"
+
+
 class HybridPlan:
     """A combined deployment: SQL statements computing the frontier
     relations on the DBMS, plus the residual ETL job reading them.
 
-    :ivar statements: frontier relation name → SELECT statement.
+    :ivar statements: frontier relation name → SELECT statement (empty
+        when cost-based planning kept everything in the ETL engine).
     :ivar frontier_schemas: frontier relation name → relation.
     :ivar job: the residual ETL job (its sources include the frontier
         relations).
     :ivar pushed_operator_uids: which OHM operators were pushed.
+    :ivar decisions: per-fragment :class:`FragmentDecision` records.
+    :ivar estimate: the :class:`~repro.cost.GraphEstimate` the placement
+        was costed from (None in pushability-only mode).
     """
 
     def __init__(
@@ -139,17 +197,24 @@ class HybridPlan:
         job: Job,
         pushed_operator_uids: Set[str],
         plan,
+        decisions: Optional[List[FragmentDecision]] = None,
+        estimate: Optional[GraphEstimate] = None,
     ):
         self.statements = statements
         self.frontier_schemas = frontier_schemas
         self.job = job
         self.pushed_operator_uids = pushed_operator_uids
         self.etl_plan = plan
+        self.decisions = decisions or []
+        self.estimate = estimate
 
     def execute(self, instance: Instance) -> Instance:
         """Run the hybrid: SQL on the (sqlite) DBMS holding the source
         data, then the residual ETL job over the query results plus any
-        base relations the residual job still reads directly."""
+        base relations the residual job still reads directly. A plan
+        with nothing pushed skips the DBMS entirely."""
+        if not self.statements:
+            return run_job(self.job, instance)
         runner = SqliteRunner(instance)
         try:
             enriched = Instance()
@@ -163,14 +228,36 @@ class HybridPlan:
 
     def describe(self) -> str:
         lines = ["hybrid SQL + ETL deployment:"]
+        by_name = {d.name: d for d in self.decisions}
         for name, sql in self.statements.items():
-            lines.append(f"  -- {name} (pushed to the DBMS)")
+            decision = by_name.get(name)
+            if decision is not None and decision.rows is not None:
+                lines.append(
+                    f"  -- {name} (pushed to the DBMS, "
+                    f"~{decision.rows:.0f} rows out, "
+                    f"cost {decision.cost:.0f} row-units)"
+                )
+            else:
+                lines.append(f"  -- {name} (pushed to the DBMS)")
+            if decision is not None and decision.reason:
+                lines.append(f"     -- {decision.reason}")
             for line in sql.splitlines():
                 lines.append(f"     {line}")
+        if not self.statements:
+            lines.append("  -- nothing pushed to the DBMS")
+        residual = by_name.get(self.job.name)
+        suffix = ""
+        if residual is not None and residual.rows is not None:
+            suffix = (
+                f" (~{residual.rows:.0f} rows in, "
+                f"cost {residual.cost:.0f} row-units)"
+            )
         lines.append(
             f"  residual ETL job {self.job.name!r} with stages: "
-            f"{[s.name for s in self.job.stages]}"
+            f"{[s.name for s in self.job.stages]}{suffix}"
         )
+        if residual is not None and residual.reason:
+            lines.append(f"     -- {residual.reason}")
         return "\n".join(lines)
 
 
@@ -179,17 +266,29 @@ def plan_pushdown(
     platform: Optional[RuntimePlatform] = None,
     dialect: Optional[SqliteDialect] = None,
     obs: Optional[Observability] = None,
+    cost: Optional[bool] = None,
+    catalog: Optional[StatisticsCatalog] = None,
+    model: Optional[CostModel] = None,
+    estimator: Optional[CardinalityEstimator] = None,
 ) -> HybridPlan:
-    """Compute the maximal pushdown plan for an OHM instance.
+    """Compute the pushdown plan for an OHM instance.
+
+    Without a ``catalog`` (or with ``cost=False``) this is the paper's
+    maximal pushdown: everything pushable is pushed. With a catalog
+    covering the pushable sources, placement is cost-based — see the
+    module docstring.
 
     With an :class:`~repro.obs.Observability`, records the pushdown
     decisions: ``deploy.pushdown.pushable`` / ``.not_pushable`` per
     classified operator, ``deploy.pushdown.pushed_operators`` /
-    ``.frontier_edges`` for the chosen cut, under a ``deploy.pushdown``
-    span."""
+    ``.frontier_edges`` for the chosen cut, and (cost mode)
+    ``deploy.pushdown.cost_candidates`` / ``.peeled`` for the search,
+    under a ``deploy.pushdown`` span."""
     obs = obs or NULL_OBS
     with obs.tracer.span("deploy.pushdown", graph=graph.name) as span:
-        plan = _plan_pushdown_impl(graph, platform, dialect, obs)
+        plan = _plan_pushdown_impl(
+            graph, platform, dialect, obs, cost, catalog, model, estimator
+        )
         if obs.enabled:
             span.set(
                 pushed_operators=len(plan.pushed_operator_uids),
@@ -203,38 +302,50 @@ def _plan_pushdown_impl(
     platform: Optional[RuntimePlatform],
     dialect: Optional[SqliteDialect],
     obs: Observability,
+    cost: Optional[bool],
+    catalog: Optional[StatisticsCatalog],
+    model: Optional[CostModel],
+    estimator: Optional[CardinalityEstimator],
 ) -> HybridPlan:
     dialect = dialect or DEFAULT_DIALECT
     work = graph.shallow_copy()
     work.propagate_schemas()
     states = _classify(work, dialect)
-    pushed = {uid for uid, s in states.items() if s.pushable}
+    pushable = {uid for uid, s in states.items() if s.pushable}
     if obs.enabled:
-        obs.metrics.count("deploy.pushdown.pushable", len(pushed))
+        obs.metrics.count("deploy.pushdown.pushable", len(pushable))
         obs.metrics.count(
-            "deploy.pushdown.not_pushable", len(states) - len(pushed)
+            "deploy.pushdown.not_pushable", len(states) - len(pushable)
         )
-    # drop pushed operators none of whose consumers exist (defensive) and
-    # find the frontier: edges from pushed to not-pushed
-    frontier: List[Edge] = [
-        e for e in work.edges
-        if e.src in pushed and e.dst not in pushed
-    ]
-    if not frontier:
+    maximal = _feeding_set(work, pushable)
+    if not maximal:
         raise DeploymentError("nothing can be pushed down in this graph")
-    # only keep pushed operators that actually feed a frontier edge
-    feeding: Set[str] = set()
-    to_visit = [e.src for e in frontier]
-    while to_visit:
-        uid = to_visit.pop()
-        if uid in feeding:
-            continue
-        feeding.add(uid)
-        to_visit.extend(
-            e.src for e in work.in_edges(uid) if e.src in pushed
-        )
-    pushed = feeding
 
+    estimate: Optional[GraphEstimate] = None
+    decisions: List[FragmentDecision] = []
+    pushed = maximal
+    if resolve_cost_based(cost) and catalog is not None and catalog.covers(
+        op.relation.name
+        for op in work.operators
+        if isinstance(op, Source) and op.uid in maximal
+    ):
+        model = model or DEFAULT_MODEL
+        estimator = estimator or CardinalityEstimator(catalog)
+        estimate = estimator.estimate_graph(work)
+        pushed, chosen_cost, candidates = _choose_pushed(
+            work, maximal, estimate, model
+        )
+        if obs.enabled:
+            obs.metrics.count("deploy.pushdown.cost_candidates", candidates)
+            obs.metrics.count(
+                "deploy.pushdown.peeled", len(maximal) - len(pushed)
+            )
+        decisions = _fragment_decisions(
+            work, pushed, maximal, estimate, model, chosen_cost,
+            f"{graph.name}_residual",
+        )
+
+    frontier = [e for e in work.edges if e.src in pushed and e.dst not in pushed]
     statements: Dict[str, str] = {}
     frontier_schemas: Dict[str, object] = {}
     for edge in frontier:
@@ -256,16 +367,197 @@ def _plan_pushdown_impl(
     job, plan = deploy_to_job(
         residual, platform, name=f"{graph.name}_residual", obs=obs
     )
-    return HybridPlan(statements, frontier_schemas, job, pushed, plan)
+    return HybridPlan(
+        statements, frontier_schemas, job, pushed, plan,
+        decisions=decisions, estimate=estimate,
+    )
 
 
-def _pushed_subgraph(
-    graph: OhmGraph, pushed: Set[str], frontier_edge: Edge
-) -> OhmGraph:
-    """The cone of pushed operators feeding one frontier edge, terminated
-    by a TARGET carrying the frontier relation."""
+# -- cost-based placement -----------------------------------------------------
+
+
+def _frontier_of(graph: OhmGraph, pushed: Set[str]) -> List[Edge]:
+    return [
+        e for e in graph.edges if e.src in pushed and e.dst not in pushed
+    ]
+
+
+def _feeding_set(graph: OhmGraph, pushed: Set[str]) -> Set[str]:
+    """The subset of ``pushed`` that actually feeds a frontier edge —
+    operators whose whole cone of consumers is inside the region do no
+    useful work and drop out."""
+    feeding: Set[str] = set()
+    to_visit = [e.src for e in _frontier_of(graph, pushed)]
+    while to_visit:
+        uid = to_visit.pop()
+        if uid in feeding:
+            continue
+        feeding.add(uid)
+        to_visit.extend(
+            e.src for e in graph.in_edges(uid) if e.src in pushed
+        )
+    return feeding
+
+
+def _plan_cost(
+    graph: OhmGraph,
+    pushed: Set[str],
+    estimate: GraphEstimate,
+    model: CostModel,
+    tier: str = "rows",
+) -> float:
+    """Total modelled cost of the hybrid with region ``pushed`` on the
+    DBMS: load its sources in, evaluate its operators in SQL, transfer
+    each frontier relation back out, and run everything else on the ETL
+    engine at ``tier``."""
+    total = 0.0
+    for op in graph.operators:
+        op_estimate = estimate.operators.get(op.uid)
+        if op_estimate is None:
+            continue
+        if op.uid in pushed:
+            if isinstance(op, Source):
+                total += model.sql_load(op_estimate.rows_out)
+            else:
+                total += model.sql_operator_cost(
+                    op.KIND, op_estimate.rows_in, op_estimate.rows_out
+                )
+        else:
+            total += model.etl_operator_cost(
+                op.KIND, op_estimate.rows_in, op_estimate.rows_out, tier
+            )
+    for edge in _frontier_of(graph, pushed):
+        total += model.sql_transfer(
+            estimate.edge_rows(edge.name, estimate.rows_out(edge.src))
+        )
+    return total
+
+
+def _peelable(graph: OhmGraph, pushed: Set[str]) -> List[str]:
+    """Operators at the top of the pushed region: every consumer is
+    already outside, so removing one keeps the region frontier-closed."""
+    return sorted(
+        uid for uid in pushed
+        if all(e.dst not in pushed for e in graph.out_edges(uid))
+    )
+
+
+def _choose_pushed(
+    graph: OhmGraph,
+    maximal: Set[str],
+    estimate: GraphEstimate,
+    model: CostModel,
+) -> Tuple[Set[str], float, int]:
+    """Greedy peel: start from the maximal pushable region and move
+    top operators back to the ETL side while the total modelled cost
+    improves. Returns (chosen region, its cost, candidates costed).
+    Reaches the empty region — pure ETL — when nothing pushed is worth
+    the transfer."""
+    best = set(maximal)
+    best_cost = _plan_cost(graph, best, estimate, model)
+    candidates = 1
+    improved = True
+    while improved and best:
+        improved = False
+        for uid in _peelable(graph, best):
+            trial = set(best)
+            trial.discard(uid)
+            trial = _feeding_set(graph, trial)
+            trial_cost = _plan_cost(graph, trial, estimate, model)
+            candidates += 1
+            if trial_cost < best_cost - 1e-9:
+                best, best_cost = trial, trial_cost
+                improved = True
+                break
+    # the all-ETL plan is always a candidate: when transfer dominates,
+    # every intermediate cut can be worse than the maximal push even
+    # though pushing nothing beats both — greedy peeling alone would
+    # never reach it
+    if best:
+        etl_cost = _plan_cost(graph, set(), estimate, model)
+        candidates += 1
+        if etl_cost < best_cost - 1e-9:
+            best, best_cost = set(), etl_cost
+    return best, best_cost, candidates
+
+
+def _fragment_decisions(
+    graph: OhmGraph,
+    pushed: Set[str],
+    maximal: Set[str],
+    estimate: GraphEstimate,
+    model: CostModel,
+    chosen_cost: float,
+    residual_name: str,
+) -> List[FragmentDecision]:
+    """Per-fragment records of the placement: one per frontier SQL
+    statement, one for the residual ETL job."""
+    etl_cost = _plan_cost(graph, set(), estimate, model)
+    push_cost = _plan_cost(graph, maximal, estimate, model)
+    decisions: List[FragmentDecision] = []
+    frontier = _frontier_of(graph, pushed)
+    for edge in frontier:
+        cone = _cone_of(graph, pushed, edge)
+        rows = estimate.edge_rows(edge.name, estimate.rows_out(edge.src))
+        source_rows = sum(
+            estimate.rows_out(op.uid)
+            for op in graph.operators
+            if isinstance(op, Source) and op.uid in cone
+        )
+        sql_cost = sum(
+            model.sql_load(estimate.rows_out(uid))
+            if isinstance(graph.operator(uid), Source)
+            else model.sql_operator_cost(
+                graph.operator(uid).KIND,
+                estimate.operators[uid].rows_in,
+                estimate.operators[uid].rows_out,
+            )
+            for uid in cone
+            if uid in estimate.operators
+        ) + model.sql_transfer(rows)
+        decisions.append(FragmentDecision(
+            edge.name, "sql", rows, sql_cost,
+            f"SQL reduces ~{source_rows:.0f} source rows to ~{rows:.0f} "
+            f"before transfer; hybrid {chosen_cost:.0f} vs pure-ETL "
+            f"{etl_cost:.0f} row-units",
+        ))
+    residual_rows = sum(
+        estimate.edge_rows(e.name, estimate.rows_out(e.src))
+        for e in frontier
+    ) if frontier else sum(
+        estimate.rows_out(op.uid)
+        for op in graph.operators
+        if isinstance(op, Source)
+    )
+    residual_cost = sum(
+        model.etl_operator_cost(
+            op.KIND,
+            estimate.operators[op.uid].rows_in,
+            estimate.operators[op.uid].rows_out,
+        )
+        for op in graph.operators
+        if op.uid not in pushed and op.uid in estimate.operators
+    )
+    if pushed:
+        reason = (
+            f"{len(pushed)} of {len(maximal)} pushable operators placed on "
+            f"the DBMS; the rest run cheaper in the ETL engine"
+        )
+    else:
+        reason = (
+            f"nothing pushed: pure ETL costs {etl_cost:.0f} row-units vs "
+            f"{push_cost:.0f} for the maximal pushdown (transfer dominates)"
+        )
+    decisions.append(FragmentDecision(
+        residual_name, "etl", residual_rows, residual_cost, reason
+    ))
+    return decisions
+
+
+def _cone_of(graph: OhmGraph, pushed: Set[str], edge: Edge) -> Set[str]:
+    """The pushed operators upstream of one frontier edge."""
     cone: Set[str] = set()
-    to_visit = [frontier_edge.src]
+    to_visit = [edge.src]
     while to_visit:
         uid = to_visit.pop()
         if uid in cone:
@@ -274,6 +566,15 @@ def _pushed_subgraph(
         to_visit.extend(
             e.src for e in graph.in_edges(uid) if e.src in pushed
         )
+    return cone
+
+
+def _pushed_subgraph(
+    graph: OhmGraph, pushed: Set[str], frontier_edge: Edge
+) -> OhmGraph:
+    """The cone of pushed operators feeding one frontier edge, terminated
+    by a TARGET carrying the frontier relation."""
+    cone = _cone_of(graph, pushed, frontier_edge)
     sub = OhmGraph(f"pushed:{frontier_edge.name}")
     for uid in cone:
         sub.add(graph.operator(uid))
@@ -318,4 +619,4 @@ def _residual_graph(
     return residual
 
 
-__all__ = ["HybridPlan", "plan_pushdown"]
+__all__ = ["FragmentDecision", "HybridPlan", "plan_pushdown"]

@@ -46,6 +46,7 @@ from repro.exec import (
     resolve_batch_size,
     resolve_batched,
     resolve_compiled,
+    resolve_mode,
     resolve_parallel,
     resolve_workers,
 )
@@ -136,6 +137,8 @@ class EtlEngine:
         degrade: bool = True,
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        catalog=None,
     ):
         self._obs = obs or NULL_OBS
         #: whether stages lower expressions through the compiler
@@ -161,6 +164,20 @@ class EtlEngine:
         self._parallel_opt = parallel
         self.workers = resolve_workers(workers)
         self.parallel = resolve_parallel(parallel) and self.workers >= 2
+        #: execution-tier mode: "rows"/"block"/"parallel" pin the tier,
+        #: "auto" picks per run from the input size via the cost model,
+        #: None keeps the per-flag resolution above.
+        self.mode = resolve_mode(mode)
+        if self.mode is not None:
+            probe = ExpressionPlanner(
+                None, compiled, batched, self.batch_size,
+                parallel=parallel, workers=self.workers, mode=self.mode,
+            )
+            self.batched = probe.batched
+            self.parallel = probe.parallel
+        #: statistics catalog fed back with source stats and per-link
+        #: actuals after every run (None disables the feedback loop).
+        self.catalog = catalog
         #: statistics of the most recently *completed* run.
         self.last_run: EtlRunStats = EtlRunStats()
 
@@ -194,7 +211,7 @@ class EtlEngine:
         tiers = [planner]
         if not self.degrade:
             return tiers
-        if self.batched:
+        if planner.batched:
             tiers.append(
                 ExpressionPlanner(
                     planner.registry, True, False, self.batch_size
@@ -370,7 +387,13 @@ class EtlEngine:
         planner = ExpressionPlanner(
             job.registry, self.compiled, self.batched, self.batch_size,
             parallel=self._parallel_opt, workers=self.workers,
+            mode=self.mode,
         )
+        if self.mode == "auto":
+            n_rows = max((len(d) for d in instance), default=0)
+            tier = planner.tune_for(n_rows)
+            self._obs.metrics.count(f"exec.auto.tier.{tier}")
+        parallel = planner.parallel if self.mode is not None else self.parallel
         tiers = self._ladder(planner)
         job.propagate_schemas()
         by_port: Dict[Tuple[str, int], Dataset] = {}
@@ -380,7 +403,7 @@ class EtlEngine:
             self.checkpoint.load_frontier(job) if self.checkpoint else {}
         )
         order = job.topological_order()
-        if self.parallel:
+        if parallel:
             waves = topological_waves(
                 order,
                 lambda s: s.uid,
@@ -390,7 +413,7 @@ class EtlEngine:
             waves = [order]
         with tracer.span("etl.run", job=job.name):
             for wave in waves:
-                if self.parallel and len(wave) >= 2:
+                if parallel and len(wave) >= 2:
                     self._run_stage_wave(
                         wave, job, instance, tiers, planner, frontier,
                         targets, by_port, link_data, stats,
@@ -439,6 +462,11 @@ class EtlEngine:
                     )
         if self.checkpoint is not None:
             self.checkpoint.clear(job)
+        if self.catalog is not None:
+            # close the feedback loop: the next estimate_graph over the
+            # same link names re-plans from these actuals
+            self.catalog.observe_instance(instance)
+            self.catalog.observe_link_counts(stats.link_counts)
         self.last_run = stats
         return targets, link_data
 

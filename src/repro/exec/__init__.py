@@ -46,9 +46,9 @@ for the full four-tier handbook.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Callable, Optional
 
+from repro import config
 from repro.data.dataset import Dataset
 from repro.expr.ast import AggregateCall, Expr
 from repro.expr.evaluator import (
@@ -84,34 +84,24 @@ from repro.exec.parallel import (
     set_parallel_threshold,
 )
 
-_FALSE_VALUES = ("0", "false", "no", "off")
-
 #: default rows per block in batched mode (overridable per engine, via
-#: ``set_default_batch_size``, or with ``REPRO_BATCH_SIZE``)
-DEFAULT_BATCH_SIZE = 1024
-
-_default_compiled: Optional[bool] = None
-_default_batched: Optional[bool] = None
-_default_batch_size: Optional[int] = None
+#: ``set_default_batch_size``, or with ``REPRO_BATCH_SIZE``); the
+#: authoritative value lives in the central knob registry,
+#: :mod:`repro.config`.
+DEFAULT_BATCH_SIZE = config.DEFAULT_BATCH_SIZE
 
 
 def default_compiled() -> bool:
     """The process-wide compiled-mode default: a
     :func:`set_default_compiled` override wins, else the
     ``REPRO_COMPILED`` environment variable, else True."""
-    if _default_compiled is not None:
-        return _default_compiled
-    raw = os.environ.get("REPRO_COMPILED")
-    if raw is not None and raw.strip().lower() in _FALSE_VALUES:
-        return False
-    return True
+    return config.COMPILED.default()
 
 
 def set_default_compiled(value: Optional[bool]) -> None:
     """Override the process-wide compiled default (None restores the
     environment-variable/True resolution)."""
-    global _default_compiled
-    _default_compiled = value
+    config.COMPILED.set(value)
 
 
 def resolve_compiled(value: Optional[bool]) -> bool:
@@ -124,19 +114,13 @@ def default_batched() -> bool:
     """The process-wide batched-mode default: a
     :func:`set_default_batched` override wins, else the ``REPRO_BATCH``
     environment variable (any non-false value enables), else False."""
-    if _default_batched is not None:
-        return _default_batched
-    raw = os.environ.get("REPRO_BATCH")
-    if raw is None:
-        return False
-    return raw.strip().lower() not in _FALSE_VALUES
+    return config.BATCHED.default()
 
 
 def set_default_batched(value: Optional[bool]) -> None:
     """Override the process-wide batched default (None restores the
     environment-variable/False resolution)."""
-    global _default_batched
-    _default_batched = value
+    config.BATCHED.set(value)
 
 
 def resolve_batched(value: Optional[bool]) -> bool:
@@ -150,39 +134,43 @@ def default_batch_size() -> int:
     override wins, else ``REPRO_BATCH_SIZE``, else an integer
     ``REPRO_BATCH`` value > 1 (so ``REPRO_BATCH=4096`` both enables
     batching and sizes the blocks), else :data:`DEFAULT_BATCH_SIZE`."""
-    if _default_batch_size is not None:
-        return _default_batch_size
-    for variable in ("REPRO_BATCH_SIZE", "REPRO_BATCH"):
-        raw = os.environ.get(variable)
-        if raw is None:
-            continue
-        try:
-            parsed = int(raw)
-        except ValueError:
-            continue
-        if parsed > 1:
-            return parsed
-    return DEFAULT_BATCH_SIZE
+    return config.BATCH_SIZE.default()
 
 
 def set_default_batch_size(value: Optional[int]) -> None:
     """Override the process-wide batch size (None restores the
     environment-variable/:data:`DEFAULT_BATCH_SIZE` resolution)."""
-    global _default_batch_size
-    if value is not None and int(value) < 1:
-        raise ValueError(f"batch size must be >= 1, got {value!r}")
-    _default_batch_size = None if value is None else int(value)
+    config.BATCH_SIZE.set(value)
 
 
 def resolve_batch_size(value: Optional[int]) -> int:
     """Resolve an engine constructor's ``batch_size`` argument: an
     explicit size wins, None means the process default."""
-    if value is None:
-        return default_batch_size()
-    size = int(value)
-    if size < 1:
-        raise ValueError(f"batch size must be >= 1, got {value!r}")
-    return size
+    return config.BATCH_SIZE.resolve(value)
+
+
+def default_mode() -> Optional[str]:
+    """The process-wide execution-mode default: a
+    :func:`set_default_mode` override wins, else ``REPRO_MODE``, else
+    ``None`` (engines honour their per-flag resolution)."""
+    return config.MODE.default()
+
+
+def set_default_mode(value: Optional[str]) -> None:
+    """Override the process-wide execution mode — ``"rows"``,
+    ``"block"``, ``"parallel"``, or ``"auto"`` (None restores the
+    environment-variable resolution)."""
+    config.MODE.set(value)
+
+
+def resolve_mode(value: Optional[str]) -> Optional[str]:
+    """Resolve an engine constructor's ``mode`` argument: an explicit
+    mode wins (validated), None means the process default — which is
+    itself usually None, meaning "use the compiled/batched/parallel
+    flags as given"."""
+    if value is not None:
+        return config.check_mode(value)
+    return default_mode()
 
 
 # -- kernel fault injection ---------------------------------------------------
@@ -229,6 +217,7 @@ class ExpressionPlanner:
         batch_size: Optional[int] = None,
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
+        mode: Optional[str] = None,
     ) -> None:
         self.registry = registry or DEFAULT_REGISTRY
         self.compiled = resolve_compiled(compiled)
@@ -244,10 +233,43 @@ class ExpressionPlanner:
         self.parallel = (
             self.batched and self.workers >= 2 and resolve_parallel(parallel)
         )
+        # an explicit mode overrides the per-flag resolution above:
+        # "rows"/"block"/"parallel" pin the tier, "auto" defers the
+        # decision to tune_for() once the run's data size is known
+        self.mode = resolve_mode(mode)
+        if self.mode == "rows":
+            self.batched = False
+            self.parallel = False
+        elif self.mode == "block":
+            self.batched = self.compiled
+            self.parallel = False
+        elif self.mode == "parallel":
+            self.batched = self.compiled
+            self.parallel = self.batched and self.workers >= 2
         self._pool: Optional[WorkerPool] = None
         self._scalars: dict = {}
         self._predicates: dict = {}
         self._aggregates: dict = {}
+
+    def tune_for(self, n_rows: int, model=None) -> str:
+        """``mode="auto"``: pick the execution tier from the run's
+        (estimated or actual) largest input cardinality via the cost
+        model's crossovers (:func:`repro.cost.model.choose_tier`) and
+        reconfigure this planner accordingly. Returns the chosen tier;
+        a no-op (returning the current configuration's tier) for every
+        other mode. Tier choice never changes results — block and
+        partitioned kernels are bit-identical to the serial compiled
+        path — only how fast they arrive."""
+        if self.mode != "auto":
+            if self.parallel:
+                return "parallel"
+            return "block" if self.batched else "rows"
+        if model is None:
+            from repro.cost.model import DEFAULT_MODEL as model
+        tier = model.choose_tier(n_rows, self.workers)
+        self.batched = self.compiled and tier in ("block", "parallel")
+        self.parallel = self.batched and tier == "parallel"
+        return tier if self.compiled else "rows"
 
     def pool(self) -> WorkerPool:
         """The planner's worker pool (lazily built; threads by default,
@@ -412,6 +434,9 @@ __all__ = [
     "default_batch_size",
     "default_batched",
     "default_compiled",
+    "default_mode",
+    "resolve_mode",
+    "set_default_mode",
     "is_foldable",
     "kernel_fault_hook",
     "kernels",

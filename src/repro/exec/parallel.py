@@ -47,15 +47,16 @@ import os
 import threading
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import config
 from repro.exec.kernels import key_encoder
 
-_FALSE_VALUES = ("0", "false", "no", "off")
-
-#: a partitioned kernel engages only at or above this many input rows
-#: (below it, partitioning overhead beats the gain); tunable via
-#: ``set_parallel_threshold`` or ``REPRO_PARALLEL_MIN_ROWS``. The
-#: partition count derives from the row count alone, so results are
-#: independent of the worker count.
+#: the legacy hard-coded partitioned-kernel threshold, kept for
+#: reference and back-compat imports; the *live* default now derives
+#: from the cost model's crossover analysis
+#: (:func:`repro.cost.model.derived_parallel_min_rows` — 8000 rows at
+#: the shipped constants) and is tunable via ``set_parallel_threshold``
+#: or ``REPRO_PARALLEL_MIN_ROWS``. The partition count derives from the
+#: row count alone, so results are independent of the worker count.
 PARALLEL_MIN_PARTITION_ROWS = 8192
 
 #: hard cap on partitions per kernel call (diminishing returns beyond).
@@ -64,11 +65,8 @@ MAX_PARTITIONS = 8
 #: workers used when ``REPRO_WORKERS`` and ``set_default_workers`` are
 #: both unset: the machine's cores, clamped to [2, 8] so ``parallel=
 #: True`` always means real fan-out even on single-core boxes.
-DEFAULT_WORKERS = max(2, min(8, os.cpu_count() or 1))
+DEFAULT_WORKERS = config.DEFAULT_WORKERS
 
-_default_parallel: Optional[bool] = None
-_default_workers: Optional[int] = None
-_parallel_threshold: Optional[int] = None
 _default_executor: Optional[Any] = None
 
 _pool_lock = threading.Lock()
@@ -104,19 +102,13 @@ def default_parallel() -> bool:
     """The process-wide parallel default: a :func:`set_default_parallel`
     override wins, else the ``REPRO_PARALLEL`` environment variable (any
     non-false value enables), else False."""
-    if _default_parallel is not None:
-        return _default_parallel
-    raw = os.environ.get("REPRO_PARALLEL")
-    if raw is None:
-        return False
-    return raw.strip().lower() not in _FALSE_VALUES
+    return config.PARALLEL.default()
 
 
 def set_default_parallel(value: Optional[bool]) -> None:
     """Override the process-wide parallel default (None restores the
     environment-variable/False resolution)."""
-    global _default_parallel
-    _default_parallel = value
+    config.PARALLEL.set(value)
 
 
 def resolve_parallel(value: Optional[bool]) -> bool:
@@ -130,67 +122,36 @@ def default_workers() -> int:
     override wins, else ``REPRO_WORKERS``, else :data:`DEFAULT_WORKERS`.
     An integer ``REPRO_PARALLEL`` value > 1 also sets the count (so
     ``REPRO_PARALLEL=4`` both enables parallelism and sizes the pool)."""
-    if _default_workers is not None:
-        return _default_workers
-    for variable in ("REPRO_WORKERS", "REPRO_PARALLEL"):
-        raw = os.environ.get(variable)
-        if raw is None:
-            continue
-        try:
-            parsed = int(raw)
-        except ValueError:
-            continue
-        if parsed > 1:
-            return parsed
-    return DEFAULT_WORKERS
+    return config.WORKERS.default()
 
 
 def set_default_workers(value: Optional[int]) -> None:
     """Override the process-wide worker count (None restores the
     environment-variable/:data:`DEFAULT_WORKERS` resolution)."""
-    global _default_workers
-    if value is not None and int(value) < 1:
-        raise ValueError(f"worker count must be >= 1, got {value!r}")
-    _default_workers = None if value is None else int(value)
+    config.WORKERS.set(value)
 
 
 def resolve_workers(value: Optional[int]) -> int:
     """Resolve an engine constructor's ``workers`` argument: an explicit
     count wins, None means the process default."""
-    if value is None:
-        return default_workers()
-    workers = int(value)
-    if workers < 1:
-        raise ValueError(f"worker count must be >= 1, got {value!r}")
-    return workers
+    return config.WORKERS.resolve(value)
 
 
 def parallel_threshold() -> int:
     """Rows below which partitioned kernels stay serial: a
     :func:`set_parallel_threshold` override wins, else
-    ``REPRO_PARALLEL_MIN_ROWS``, else
-    :data:`PARALLEL_MIN_PARTITION_ROWS`."""
-    if _parallel_threshold is not None:
-        return _parallel_threshold
-    raw = os.environ.get("REPRO_PARALLEL_MIN_ROWS")
-    if raw is not None:
-        try:
-            parsed = int(raw)
-            if parsed >= 1:
-                return parsed
-        except ValueError:
-            pass
-    return PARALLEL_MIN_PARTITION_ROWS
+    ``REPRO_PARALLEL_MIN_ROWS``, else the cost model's derived
+    crossover (:func:`repro.cost.model.derived_parallel_min_rows` —
+    the point where the block work a partition removes from the
+    critical path outweighs its dispatch overhead)."""
+    return config.PARALLEL_MIN_ROWS.default()
 
 
 def set_parallel_threshold(value: Optional[int]) -> None:
     """Override the partitioned-kernel row threshold (None restores the
-    environment-variable/default resolution). Mostly a test hook — it
+    environment-variable/derived resolution). Mostly a test hook — it
     lets small inputs exercise the partitioned kernels."""
-    global _parallel_threshold
-    if value is not None and int(value) < 1:
-        raise ValueError(f"threshold must be >= 1, got {value!r}")
-    _parallel_threshold = None if value is None else int(value)
+    config.PARALLEL_MIN_ROWS.set(value)
 
 
 def partitions_for(n_rows: int) -> int:

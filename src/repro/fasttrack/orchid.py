@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional, Tuple, Union
 
 from repro.compile import CompilerRegistry, compile_job
+from repro.cost import StatisticsCatalog
 from repro.deploy.datastage import DATASTAGE, deploy_to_job
 from repro.deploy.platform import DeploymentPlan, RuntimePlatform
 from repro.deploy.pushdown import HybridPlan, plan_pushdown
@@ -52,10 +53,14 @@ class Orchid:
         platform: Optional[RuntimePlatform] = None,
         compilers: Optional[CompilerRegistry] = None,
         obs: Optional[Observability] = None,
+        catalog: Optional["StatisticsCatalog"] = None,
     ):
         self.platform = platform or DATASTAGE
         self.compilers = compilers
         self.obs = obs or NULL_OBS
+        #: statistics catalog consulted by :meth:`to_hybrid` for
+        #: cost-based placement (None keeps maximal pushdown).
+        self.catalog = catalog
 
     # -- imports (external / intermediate → abstract layer) ---------------------------
 
@@ -89,9 +94,15 @@ class Orchid:
         """OHM → an ETL job on the configured platform (section VI-B)."""
         return deploy_to_job(graph, self.platform, obs=self.obs)
 
-    def to_hybrid(self, graph: OhmGraph) -> HybridPlan:
-        """OHM → combined SQL + ETL deployment via pushdown analysis."""
-        return plan_pushdown(graph, self.platform, obs=self.obs)
+    def to_hybrid(
+        self, graph: OhmGraph, cost: Optional[bool] = None
+    ) -> HybridPlan:
+        """OHM → combined SQL + ETL deployment via pushdown analysis
+        (cost-based when the facade carries a statistics catalog)."""
+        return plan_pushdown(
+            graph, self.platform, obs=self.obs, cost=cost,
+            catalog=self.catalog,
+        )
 
     # -- one-hop conveniences ----------------------------------------------------------
 

@@ -64,15 +64,21 @@ class MappingExecutor:
         degrade: bool = True,
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        catalog=None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
         self._planner = ExpressionPlanner(
             self.registry, compiled, batched, batch_size,
-            parallel=parallel, workers=workers,
+            parallel=parallel, workers=workers, mode=mode,
         )
         self.compiled = self._planner.compiled
         self.batched = self._planner.batched
+        #: execution-tier mode: "rows"/"block"/"parallel" pin the tier,
+        #: "auto" picks per run from the input size via the cost model,
+        #: None keeps the per-flag resolution.
+        self.mode = self._planner.mode
         self.on_error = resolve_on_error(on_error)
         self.degrade = degrade
         #: wavefront scheduling: mappings whose source relations are all
@@ -80,7 +86,13 @@ class MappingExecutor:
         #: of each relation it reads); merge order of a shared target is
         #: the dependency order, exactly as in the serial loop.
         self.workers = self._planner.workers
-        self.parallel = resolve_parallel(parallel) and self.workers >= 2
+        if self.mode is not None:
+            self.parallel = self._planner.parallel
+        else:
+            self.parallel = resolve_parallel(parallel) and self.workers >= 2
+        #: statistics catalog fed back with per-relation actuals after
+        #: every run (None disables the feedback loop).
+        self.catalog = catalog
 
     # -- fault tolerance -----------------------------------------------------------
 
@@ -379,6 +391,14 @@ class MappingExecutor:
 
     def _run_impl(self, mappings: MappingSet, instance: Instance):
         metrics = self._obs.metrics
+        if self.mode == "auto":
+            n_rows = max((len(d) for d in instance), default=0)
+            tier = self._planner.tune_for(n_rows)
+            self.batched = self._planner.batched
+            metrics.count(f"exec.auto.tier.{tier}")
+        parallel = (
+            self._planner.parallel if self.mode is not None else self.parallel
+        )
         tiers = self._tiers()
         rejected = []
         working = Instance()
@@ -386,12 +406,12 @@ class MappingExecutor:
             working.put(dataset)
         produced: Dict[str, Dataset] = {}
         order = mappings.in_dependency_order()
-        if self.parallel:
+        if parallel:
             waves = self._mapping_waves(order)
         else:
             waves = [order]
         for wave in waves:
-            if self.parallel and len(wave) >= 2:
+            if parallel and len(wave) >= 2:
                 self._run_mapping_wave(
                     wave, working, tiers, produced, rejected, metrics
                 )
@@ -413,6 +433,12 @@ class MappingExecutor:
                 targets.put(dataset.with_relation(dataset.relation))
             else:
                 intermediates[name] = dataset
+        if self.catalog is not None:
+            # close the feedback loop: produced relations become
+            # observed actuals for the next estimate
+            self.catalog.observe_instance(instance)
+            for name, dataset in produced.items():
+                self.catalog.observe_link(name, len(dataset))
         return targets, intermediates, rejected
 
     def _mapping_waves(self, order: List[Mapping]) -> List[List[Mapping]]:

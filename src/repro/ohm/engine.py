@@ -97,24 +97,36 @@ class OhmExecutor:
         degrade: bool = True,
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        catalog=None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
         self._planner = ExpressionPlanner(
             self.registry, compiled, batched, batch_size,
-            parallel=parallel, workers=workers,
+            parallel=parallel, workers=workers, mode=mode,
         )
         self.compiled = self._planner.compiled
         self.batched = self._planner.batched
+        #: execution-tier mode: "rows"/"block"/"parallel" pin the tier,
+        #: "auto" picks per run from the input size via the cost model,
+        #: None keeps the per-flag resolution.
+        self.mode = self._planner.mode
         #: wavefront scheduling: independent operators of one
         #: topological level run concurrently on the planner's worker
         #: pool (kernel partitioning additionally requires ``batched``).
         self.workers = self._planner.workers
-        self.parallel = resolve_parallel(parallel) and self.workers >= 2
+        if self.mode is not None:
+            self.parallel = self._planner.parallel
+        else:
+            self.parallel = resolve_parallel(parallel) and self.workers >= 2
         #: run-level row error policy; an operator may override via an
         #: ``on_error`` attribute of its own.
         self.on_error = resolve_on_error(on_error)
         self.degrade = degrade
+        #: statistics catalog fed back with per-edge actuals after every
+        #: run (None disables the feedback loop).
+        self.catalog = catalog
 
     def run(
         self, graph: OhmGraph, instance: Instance
@@ -149,7 +161,7 @@ class OhmExecutor:
         tiers = [self._planner]
         if not self.degrade:
             return tiers
-        if self.batched:
+        if self._planner.batched:
             tiers.append(
                 ExpressionPlanner(
                     self.registry, True, False, self._planner.batch_size
@@ -563,6 +575,14 @@ class OhmExecutor:
         tracer = self._obs.tracer
         metrics = self._obs.metrics
         observing = self._obs.enabled
+        if self.mode == "auto":
+            n_rows = max((len(d) for d in instance), default=0)
+            tier = self._planner.tune_for(n_rows)
+            self.batched = self._planner.batched
+            metrics.count(f"exec.auto.tier.{tier}")
+        parallel = (
+            self._planner.parallel if self.mode is not None else self.parallel
+        )
         tiers = self._ladder()
         graph.propagate_schemas()
         edge_data: Dict[str, Dataset] = {}
@@ -570,7 +590,7 @@ class OhmExecutor:
         targets = Instance()
         rejected: List[RejectedRow] = []
         order = graph.topological_order()
-        if self.parallel:
+        if parallel:
             waves = topological_waves(
                 order,
                 lambda op: op.uid,
@@ -580,7 +600,7 @@ class OhmExecutor:
             waves = [order]
         with tracer.span("ohm.run", graph=graph.name):
             for wave in waves:
-                if self.parallel and len(wave) >= 2:
+                if parallel and len(wave) >= 2:
                     self._run_wave(
                         wave, graph, instance, tiers,
                         targets, by_edge, edge_data, rejected,
@@ -607,6 +627,12 @@ class OhmExecutor:
                             op, inputs, outputs, out_edges, ctx, span, seconds,
                             targets, by_edge, edge_data, rejected,
                         )
+        if self.catalog is not None:
+            # close the feedback loop: the next estimate_graph over the
+            # same edge names re-plans from these actuals
+            self.catalog.observe_instance(instance)
+            for name, dataset in edge_data.items():
+                self.catalog.observe_link(name, len(dataset))
         return targets, edge_data, rejected
 
     def _run_wave(

@@ -23,6 +23,7 @@ import os
 import re
 from typing import Dict, List, Optional, Tuple
 
+from repro import config
 from repro.data.dataset import Dataset
 from repro.errors import SerializationError
 
@@ -30,23 +31,16 @@ from repro.errors import SerializationError
 # it so schema round-tripping has exactly one implementation
 from repro.etl.stages.access import _relation_from_config, _relation_to_config
 
-_default_checkpoint_dir: Optional[str] = None
-
-
 def default_checkpoint_dir() -> Optional[str]:
     """Process default checkpoint directory: the
     ``set_default_checkpoint_dir`` override if set, else
     ``REPRO_CHECKPOINT_DIR``, else ``None`` (checkpointing off)."""
-    if _default_checkpoint_dir is not None:
-        return _default_checkpoint_dir
-    env = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
-    return env or None
+    return config.CHECKPOINT_DIR.default()
 
 
 def set_default_checkpoint_dir(path: Optional[str]) -> None:
     """Override the process default (``None`` restores env resolution)."""
-    global _default_checkpoint_dir
-    _default_checkpoint_dir = path
+    config.CHECKPOINT_DIR.set(path)
 
 
 def resolve_checkpoint(explicit) -> Optional["CheckpointStore"]:

@@ -21,52 +21,35 @@ any degradation retries — see ``docs/robustness.md``) has succeeded.
 
 from __future__ import annotations
 
-import os
 from typing import Callable, List, Optional
 
+from repro import config
+from repro.config import check_policy
 from repro.data.dataset import Dataset
-from repro.errors import INFRASTRUCTURE_ERRORS, ValidationError
+from repro.errors import INFRASTRUCTURE_ERRORS
 from repro.schema.model import Relation, relation
 
 FAIL_FAST = "fail_fast"
 SKIP = "skip"
 REJECT = "reject"
-POLICIES = (FAIL_FAST, SKIP, REJECT)
-
-_default_on_error: Optional[str] = None
-
-
-def check_policy(policy: str) -> str:
-    if policy not in POLICIES:
-        raise ValidationError(
-            f"unknown error policy {policy!r}; expected one of {POLICIES}"
-        )
-    return policy
+POLICIES = config.ERROR_POLICIES
 
 
 def default_on_error() -> str:
     """The process-wide default policy: the ``set_default_on_error``
     override if set, else ``REPRO_ON_ERROR``, else ``fail_fast``."""
-    if _default_on_error is not None:
-        return _default_on_error
-    env = os.environ.get("REPRO_ON_ERROR", "").strip().lower()
-    if env:
-        return check_policy(env)
-    return FAIL_FAST
+    return config.ON_ERROR.default()
 
 
 def set_default_on_error(policy: Optional[str]) -> None:
     """Override the process default (``None`` restores env resolution)."""
-    global _default_on_error
-    _default_on_error = None if policy is None else check_policy(policy)
+    config.ON_ERROR.set(policy)
 
 
 def resolve_on_error(explicit: Optional[str]) -> str:
     """An engine's effective policy: explicit argument wins, else the
     process default."""
-    if explicit is not None:
-        return check_policy(explicit)
-    return default_on_error()
+    return config.ON_ERROR.resolve(explicit)
 
 
 # -- the reject relation ------------------------------------------------------

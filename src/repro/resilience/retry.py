@@ -13,41 +13,23 @@ propagates on the first attempt.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Callable, Optional, Tuple, Type
 
+from repro import config
 from repro.errors import TransientError, ValidationError
 from repro.obs import NULL_OBS
-
-_default_max_retries: Optional[int] = None
 
 
 def default_max_retries() -> int:
     """Process default attempt budget: ``set_default_max_retries``
     override if set, else ``REPRO_MAX_RETRIES``, else 0 (no retries)."""
-    if _default_max_retries is not None:
-        return _default_max_retries
-    env = os.environ.get("REPRO_MAX_RETRIES", "").strip()
-    if env:
-        try:
-            value = int(env)
-        except ValueError:
-            raise ValidationError(
-                f"REPRO_MAX_RETRIES must be an integer, got {env!r}"
-            ) from None
-        if value < 0:
-            raise ValidationError("REPRO_MAX_RETRIES must be >= 0")
-        return value
-    return 0
+    return config.MAX_RETRIES.default()
 
 
 def set_default_max_retries(value: Optional[int]) -> None:
     """Override the process default (``None`` restores env resolution)."""
-    global _default_max_retries
-    if value is not None and value < 0:
-        raise ValidationError("max retries must be >= 0")
-    _default_max_retries = value
+    config.MAX_RETRIES.set(value)
 
 
 class RetryPolicy:

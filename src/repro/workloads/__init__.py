@@ -8,6 +8,7 @@ from repro.workloads.generators import (
     chain_relation,
     generate_chain_instance,
     generate_star_instance,
+    synthesize_instance,
 )
 from repro.workloads.faulty import (
     build_faulty_job,
@@ -42,6 +43,7 @@ __all__ = [
     "chain_relation",
     "generate_chain_instance",
     "generate_star_instance",
+    "synthesize_instance",
     "BIG_BALANCE_THRESHOLD",
     "build_example_job",
     "generate_instance",

@@ -10,7 +10,7 @@ number of residual mappings vs the number of materialization points.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance
 from repro.etl.model import Job
@@ -226,6 +226,49 @@ def generate_star_instance(
     return instance
 
 
+def synthesize_instance(
+    relations: Iterable[Relation], n_rows: int = 1000, seed: int = 7
+) -> Instance:
+    """A seeded synthetic instance for arbitrary relations — what the
+    CLI's ``explain`` command runs a job against when all it has is the
+    job's schemas. Key attributes get unique values; other columns draw
+    from small typed domains so joins hit and filters discriminate."""
+    import datetime
+
+    rng = random.Random(seed)
+    epoch = datetime.date(2000, 1, 1)
+
+    def value_for(attribute, i: int):
+        dtype = attribute.dtype.name
+        if attribute.is_key:
+            return i if dtype in ("INTEGER", "DECIMAL", "FLOAT") else f"k{i}"
+        if attribute.nullable and rng.random() < 0.05:
+            return None
+        if dtype == "INTEGER":
+            return rng.randrange(max(2, n_rows // 10))
+        if dtype in ("FLOAT", "DECIMAL"):
+            return round(rng.uniform(0, 1000), 2)
+        if dtype == "BOOLEAN":
+            return rng.random() < 0.5
+        if dtype == "DATE":
+            return epoch + datetime.timedelta(days=rng.randrange(3650))
+        if dtype == "TIMESTAMP":
+            return datetime.datetime(2000, 1, 1) + datetime.timedelta(
+                minutes=rng.randrange(525600)
+            )
+        return f"v{rng.randrange(8)}"
+
+    instance = Instance()
+    for rel in relations:
+        data = Dataset(rel)
+        for i in range(n_rows):
+            data.append(
+                {a.name: value_for(a, i) for a in rel.attributes}
+            )
+        instance.add(data)
+    return instance
+
+
 __all__ = [
     "chain_relation",
     "build_chain_job",
@@ -233,4 +276,5 @@ __all__ = [
     "build_star_join_job",
     "generate_chain_instance",
     "generate_star_instance",
+    "synthesize_instance",
 ]

@@ -1,0 +1,154 @@
+"""StatisticsCatalog: sampling determinism, sketch accuracy, feedback."""
+
+import random
+
+import pytest
+
+from repro.cost import StatisticsCatalog, catalog_for
+from repro.data.dataset import Dataset, Instance
+from repro.schema import relation
+
+
+def _dataset(n, n_categories=10, null_every=5, name="R"):
+    rel = relation(
+        name,
+        ("id", "int", False),
+        ("category", "varchar"),
+        ("amount", "float"),
+        keys=["id"],
+    )
+    rng = random.Random(99)
+    data = Dataset(rel)
+    for i in range(n):
+        data.append({
+            "id": i,
+            "category": None if i % null_every == 0
+            else f"c{rng.randrange(n_categories)}",
+            "amount": rng.uniform(0, 100),
+        })
+    return data
+
+
+class TestTableStats:
+    def test_small_dataset_is_scanned_exactly(self):
+        catalog = StatisticsCatalog()
+        stats = catalog.observe_dataset(_dataset(100))
+        assert stats.row_count == 100
+        assert stats.sampled == 100
+        assert stats.column("id").n_distinct == 100
+        assert stats.column("id").null_fraction == 0.0
+        # every 5th category is NULL
+        assert stats.column("category").null_fraction == pytest.approx(0.2)
+        assert stats.column("category").n_distinct <= 11
+
+    def test_large_dataset_is_sampled(self):
+        catalog = StatisticsCatalog(sample_size=256)
+        stats = catalog.observe_dataset(_dataset(5000, n_categories=8))
+        assert stats.row_count == 5000
+        assert stats.sampled == 256
+        # low-cardinality column: sample saturates, ndv taken at face value
+        assert 4 <= stats.column("category").n_distinct <= 16
+        # null fraction estimated from the sample, ~1/5
+        assert stats.column("category").null_fraction == pytest.approx(
+            0.2, abs=0.1
+        )
+        # unique column: sample keeps producing new values, scales up
+        assert stats.column("id").n_distinct >= 4000
+
+    def test_sampling_is_deterministic(self):
+        data = _dataset(5000)
+        a = StatisticsCatalog(sample_size=128, seed=7).observe_dataset(data)
+        b = StatisticsCatalog(sample_size=128, seed=7).observe_dataset(data)
+        for col in ("id", "category", "amount"):
+            assert a.column(col).n_distinct == b.column(col).n_distinct
+            assert a.column(col).null_fraction == b.column(col).null_fraction
+
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ValueError):
+            StatisticsCatalog(sample_size=0)
+
+    def test_catalog_for_instance(self):
+        instance = Instance([_dataset(50, name="A"), _dataset(70, name="B")])
+        catalog = catalog_for(instance)
+        assert len(catalog) == 2
+        assert catalog.row_count("A") == 50
+        assert catalog.row_count("B") == 70
+        assert catalog.covers(["A", "B"])
+        assert not catalog.covers(["A", "C"])
+
+    def test_observe_rows_records_cardinality_only(self):
+        catalog = StatisticsCatalog()
+        catalog.observe_rows("T", 1234)
+        assert catalog.row_count("T") == 1234
+        assert catalog.table("T").columns == {}
+        assert catalog.row_count("missing") is None
+        assert catalog.row_count("missing", 10) == 10
+
+
+class TestFeedback:
+    def test_observe_link_and_forget(self):
+        catalog = StatisticsCatalog()
+        catalog.observe_link("DSLink10", 42)
+        assert catalog.observed("DSLink10") == 42
+        catalog.forget_observations()
+        assert catalog.observed("DSLink10") is None
+
+    def test_observe_link_counts(self):
+        catalog = StatisticsCatalog()
+        catalog.observe_link_counts({"a": 1, "b": 2})
+        assert catalog.observed("a") == 1
+        assert catalog.observed("b") == 2
+
+    def test_absorb_metrics_counters(self):
+        catalog = StatisticsCatalog()
+        absorbed = catalog.absorb_metrics({
+            "etl.link.DSLink10.rows": 99,
+            "ohm.operator.op7.rows_out": 12,
+            "exec.kernel.filter.rows_in": 500,
+            "unrelated.counter": 1,
+        })
+        assert absorbed == 2
+        assert catalog.observed("DSLink10") == 99
+        assert catalog.observed("op7") == 12
+        assert catalog.kernel_totals() == {"exec.kernel.filter.rows_in": 500}
+
+    def test_absorb_metrics_from_a_real_run(self):
+        from repro.etl import EtlEngine
+        from repro.obs import Observability
+        from repro.workloads import build_example_job, generate_instance
+
+        obs = Observability(stats=True)
+        engine = EtlEngine(obs=obs)
+        engine.execute(build_example_job(), generate_instance(40))
+        catalog = StatisticsCatalog()
+        assert catalog.absorb_metrics(obs.metrics) > 0
+        assert catalog.observed("DSLink10") is not None
+
+    def test_engine_feedback_populates_catalog(self):
+        from repro.etl import EtlEngine
+        from repro.workloads import build_example_job, generate_instance
+
+        catalog = StatisticsCatalog()
+        engine = EtlEngine(catalog=catalog)
+        engine.execute(build_example_job(), generate_instance(40))
+        # source tables observed, per-link actuals recorded
+        assert catalog.covers(["Customers", "Accounts"])
+        assert catalog.observed("DSLink10") is not None
+
+    def test_nf2_set_valued_cells_are_sketchable(self):
+        from repro.schema.model import Attribute, Relation
+        from repro.schema.types import INTEGER, RecordType, SetType
+
+        rel = Relation(
+            "N",
+            [
+                Attribute("id", INTEGER),
+                Attribute("items", SetType(RecordType([("v", INTEGER)]))),
+            ],
+        )
+        data = Dataset(rel)
+        for i in range(10):
+            data.append({"id": i, "items": [{"v": i % 2}]})
+        # unhashable list-of-record cells sketch by repr, two variants
+        stats = StatisticsCatalog().observe_dataset(data)
+        assert stats.column("items").n_distinct == 2

@@ -1,0 +1,183 @@
+"""Cost-based pushdown placement: push only when the DBMS wins."""
+
+import pytest
+
+from repro.compile import compile_job
+from repro.cost import (
+    StatisticsCatalog,
+    catalog_for,
+    set_default_cost_based,
+)
+from repro.deploy import plan_pushdown
+from repro.etl import run_job
+from repro.obs import Observability
+from repro.ohm import Filter, OhmGraph, Project, Source, Target
+from repro.schema import relation
+from repro.workloads import (
+    build_example_job,
+    generate_instance,
+    synthesize_instance,
+)
+
+
+def _pass_through_graph():
+    """A fully pushable pass-through projection: SQL would pay load +
+    transfer on every row for no reduction, so pure ETL must win."""
+    rel = relation(
+        "R", ("id", "int", False), ("v", "float"), keys=["id"]
+    )
+    g = OhmGraph()
+    s = g.add(Source(rel))
+    p = g.add(Project([("id", "id"), ("v", "v + 1")]))
+    t = g.add(Target(relation("Out", ("id", "int"), ("v", "float"))))
+    g.chain(s, p, t, names=["in", "out"])
+    return g
+
+
+class TestSqlWins:
+    """The example job reduces heavily before the frontier: push it."""
+
+    @pytest.fixture
+    def catalog(self):
+        graph = compile_job(build_example_job())
+        relations = [
+            op.relation for op in graph.sources() if op.provider is None
+        ]
+        return catalog_for(synthesize_instance(relations, 5000))
+
+    def test_reducing_region_is_pushed(self, catalog):
+        graph = compile_job(build_example_job())
+        hybrid = plan_pushdown(graph, catalog=catalog)
+        assert list(hybrid.statements) == ["DSLink10"]
+        assert len(hybrid.pushed_operator_uids) > 0
+        assert hybrid.estimate is not None
+
+    def test_decisions_explain_the_placement(self, catalog):
+        graph = compile_job(build_example_job())
+        hybrid = plan_pushdown(graph, catalog=catalog)
+        sql = [d for d in hybrid.decisions if d.placement == "sql"]
+        etl = [d for d in hybrid.decisions if d.placement == "etl"]
+        assert len(sql) == 1 and len(etl) == 1
+        assert sql[0].name == "DSLink10"
+        assert sql[0].rows is not None and sql[0].cost is not None
+        assert "transfer" in sql[0].reason or "row-units" in sql[0].reason
+
+    def test_describe_reports_rows_and_costs(self, catalog):
+        graph = compile_job(build_example_job())
+        text = plan_pushdown(graph, catalog=catalog).describe()
+        assert "rows out, cost" in text
+        assert "row-units" in text
+        assert "rows in, cost" in text  # the residual fragment line
+
+    def test_hybrid_matches_pure_etl(self, catalog):
+        graph = compile_job(build_example_job())
+        hybrid = plan_pushdown(graph, catalog=catalog)
+        instance = generate_instance(80)
+        pure = run_job(build_example_job(), instance)
+        assert hybrid.execute(instance).same_bags(pure)
+
+
+class TestEtlWins:
+    """A pass-through projection over many rows: keep it in the engine."""
+
+    @pytest.fixture
+    def catalog(self):
+        graph = _pass_through_graph()
+        relations = [op.relation for op in graph.sources()]
+        return catalog_for(synthesize_instance(relations, 20000))
+
+    def test_nothing_is_pushed(self, catalog):
+        hybrid = plan_pushdown(_pass_through_graph(), catalog=catalog)
+        assert hybrid.statements == {}
+        assert hybrid.pushed_operator_uids == set()
+
+    def test_describe_explains_the_all_etl_plan(self, catalog):
+        text = plan_pushdown(
+            _pass_through_graph(), catalog=catalog
+        ).describe()
+        assert "nothing pushed to the DBMS" in text
+        assert "transfer dominates" in text
+
+    def test_empty_plan_executes_as_pure_etl(self, catalog):
+        graph = _pass_through_graph()
+        hybrid = plan_pushdown(graph, catalog=catalog)
+        rel = graph.sources()[0].relation
+        instance = synthesize_instance([rel], 500)
+        result = hybrid.execute(instance)
+        expected = [
+            {"id": r["id"], "v": None if r["v"] is None else r["v"] + 1}
+            for r in instance.dataset("R")
+        ]
+        assert sorted(
+            result.dataset("Out").rows, key=lambda r: r["id"]
+        ) == sorted(expected, key=lambda r: r["id"])
+
+    def test_cost_false_restores_maximal_pushdown(self, catalog):
+        hybrid = plan_pushdown(
+            _pass_through_graph(), catalog=catalog, cost=False
+        )
+        assert list(hybrid.statements) == ["out"]
+
+    def test_process_default_can_disable_costing(self, catalog):
+        set_default_cost_based(False)
+        try:
+            hybrid = plan_pushdown(_pass_through_graph(), catalog=catalog)
+            assert list(hybrid.statements) == ["out"]
+        finally:
+            set_default_cost_based(None)
+
+
+class TestBackwardCompatibility:
+    def test_no_catalog_means_maximal_pushdown(self):
+        hybrid = plan_pushdown(_pass_through_graph())
+        assert list(hybrid.statements) == ["out"]
+        assert hybrid.decisions == []
+        assert hybrid.estimate is None
+
+    def test_partial_catalog_coverage_falls_back(self):
+        # statistics for a different relation: planning stays blind
+        catalog = StatisticsCatalog()
+        catalog.observe_rows("SomethingElse", 9)
+        hybrid = plan_pushdown(_pass_through_graph(), catalog=catalog)
+        assert list(hybrid.statements) == ["out"]
+
+    def test_cost_metrics_emitted_only_in_cost_mode(self):
+        graph = _pass_through_graph()
+        catalog = catalog_for(
+            synthesize_instance([graph.sources()[0].relation], 20000)
+        )
+        obs = Observability(stats=True)
+        plan_pushdown(graph, catalog=catalog, obs=obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["deploy.pushdown.cost_candidates"] >= 2
+        assert "deploy.pushdown.pushed_operators" in counters
+
+        blind = Observability(stats=True)
+        plan_pushdown(graph, obs=blind)
+        assert (
+            "deploy.pushdown.cost_candidates"
+            not in blind.metrics.snapshot()["counters"]
+        )
+
+
+class TestAdaptiveReplanning:
+    def test_feedback_can_flip_the_decision(self):
+        """A filter the estimator thinks is highly selective (equality,
+        1/ndv) actually keeps everything: after one observed run the
+        planner stops pushing the (now non-reducing) region."""
+        rel = relation("R", ("id", "int", False), ("v", "float"),
+                       keys=["id"])
+        g = OhmGraph()
+        s = g.add(Source(rel))
+        f = g.add(Filter("v = 1"))  # estimated 1/ndv; actually keeps all
+        t = g.add(Target(relation("Out", ("id", "int"), ("v", "float"))))
+        g.chain(s, f, t, names=["in", "kept"])
+
+        catalog = StatisticsCatalog()
+        catalog.observe_rows("R", 20000)
+        before = plan_pushdown(g, catalog=catalog)
+        assert list(before.statements) == ["kept"]  # estimate says reduce
+
+        catalog.observe_link("kept", 20000)  # reality: no reduction
+        after = plan_pushdown(g, catalog=catalog)
+        assert after.statements == {}

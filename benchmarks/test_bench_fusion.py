@@ -1,0 +1,215 @@
+"""FUSION — fused selection-vector chains vs the unfused block tier.
+
+A wide-row pipeline shaped for fusion: two narrowing filters, a
+Transformer computing two derived columns, and a Sort terminal, over an
+Orders schema widened with twelve live varchar payload columns that must
+reach the target. The unfused block tier gathers a fresh RowBlock after
+every operator — each filter ``take()``s all seventeen columns, the
+Transformer rebuilds them, the Sort copies them again — while the fused
+tier narrows one selection vector per filter, computes the derived
+columns over survivors only, and gathers each payload column exactly
+once, at the terminal. Parity is asserted against the interpreting
+oracle before anything is timed, and the recorded baseline includes
+``exec.fuse.*`` — chains built, operators fused, and the intermediate
+rows that were never gathered.
+
+The perf baseline lands in ``BENCH_FUSION.json`` (repo root). The
+fused/unfused speedup floor defaults to 1.3× and can be relaxed via
+``REPRO_BENCH_FUSION_FLOOR`` (CI smoke uses a lower floor to tolerate
+shared runners).
+"""
+
+import os
+import time
+
+from repro.data.dataset import Dataset, Instance
+from repro.etl.engine import EtlEngine
+from repro.etl.model import Job
+from repro.etl.stages import (
+    FilterOutput,
+    FilterStage,
+    SortStage,
+    TableSource,
+    TableTarget,
+    Transformer,
+)
+from repro.etl.stages.transform import OutputLink
+from repro.obs import Observability
+from repro.schema.model import relation
+from repro.workloads.kitchen_sink import generate_kitchen_sink_instance
+
+from _artifacts import record, record_baseline
+
+N_ORDERS = 4000
+N_PAYLOAD = 12
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_FUSION_FLOOR", "1.3"))
+
+PAYLOAD_COLUMNS = [f"payload{i:02d}" for i in range(N_PAYLOAD)]
+
+
+def wide_orders_schema():
+    """The kitchen-sink Orders schema widened with live varchar payload
+    columns that every operator must carry to the target."""
+    return relation(
+        "WideOrders",
+        ("orderID", "int", False),
+        ("customerID", "int", False),
+        ("region", "varchar", False),
+        ("amount", "float"),
+        ("status", "varchar", False),
+        *((name, "varchar", False) for name in PAYLOAD_COLUMNS),
+    )
+
+
+def build_fusion_job() -> Job:
+    """Filter → Filter → Transformer (stage variable, CASE tier,
+    arithmetic fee, all payloads carried) → Sort, one fusable chain."""
+    wide = wide_orders_schema()
+    carried = [(a.name, a.name) for a in wide]
+    job = Job("fusion-bench")
+    src = job.add(TableSource(wide, name="WideOrders"))
+    valid = job.add(
+        FilterStage(
+            [FilterOutput("status <> 'X' AND amount IS NOT NULL")],
+            name="valid",
+        )
+    )
+    sizable = job.add(
+        FilterStage([FilterOutput("amount > 50")], name="sizable")
+    )
+    enrich = job.add(
+        Transformer(
+            [
+                OutputLink(
+                    carried
+                    + [
+                        ("fee", "amount * 0.025 + 1.5"),
+                        ("tier", "CASE WHEN bucket >= 3 THEN 'gold' "
+                                 "WHEN bucket = 2 THEN 'silver' "
+                                 "ELSE 'bronze' END"),
+                    ],
+                )
+            ],
+            stage_variables=[
+                ("bucket", "CASE WHEN amount > 1000 THEN 3 "
+                           "WHEN amount > 100 THEN 2 ELSE 1 END"),
+            ],
+            name="enrich",
+        )
+    )
+    order = job.add(SortStage([("orderID", "asc")], name="order"))
+    tgt = job.add(
+        TableTarget(
+            relation(
+                "EnrichedOrders",
+                ("orderID", "int", False),
+                ("customerID", "int", False),
+                ("region", "varchar", False),
+                ("amount", "float"),
+                ("status", "varchar", False),
+                *((name, "varchar", False) for name in PAYLOAD_COLUMNS),
+                ("fee", "float"),
+                ("tier", "varchar"),
+            ),
+            name="EnrichedOrders",
+        )
+    )
+    job.link(src, valid)
+    job.link(valid, sizable)
+    job.link(sizable, enrich)
+    job.link(enrich, order)
+    job.link(order, tgt)
+    return job
+
+
+def build_fusion_instance() -> Instance:
+    """The kitchen-sink orders, widened with deterministic payload
+    strings (same seed, same rows)."""
+    narrow = generate_kitchen_sink_instance(
+        n_orders=N_ORDERS, n_customers=10
+    ).dataset("Orders")
+    wide = Dataset(wide_orders_schema())
+    for row in narrow.rows:
+        widened = dict(row)
+        for k, name in enumerate(PAYLOAD_COLUMNS):
+            widened[name] = f"p{k}-{(row['orderID'] * (k + 3)) % 97}"
+        wide.append(widened, validate=False)
+    return Instance([wide])
+
+
+def _best_seconds(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bench_fused_vs_unfused_blocks(benchmark):
+    job = build_fusion_job()
+    instance = build_fusion_instance()
+    n_rows = sum(len(d) for d in instance)
+    unfused_engine = EtlEngine(compiled=True, batched=True, fused=False)
+    fused_engine = EtlEngine(compiled=True, batched=True, fused=True)
+    oracle_engine = EtlEngine(compiled=False)
+
+    def measure():
+        # parity before timing: fused, unfused, and the oracle agree
+        baseline = oracle_engine.execute(job, instance)
+        assert unfused_engine.execute(job, instance).same_bags(baseline)
+        assert fused_engine.execute(job, instance).same_bags(baseline)
+
+        unfused_s = _best_seconds(
+            lambda: unfused_engine.execute(job, instance)
+        )
+        fused_s = _best_seconds(lambda: fused_engine.execute(job, instance))
+
+        obs = Observability(stats=True)
+        EtlEngine(
+            obs=obs, compiled=True, batched=True, fused=True
+        ).execute(job, instance)
+        counters = obs.metrics.snapshot()["counters"]
+        return {
+            "input_rows": n_rows,
+            "live_columns": len(PAYLOAD_COLUMNS) + 5,
+            "unfused_blocks": {
+                "seconds": unfused_s,
+                "rows_per_sec": n_rows / unfused_s,
+            },
+            "fused": {
+                "seconds": fused_s,
+                "rows_per_sec": n_rows / fused_s,
+            },
+            "speedup": unfused_s / fused_s,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "chains_built": counters.get("exec.fuse.chains", 0),
+            "operators_fused": counters.get("exec.fuse.operators", 0),
+            "intermediate_rows_avoided": counters.get(
+                "exec.fuse.intermediate_rows_avoided", 0
+            ),
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert results["chains_built"] >= 1
+    assert results["intermediate_rows_avoided"] > 0
+    assert results["speedup"] >= SPEEDUP_FLOOR, (
+        f"fused chains only {results['speedup']:.2f}x faster than the "
+        f"unfused block tier (floor {SPEEDUP_FLOOR}x)"
+    )
+    record_baseline("FUSION", results)
+    lines = ["fused selection-vector chains vs unfused block tier:"]
+    lines.append(
+        f"  filter/filter/project/sort over {results['input_rows']} rows "
+        f"x {results['live_columns']} live columns: "
+        f"{results['unfused_blocks']['seconds'] * 1000:.1f} ms unfused vs "
+        f"{results['fused']['seconds'] * 1000:.1f} ms fused "
+        f"({results['speedup']:.2f}x)"
+    )
+    lines.append(
+        f"  {results['chains_built']} chains, "
+        f"{results['operators_fused']} operators fused, "
+        f"{results['intermediate_rows_avoided']} intermediate rows "
+        "never materialized"
+    )
+    record("FUSION", "\n".join(lines))

@@ -37,6 +37,7 @@ from repro.etl import EtlEngine
 from repro.exec import (
     set_default_batched,
     set_default_compiled,
+    set_default_fused,
     set_default_parallel,
     set_default_workers,
 )
@@ -70,6 +71,13 @@ def main(argv=None) -> None:
         action="store_true",
         help="run every engine over columnar row batches "
         "(equivalent to REPRO_BATCH=1)",
+    )
+    parser.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="with --batched, disable selection-vector pipeline fusion "
+        "and run each operator through its own block kernel "
+        "(equivalent to REPRO_FUSE=0)",
     )
     parser.add_argument(
         "--workers",
@@ -106,6 +114,8 @@ def main(argv=None) -> None:
         set_default_compiled(False)
     if args.batched:
         set_default_batched(True)
+    if args.no_fuse:
+        set_default_fused(False)
     if args.workers is not None:
         set_default_workers(args.workers)
         set_default_parallel(args.workers > 1)

@@ -39,6 +39,7 @@ from repro.exec import (
     set_default_batch_size,
     set_default_batched,
     set_default_compiled,
+    set_default_fused,
     set_default_mode,
     set_default_parallel,
     set_default_workers,
@@ -104,6 +105,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help="run block-capable operators over columnar batches of N "
         "rows (enables batched mode; equivalent to REPRO_BATCH=N)",
+    )
+    observability.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="disable selection-vector pipeline fusion and run batched "
+        "operators through the per-operator block kernels (equivalent "
+        "to REPRO_FUSE=0; only meaningful in batched mode — see "
+        "docs/execution-model.md)",
     )
     observability.add_argument(
         "--workers",
@@ -244,6 +253,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--batch-size must be >= 1")
         set_default_batched(True)
         set_default_batch_size(args.batch_size)
+    if args.no_fuse:
+        set_default_fused(False)
     if args.workers is not None:
         if args.workers < 1:
             parser.error("--workers must be >= 1")
@@ -268,6 +279,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.row_mode or args.batch_size is not None:
             set_default_batched(None)
             set_default_batch_size(None)
+        if args.no_fuse:
+            set_default_fused(None)
         if args.workers is not None:
             set_default_workers(None)
             set_default_parallel(None)

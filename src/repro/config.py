@@ -21,6 +21,7 @@ name               environment variable(s)       default
 compiled           REPRO_COMPILED                True
 batched            REPRO_BATCH                   False
 batch_size         REPRO_BATCH_SIZE, REPRO_BATCH 1024
+fused              REPRO_FUSE                    True (needs batched)
 parallel           REPRO_PARALLEL                False
 workers            REPRO_WORKERS, REPRO_PARALLEL cpu count clamped [2, 8]
 parallel_min_rows  REPRO_PARALLEL_MIN_ROWS       derived by the cost model
@@ -283,6 +284,13 @@ BATCH_SIZE = register(
         validate=_check_batch_size,
     )
 )
+#: whether batched execution fuses adjacent block operators into
+#: selection-vector pipelines (see :mod:`repro.exec.fuse`); defaults on,
+#: so only an explicit ``REPRO_FUSE=0`` / ``--no-fuse`` disables it. It
+#: only takes effect when the batched tier is active.
+FUSED = register(
+    Knob("fused", env="REPRO_FUSE", default=True, parse=_parse_false_only)
+)
 PARALLEL = register(
     Knob("parallel", env="REPRO_PARALLEL", default=False, parse=parse_bool)
 )
@@ -354,6 +362,7 @@ __all__ = [
     "DEFAULT_WORKERS",
     "ERROR_POLICIES",
     "FALSE_VALUES",
+    "FUSED",
     "Knob",
     "MAX_RETRIES",
     "MODE",

@@ -48,6 +48,7 @@ from repro.cost.explain import (
 )
 from repro.cost.model import (
     DEFAULT_MODEL,
+    FUSED_ROW_COST,
     CostModel,
     choose_tier,
     derived_block_min_rows,
@@ -79,6 +80,7 @@ __all__ = [
     "ColumnStats",
     "CostModel",
     "DEFAULT_MODEL",
+    "FUSED_ROW_COST",
     "GraphEstimate",
     "OperatorEstimate",
     "StatisticsCatalog",

@@ -33,6 +33,8 @@ class Dataset:
         self._relation = relation
         self._rows: Optional[List[Row]] = []
         self._block = None  # columnar backing (repro.exec.block.RowBlock)
+        self._fused = None  # pipeline backing (repro.exec.fuse.FusedBlock)
+        self._checked: Dict[Tuple, object] = {}  # with_relation memo
         for row in rows:
             self.append(row, validate=validate)
 
@@ -69,6 +71,25 @@ class Dataset:
         out._block = block
         return out
 
+    @classmethod
+    def adopt_fused(cls, relation: Relation, fused) -> "Dataset":
+        """Wrap a :class:`~repro.exec.fuse.FusedBlock` pipeline without
+        gathering its columns — the fused trusted-materialization path.
+        Downstream fused operators keep chaining on the selection vector
+        via :meth:`peek_fused`; anything that needs real storage (a
+        block consumer, row access) breaks the chain through
+        :meth:`as_block`, which gathers each column exactly once."""
+        if set(fused.names) != set(relation.attribute_names):
+            raise SchemaError(
+                f"fused chain columns {sorted(fused.names)} do not match "
+                f"relation {relation.name!r} attributes "
+                f"{sorted(relation.attribute_names)}"
+            )
+        out = cls(relation)
+        out._rows = None
+        out._fused = fused
+        return out
+
     @property
     def relation(self) -> Relation:
         return self._relation
@@ -76,8 +97,10 @@ class Dataset:
     @property
     def rows(self) -> List[Row]:
         if self._rows is None:
-            # lazy row materialization of a block-backed dataset
-            self._rows = self._block.to_rows(self._relation.attribute_names)
+            # lazy row materialization of a block-/fused-backed dataset
+            self._rows = self.as_block().to_rows(
+                self._relation.attribute_names
+            )
         return self._rows
 
     def peek_block(self):
@@ -85,17 +108,31 @@ class Dataset:
         (no conversion is performed either way)."""
         return self._block
 
+    def peek_fused(self):
+        """The fused-pipeline backing if this dataset has one, else
+        ``None`` (never materializes)."""
+        return self._fused
+
     def as_block(self):
         """This dataset as a :class:`~repro.exec.block.RowBlock`,
-        columnarizing (and caching) on first call for row-backed data.
-        The block shares the dataset's values; columns are immutable by
-        convention."""
+        columnarizing (and caching) on first call for row-backed data
+        and gathering a fused chain's surviving columns for
+        fused-backed data. The block shares the dataset's values;
+        columns are immutable by convention."""
         if self._block is None:
-            from repro.exec.block import RowBlock
+            if self._fused is not None:
+                from repro.exec.fuse import materialize_fused
 
-            self._block = RowBlock.from_rows(
-                self._relation.attribute_names, self._rows
-            )
+                self._block = materialize_fused(
+                    self._fused, self._relation.attribute_names
+                )
+                self._fused = None
+            else:
+                from repro.exec.block import RowBlock
+
+                self._block = RowBlock.from_rows(
+                    self._relation.attribute_names, self._rows
+                )
         return self._block
 
     @property
@@ -106,8 +143,10 @@ class Dataset:
         """Append a row. When ``validate`` is set, unknown columns raise,
         missing columns become NULL, and values are checked (with lossless
         numeric coercion) against the attribute types."""
-        rows = self.rows  # materializes a block backing before mutation
+        rows = self.rows  # materializes a block/fused backing before mutation
         self._block = None  # the columnar form would go stale
+        self._fused = None
+        self._checked.clear()  # memoized validations would go stale
         if validate:
             unknown = set(row) - set(self._relation.attribute_names)
             if unknown:
@@ -139,16 +178,36 @@ class Dataset:
         """Same rows over the relation renamed to ``new_name``."""
         out = Dataset(self._relation.renamed(new_name), validate=False)
         if self._rows is None:
-            # block-backed: share the (immutable-by-convention) columns
+            # block-/fused-backed: share the (immutable-by-convention)
+            # columns / the chain (fused ops never mutate a chain)
             out._rows = None
             out._block = self._block
+            out._fused = self._fused
         else:
             out._rows = [dict(r) for r in self._rows]
         return out
 
     def with_relation(self, relation: Relation) -> "Dataset":
-        """Same rows, re-validated against ``relation``."""
-        return Dataset(relation, self.rows)
+        """Same rows, re-validated against ``relation``.
+
+        Validation is memoized per schema: the first call over a given
+        (name, dtype, nullable) signature pays the full per-row check
+        and caches the normalized result as an immutable
+        :class:`~repro.exec.block.RowBlock`; later calls with an
+        equivalent schema share that block (every engine re-extracting
+        the same source revalidates it for free). Only successful
+        validations are cached — bad data raises on every call — and
+        any mutation of this dataset drops the memo."""
+        signature = tuple(
+            (a.name, a.dtype, a.nullable) for a in relation
+        )
+        cached = self._checked.get(signature)
+        if cached is None:
+            # full checked path: unknown-column detection, NULL checks,
+            # lossless numeric coercion (see append)
+            cached = Dataset(relation, self.rows).as_block()
+            self._checked[signature] = cached
+        return Dataset.adopt_block(relation, cached)
 
     def head(self, n: int = 5) -> List[Row]:
         return self.rows[:n]
@@ -156,6 +215,10 @@ class Dataset:
     def column(self, name: str) -> List[object]:
         self._relation.attribute(name)  # raise on unknown column
         if self._rows is None:
+            if self._fused is not None:
+                # single-column gather through the chain's selection —
+                # the other columns stay ungathered
+                return list(self._fused.column(name))
             return list(self._block.columns[name])
         return [row[name] for row in self._rows]
 
@@ -187,6 +250,8 @@ class Dataset:
 
     def __len__(self) -> int:
         if self._rows is None:
+            if self._fused is not None:
+                return self._fused.length
             return self._block.length
         return len(self._rows)
 

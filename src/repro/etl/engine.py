@@ -43,9 +43,11 @@ from repro.etl.model import Job
 from repro.etl.stages.access import TableSource, TableTarget
 from repro.exec import (
     ExpressionPlanner,
+    degrade_counter,
     resolve_batch_size,
     resolve_batched,
     resolve_compiled,
+    resolve_fused,
     resolve_mode,
     resolve_parallel,
     resolve_workers,
@@ -139,6 +141,7 @@ class EtlEngine:
         workers: Optional[int] = None,
         mode: Optional[str] = None,
         catalog=None,
+        fused: Optional[bool] = None,
     ):
         self._obs = obs or NULL_OBS
         #: whether stages lower expressions through the compiler
@@ -168,13 +171,19 @@ class EtlEngine:
         #: "auto" picks per run from the input size via the cost model,
         #: None keeps the per-flag resolution above.
         self.mode = resolve_mode(mode)
+        #: whether batched stages chain block operators through fused
+        #: selection-vector pipelines (falls back per chain).
+        self._fused_opt = fused
+        self.fused = self.batched and resolve_fused(fused)
         if self.mode is not None:
             probe = ExpressionPlanner(
                 None, compiled, batched, self.batch_size,
                 parallel=parallel, workers=self.workers, mode=self.mode,
+                fused=fused,
             )
             self.batched = probe.batched
             self.parallel = probe.parallel
+            self.fused = probe.fused
         #: statistics catalog fed back with source stats and per-link
         #: actuals after every run (None disables the feedback loop).
         self.catalog = catalog
@@ -207,10 +216,18 @@ class EtlEngine:
 
     def _ladder(self, planner: ExpressionPlanner) -> List[ExpressionPlanner]:
         """The degradation ladder for this run, most capable tier first:
-        batched blocks → compiled row kernels → interpreting oracle."""
+        fused pipelines → batched blocks → compiled row kernels →
+        interpreting oracle."""
         tiers = [planner]
         if not self.degrade:
             return tiers
+        if planner.fused:
+            tiers.append(
+                ExpressionPlanner(
+                    planner.registry, True, True, self.batch_size,
+                    fused=False,
+                )
+            )
         if planner.batched:
             tiers.append(
                 ExpressionPlanner(
@@ -241,12 +258,7 @@ class EtlEngine:
         last_exc = None
         for i, planner in enumerate(tiers):
             if i:
-                prev = tiers[i - 1]
-                metrics.count(
-                    "exec.degrade.block_to_rows"
-                    if prev.batched
-                    else "exec.degrade.rows_to_oracle"
-                )
+                metrics.count(degrade_counter(tiers[i - 1]))
             ctx.reset()
             kwargs = {"planner": planner, "obs": self._obs}
             if stage.supports_policies:
@@ -387,7 +399,7 @@ class EtlEngine:
         planner = ExpressionPlanner(
             job.registry, self.compiled, self.batched, self.batch_size,
             parallel=self._parallel_opt, workers=self.workers,
-            mode=self.mode,
+            mode=self.mode, fused=self._fused_opt,
         )
         if self.mode == "auto":
             n_rows = max((len(d) for d in instance), default=0)
@@ -583,6 +595,7 @@ def run_job(
     checkpoint=None,
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
+    fused: Optional[bool] = None,
 ) -> Instance:
     """Convenience: run ``job`` and return the target datasets."""
     return EtlEngine(
@@ -595,6 +608,7 @@ def run_job(
         checkpoint=checkpoint,
         parallel=parallel,
         workers=workers,
+        fused=fused,
     ).execute(job, instance)
 
 
@@ -610,6 +624,7 @@ def run_job_with_links(
     checkpoint=None,
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
+    fused: Optional[bool] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Run ``job`` returning targets plus every link's dataset."""
     return EtlEngine(
@@ -622,6 +637,7 @@ def run_job_with_links(
         checkpoint=checkpoint,
         parallel=parallel,
         workers=workers,
+        fused=fused,
     ).run(job, instance)
 
 

@@ -135,6 +135,16 @@ class TableTarget(Stage):
                     errors.record(index, dict(row), exc)
             return result
         if trusted:
+            fused = data.peek_fused()
+            if fused is not None:
+                # fused delivery: the chain's terminal gather — only the
+                # target's columns materialize, the rest of the link's
+                # columns are dead and never touched
+                from repro.exec.fuse import materialize_fused
+
+                return Dataset.adopt_block(
+                    self.relation, materialize_fused(fused, names)
+                )
             blk = data.peek_block()
             if blk is not None:
                 # columnar delivery: subset to the target attribute set

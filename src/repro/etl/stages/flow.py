@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.data.dataset import Dataset
 from repro.errors import INFRASTRUCTURE_ERRORS, ValidationError
 from repro.etl.model import Stage
-from repro.exec import ExpressionPlanner, block, kernels
+from repro.exec import ExpressionPlanner, block, fuse, kernels
 from repro.exec.block import RowBlock, relation_resolver
 from repro.expr.ast import Expr, Literal
 from repro.expr.parser import parse
@@ -145,12 +145,31 @@ class FilterStage(Stage):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
         has_predicates = any(not o.reject for o in self.outputs)
-        if planner.batched:
-            results = self._execute_block(
-                data, out_relations, planner, has_predicates, obs
-            )
-            if results is not None:
-                return results
+        handling = errors is not None and errors.handling
+        # the fused/block fast paths evaluate predicates whole-column, so
+        # a row-level data error (e.g. division by zero) aborts the whole
+        # kernel; under an active error policy the stage replays on row
+        # kernels, where the policy can absorb exactly the bad rows.
+        # Infrastructure failures keep propagating — they belong to the
+        # retry / degradation machinery, not to row policies.
+        try:
+            if planner.fused:
+                results = self._execute_fused(
+                    data, out_relations, planner, has_predicates, obs
+                )
+                if results is not None:
+                    return results
+            if planner.batched:
+                results = self._execute_block(
+                    data, out_relations, planner, has_predicates, obs
+                )
+                if results is not None:
+                    return results
+        except INFRASTRUCTURE_ERRORS:
+            raise
+        except Exception:
+            if not handling:
+                raise
         specs = []
         for output in self.outputs:
             if output.reject:
@@ -193,6 +212,43 @@ class FilterStage(Stage):
             for output, rows, rel in zip(self.outputs, routed, out_relations)
         ]
 
+    def _execute_fused(self, data, out_relations, planner, has_predicates, obs):
+        """Fused routing: predicates evaluate over the chain's read-set
+        view, and each output *narrows* the selection vector instead of
+        ``take()``-copying every column — nothing materializes here."""
+        chain = planner.fused_chain(data, obs)
+        if chain is None:
+            return None
+        resolve = relation_resolver(data.relation.name, chain.handles)
+        specs = []
+        exprs = []
+        for output in self.outputs:
+            if output.reject:
+                specs.append(("fallback" if has_predicates else "always", None))
+            else:
+                predicate = planner.block_predicate(
+                    output.where, resolve, tier="fused"
+                )
+                if predicate is None:
+                    return None
+                specs.append(("pred", predicate))
+                exprs.append(output.where)
+        reads = fuse.read_set(exprs, resolve)
+        view = chain.view(reads)
+        routed = block.route_block(
+            view, specs, only_once=self.row_only_once, obs=obs
+        )
+        results = []
+        survivors = 0
+        for output, indices, rel in zip(self.outputs, routed, out_relations):
+            survivors += len(indices)
+            child = chain.narrow(indices)
+            if output.columns is not None:
+                child = child.project(output.columns)
+            results.append(planner.materialize_fused(rel, child))
+        fuse.fused_op(chain, obs, survivors)
+        return results
+
     def _execute_block(self, data, out_relations, planner, has_predicates, obs):
         """Columnar routing, or ``None`` when a predicate cannot be
         lowered (every predicate must compile — routing is all-or-
@@ -213,8 +269,11 @@ class FilterStage(Stage):
         )
         results = []
         for output, indices, rel in zip(self.outputs, routed, out_relations):
-            taken = blk.take(indices)
             if output.columns is not None:
+                # dead-column pruning: only gather the projected sources
+                taken = blk.take(
+                    indices, names=[source for _out, source in output.columns]
+                )
                 taken = RowBlock(
                     {
                         out: taken.columns[source]
@@ -222,6 +281,8 @@ class FilterStage(Stage):
                     },
                     taken.length,
                 )
+            else:
+                taken = blk.take(indices)
             results.append(planner.materialize_block(rel, taken))
         return results
 
@@ -301,18 +362,50 @@ class SwitchStage(Stage):
     ):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
-        if planner.batched:
-            blk = data.as_block()
-            resolve = relation_resolver(data.relation.name, blk.columns)
-            selector = planner.block_scalar(self.selector, resolve)
-            if selector is not None:
-                routed = block.switch_block(
-                    blk, selector, self.cases, self.has_default, obs=obs
+        handling = errors is not None and errors.handling
+        # like Filter: a data error inside a whole-column selector kernel
+        # falls back to row kernels when a policy is active (see
+        # FilterStage.execute); infrastructure failures keep propagating
+        try:
+            if planner.fused:
+                chain = planner.fused_chain(data, obs)
+                resolve = relation_resolver(data.relation.name, chain.handles)
+                selector = planner.block_scalar(
+                    self.selector, resolve, tier="fused"
                 )
-                return [
-                    planner.materialize_block(rel, blk.take(indices))
-                    for indices, rel in zip(routed, out_relations)
-                ]
+                if selector is not None:
+                    reads = fuse.read_set([self.selector], resolve)
+                    routed = block.switch_block(
+                        chain.view(reads),
+                        selector,
+                        self.cases,
+                        self.has_default,
+                        obs=obs,
+                    )
+                    survivors = sum(len(indices) for indices in routed)
+                    results = [
+                        planner.materialize_fused(rel, chain.narrow(indices))
+                        for indices, rel in zip(routed, out_relations)
+                    ]
+                    fuse.fused_op(chain, obs, survivors)
+                    return results
+            if planner.batched:
+                blk = data.as_block()
+                resolve = relation_resolver(data.relation.name, blk.columns)
+                selector = planner.block_scalar(self.selector, resolve)
+                if selector is not None:
+                    routed = block.switch_block(
+                        blk, selector, self.cases, self.has_default, obs=obs
+                    )
+                    return [
+                        planner.materialize_block(rel, blk.take(indices))
+                        for indices, rel in zip(routed, out_relations)
+                    ]
+        except INFRASTRUCTURE_ERRORS:
+            raise
+        except Exception:
+            if not handling:
+                raise
         on_error = errors.kernel_handler() if errors is not None else None
         routed = kernels.switch_rows(
             data.rows,
@@ -388,6 +481,18 @@ class CopyStage(Stage):
     def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
+        if planner.fused:
+            # handle renames only — downstream stages keep chaining on
+            # the same selection, and unread columns are never gathered
+            chain = planner.fused_chain(data, obs)
+            results = [
+                planner.materialize_fused(
+                    rel, chain.project([(n, n) for n in rel.attribute_names])
+                )
+                for rel in out_relations
+            ]
+            fuse.fused_op(chain, obs, 0)
+            return results
         if planner.batched:
             blk = data.as_block()
             # column subsets alias the input lists — copies cost nothing
@@ -473,6 +578,14 @@ class PeekStage(Stage):
     def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
+        if planner.fused:
+            # identity: the chain passes straight through; the sample
+            # gathers only its first rows
+            chain = planner.fused_chain(data, obs)
+            self.peeked = chain.head_rows(
+                self.sample, data.relation.attribute_names
+            )
+            return [planner.materialize_fused(out_relations[0], chain)]
         if planner.batched:
             # identity: pass the columnar form straight through without
             # materializing rows (the sample converts only its slice)

@@ -14,9 +14,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.data.dataset import Dataset
 from repro.errors import ValidationError
 from repro.etl.model import Stage
-from repro.exec import ExpressionPlanner, block, kernels
+from repro.exec import ExpressionPlanner, block, fuse, kernels
 from repro.exec.block import RowBlock, relation_resolver
-from repro.expr.ast import Expr
+from repro.expr.ast import ColumnRef, Expr
 from repro.expr.evaluator import Environment
 from repro.expr.parser import parse
 from repro.expr.typecheck import TypeContext, check_boolean, infer_type
@@ -163,6 +163,12 @@ class Transformer(Stage):
         (data,) = inputs
         planner = planner or ExpressionPlanner(registry)
         relation_name = data.relation.name
+        if planner.fused:
+            results = self._execute_fused(
+                data, out_relations, planner, relation_name, obs
+            )
+            if results is not None:
+                return results
         if planner.batched:
             results = self._execute_block(
                 data, out_relations, planner, relation_name, obs
@@ -232,6 +238,87 @@ class Transformer(Stage):
             )
         ]
 
+    def _execute_fused(self, data, out_relations, planner, relation_name, obs):
+        """Fused execution: the environment is a handle overlay on the
+        chain (link-qualified aliases share the plain handles), stage
+        variables and derivations evaluate eagerly — exactly the rows
+        the unfused tier would see, so errors surface identically — but
+        only over read-set views of the surviving selection, and
+        pass-through derivations are pure handle renames that defer the
+        gather to the chain's materialization point."""
+        chain = planner.fused_chain(data, obs)
+        if chain is None:
+            return None
+        env = chain.with_handles(
+            {
+                f"{relation_name}.{name}": handle
+                for name, handle in chain.handles.items()
+            }
+        )
+        # stage variables compute top-down; each sees the ones before it
+        for name, expr in self.stage_variables:
+            resolve = relation_resolver(None, env.handles)
+            fn = planner.block_scalar(expr, resolve, tier="fused")
+            if fn is None:
+                return None
+            reads = fuse.read_set([expr], resolve)
+            env = env.with_handles({name: fn(env.view(reads))})
+        resolve = relation_resolver(None, env.handles)
+        specs = []
+        constraints = []
+        for link in self.outputs:
+            if link.otherwise:
+                specs.append(("fallback", None))
+            elif link.constraint is None:
+                specs.append(("always", None))
+            else:
+                predicate = planner.block_predicate(
+                    link.constraint, resolve, tier="fused"
+                )
+                if predicate is None:
+                    return None
+                specs.append(("pred", predicate))
+                constraints.append(link.constraint)
+        # lower every derivation up front — fusion is all-or-nothing
+        lowered_links = []
+        for link in self.outputs:
+            lowered = []
+            for col, expr in link.derivations:
+                if isinstance(expr, ColumnRef):
+                    key = resolve(expr)
+                    if key is not None:
+                        # pass-through: rename the handle, never gather
+                        lowered.append((col, None, key))
+                        continue
+                fn = planner.block_scalar(expr, resolve, tier="fused")
+                if fn is None:
+                    return None
+                lowered.append((col, expr, fn))
+            lowered_links.append(lowered)
+        routed = block.route_block(
+            env.view(fuse.read_set(constraints, resolve)), specs, obs=obs
+        )
+        results = []
+        survivors = 0
+        for lowered, indices, rel in zip(lowered_links, routed, out_relations):
+            survivors += len(indices)
+            child = env.narrow(indices)
+            computed = [expr for _col, expr, _fn in lowered if expr is not None]
+            view = (
+                child.view(fuse.read_set(computed, resolve))
+                if computed
+                else None
+            )
+            handles = {}
+            for col, expr, fn in lowered:
+                if expr is None:
+                    handles[col] = child.handles[fn]
+                else:
+                    handles[col] = fn(view)
+            results.append(planner.materialize_fused(rel, child.derive(handles)))
+        fuse.fused_op(chain, obs, survivors)
+        return results
+
     def _execute_block(self, data, out_relations, planner, relation_name, obs):
         """Columnar execution, or ``None`` when any stage variable,
         constraint, or derivation cannot be lowered column-wise.
@@ -273,19 +360,24 @@ class Transformer(Stage):
             ]
             if any(fn is None for _col, fn in derivations):
                 return None
-            lowered_links.append(derivations)
+            # dead-column pruning: the link's take() only gathers the
+            # columns its derivations actually read
+            reads = fuse.read_set(
+                [expr for _col, expr in link.derivations], resolve
+            )
+            lowered_links.append((derivations, reads))
         routed = block.route_block(env_blk, specs, obs=obs)
         return [
             planner.materialize_block(
                 rel,
                 block.project_block(
-                    env_blk.take(indices),
+                    env_blk.take(indices, names=reads),
                     derivations,
                     batch_size=planner.batch_size,
                     obs=obs,
                 ),
             )
-            for derivations, indices, rel in zip(
+            for (derivations, reads), indices, rel in zip(
                 lowered_links, routed, out_relations
             )
         ]
@@ -457,6 +549,12 @@ class SurrogateKey(Stage):
 
     def execute(self, inputs, out_relations, registry, planner=None, obs=None):
         (data,) = inputs
+        if planner is not None and getattr(planner, "fused", False):
+            chain = planner.fused_chain(data, obs)
+            generated = list(range(self.start, self.start + chain.length))
+            out = chain.with_handles({self.generated_column: generated})
+            fuse.fused_op(chain, obs, 0)
+            return [planner.materialize_fused(out_relations[0], out)]
         if planner is not None and planner.batched:
             blk = data.as_block()
             generated = list(range(self.start, self.start + blk.length))

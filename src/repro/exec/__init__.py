@@ -41,7 +41,18 @@ engine kwargs, :func:`set_default_parallel` / :func:`set_default_workers`
 (the CLI's ``--workers N``), or ``REPRO_PARALLEL`` / ``REPRO_WORKERS``
 — and a failing worker degrades to the serial path per operator
 (``exec.degrade.parallel_to_serial``). See ``docs/execution-model.md``
-for the full four-tier handbook.
+for the full five-tier handbook.
+
+The fifth tier is *fused* execution (:mod:`repro.exec.fuse`): adjacent
+block operators chain through selection vectors instead of
+materializing an intermediate ``RowBlock`` per operator, gathering
+columns once at the chain's single materialization point (and only the
+columns downstream readers reference). It rides on the batched tier and
+is on by default there — ``fused=False`` engine kwargs,
+:func:`set_default_fused` (the CLI's ``--no-fuse``), or ``REPRO_FUSE=0``
+switch it off — and any chain whose operators decline to fuse falls
+back to the unfused block kernels per chain
+(``exec.degrade.fused_to_block``), never changing results.
 """
 
 from __future__ import annotations
@@ -70,8 +81,9 @@ from repro.exec.compile_block import (
     compile_block_expr,
     compile_block_predicate,
 )
-from repro.exec import block, kernels, parallel
+from repro.exec import block, fuse, kernels, parallel
 from repro.exec.block import RowBlock
+from repro.exec.fuse import FusedBlock
 from repro.exec.parallel import (
     WorkerPool,
     default_parallel,
@@ -149,6 +161,25 @@ def resolve_batch_size(value: Optional[int]) -> int:
     return config.BATCH_SIZE.resolve(value)
 
 
+def default_fused() -> bool:
+    """The process-wide fused-pipeline default: a
+    :func:`set_default_fused` override wins, else ``REPRO_FUSE=0``
+    disables, else True (fusion is on whenever batching is)."""
+    return config.FUSED.default()
+
+
+def set_default_fused(value: Optional[bool]) -> None:
+    """Override the process-wide fused default (None restores the
+    environment-variable/True resolution)."""
+    config.FUSED.set(value)
+
+
+def resolve_fused(value: Optional[bool]) -> bool:
+    """Resolve an engine constructor's ``fused`` argument: an explicit
+    True/False wins, None means the process default."""
+    return default_fused() if value is None else bool(value)
+
+
 def default_mode() -> Optional[str]:
     """The process-wide execution-mode default: a
     :func:`set_default_mode` override wins, else ``REPRO_MODE``, else
@@ -218,6 +249,7 @@ class ExpressionPlanner:
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
         mode: Optional[str] = None,
+        fused: Optional[bool] = None,
     ) -> None:
         self.registry = registry or DEFAULT_REGISTRY
         self.compiled = resolve_compiled(compiled)
@@ -246,6 +278,10 @@ class ExpressionPlanner:
         elif self.mode == "parallel":
             self.batched = self.compiled
             self.parallel = self.batched and self.workers >= 2
+        # the fused tier chains *block* operators, so it rides on the
+        # batched tier (recomputed whenever tune_for() re-tiers)
+        self._fused_requested = fused
+        self.fused = self.batched and resolve_fused(fused)
         self._pool: Optional[WorkerPool] = None
         self._scalars: dict = {}
         self._predicates: dict = {}
@@ -269,6 +305,7 @@ class ExpressionPlanner:
         tier = model.choose_tier(n_rows, self.workers)
         self.batched = self.compiled and tier in ("block", "parallel")
         self.parallel = self.batched and tier == "parallel"
+        self.fused = self.batched and resolve_fused(self._fused_requested)
         return tier if self.compiled else "rows"
 
     def pool(self) -> WorkerPool:
@@ -337,28 +374,34 @@ class ExpressionPlanner:
 
     # -- block (columnar) lowering --------------------------------------
 
-    def block_scalar(self, expr: Expr, resolve) -> Optional[Callable]:
+    def block_scalar(
+        self, expr: Expr, resolve, tier: str = "block"
+    ) -> Optional[Callable]:
         """A ``RowBlock → column`` function for ``expr`` under the given
         column resolver, or ``None`` when the operator must take the row
         path (batched mode off, or the expression isn't expressible
         column-wise). Compiled once per operator invocation — resolvers
-        are call-site-specific, so these are not cached planner-wide."""
+        are call-site-specific, so these are not cached planner-wide.
+        Fused call sites pass ``tier="fused"`` so a poisoned fused chain
+        can be targeted independently of the block tier."""
         if not self.batched:
             return None
         fn = compile_block_expr(expr, self.registry, resolve)
-        return None if fn is None else self._faulted("scalar", fn, tier="block")
+        return None if fn is None else self._faulted("scalar", fn, tier=tier)
 
-    def block_predicate(self, expr: Expr, resolve) -> Optional[Callable]:
+    def block_predicate(
+        self, expr: Expr, resolve, tier: str = "block"
+    ) -> Optional[Callable]:
         """A ``RowBlock → bool column`` function with SQL WHERE semantics
         (True only where definitely true), or ``None`` for row fallback."""
         if not self.batched:
             return None
         fn = compile_block_predicate(expr, self.registry, resolve)
         return (
-            None if fn is None else self._faulted("predicate", fn, tier="block")
+            None if fn is None else self._faulted("predicate", fn, tier=tier)
         )
 
-    def block_aggregate(self, agg: AggregateCall, resolve):
+    def block_aggregate(self, agg: AggregateCall, resolve, tier: str = "block"):
         """``(values_fn, reducer)`` for columnar grouped aggregation —
         ``values_fn`` evaluates the argument once over a whole block,
         ``reducer`` folds one group's gathered values. ``(None, None)``
@@ -371,8 +414,28 @@ class ExpressionPlanner:
         values_fn = compile_block_expr(agg.arg, self.registry, resolve)
         if values_fn is None:
             return None
-        values_fn = self._faulted("aggregate", values_fn, tier="block")
+        values_fn = self._faulted("aggregate", values_fn, tier=tier)
         return (values_fn, aggregate_values_reducer(agg))
+
+    # -- fused (selection-vector) lowering ------------------------------
+
+    def fused_chain(self, dataset, obs=None) -> Optional[FusedBlock]:
+        """Open (or continue) a fused chain over ``dataset``: the
+        upstream chain when the dataset is already fused-backed, else a
+        fresh chain over its columnar form. ``None`` when this planner
+        doesn't fuse — callers then use the unfused block path."""
+        if not self.fused:
+            return None
+        chain = dataset.peek_fused()
+        if chain is not None:
+            return chain
+        return fuse.fuse_source(dataset.as_block(), obs)
+
+    def materialize_fused(self, relation, chain: FusedBlock):
+        """Adopt a fused chain as a lazily-backed Dataset — columns are
+        gathered only if/when a downstream consumer breaks the chain
+        (``Dataset.as_block``/``.rows``) or at target delivery."""
+        return Dataset.adopt_fused(relation, chain)
 
     def materialize_block(self, relation, rowblock: RowBlock):
         """Adopt a kernel-output block as a Dataset without converting
@@ -401,18 +464,36 @@ class ExpressionPlanner:
     def _faulted(self, kind: str, fn: Callable, tier: Optional[str] = None):
         """Hand ``fn`` to the installed kernel fault hook (if any); the
         closure cache always stores the unwrapped function, so removing
-        the hook restores clean execution."""
+        the hook restores clean execution. The fused tier chains the
+        block tier's hook underneath its own: a fault plan targeting
+        ``tier="block"`` fires in the fused path too (the fused chain IS
+        the block tier's work), while ``tier="fused"`` targets only
+        fused lowering."""
         hook = _kernel_fault_hook
         if hook is None:
             return fn
         if tier is None:
             tier = "compiled" if self.compiled else "oracle"
+        if tier == "fused":
+            fn = hook("block", kind, fn)
         return hook(tier, kind, fn)
+
+
+def degrade_counter(prev: "ExpressionPlanner") -> str:
+    """The ``exec.degrade.*`` counter name for falling off the tier the
+    planner ``prev`` ran at — shared by every runtime's degradation
+    ladder so the fused→block→rows→oracle rungs are named once."""
+    if getattr(prev, "fused", False):
+        return "exec.degrade.fused_to_block"
+    if prev.batched:
+        return "exec.degrade.block_to_rows"
+    return "exec.degrade.rows_to_oracle"
 
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "ExpressionPlanner",
+    "FusedBlock",
     "RowBlock",
     "WorkerPool",
     "default_parallel",
@@ -434,8 +515,13 @@ __all__ = [
     "default_batch_size",
     "default_batched",
     "default_compiled",
+    "default_fused",
     "default_mode",
+    "degrade_counter",
+    "fuse",
+    "resolve_fused",
     "resolve_mode",
+    "set_default_fused",
     "set_default_mode",
     "is_foldable",
     "kernel_fault_hook",

@@ -28,6 +28,7 @@ Kernels report ``exec.block.<name>.blocks_in/.blocks_out/.rows_in/
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import (
     Any,
     Callable,
@@ -74,11 +75,13 @@ class RowBlock:
     are immutable by convention.
     """
 
-    __slots__ = ("columns", "length")
+    __slots__ = ("columns", "length", "_null_masks")
 
     def __init__(self, columns: Dict[str, List[Any]], length: int):
         self.columns = columns
         self.length = length
+        # per-column null-mask memo — sound because columns are immutable
+        self._null_masks: Optional[Dict[str, List[bool]]] = None
 
     # -- construction / conversion ----------------------------------------
 
@@ -99,18 +102,26 @@ class RowBlock:
 
     @classmethod
     def concat(cls, blocks: Sequence["RowBlock"]) -> "RowBlock":
-        """Concatenate blocks sharing a column-name set."""
+        """Concatenate blocks sharing a column-name set. Each output
+        column is built in one pass (no repeated ``extend`` over many
+        small chunks), and names aliasing the same list in *every* input
+        stay aliased in the output."""
         if len(blocks) == 1:
             return blocks[0]
         if not blocks:
             return cls({}, 0)
         names = list(blocks[0].columns)
-        columns: Dict[str, List[Any]] = {n: [] for n in names}
-        length = 0
-        for block in blocks:
-            for n in names:
-                columns[n].extend(block.columns[n])
-            length += block.length
+        length = sum(block.length for block in blocks)
+        shared: Dict[Tuple[int, ...], List[Any]] = {}
+        columns: Dict[str, List[Any]] = {}
+        for n in names:
+            key = tuple(id(block.columns[n]) for block in blocks)
+            col = shared.get(key)
+            if col is None:
+                col = shared[key] = list(
+                    chain.from_iterable(block.columns[n] for block in blocks)
+                )
+            columns[n] = col
         return cls(columns, length)
 
     # -- cheap structural ops ----------------------------------------------
@@ -123,8 +134,19 @@ class RowBlock:
         return self.columns[name]
 
     def null_mask(self, name: str) -> List[bool]:
-        """True where the column is NULL (the in-band ``None`` entries)."""
-        return [value is None for value in self.columns[name]]
+        """True where the column is NULL (the in-band ``None`` entries).
+        Memoized per column name — repeated callers (join build/probe,
+        grouped aggregation) scan the column once. Callers must treat
+        the returned mask as immutable."""
+        masks = self._null_masks
+        if masks is None:
+            masks = self._null_masks = {}
+        mask = masks.get(name)
+        if mask is None:
+            mask = masks[name] = [
+                value is None for value in self.columns[name]
+            ]
+        return mask
 
     def slice(self, start: int, stop: int) -> "RowBlock":
         """Row range ``[start, stop)`` — aliased column lists stay aliased."""
@@ -139,12 +161,19 @@ class RowBlock:
             columns[name] = cut
         return RowBlock(columns, max(0, stop - start))
 
-    def take(self, indices: Sequence[int]) -> "RowBlock":
+    def take(
+        self,
+        indices: Sequence[int],
+        names: Optional[Sequence[str]] = None,
+    ) -> "RowBlock":
         """Gather the given row positions (a selection vector) into a new
-        block — aliased column lists are gathered once and stay aliased."""
+        block — aliased column lists are gathered once and stay aliased.
+        ``names`` restricts the gather to the columns a downstream
+        consumer actually reads (dead-column pruning)."""
         shared: Dict[int, List[Any]] = {}
         columns: Dict[str, List[Any]] = {}
-        for name, col in self.columns.items():
+        for name in (self.columns if names is None else names):
+            col = self.columns[name]
             taken = shared.get(id(col))
             if taken is None:
                 taken = shared[id(col)] = [col[i] for i in indices]

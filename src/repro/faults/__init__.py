@@ -34,11 +34,14 @@ from repro.errors import ExecutionError, FaultInjected, TransientError
 from repro.etl.stages.access import TableSource, TableTarget
 from repro.exec import set_kernel_fault_hook
 
-#: execution tiers a kernel fault can target: "block" / "compiled" /
-#: "oracle" wrap planner closures (see ExpressionPlanner._faulted);
-#: "parallel" wraps whole partition tasks of the partitioned kernels
-#: (see repro.exec.parallel), exercising the parallel→serial degrade
-TIERS = ("parallel", "block", "compiled", "oracle")
+#: execution tiers a kernel fault can target: "fused" / "block" /
+#: "compiled" / "oracle" wrap planner closures (see
+#: ExpressionPlanner._faulted — a "block" plan also fires inside fused
+#: chains, which run the same lowered functions, while a "fused" plan
+#: targets only the fused tier); "parallel" wraps whole partition tasks
+#: of the partitioned kernels (see repro.exec.parallel), exercising the
+#: parallel→serial degrade
+TIERS = ("parallel", "fused", "block", "compiled", "oracle")
 
 
 class FaultPlan:

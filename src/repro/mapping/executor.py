@@ -28,7 +28,14 @@ from typing import Dict, List, Optional
 
 from repro.data.dataset import Dataset, Instance, Row
 from repro.errors import ExecutionError
-from repro.exec import ExpressionPlanner, block, kernels, resolve_parallel
+from repro.exec import (
+    ExpressionPlanner,
+    block,
+    degrade_counter,
+    fuse,
+    kernels,
+    resolve_parallel,
+)
 from repro.exec.parallel import WorkerUnavailable, topological_waves
 from repro.expr.algebra import transform
 from repro.expr.ast import AggregateCall, ColumnRef, Expr, Literal
@@ -50,8 +57,9 @@ class MappingExecutor:
     ``reject``) applied per mapping: a source-row combination whose
     where clause or derivations error is dropped (``skip``) or captured
     (``reject`` — see :meth:`run_with_rejects`) instead of aborting.
-    A failing execution tier degrades per mapping from batched blocks
-    through compiled row kernels to the interpreting oracle."""
+    A failing execution tier degrades per mapping from fused
+    selection-vector chains through batched blocks and compiled row
+    kernels to the interpreting oracle."""
 
     def __init__(
         self,
@@ -66,15 +74,18 @@ class MappingExecutor:
         workers: Optional[int] = None,
         mode: Optional[str] = None,
         catalog=None,
+        fused: Optional[bool] = None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
         self._planner = ExpressionPlanner(
             self.registry, compiled, batched, batch_size,
-            parallel=parallel, workers=workers, mode=mode,
+            parallel=parallel, workers=workers, mode=mode, fused=fused,
         )
         self.compiled = self._planner.compiled
         self.batched = self._planner.batched
+        #: selection-vector pipeline fusion (requires ``batched``).
+        self.fused = self._planner.fused
         #: execution-tier mode: "rows"/"block"/"parallel" pin the tier,
         #: "auto" picks per run from the input size via the cost model,
         #: None keeps the per-flag resolution.
@@ -102,6 +113,18 @@ class MappingExecutor:
         tiers: List[MappingExecutor] = [self]
         if not self.degrade:
             return tiers
+        if self.fused:
+            tiers.append(
+                MappingExecutor(
+                    self.registry,
+                    self._obs,
+                    compiled=True,
+                    batched=True,
+                    batch_size=self._planner.batch_size,
+                    fused=False,
+                    degrade=False,
+                )
+            )
         if self.batched:
             tiers.append(
                 MappingExecutor(
@@ -151,6 +174,10 @@ class MappingExecutor:
         active policy context is supplied."""
         if mapping.is_opaque:
             return self._execute_opaque(mapping, instance)
+        if self._planner.fused:
+            result = self._execute_fused(mapping, instance)
+            if result is not None:
+                return result
         if self._planner.batched:
             result = self._execute_block(mapping, instance)
             if result is not None:
@@ -173,6 +200,71 @@ class MappingExecutor:
             ),
         )
         return Dataset(mapping.target, rows, validate=False)
+
+    def _execute_fused(
+        self, mapping: Mapping, instance: Instance
+    ) -> Optional[Dataset]:
+        """Fused evaluation of the single-source, non-grouping mapping
+        shape: the where clause narrows a selection vector over the
+        source chain (no intermediate gather), derivations are handle
+        renames or computed columns over read-set views, underived
+        target columns broadcast NULL, and the result stays lazily
+        fused-backed — a downstream mapping reading it keeps chaining.
+        ``None`` falls back to the unfused block (then row) path."""
+        if len(mapping.sources) != 1 or mapping.is_grouping:
+            return None
+        binding = mapping.sources[0]
+        target_names = set(mapping.target.attribute_names)
+        if any(col not in target_names for col, _e in mapping.derivations):
+            return None
+        dataset = self._source_dataset(binding.relation.name, instance)
+        chain = self._planner.fused_chain(dataset, self._obs)
+        if chain is None:
+            return None
+        names = set(chain.handles)
+        var = binding.var
+
+        def resolve(ref):
+            # mirrors _execute_block: the row path binds the source row
+            # under its mapping variable only
+            if ref.qualifier is None or ref.qualifier == var:
+                return ref.name if ref.name in names else None
+            return None
+
+        predicate = self._planner.block_predicate(
+            mapping.where, resolve, tier="fused"
+        )
+        if predicate is None:
+            return None
+        lowered = []
+        for col, expr in mapping.derivations:
+            if isinstance(expr, ColumnRef):
+                key = resolve(expr)
+                if key is not None:
+                    # pass-through: rename the handle, never gather
+                    lowered.append((col, None, key))
+                    continue
+            fn = self._planner.block_scalar(expr, resolve, tier="fused")
+            if fn is None:
+                return None
+            lowered.append((col, expr, fn))
+        reads = fuse.read_set([mapping.where], resolve)
+        mask = predicate(chain.view(reads))
+        kept = [i for i, flag in enumerate(mask) if flag]
+        child = chain.narrow(kept)
+        fuse.fused_op(chain, self._obs, len(kept))
+        handles: Dict[str, fuse.Handle] = {
+            attr.name: [None] * child.length for attr in mapping.target
+        }
+        for col, expr, fn in lowered:
+            if expr is None:
+                handles[col] = child.handles[fn]
+            else:
+                handles[col] = fn(
+                    child.view(fuse.read_set([expr], resolve))
+                )
+        fuse.fused_op(chain, self._obs, 0)
+        return Dataset.adopt_fused(mapping.target, child.derive(handles))
 
     def _execute_block(
         self, mapping: Mapping, instance: Instance
@@ -358,11 +450,7 @@ class MappingExecutor:
         last_exc = None
         for i, executor in enumerate(tiers):
             if i:
-                metrics.count(
-                    "exec.degrade.block_to_rows"
-                    if tiers[i - 1].batched
-                    else "exec.degrade.rows_to_oracle"
-                )
+                metrics.count(degrade_counter(tiers[i - 1]._planner))
             ctx.reset()
             try:
                 return executor.execute_mapping(mapping, working, errors=ctx)
@@ -395,6 +483,7 @@ class MappingExecutor:
             n_rows = max((len(d) for d in instance), default=0)
             tier = self._planner.tune_for(n_rows)
             self.batched = self._planner.batched
+            self.fused = self._planner.fused
             metrics.count(f"exec.auto.tier.{tier}")
         parallel = (
             self._planner.parallel if self.mode is not None else self.parallel
@@ -520,6 +609,7 @@ def execute_mappings(
     on_error: Optional[str] = None,
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
+    fused: Optional[bool] = None,
 ) -> Instance:
     """Convenience wrapper over :class:`MappingExecutor`."""
     return MappingExecutor(
@@ -531,6 +621,7 @@ def execute_mappings(
         on_error=on_error,
         parallel=parallel,
         workers=workers,
+        fused=fused,
     ).execute(mappings, instance)
 
 

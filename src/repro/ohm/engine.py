@@ -15,6 +15,13 @@ PROJECT, JOIN, UNION, GROUP, SPLIT, TARGET) through the columnar
 kernels in :mod:`repro.exec.block`, falling back per operator to the
 row kernels whenever an expression cannot be lowered column-wise;
 row-shaped operators (NEST, UNNEST, UNKNOWN) always take the row path.
+On top of batched mode, ``fused`` (default on, ``REPRO_FUSE=0`` to
+disable) chains FILTER/PROJECT/SPLIT selection-vector style through
+:mod:`repro.exec.fuse`: filters narrow an index list instead of
+gathering, projections rename or compute handles lazily, and columns
+materialize once — at a GROUP terminal, a chain breaker (JOIN, UNION,
+NEST/UNNEST), or TARGET delivery, which gathers only the target's
+columns.
 
 Conventions:
 
@@ -39,8 +46,9 @@ Fault tolerance mirrors the ETL engine (``docs/robustness.md``): an
 row-level expression errors in FILTER, PROJECT, and TARGET delivery;
 :meth:`OhmExecutor.run_with_rejects` additionally returns the rejected
 rows as a reject :class:`~repro.data.dataset.Dataset`. A failing tier
-(a batched kernel, then the compiled row kernels) degrades per operator
-down to the interpreting oracle, counted in ``exec.degrade.*``.
+(a fused chain, then a batched kernel, then the compiled row kernels)
+degrades per operator down to the interpreting oracle, counted in
+``exec.degrade.*``.
 """
 
 from __future__ import annotations
@@ -50,9 +58,17 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance, Row
 from repro.errors import ExecutionError
-from repro.exec import ExpressionPlanner, block, kernels, resolve_parallel
+from repro.exec import (
+    ExpressionPlanner,
+    block,
+    degrade_counter,
+    fuse,
+    kernels,
+    resolve_parallel,
+)
 from repro.exec.block import relation_resolver
 from repro.exec.parallel import WorkerUnavailable, topological_waves
+from repro.expr.ast import ColumnRef
 from repro.expr.functions import DEFAULT_REGISTRY, FunctionRegistry
 from repro.obs import NULL_OBS, Observability
 from repro.ohm.graph import OhmGraph
@@ -99,15 +115,18 @@ class OhmExecutor:
         workers: Optional[int] = None,
         mode: Optional[str] = None,
         catalog=None,
+        fused: Optional[bool] = None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
         self._planner = ExpressionPlanner(
             self.registry, compiled, batched, batch_size,
-            parallel=parallel, workers=workers, mode=mode,
+            parallel=parallel, workers=workers, mode=mode, fused=fused,
         )
         self.compiled = self._planner.compiled
         self.batched = self._planner.batched
+        #: selection-vector pipeline fusion (requires ``batched``).
+        self.fused = self._planner.fused
         #: execution-tier mode: "rows"/"block"/"parallel" pin the tier,
         #: "auto" picks per run from the input size via the cost model,
         #: None keeps the per-flag resolution.
@@ -161,6 +180,13 @@ class OhmExecutor:
         tiers = [self._planner]
         if not self.degrade:
             return tiers
+        if self._planner.fused:
+            tiers.append(
+                ExpressionPlanner(
+                    self.registry, True, True, self._planner.batch_size,
+                    fused=False,
+                )
+            )
         if self._planner.batched:
             tiers.append(
                 ExpressionPlanner(
@@ -181,11 +207,7 @@ class OhmExecutor:
         last_exc = None
         for i, planner in enumerate(tiers):
             if i:
-                metrics.count(
-                    "exec.degrade.block_to_rows"
-                    if tiers[i - 1].batched
-                    else "exec.degrade.rows_to_oracle"
-                )
+                metrics.count(degrade_counter(tiers[i - 1]))
             ctx.reset()
             try:
                 return fn(planner)
@@ -227,6 +249,21 @@ class OhmExecutor:
             return [self._run_group(op, inputs[0], out_relations[0], planner)]
         if isinstance(op, Split):
             if planner.batched:
+                chain = planner.fused_chain(inputs[0], self._obs)
+                if chain is not None:
+                    # handle renames only — every output keeps chaining
+                    # on the shared selection, nothing is gathered
+                    results = [
+                        planner.materialize_fused(
+                            out,
+                            chain.project(
+                                [(n, n) for n in out.attribute_names]
+                            ),
+                        )
+                        for out in out_relations
+                    ]
+                    fuse.fused_op(chain, self._obs, 0)
+                    return results
                 # every output shares the (immutable) input columns
                 shared = inputs[0].as_block()
                 return [
@@ -272,6 +309,24 @@ class OhmExecutor:
         errors: Optional[ErrorContext] = None,
     ) -> Dataset:
         if planner.batched:
+            chain = planner.fused_chain(data, self._obs)
+            if chain is not None:
+                resolve = relation_resolver(
+                    data.relation.name, chain.handles
+                )
+                predicate = planner.block_predicate(
+                    op.condition, resolve, tier="fused"
+                )
+                if predicate is not None:
+                    # narrow the selection vector — no gather; the
+                    # predicate sees only the columns it reads
+                    reads = fuse.read_set([op.condition], resolve)
+                    mask = predicate(chain.view(reads))
+                    kept = [i for i, flag in enumerate(mask) if flag]
+                    fuse.fused_op(chain, self._obs, len(kept))
+                    return planner.materialize_fused(
+                        out, chain.narrow(kept)
+                    )
             blk = data.as_block()
             resolve = relation_resolver(data.relation.name, blk.columns)
             predicate = planner.block_predicate(op.condition, resolve)
@@ -301,6 +356,11 @@ class OhmExecutor:
         errors: Optional[ErrorContext] = None,
     ) -> Dataset:
         if planner.batched:
+            chain = planner.fused_chain(data, self._obs)
+            if chain is not None:
+                produced = self._project_fused(op, data, chain, planner)
+                if produced is not None:
+                    return planner.materialize_fused(out, produced)
             blk = data.as_block()
             resolve = relation_resolver(data.relation.name, blk.columns)
             lowered = [
@@ -324,6 +384,41 @@ class OhmExecutor:
             on_error=on_error,
         )
         return planner.materialize(out, rows, fresh=True)
+
+    def _project_fused(
+        self,
+        op: Project,
+        data: Dataset,
+        chain: fuse.FusedBlock,
+        planner: ExpressionPlanner,
+    ) -> Optional[fuse.FusedBlock]:
+        """PROJECT as a handle rebinding on the chain: pass-through
+        column references rename handles (no gather), computed columns
+        evaluate eagerly but only over read-set views of the surviving
+        selection. ``None`` when any derivation needs the unfused path
+        — fusion is all-or-nothing per operator."""
+        resolve = relation_resolver(data.relation.name, chain.handles)
+        lowered = []
+        for name, expr in op.derivations:
+            if isinstance(expr, ColumnRef):
+                key = resolve(expr)
+                if key is not None:
+                    lowered.append((name, None, key))
+                    continue
+            fn = planner.block_scalar(expr, resolve, tier="fused")
+            if fn is None:
+                return None
+            lowered.append((name, expr, fn))
+        handles: Dict[str, fuse.Handle] = {}
+        for name, expr, fn in lowered:
+            if expr is None:
+                handles[name] = chain.handles[fn]
+            else:
+                handles[name] = fn(
+                    chain.view(fuse.read_set([expr], resolve))
+                )
+        fuse.fused_op(chain, self._obs, chain.length)
+        return chain.derive(handles)
 
     def _run_join(
         self,
@@ -420,6 +515,11 @@ class OhmExecutor:
         aggregate argument needs the row path. Aggregate members are
         bound anonymously on the row path, so the resolver here carries
         no relation qualifier."""
+        chain = planner.fused_chain(data, self._obs)
+        if chain is not None:
+            produced = self._group_fused(op, chain, planner)
+            if produced is not None:
+                return produced
         blk = data.as_block()
         resolve = relation_resolver(None, blk.columns)
         lowered = []
@@ -430,6 +530,28 @@ class OhmExecutor:
             lowered.append((name, plan[0], plan[1]))
         return block.group_aggregate_block(
             blk, op.keys, lowered, obs=self._obs, planner=planner
+        )
+
+    def _group_fused(self, op: Group, chain, planner: ExpressionPlanner):
+        """GROUP as a fused terminal: aggregate over a read-set view of
+        the chain (group keys plus the columns the aggregate arguments
+        touch) — the full intermediate block never materializes."""
+        resolve = relation_resolver(None, chain.handles)
+        lowered = []
+        args = []
+        for name, agg in op.aggregates:
+            plan = planner.block_aggregate(agg, resolve, tier="fused")
+            if plan is None:
+                return None
+            if agg.arg is not None:
+                args.append(agg.arg)
+            lowered.append((name, plan[0], plan[1]))
+        reads = fuse.read_set(args, resolve)
+        names = list(dict.fromkeys(list(op.keys) + (reads or [])))
+        view = chain.view(names if reads is not None else None)
+        fuse.fused_op(chain, self._obs, chain.length)
+        return block.group_aggregate_block(
+            view, op.keys, lowered, obs=self._obs, planner=planner
         )
 
     def _run_nest(
@@ -491,6 +613,15 @@ class OhmExecutor:
                     errors.record(index, dict(row), exc)
             return result
         if planner.batched:
+            fused = data.peek_fused()
+            if fused is not None:
+                # fused delivery: the chain's terminal gather — only the
+                # target's columns materialize; columns the target lacks
+                # become NULL, matching the row path's row.get
+                return Dataset.adopt_block(
+                    op.relation,
+                    fuse.materialize_fused(fused, names, fill_missing=True),
+                )
             blk = data.peek_block()
             if blk is not None:
                 # trusted delivery straight from the columnar form:
@@ -579,6 +710,7 @@ class OhmExecutor:
             n_rows = max((len(d) for d in instance), default=0)
             tier = self._planner.tune_for(n_rows)
             self.batched = self._planner.batched
+            self.fused = self._planner.fused
             metrics.count(f"exec.auto.tier.{tier}")
         parallel = (
             self._planner.parallel if self.mode is not None else self.parallel
@@ -707,6 +839,7 @@ def execute(
     batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
     on_error: Optional[str] = None,
+    fused: Optional[bool] = None,
 ) -> Instance:
     """Execute ``graph`` over ``instance``; returns the target datasets."""
     return OhmExecutor(
@@ -716,6 +849,7 @@ def execute(
         batched=batched,
         batch_size=batch_size,
         on_error=on_error,
+        fused=fused,
     ).execute(graph, instance)
 
 
@@ -728,6 +862,7 @@ def execute_with_edges(
     batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
     on_error: Optional[str] = None,
+    fused: Optional[bool] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Execute and also return every intermediate edge's data by name."""
     return OhmExecutor(
@@ -737,6 +872,7 @@ def execute_with_edges(
         batched=batched,
         batch_size=batch_size,
         on_error=on_error,
+        fused=fused,
     ).run(graph, instance)
 
 

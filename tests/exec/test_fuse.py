@@ -1,0 +1,404 @@
+"""Parity audit for the fused (selection-vector) tier.
+
+Fusion must be invisible: for every runtime (ETL engine, OHM executor,
+mapping executor), serial or parallel, under the skip and reject row
+policies, a fused run must produce byte-identical accepted rows and the
+identical rejected multiset as the unfused block tier — including NULL
+three-valued logic and rows erroring mid-chain. Randomized linear chains
+(length 1–6, NULL-heavy data, optional non-fusable breakers mid-chain)
+stress the chain compiler beyond the fixed workloads, and a poisoned
+fused chain must fall back to the block kernels with identical output
+(``exec.degrade.fused_to_block``).
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.compile import compile_job
+from repro.data.dataset import Dataset, Instance
+from repro.etl import EtlEngine
+from repro.etl.model import Job
+from repro.etl.stages import (
+    AggregatorStage,
+    CopyStage,
+    FilterOutput,
+    FilterStage,
+    Modify,
+    RemoveDuplicatesStage,
+    SortStage,
+    SwitchStage,
+    TableSource,
+    TableTarget,
+    Transformer,
+)
+from repro.etl.stages.transform import OutputLink
+from repro.exec.fuse import FusedBlock, fuse_source, materialize_fused
+from repro.faults import FaultPlan
+from repro.mapping import MappingExecutor, ohm_to_mappings
+from repro.obs import Observability
+from repro.ohm import OhmExecutor
+from repro.resilience import format_row
+from repro.schema.model import relation
+from repro.workloads import build_faulty_job, generate_faulty_instance
+
+
+# -- the three runtimes, fused on/off ----------------------------------------
+
+
+def run_etl(instance, policy, workers, fused):
+    engine = EtlEngine(
+        compiled=True, batched=True, on_error=policy, fused=fused,
+        parallel=workers is not None, workers=workers or 1,
+    )
+    targets, _ = engine.run(build_faulty_job(), instance)
+    accepted = Counter(format_row(r) for r in targets.dataset("Premium").rows)
+    rejected = Counter(format_row(r.row) for r in engine.last_run.rejected)
+    return accepted, rejected
+
+
+def run_ohm(instance, policy, workers, fused):
+    graph = compile_job(build_faulty_job())
+    executor = OhmExecutor(
+        compiled=True, batched=True, on_error=policy, fused=fused,
+        parallel=workers is not None, workers=workers or 1,
+    )
+    targets, _edges, rejects = executor.run_with_rejects(graph, instance)
+    accepted = Counter(format_row(r) for r in targets.dataset("Premium").rows)
+    rejected = Counter(r["row"] for r in rejects.rows)
+    return accepted, rejected
+
+
+def run_mapping(instance, policy, workers, fused):
+    mappings = ohm_to_mappings(compile_job(build_faulty_job()))
+    executor = MappingExecutor(
+        compiled=True, batched=True, on_error=policy, fused=fused,
+        parallel=workers is not None, workers=workers or 1,
+    )
+    targets, _inter, rejects = executor.run_with_rejects(mappings, instance)
+    accepted = Counter(format_row(r) for r in targets.dataset("Premium").rows)
+    rejected = Counter(r["row"] for r in rejects.rows)
+    return accepted, rejected
+
+
+RUNTIMES = [("etl", run_etl), ("ohm", run_ohm), ("mapping", run_mapping)]
+
+
+class TestFusedUnfusedParity:
+    """accepted AND rejected multisets must be invariant under fusion,
+    per runtime, serial and parallel, for both absorbing policies."""
+
+    @pytest.mark.parametrize("runtime", RUNTIMES, ids=lambda r: r[0])
+    @pytest.mark.parametrize("workers", [None, 4], ids=["serial", "parallel"])
+    @pytest.mark.parametrize("policy", ["skip", "reject"])
+    def test_matches_unfused(self, runtime, workers, policy):
+        name, runner = runtime
+        instance, _plan = generate_faulty_instance(n=60, seed=21, poison=7)
+        unfused = runner(instance, policy, workers, False)
+        fused = runner(instance, policy, workers, True)
+        assert fused == unfused, (
+            f"{name} diverged under fusion "
+            f"(workers={workers}, policy={policy})"
+        )
+
+    def test_reject_channel_carries_the_poison(self):
+        # guard against vacuous parity: the workload really rejects
+        instance, _plan = generate_faulty_instance(n=60, seed=21, poison=7)
+        _accepted, rejected = run_etl(instance, "reject", None, True)
+        assert sum(rejected.values()) == 7
+
+
+# -- randomized chains --------------------------------------------------------
+
+
+def _chain_schema():
+    return relation(
+        "Orders",
+        ("orderID", "int", False),
+        ("customerID", "int"),
+        ("region", "varchar"),
+        ("amount", "float"),
+        ("status", "varchar"),
+    )
+
+
+def _chain_instance(rng, n=120):
+    """NULL-heavy synthetic orders: every nullable column goes NULL
+    often, and some amounts are exactly zero so division derivations
+    error under a row policy."""
+    orders = _chain_schema()
+    data = Dataset(orders)
+    for order_id in range(1, n + 1):
+        data.append(
+            {
+                "orderID": order_id,
+                "customerID": (
+                    None if rng.random() < 0.2 else rng.randint(1, 30)
+                ),
+                "region": (
+                    None
+                    if rng.random() < 0.25
+                    else rng.choice(["EU", "US", "APAC"])
+                ),
+                "amount": (
+                    None
+                    if rng.random() < 0.25
+                    else 0.0
+                    if rng.random() < 0.1
+                    else round(rng.uniform(-100, 1500), 2)
+                ),
+                "status": (
+                    None if rng.random() < 0.2 else rng.choice(["ok", "X"])
+                ),
+            }
+        )
+    instance = Instance()
+    instance.put(data)
+    return instance
+
+
+_ALL_COLUMNS = ["orderID", "customerID", "region", "amount", "status"]
+
+_PREDICATES = [
+    "amount > 100",
+    "region = 'EU' OR region = 'US'",
+    "status <> 'X'",
+    "amount IS NOT NULL",
+    "amount > 100 OR customerID < 10",
+]
+
+
+def _passthrough(except_for=None):
+    derivations = [(c, c) for c in _ALL_COLUMNS]
+    if except_for:
+        derivations = [
+            (c, except_for.get(c, c)) for c, _ in derivations
+        ]
+    return derivations
+
+
+def _random_stage(rng, i):
+    """One schema-preserving link of a random chain."""
+    kind = rng.choice(["filter", "transform", "sort", "dedup", "copy"])
+    name = f"s{i}_{kind}"
+    if kind == "filter":
+        return FilterStage(
+            [FilterOutput(rng.choice(_PREDICATES))], name=name
+        )
+    if kind == "transform":
+        amount = rng.choice(
+            [
+                "amount * 2",
+                "CASE WHEN amount > 500 THEN amount ELSE 0 END",
+                "1000.0 / amount",  # errors on the zero amounts
+                "amount",
+            ]
+        )
+        return Transformer(
+            [OutputLink(_passthrough({"amount": amount}))],
+            stage_variables=(
+                [("doubled", "amount * 2")] if rng.random() < 0.5 else []
+            ),
+            name=name,
+        )
+    if kind == "sort":
+        key = rng.choice(["orderID", "amount", "region"])
+        return SortStage([(key, rng.choice(["asc", "desc"]))], name=name)
+    if kind == "dedup":
+        key = rng.choice(["customerID", "region", "status"])
+        return RemoveDuplicatesStage(
+            [key], retain=rng.choice(["first", "last"]), name=name
+        )
+    return CopyStage(name=name)
+
+
+def build_chain_job(rng):
+    """A linear source → N fusable stages → target job, N ∈ [1, 6],
+    with a non-fusable breaker (Modify) spliced mid-chain half the time
+    and an Aggregator terminal a third of the time."""
+    orders = _chain_schema()
+    job = Job("random-chain")
+    src = job.add(TableSource(orders, name="Orders"))
+    previous = src
+    n_stages = rng.randint(1, 6)
+    breaker_at = rng.randrange(n_stages) if rng.random() < 0.5 else None
+    for i in range(n_stages):
+        if i == breaker_at:
+            breaker = job.add(Modify(keep=_ALL_COLUMNS, name=f"s{i}_break"))
+            job.link(previous, breaker)
+            previous = breaker
+            continue
+        stage = job.add(_random_stage(rng, i))
+        job.link(previous, stage)
+        previous = stage
+    if rng.random() < 0.33:
+        rollup = job.add(
+            AggregatorStage(
+                ["region"],
+                [("total", "sum", "amount"), ("n", "count", None)],
+                name="rollup",
+            )
+        )
+        job.link(previous, rollup)
+        previous = rollup
+        out = relation(
+            "Out", ("region", "varchar"), ("total", "float"), ("n", "int")
+        )
+    else:
+        out = orders.renamed("Out")
+    target = job.add(TableTarget(out, name="Out"))
+    job.link(previous, target)
+    return job
+
+
+class TestRandomizedChains:
+    """Byte-identical target rows (exact order, not just bags) and
+    identical reject multisets across dozens of random chains."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fused_matches_unfused_exactly(self, seed):
+        rng = random.Random(seed)
+        job = build_chain_job(rng)
+        instance = _chain_instance(random.Random(seed + 1000))
+        policy = "reject" if seed % 2 else "skip"
+
+        def run(fused):
+            engine = EtlEngine(
+                compiled=True, batched=True, on_error=policy, fused=fused
+            )
+            targets, _ = engine.run(job, instance)
+            rejected = Counter(
+                format_row(r.row) for r in engine.last_run.rejected
+            )
+            return targets.dataset("Out").rows, rejected
+
+        unfused_rows, unfused_rejects = run(False)
+        fused_rows, fused_rejects = run(True)
+        assert fused_rows == unfused_rows, f"seed={seed} rows diverged"
+        assert fused_rejects == unfused_rejects, f"seed={seed} rejects"
+
+    def test_chains_actually_fuse(self):
+        # guard against vacuous parity: a breaker-free chain must build
+        # at least one multi-operator chain and skip intermediates
+        rng = random.Random(3)
+        job = build_chain_job(rng)
+        instance = _chain_instance(random.Random(1003))
+        obs = Observability(stats=True)
+        EtlEngine(
+            compiled=True, batched=True, obs=obs, on_error="skip"
+        ).run(job, instance)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters.get("exec.fuse.chains", 0) >= 1
+        assert counters.get("exec.fuse.operators", 0) >= 1
+
+
+# -- degradation --------------------------------------------------------------
+
+
+class TestFusedDegradation:
+    """A poisoned fused chain must fall back to the unfused block
+    kernels with identical output, counted in
+    ``exec.degrade.fused_to_block``."""
+
+    def test_fused_fault_falls_back_to_block(self):
+        instance, _plan = generate_faulty_instance(n=40, seed=31)
+        baseline_engine = EtlEngine(compiled=True, batched=True, fused=False)
+        baseline, _ = baseline_engine.run(build_faulty_job(), instance)
+        plan = FaultPlan(seed=31).fault_kernels(tier="fused", first=1)
+        obs = Observability(stats=True)
+        engine = EtlEngine(obs=obs, compiled=True, batched=True)
+        with plan.injected():
+            targets, _ = engine.run(build_faulty_job(), instance)
+        assert plan.kernel_faults_fired.get("fused", 0) >= 1
+        assert sorted(
+            map(format_row, targets.dataset("Premium").rows)
+        ) == sorted(map(format_row, baseline.dataset("Premium").rows))
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters.get("exec.degrade.fused_to_block", 0) >= 1
+
+    def test_block_fault_does_not_hit_the_fused_tier_twice(self):
+        # a "fused" plan targets only fused chains: the block tier the
+        # engine degrades to must run clean and stop the ladder there
+        instance, _plan = generate_faulty_instance(n=40, seed=32)
+        plan = FaultPlan(seed=32).fault_kernels(tier="fused", first=100)
+        obs = Observability(stats=True)
+        engine = EtlEngine(obs=obs, compiled=True, batched=True)
+        with plan.injected():
+            engine.run(build_faulty_job(), instance)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters.get("exec.degrade.fused_to_block", 0) >= 1
+        assert counters.get("exec.degrade.block_to_rows", 0) == 0
+
+
+# -- metrics and laziness -----------------------------------------------------
+
+
+class TestFusedObservability:
+    def test_fused_metrics_present_only_when_fusing(self):
+        instance, _plan = generate_faulty_instance(n=40, seed=33)
+        for fused in (True, False):
+            obs = Observability(stats=True)
+            EtlEngine(
+                obs=obs, compiled=True, batched=True, fused=fused
+            ).run(build_faulty_job(), instance)
+            counters = obs.metrics.snapshot()["counters"]
+            fuse_counters = {
+                k: v for k, v in counters.items() if k.startswith("exec.fuse.")
+            }
+            if fused:
+                assert fuse_counters.get("exec.fuse.chains", 0) >= 1
+                assert fuse_counters.get("exec.fuse.operators", 0) >= 1
+                assert (
+                    fuse_counters.get(
+                        "exec.fuse.intermediate_rows_avoided", 0
+                    )
+                    > 0
+                )
+            else:
+                assert fuse_counters == {}
+
+
+class TestSelectionVectorLaziness:
+    """Unit-level guarantees of the FusedBlock container itself."""
+
+    def _block(self):
+        from repro.exec.block import RowBlock
+
+        return RowBlock(
+            {
+                "a": [1, 2, 3, 4],
+                "b": ["w", "x", "y", "z"],
+                "dead": [10, 20, 30, 40],
+            },
+            4,
+        )
+
+    def test_narrow_never_copies_columns(self):
+        chain = fuse_source(self._block())
+        child = chain.narrow([1, 3])
+        assert isinstance(child, FusedBlock)
+        assert child.length == 2
+        # handles still point at the base columns — nothing gathered
+        assert all(isinstance(h, str) for h in child.handles.values())
+        assert child.column("a") == [2, 4]
+
+    def test_dead_columns_are_never_gathered(self):
+        chain = fuse_source(self._block()).narrow([0, 2])
+        out = materialize_fused(chain, names=["a", "b"])
+        assert out.columns == {"a": [1, 3], "b": ["w", "y"]}
+        # the dead column was pruned before the gather
+        assert "dead" not in out.columns
+
+    def test_fill_missing_broadcasts_null(self):
+        chain = fuse_source(self._block()).narrow([0, 1])
+        out = materialize_fused(
+            chain, names=["a", "extra"], fill_missing=True
+        )
+        assert out.columns == {"a": [1, 2], "extra": [None, None]}
+
+    def test_project_renames_without_gathering(self):
+        chain = fuse_source(self._block())
+        renamed = chain.project([("left", "a"), ("right", "b")])
+        assert sorted(renamed.names) == ["left", "right"]
+        assert renamed.column("left") == [1, 2, 3, 4]

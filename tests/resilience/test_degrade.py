@@ -1,6 +1,11 @@
-"""Graceful kernel degradation: batched → row kernels → interpreted
-oracle. A kernel fault at a tier never changes results — it only shows
-up in the ``exec.degrade.*`` counters."""
+"""Graceful kernel degradation: fused chains → batched → row kernels →
+interpreted oracle. A kernel fault at a tier never changes results — it
+only shows up in the ``exec.degrade.*`` counters.
+
+A block-tier fault plan also fires inside the fused tier (fused chains
+run the block kernels' lowered functions), so a batched+fused engine
+degrades fused → block on the first block fault; the block tier then
+succeeds once the fault budget is spent."""
 
 import pytest
 
@@ -39,7 +44,7 @@ class TestEtlDegrade:
         with plan.injected():
             targets, _ = engine.run(build_faulty_job(), instance)
         assert _premium_rows(targets) == baseline
-        assert obs.metrics.counter("exec.degrade.block_to_rows") >= 1
+        assert obs.metrics.counter("exec.degrade.fused_to_block") >= 1
         assert plan.kernel_faults_fired.get("block", 0) >= 1
 
     def test_compiled_fault_degrades_to_oracle(self, instance, baseline):
@@ -136,7 +141,7 @@ class TestOhmAndMappingDegrade:
         with plan.injected():
             targets, _ = executor.run(graph, instance)
         assert _premium_rows(targets) == baseline
-        assert obs.metrics.counter("exec.degrade.block_to_rows") >= 1
+        assert obs.metrics.counter("exec.degrade.fused_to_block") >= 1
 
     def test_ohm_degrade_disabled_surfaces_the_fault(self, instance):
         graph = compile_job(build_faulty_job())

@@ -41,9 +41,14 @@ from repro.exec import (
     set_default_parallel,
     set_default_workers,
 )
+from repro.errors import RunCancelled
 from repro.mapping import execute_mappings
 from repro.obs import Observability
 from repro.ohm import execute
+from repro.supervision import (
+    set_default_deadline,
+    set_default_memory_budget,
+)
 from repro.workloads import build_example_job, generate_instance
 
 
@@ -109,6 +114,23 @@ def main(argv=None) -> None:
         help="poison N seeded rows of the demo workload so they error "
         "inside the Transformer (pairs with --on-error)",
     )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="cap blocking operators at ROWS resident rows; overruns "
+        "spill to temp-file runs (exec.spill.* in --stats; see "
+        "docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cancel the run cooperatively after SECONDS of wall clock "
+        "(exits 4 with the committed frontier; docs/robustness.md)",
+    )
     args = parser.parse_args(argv)
     if args.interpreted:
         set_default_compiled(False)
@@ -119,6 +141,10 @@ def main(argv=None) -> None:
     if args.workers is not None:
         set_default_workers(args.workers)
         set_default_parallel(args.workers > 1)
+    if args.memory_budget is not None:
+        set_default_memory_budget(args.memory_budget)
+    if args.deadline is not None:
+        set_default_deadline(args.deadline)
 
     obs = Observability(trace=args.trace, stats=args.stats is not None)
     # with --stats json, stdout is reserved for the metrics document
@@ -126,6 +152,35 @@ def main(argv=None) -> None:
 
     orchid = Orchid(obs=obs)
 
+    try:
+        _run_demo(args, orchid, obs, out)
+        exit_code = 0
+    except RunCancelled as exc:
+        print(
+            f"\n=== Run cancelled ({exc.reason}) ===\n  {exc}\n"
+            f"  committed frontier: {', '.join(exc.frontier) or '(none)'}",
+            file=out,
+        )
+        exit_code = 4
+
+    # --- observability reports ----------------------------------------------------
+    if args.trace:
+        print("\n=== Trace ===", file=sys.stderr)
+        print(obs.tracer.to_text(), file=sys.stderr)
+    if args.stats == "json":
+        print(obs.metrics.to_json())
+    elif args.stats == "text":
+        print("\n=== Metrics ===", file=out)
+        print(obs.metrics.to_text(), file=out)
+    if args.memory_budget is not None:
+        set_default_memory_budget(None)
+    if args.deadline is not None:
+        set_default_deadline(None)
+    if exit_code:
+        raise SystemExit(exit_code)
+
+
+def _run_demo(args, orchid, obs, out) -> None:
     # --- the ETL job (Figure 3) -------------------------------------------------
     job = build_example_job()
     print("=== ETL job ===", file=out)
@@ -219,16 +274,6 @@ def main(argv=None) -> None:
                 f"row {record.row_index}: {format_row(record.row)}",
                 file=out,
             )
-
-    # --- observability reports ----------------------------------------------------
-    if args.trace:
-        print("\n=== Trace ===", file=sys.stderr)
-        print(obs.tracer.to_text(), file=sys.stderr)
-    if args.stats == "json":
-        print(obs.metrics.to_json())
-    elif args.stats == "text":
-        print("\n=== Metrics ===", file=out)
-        print(obs.metrics.to_text(), file=out)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,12 @@ defaults for anything the invocation executes: ``--on-error
 {fail_fast,skip,reject}`` (row error policy, REPRO_ON_ERROR),
 ``--max-retries N`` (transient-failure retry budget, REPRO_MAX_RETRIES)
 and ``--checkpoint-dir DIR`` (resumable ETL runs, REPRO_CHECKPOINT_DIR).
+
+Supervision flags: ``--deadline SECONDS`` (cooperative wall-clock
+cancellation, REPRO_DEADLINE; a cancelled run exits with status 4 and
+prints the committed frontier) and ``--memory-budget ROWS`` (blocking
+operators above the resident-row budget spill to temp-file runs,
+REPRO_MEMORY_BUDGET).
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.config import MODES
+from repro.errors import RunCancelled
 from repro.exec import (
     set_default_batch_size,
     set_default_batched,
@@ -51,6 +58,10 @@ from repro.resilience import (
     set_default_checkpoint_dir,
     set_default_max_retries,
     set_default_on_error,
+)
+from repro.supervision import (
+    set_default_deadline,
+    set_default_memory_budget,
 )
 
 
@@ -149,6 +160,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="snapshot completed ETL stages under DIR so interrupted "
         "runs resume from the last good frontier (equivalent to "
         "REPRO_CHECKPOINT_DIR)",
+    )
+    observability.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="cancel any run cooperatively once it has used SECONDS of "
+        "wall clock; exits with status 4 and the committed frontier "
+        "(equivalent to REPRO_DEADLINE — see docs/robustness.md)",
+    )
+    observability.add_argument(
+        "--memory-budget",
+        type=int,
+        metavar="ROWS",
+        help="cap blocking operators (join builds, aggregation state, "
+        "sort buffers) at ROWS resident rows; overruns spill to "
+        "temp-file runs with identical results (equivalent to "
+        "REPRO_MEMORY_BUDGET)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -270,9 +298,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         set_default_max_retries(args.max_retries)
     if args.checkpoint_dir:
         set_default_checkpoint_dir(args.checkpoint_dir)
+    if args.deadline is not None:
+        if args.deadline <= 0:
+            parser.error("--deadline must be > 0 seconds")
+        set_default_deadline(args.deadline)
+    if args.memory_budget is not None:
+        if args.memory_budget < 1:
+            parser.error("--memory-budget must be >= 1 row")
+        set_default_memory_budget(args.memory_budget)
     orchid = Orchid(obs=obs)
     try:
         return _dispatch(args, orchid)
+    except RunCancelled as exc:
+        # a deadline or cancel is an orderly outcome, not a crash:
+        # report the committed (resumable) frontier and exit distinctly
+        frontier = ", ".join(exc.frontier) if exc.frontier else "(none)"
+        sys.stderr.write(
+            f"run cancelled ({exc.reason}): {exc}\n"
+            f"committed frontier: {frontier}\n"
+        )
+        return 4
     finally:
         if args.interpreted:
             set_default_compiled(None)
@@ -292,6 +337,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             set_default_max_retries(None)
         if args.checkpoint_dir:
             set_default_checkpoint_dir(None)
+        if args.deadline is not None:
+            set_default_deadline(None)
+        if args.memory_budget is not None:
+            set_default_memory_budget(None)
         if args.trace:
             sys.stderr.write(obs.tracer.to_text() + "\n")
         if args.stats == "json":

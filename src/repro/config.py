@@ -30,6 +30,9 @@ max_retries        REPRO_MAX_RETRIES             0
 checkpoint_dir     REPRO_CHECKPOINT_DIR          None (off)
 cost_based         REPRO_COST                    True
 mode               REPRO_MODE                    None (explicit flags)
+deadline           REPRO_DEADLINE                None (unbounded)
+memory_budget      REPRO_MEMORY_BUDGET           None (unbounded)
+breaker            REPRO_BREAKER                 None (breakers off)
 ================== ============================= =========================
 
 ``parallel_min_rows`` is the one knob whose default is *derived*: with
@@ -257,6 +260,69 @@ def _parse_mode(raw: str) -> Optional[str]:
     return check_mode(value) if value else None
 
 
+def _parse_deadline(raw: str) -> Optional[float]:
+    value = raw.strip()
+    if not value:
+        return None
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise ValidationError(
+            f"REPRO_DEADLINE must be a number of seconds, got {value!r}"
+        ) from None
+    return _check_deadline(parsed)
+
+
+def _check_deadline(value: Any) -> float:
+    deadline = float(value)
+    if deadline <= 0:
+        raise ValidationError("deadline must be > 0 seconds")
+    return deadline
+
+
+def _parse_memory_budget(raw: str) -> Optional[int]:
+    value = raw.strip()
+    if not value:
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValidationError(
+            f"REPRO_MEMORY_BUDGET must be an integer row count, got {value!r}"
+        ) from None
+    return _check_memory_budget(parsed)
+
+
+def _check_memory_budget(value: Any) -> int:
+    budget = int(value)
+    if budget < 1:
+        raise ValidationError("memory budget must be >= 1 resident row")
+    return budget
+
+
+def _parse_breaker(raw: str) -> Optional[int]:
+    value = raw.strip()
+    if not value:
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValidationError(
+            f"REPRO_BREAKER must be an integer failure threshold, "
+            f"got {value!r}"
+        ) from None
+    if parsed < 0:
+        raise ValidationError("REPRO_BREAKER must be >= 0")
+    return parsed
+
+
+def _check_breaker(value: Any) -> int:
+    threshold = int(value)
+    if threshold < 0:
+        raise ValidationError("breaker failure threshold must be >= 0")
+    return threshold
+
+
 def _derived_parallel_min_rows() -> int:
     # lazy import: the cost model is a leaf module, but keeping config
     # import-light means nothing pulls repro.cost in until a partitioned
@@ -350,14 +416,50 @@ MODE = register(
     Knob("mode", env="REPRO_MODE", default=None, parse=_parse_mode,
          validate=check_mode)
 )
+#: per-run wall-clock deadline in seconds for supervised runs; ``None``
+#: means unbounded (see :mod:`repro.supervision`).
+DEADLINE = register(
+    Knob(
+        "deadline",
+        env="REPRO_DEADLINE",
+        default=None,
+        parse=_parse_deadline,
+        validate=_check_deadline,
+    )
+)
+#: resident-row budget for blocking operators (hash-join build sides,
+#: group states, sort buffers); above it they spill to temp-file runs.
+MEMORY_BUDGET = register(
+    Knob(
+        "memory_budget",
+        env="REPRO_MEMORY_BUDGET",
+        default=None,
+        parse=_parse_memory_budget,
+        validate=_check_memory_budget,
+    )
+)
+#: consecutive-failure threshold after which endpoint circuit breakers
+#: trip open; 0/None disables breakers.
+BREAKER = register(
+    Knob(
+        "breaker",
+        env="REPRO_BREAKER",
+        default=None,
+        parse=_parse_breaker,
+        validate=_check_breaker,
+    )
+)
 
 
 __all__ = [
     "BATCHED",
     "BATCH_SIZE",
+    "BREAKER",
     "CHECKPOINT_DIR",
     "COMPILED",
     "COST_BASED",
+    "DEADLINE",
+    "MEMORY_BUDGET",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_WORKERS",
     "ERROR_POLICIES",

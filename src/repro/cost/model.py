@@ -63,6 +63,11 @@ PARALLEL_TASK_ROWS = 700.0
 SCAN_COST = 0.1
 #: per-row cost of delivering a row to a target.
 WRITE_COST = 0.1
+#: per-row I/O cost of one spill round-trip (pickle a frame to a temp
+#: run file and read it back during the merge/probe phase). A blocking
+#: operator over its memory budget pays this for every resident row,
+#: which is what makes a smaller in-budget tier win under ``auto``.
+SPILL_ROW_COST = 0.8
 
 #: relative operator weight by OHM operator kind — a JOIN touches two
 #: inputs and hashes, a GROUP hashes and folds, a SPLIT merely aliases.
@@ -105,18 +110,15 @@ def derived_block_min_rows() -> int:
     return int(BLOCK_SETUP_ROWS / (ROW_COST - BLOCK_ROW_COST)) + 1
 
 
-def choose_tier(n_rows: int, workers: int = 1) -> str:
+def choose_tier(n_rows: int, workers: int = 1, memory_budget=None) -> str:
     """Pick the cheapest execution tier for a run whose largest input
     has ``n_rows`` rows: row kernels below the block crossover, block
     kernels above it, partitioned-parallel once the biggest input would
     actually partition (and there are workers to fan out to). Purely a
-    function of data size and worker count, so ``mode="auto"`` stays
-    deterministic."""
-    if workers >= 2 and n_rows >= derived_parallel_min_rows():
-        return "parallel"
-    if n_rows >= derived_block_min_rows():
-        return "block"
-    return "rows"
+    function of data size, worker count, and the optional resident-row
+    ``memory_budget`` (a :class:`~repro.supervision.MemoryBudget` or
+    ``max_rows`` int), so ``mode="auto"`` stays deterministic."""
+    return DEFAULT_MODEL.choose_tier(n_rows, workers, memory_budget)
 
 
 class CostModel:
@@ -137,6 +139,7 @@ class CostModel:
         sql_row_cost: float = SQL_ROW_COST,
         sql_load_cost: float = SQL_LOAD_COST,
         sql_transfer_cost: float = SQL_TRANSFER_COST,
+        spill_row_cost: float = SPILL_ROW_COST,
     ):
         self.oracle_row_cost = oracle_row_cost
         self.row_cost = row_cost
@@ -146,6 +149,7 @@ class CostModel:
         self.sql_row_cost = sql_row_cost
         self.sql_load_cost = sql_load_cost
         self.sql_transfer_cost = sql_transfer_cost
+        self.spill_row_cost = spill_row_cost
 
     # -- per-operator costs --------------------------------------------------
 
@@ -212,7 +216,26 @@ class CostModel:
     def parallel_min_rows(self) -> int:
         return int(4 * PARALLEL_TASK_ROWS / self.block_row_cost)
 
-    def choose_tier(self, n_rows: int, workers: int = 1) -> str:
+    def spill_cost(self, n_rows: float, memory_budget=None) -> float:
+        """Temp-file I/O a blocking operator pays when ``n_rows``
+        resident rows exceed ``memory_budget`` (a
+        :class:`~repro.supervision.MemoryBudget` or a ``max_rows``
+        int); 0 when the build fits or no budget governs the run."""
+        max_rows = getattr(memory_budget, "max_rows", memory_budget)
+        if max_rows is None or n_rows <= max_rows:
+            return 0.0
+        return self.spill_row_cost * max(n_rows, 0.0)
+
+    def choose_tier(
+        self, n_rows: int, workers: int = 1, memory_budget=None
+    ) -> str:
+        # Over the memory budget, every blocking operator spills to
+        # row-based temp-file runs whatever the tier, so the block
+        # tier's per-row saving has to beat setup *plus* the wasted
+        # build it abandons when the budget check declines it — at
+        # the shipped constants the spilled row path always wins.
+        if self.spill_cost(n_rows, memory_budget) > 0.0:
+            return "rows"
         if workers >= 2 and n_rows >= self.parallel_min_rows():
             return "parallel"
         if n_rows >= self.block_min_rows():
@@ -236,6 +259,7 @@ __all__ = [
     "PARALLEL_TASK_ROWS",
     "ROW_COST",
     "SCAN_COST",
+    "SPILL_ROW_COST",
     "SQL_LOAD_COST",
     "SQL_ROW_COST",
     "SQL_TRANSFER_COST",

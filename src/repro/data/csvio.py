@@ -11,6 +11,7 @@ from __future__ import annotations
 import csv
 import datetime
 import io
+import os
 from typing import Iterable, List, Optional, TextIO, Union
 
 from repro.data.dataset import Dataset
@@ -116,23 +117,31 @@ def read_csv(
     return dataset
 
 
+def _write_rows(dataset: Dataset, handle: TextIO) -> None:
+    writer = csv.writer(handle)
+    names = list(dataset.relation.attribute_names)
+    writer.writerow(names)
+    for row in dataset:
+        writer.writerow([_format_cell(row.get(n)) for n in names])
+
+
 def write_csv(dataset: Dataset, target: Union[str, TextIO]) -> None:
-    """Write a dataset as CSV with a header row."""
-    close = False
+    """Write a dataset as CSV with a header row.
+
+    A path target is written transactionally: rows stage into a
+    ``.tmp`` sibling that is fsynced and atomically renamed over the
+    destination, so a crash mid-write never leaves a torn or
+    half-written file — readers see either the old file or the new one,
+    complete."""
     if isinstance(target, str):
-        handle: TextIO = open(target, "w", newline="")
-        close = True
-    else:
-        handle = target
-    try:
-        writer = csv.writer(handle)
-        names = list(dataset.relation.attribute_names)
-        writer.writerow(names)
-        for row in dataset:
-            writer.writerow([_format_cell(row.get(n)) for n in names])
-    finally:
-        if close:
-            handle.close()
+        tmp = target + ".tmp"
+        with open(tmp, "w", newline="") as handle:
+            _write_rows(dataset, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        return
+    _write_rows(dataset, target)
 
 
 def dataset_from_csv_text(text: str, relation: Relation) -> Dataset:

@@ -49,7 +49,7 @@ from repro.deploy.sql import (
     SqliteRunner,
     mappings_to_select,
 )
-from repro.errors import DeploymentError
+from repro.errors import BreakerOpen, DeploymentError
 from repro.etl.engine import run_job
 from repro.etl.model import Job
 from repro.expr.ast import ColumnRef
@@ -199,6 +199,8 @@ class HybridPlan:
         plan,
         decisions: Optional[List[FragmentDecision]] = None,
         estimate: Optional[GraphEstimate] = None,
+        graph: Optional[OhmGraph] = None,
+        platform: Optional[RuntimePlatform] = None,
     ):
         self.statements = statements
         self.frontier_schemas = frontier_schemas
@@ -207,24 +209,53 @@ class HybridPlan:
         self.etl_plan = plan
         self.decisions = decisions or []
         self.estimate = estimate
+        #: the source OHM graph and target platform, kept so an open
+        #: circuit breaker can degrade to a fully-local deployment
+        self.graph = graph
+        self.platform = platform
 
-    def execute(self, instance: Instance) -> Instance:
+    def execute(
+        self, instance: Instance, retry=None, breaker=None, obs=None
+    ) -> Instance:
         """Run the hybrid: SQL on the (sqlite) DBMS holding the source
         data, then the residual ETL job over the query results plus any
         base relations the residual job still reads directly. A plan
-        with nothing pushed skips the DBMS entirely."""
+        with nothing pushed skips the DBMS entirely.
+
+        ``retry`` / ``breaker`` guard the DBMS endpoint (see
+        :class:`~repro.deploy.sql.SqliteRunner`). When the breaker is
+        already open — the DBMS kept dying through whole retry budgets
+        on earlier runs — the pushed fragments degrade to a fully-local
+        ETL deployment of the original graph
+        (``deploy.degrade.pushdown_to_local``) instead of failing the
+        run: the answer arrives slower, not at all wrong."""
+        obs = obs or NULL_OBS
         if not self.statements:
             return run_job(self.job, instance)
-        runner = SqliteRunner(instance)
         try:
-            enriched = Instance()
-            for dataset in instance:
-                enriched.put(dataset)
-            for name, sql in self.statements.items():
-                enriched.put(runner.query(sql, self.frontier_schemas[name]))
-            return run_job(self.job, enriched)
-        finally:
-            runner.close()
+            runner = SqliteRunner(instance, retry=retry, breaker=breaker)
+            try:
+                enriched = Instance()
+                for dataset in instance:
+                    enriched.put(dataset)
+                for name, sql in self.statements.items():
+                    enriched.put(
+                        runner.query(sql, self.frontier_schemas[name])
+                    )
+                return run_job(self.job, enriched)
+            finally:
+                runner.close()
+        except BreakerOpen:
+            if self.graph is None:
+                raise
+            obs.metrics.count("deploy.degrade.pushdown_to_local")
+            local_job, _ = deploy_to_job(
+                self.graph,
+                self.platform,
+                name=f"{self.graph.name}_local",
+                obs=obs,
+            )
+            return run_job(local_job, instance)
 
     def describe(self) -> str:
         lines = ["hybrid SQL + ETL deployment:"]
@@ -370,6 +401,7 @@ def _plan_pushdown_impl(
     return HybridPlan(
         statements, frontier_schemas, job, pushed, plan,
         decisions=decisions, estimate=estimate,
+        graph=graph, platform=platform,
     )
 
 

@@ -255,49 +255,107 @@ class SqliteRunner:
     "the DBMS managing the source data".
 
     ``retry`` (a :class:`~repro.resilience.RetryPolicy`, or an int
-    retry budget) re-runs queries that fail transiently — a locked or
-    busy database (``sqlite3.OperationalError``), or an injected
-    :class:`~repro.errors.TransientError` — with exponential backoff."""
+    retry budget) re-runs queries *and batched writes* that fail
+    transiently — a locked or busy database
+    (``sqlite3.OperationalError``), or an injected
+    :class:`~repro.errors.TransientError` — with exponential backoff.
+    ``breaker`` (a :class:`~repro.supervision.CircuitBreaker`, or an
+    int failure threshold) sits outside the retry: once the DBMS keeps
+    dying through whole retry budgets, further calls fail fast with
+    :class:`~repro.errors.BreakerOpen` under the ``deploy.sql`` key."""
 
-    def __init__(self, instance: Instance, retry=None):
+    def __init__(self, instance: Instance, retry=None, breaker=None):
         from repro.resilience import resolve_retry
+        from repro.supervision import resolve_breaker
 
         self.connection = sqlite3.connect(":memory:")
         self.retry = resolve_retry(retry)
+        self.breaker = resolve_breaker(breaker)
+        #: fault-injection seam: a callable ``hook(sql, rows)`` invoked
+        #: before every batched write (see FaultPlan.flaky_writes)
+        self.write_hook = None
         for dataset in instance:
             self._create_table(dataset)
 
-    def _create_table(self, dataset: Dataset) -> None:
+    def _guarded(self, fn, name: str = "deploy.sql"):
+        """Run one endpoint call under retry (inner) and the circuit
+        breaker (outer): an exhausted retry budget counts as a single
+        breaker failure."""
+        if self.retry is not None:
+            from repro.errors import TransientError
+
+            inner = fn
+            fn = lambda: self.retry.call(  # noqa: E731
+                inner,
+                name=name,
+                retry_on=(TransientError, sqlite3.OperationalError),
+            )
+        if self.breaker is not None:
+            return self.breaker.call(name, fn)
+        return fn()
+
+    def _executemany(self, sql: str, rows) -> None:
+        """The single seam every batched write goes through (so fault
+        plans can poison loads, not just queries)."""
+        if self.write_hook is not None:
+            self.write_hook(sql, rows)
+        self.connection.executemany(sql, rows)
+
+    def _insert_rows(self, table_sql_name: str, dataset: Dataset) -> None:
+        rel = dataset.relation
+        placeholders = ", ".join("?" for _ in rel.attributes)
+        rows = [
+            tuple(_to_sql_value(row.get(a.name)) for a in rel)
+            for row in dataset
+        ]
+        sql = f"INSERT INTO {table_sql_name} VALUES ({placeholders})"
+        self._guarded(
+            lambda: self._executemany(sql, rows), name="deploy.sql.write"
+        )
+
+    def _create_table(
+        self, dataset: Dataset, table_name: Optional[str] = None
+    ) -> None:
         dialect = DEFAULT_DIALECT
         rel = dataset.relation
         columns = ", ".join(
             f"{dialect.quote_identifier(a.name)} {_sqlite_type(a.dtype)}"
             for a in rel
         )
-        name = dialect.quote_identifier(rel.name)
+        name = dialect.quote_identifier(table_name or rel.name)
         self.connection.execute(f"CREATE TABLE {name} ({columns})")
-        placeholders = ", ".join("?" for _ in rel.attributes)
-        rows = [
-            tuple(_to_sql_value(row.get(a.name)) for a in rel)
-            for row in dataset
-        ]
-        self.connection.executemany(
-            f"INSERT INTO {name} VALUES ({placeholders})", rows
-        )
+        self._insert_rows(name, dataset)
+
+    def load_table(self, dataset: Dataset, transactional: bool = True) -> None:
+        """(Re)load one table from ``dataset``.
+
+        With ``transactional`` (the default) rows stage into a shadow
+        table that replaces the live one only after every batch has
+        landed — ``DROP`` + ``ALTER TABLE ... RENAME`` inside one
+        transaction — so a crash mid-load leaves the previous table
+        intact and a resume never sees a half-written target."""
+        dialect = DEFAULT_DIALECT
+        rel = dataset.relation
+        if not transactional:
+            name = dialect.quote_identifier(rel.name)
+            self.connection.execute(f"DROP TABLE IF EXISTS {name}")
+            self._create_table(dataset)
+            return
+        shadow = f"{rel.name}__shadow"
+        quoted_shadow = dialect.quote_identifier(shadow)
+        self.connection.execute(f"DROP TABLE IF EXISTS {quoted_shadow}")
+        self._create_table(dataset, table_name=shadow)
+        name = dialect.quote_identifier(rel.name)
+        with self.connection:  # commit point: atomic swap
+            self.connection.execute(f"DROP TABLE IF EXISTS {name}")
+            self.connection.execute(
+                f"ALTER TABLE {quoted_shadow} RENAME TO {name}"
+            )
 
     def query(self, sql: str, result_relation: Relation) -> Dataset:
         """Run a SELECT; rows are coerced back to the relation's types."""
         try:
-            if self.retry is not None:
-                from repro.errors import TransientError
-
-                cursor = self.retry.call(
-                    lambda: self.connection.execute(sql),
-                    name="deploy.sql",
-                    retry_on=(TransientError, sqlite3.OperationalError),
-                )
-            else:
-                cursor = self.connection.execute(sql)
+            cursor = self._guarded(lambda: self.connection.execute(sql))
         except sqlite3.Error as exc:
             raise ExecutionError(f"sqlite rejected generated SQL: {exc}\n{sql}")
         names = [d[0] for d in cursor.description]

@@ -142,5 +142,64 @@ class FaultInjected(ExecutionError):
 INFRASTRUCTURE_ERRORS = (TransientError, FaultInjected)
 
 
+class RunCancelled(OrchidError):
+    """A supervised run was cancelled before completing.
+
+    Raised cooperatively by :class:`repro.supervision.RunSupervisor`
+    at stage/wave/chain boundaries when the run's deadline elapses (or
+    :meth:`cancel` was called). Carries enough context to resume:
+
+    :ivar reason: ``"deadline"`` | ``"cancelled"``.
+    :ivar frontier: names of the stages/operators whose outputs were
+        committed (checkpointed when a :class:`CheckpointStore` is
+        configured) before cancellation — the resume point.
+    :ivar elapsed: seconds the run had been executing when cancelled.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "cancelled",
+        frontier: "tuple | None" = None,
+        elapsed: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.frontier = tuple(frontier or ())
+        self.elapsed = elapsed
+
+
+class BreakerOpen(ExecutionError):
+    """A circuit breaker refused a call because its endpoint is open.
+
+    Deliberately *not* a :class:`TransientError`: retry policies must
+    not absorb it — the whole point of the breaker is to fail fast
+    instead of burning the backoff budget against a dead endpoint.
+
+    :ivar key: the breaker's endpoint key.
+    :ivar retry_after: seconds until the breaker will half-open.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key: "str | None" = None,
+        retry_after: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.key = key
+        self.retry_after = retry_after
+
+
+class InjectedCrash(BaseException):
+    """A simulated process kill from the ``repro.faults`` crash tier.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) on
+    purpose: no retry policy, row-error policy, or degradation ladder
+    may absorb it, so the process state it leaves behind is exactly
+    what a real ``kill -9`` would leave — which is what the
+    exactly-once tests assert recovery from."""
+
+
 class SerializationError(OrchidError):
     """An external-format document cannot be read or written."""

@@ -38,7 +38,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, RunCancelled
 from repro.etl.model import Job
 from repro.etl.stages.access import TableSource, TableTarget
 from repro.exec import (
@@ -61,6 +61,12 @@ from repro.resilience import (
     resolve_checkpoint,
     resolve_on_error,
     resolve_retry,
+)
+from repro.supervision import (
+    governed,
+    resolve_breaker,
+    resolve_memory_budget,
+    resolve_supervisor,
 )
 
 
@@ -142,6 +148,10 @@ class EtlEngine:
         mode: Optional[str] = None,
         catalog=None,
         fused: Optional[bool] = None,
+        deadline: Optional[float] = None,
+        memory_budget=None,
+        breaker=None,
+        supervisor=None,
     ):
         self._obs = obs or NULL_OBS
         #: whether stages lower expressions through the compiler
@@ -184,6 +194,14 @@ class EtlEngine:
             self.batched = probe.batched
             self.parallel = probe.parallel
             self.fused = probe.fused
+        #: per-run deadline supervision, or None (no per-boundary work).
+        self.supervisor = resolve_supervisor(
+            supervisor, deadline, obs=self._obs
+        )
+        #: resident-row budget blocking kernels obey during runs, or None.
+        self.memory_budget = resolve_memory_budget(memory_budget)
+        #: circuit breaker guarding source/target endpoints, or None.
+        self.breaker = resolve_breaker(breaker)
         #: statistics catalog fed back with source stats and per-link
         #: actuals after every run (None disables the feedback loop).
         self.catalog = catalog
@@ -209,10 +227,19 @@ class EtlEngine:
     # -- fault-tolerant building blocks ---------------------------------------
 
     def _endpoint(self, fn, name: str):
-        """Run a source extract / target load, retrying transients."""
+        """Run a source extract / target load: retry absorbs transients
+        *inside* the breaker, so only an exhausted retry budget counts
+        as one breaker failure — and an open breaker fails fast without
+        touching the endpoint (or burning the backoff schedule)."""
         if self.retry is not None:
-            return self.retry.call(fn, name=name, obs=self._obs)
-        return fn()
+            call = lambda: self.retry.call(  # noqa: E731
+                fn, name=name, obs=self._obs
+            )
+        else:
+            call = fn
+        if self.breaker is not None:
+            return self.breaker.call(name, call, obs=self._obs)
+        return call()
 
     def _ladder(self, planner: ExpressionPlanner) -> List[ExpressionPlanner]:
         """The degradation ladder for this run, most capable tier first:
@@ -265,6 +292,8 @@ class EtlEngine:
                 kwargs["errors"] = ctx
             try:
                 return stage.execute(inputs, out_relations, registry, **kwargs)
+            except RunCancelled:
+                raise  # cancellation is not a tier failure — never degrade
             except Exception as exc:  # noqa: BLE001 — ladder decides
                 last_exc = exc
         raise last_exc
@@ -287,6 +316,8 @@ class EtlEngine:
             by_port[(edge.src, edge.src_port)] = dataset
             link_data[edge.name] = dataset
             stats.link_counts[edge.name] = len(dataset)
+        if self.supervisor is not None:
+            self.supervisor.committed(stage.uid)
 
     def _compute_stage(
         self, stage, inputs, data_edges, instance, registry, tiers, ctx
@@ -381,6 +412,8 @@ class EtlEngine:
             link_data[edge.name] = dataset
             stats.link_counts[edge.name] = len(dataset)
             metrics.count(f"etl.link.{edge.name}.rows", len(dataset))
+        if self.supervisor is not None:
+            self.supervisor.committed(stage.uid)
 
     def run(
         self, job: Job, instance: Optional[Instance] = None
@@ -403,7 +436,7 @@ class EtlEngine:
         )
         if self.mode == "auto":
             n_rows = max((len(d) for d in instance), default=0)
-            tier = planner.tune_for(n_rows)
+            tier = planner.tune_for(n_rows, memory_budget=self.memory_budget)
             self._obs.metrics.count(f"exec.auto.tier.{tier}")
         parallel = planner.parallel if self.mode is not None else self.parallel
         tiers = self._ladder(planner)
@@ -411,6 +444,9 @@ class EtlEngine:
         by_port: Dict[Tuple[str, int], Dataset] = {}
         link_data: Dict[str, Dataset] = {}
         targets = Instance()
+        supervisor = self.supervisor
+        if supervisor is not None:
+            supervisor.start(self._obs)
         frontier = (
             self.checkpoint.load_frontier(job) if self.checkpoint else {}
         )
@@ -423,15 +459,21 @@ class EtlEngine:
             )
         else:
             waves = [order]
-        with tracer.span("etl.run", job=job.name):
+        with governed(self.memory_budget), tracer.span(
+            "etl.run", job=job.name
+        ):
             for wave in waves:
+                if supervisor is not None:
+                    supervisor.check("wave")
                 if parallel and len(wave) >= 2:
                     self._run_stage_wave(
                         wave, job, instance, tiers, planner, frontier,
-                        targets, by_port, link_data, stats,
+                        targets, by_port, link_data, stats, supervisor,
                     )
                     continue
                 for stage in wave:
+                    if supervisor is not None:
+                        supervisor.check(stage.name)
                     inputs = [
                         by_port[(e.src, e.src_port)]
                         for e in job.in_edges(stage.uid)
@@ -484,7 +526,7 @@ class EtlEngine:
 
     def _run_stage_wave(
         self, wave, job, instance, tiers, planner, frontier,
-        targets, by_port, link_data, stats,
+        targets, by_port, link_data, stats, supervisor=None,
     ) -> None:
         """Run one topological wave of mutually-independent stages on the
         planner's worker pool. Compute (including endpoint retries) fans
@@ -493,7 +535,10 @@ class EtlEngine:
         reject routing, and checkpoints are byte-identical to a serial
         run. An unavailable worker recomputes its stage inline
         (``exec.degrade.parallel_to_serial``); a genuine stage error
-        propagates exactly as the serial loop's would."""
+        propagates exactly as the serial loop's would. A supervisor
+        guards each task, so once a run is cancelled the still-queued
+        tasks of the wave short-circuit while in-flight ones drain —
+        the pool joins every future before bookkeeping replays."""
         tracer = self._obs.tracer
         metrics = self._obs.metrics
         prepared = []
@@ -530,6 +575,8 @@ class EtlEngine:
                 )
                 return result, perf_counter() - started
 
+            if supervisor is not None:
+                return supervisor.guard(task)
             return task
 
         live = [e for e in prepared if e["restored"] is None]
@@ -596,6 +643,9 @@ def run_job(
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
     fused: Optional[bool] = None,
+    deadline: Optional[float] = None,
+    memory_budget=None,
+    breaker=None,
 ) -> Instance:
     """Convenience: run ``job`` and return the target datasets."""
     return EtlEngine(
@@ -609,6 +659,9 @@ def run_job(
         parallel=parallel,
         workers=workers,
         fused=fused,
+        deadline=deadline,
+        memory_budget=memory_budget,
+        breaker=breaker,
     ).execute(job, instance)
 
 
@@ -625,6 +678,9 @@ def run_job_with_links(
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
     fused: Optional[bool] = None,
+    deadline: Optional[float] = None,
+    memory_budget=None,
+    breaker=None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Run ``job`` returning targets plus every link's dataset."""
     return EtlEngine(
@@ -638,6 +694,9 @@ def run_job_with_links(
         parallel=parallel,
         workers=workers,
         fused=fused,
+        deadline=deadline,
+        memory_budget=memory_budget,
+        breaker=breaker,
     ).run(job, instance)
 
 

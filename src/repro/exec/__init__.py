@@ -287,11 +287,13 @@ class ExpressionPlanner:
         self._predicates: dict = {}
         self._aggregates: dict = {}
 
-    def tune_for(self, n_rows: int, model=None) -> str:
+    def tune_for(self, n_rows: int, model=None, memory_budget=None) -> str:
         """``mode="auto"``: pick the execution tier from the run's
         (estimated or actual) largest input cardinality via the cost
         model's crossovers (:func:`repro.cost.model.choose_tier`) and
-        reconfigure this planner accordingly. Returns the chosen tier;
+        reconfigure this planner accordingly. A ``memory_budget``
+        (resident-row ceiling) biases the choice toward the row tier
+        once blocking operators would spill. Returns the chosen tier;
         a no-op (returning the current configuration's tier) for every
         other mode. Tier choice never changes results — block and
         partitioned kernels are bit-identical to the serial compiled
@@ -302,7 +304,7 @@ class ExpressionPlanner:
             return "block" if self.batched else "rows"
         if model is None:
             from repro.cost.model import DEFAULT_MODEL as model
-        tier = model.choose_tier(n_rows, self.workers)
+        tier = model.choose_tier(n_rows, self.workers, memory_budget)
         self.batched = self.compiled and tier in ("block", "parallel")
         self.parallel = self.batched and tier == "parallel"
         self.fused = self.batched and resolve_fused(self._fused_requested)

@@ -50,6 +50,7 @@ from repro.exec.kernels import (
 )
 from repro.expr.ast import Expr
 from repro.schema.model import Relation
+from repro.supervision.memory import active_memory_budget
 
 #: A compiled block expression: RowBlock → column (list of values).
 BlockFn = Callable[["RowBlock"], List[Any]]
@@ -394,7 +395,19 @@ def group_aggregate_block(
     (:func:`repro.exec.parallel.partitioned_group_aggregate` —
     bit-identical output, serial group order); a failing partition
     degrades back to this serial path (``exec.degrade.
-    parallel_to_serial``)."""
+    parallel_to_serial``). Above an active memory budget the group
+    states are grace-partitioned to temp-file runs instead
+    (:func:`repro.supervision.spill.external_group_aggregate_block` —
+    bit-identical output, ``exec.spill.*`` metrics)."""
+    run_budget = active_memory_budget()
+    if run_budget is not None and run_budget.exceeded(block.length):
+        from repro.supervision.spill import external_group_aggregate_block
+
+        out = external_group_aggregate_block(
+            block, key_names, aggregates, run_budget, obs
+        )
+        _observe_block(obs, "group_aggregate", 1, 1, block.length, out.length)
+        return out
     out = _parallel_group_aggregate(block, key_names, aggregates, planner, obs)
     if out is not None:
         _observe_block(obs, "group_aggregate", 1, 1, block.length, out.length)
@@ -473,7 +486,36 @@ def sort_block(
     obs=None,
 ) -> RowBlock:
     """Stable multi-key sort by repeated stable index sorts (right-to-left,
-    exactly the row kernel's strategy, so the permutation is identical)."""
+    exactly the row kernel's strategy, so the permutation is identical).
+
+    Above an active memory budget the sort buffer is spilled instead:
+    the same permutation is computed by external merge over
+    budget-sized runs (:func:`repro.supervision.spill.
+    external_sort_indices`), then gathered once."""
+    run_budget = active_memory_budget()
+    if run_budget is not None and run_budget.exceeded(block.length):
+        from repro.supervision.spill import (
+            _Reversed,
+            external_sort_indices,
+        )
+
+        specs = [
+            (block.columns[col_name], direction == "desc")
+            for col_name, direction in keys
+        ]
+
+        def key_of(i: int) -> tuple:
+            return tuple(
+                _Reversed(_sort_value(col[i], True))
+                if descending
+                else _sort_value(col[i], False)
+                for col, descending in specs
+            )
+
+        order = external_sort_indices(block.length, key_of, run_budget, obs)
+        out = block.take(order)
+        _observe_block(obs, "sort", 1, 1, block.length, out.length)
+        return out
     indices = list(range(block.length))
     for col_name, direction in reversed(list(keys)):
         descending = direction == "desc"
@@ -518,6 +560,11 @@ def hash_join_block(
         condition, left_relation, right_relation
     )
     if not pairs or residual:
+        return None
+    run_budget = active_memory_budget()
+    if run_budget is not None and run_budget.exceeded(right.length):
+        # build side over budget: decline, so the caller's row path runs
+        # and its hash join grace-partitions to temp-file runs
         return None
     left_resolve = relation_resolver(left_relation.name, left.columns)
     right_resolve = relation_resolver(right_relation.name, right.columns)

@@ -39,6 +39,7 @@ from repro.expr.algebra import split_conjuncts
 from repro.expr.ast import BinaryOp, ColumnRef, Expr
 from repro.expr.evaluator import Environment
 from repro.schema.model import Relation
+from repro.supervision.memory import active_memory_budget
 
 #: Per-member value function (over an Environment or a bare row).
 ValueFn = Callable[[Any], Any]
@@ -327,6 +328,31 @@ def group_rows(
     (NULL keys compare equal); groups come back in first-seen order.
     ``on_error(index, item, exc)`` absorbs a key evaluation error (the
     item joins no group)."""
+    budget = active_memory_budget()
+    if budget is not None and budget.exceeded(len(items)):
+        from repro.supervision.spill import external_group_rows
+
+        encoders = [key_encoder() for _ in key_fns]
+        keyed: List[Tuple[int, tuple]] = []
+        for index, item in enumerate(items):
+            env = bind(item) if bind is not None else item
+            if on_error is not None:
+                try:
+                    key = tuple(
+                        encode(fn(env))
+                        for encode, fn in zip(encoders, key_fns)
+                    )
+                except Exception as exc:
+                    on_error(index, item, exc)
+                    continue
+            else:
+                key = tuple(
+                    encode(fn(env)) for encode, fn in zip(encoders, key_fns)
+                )
+            keyed.append((index, key))
+        result = external_group_rows(items, keyed, budget, obs)
+        _observe(obs, "group", len(items), len(result))
+        return result
     groups: Dict[tuple, List] = {}
     order: List[tuple] = []
     encoders = [key_encoder() for _ in key_fns]
@@ -362,6 +388,15 @@ def group_aggregate_rows(
 ) -> List[dict]:
     """Group rows by key columns and emit one row per group: the key
     values followed by each ``(name, aggregate_fn)`` over the members."""
+    budget = active_memory_budget()
+    if budget is not None and budget.exceeded(len(rows)):
+        from repro.supervision.spill import external_group_aggregate_rows
+
+        out = external_group_aggregate_rows(
+            rows, key_names, aggregates, budget, obs
+        )
+        _observe(obs, "group_aggregate", len(rows), len(out))
+        return out
     groups: Dict[tuple, List[dict]] = {}
     order: List[tuple] = []
     if len(key_names) == 1:
@@ -519,6 +554,13 @@ def sort_rows(
 ) -> List[dict]:
     """Stable multi-key sort (``(column, 'asc'|'desc')`` pairs); NULLs
     sort last in both directions. Returns copies."""
+    budget = active_memory_budget()
+    if budget is not None and budget.exceeded(len(rows)):
+        from repro.supervision.spill import external_sort_rows
+
+        out = external_sort_rows(rows, keys, budget, obs)
+        _observe(obs, "sort", len(rows), len(out))
+        return out
     out = [dict(r) for r in rows]
     # stable sort by applying keys right-to-left
     for col, direction in reversed(list(keys)):
@@ -624,6 +666,43 @@ def hash_join(
     pairs, residual = split_equi_condition(
         condition, left_relation, right_relation
     )
+
+    budget = active_memory_budget()
+    if (
+        budget is not None
+        and pairs
+        and not residual
+        and budget.exceeded(len(right_rows))
+    ):
+        # build side over budget: grace-partition instead of one index
+        from repro.supervision.spill import grace_hash_join
+
+        bind_left = row_binder(left_name)
+        bind_right = row_binder(right_name)
+        left_key_fns = [planner.scalar(l) for l, _r in pairs]
+        right_key_fns = [planner.scalar(r) for _l, r in pairs]
+        left_keys = [
+            _hash_key([fn(bind_left(row)) for fn in left_key_fns])
+            for row in left_rows
+        ]
+        right_keys = [
+            _hash_key([fn(bind_right(row)) for fn in right_key_fns])
+            for row in right_rows
+        ]
+        emitted = grace_hash_join(
+            left_rows,
+            right_rows,
+            left_keys,
+            right_keys,
+            kind,
+            merge,
+            emit,
+            budget,
+            obs,
+        )
+        _observe(obs, "join", len(left_rows) + len(right_rows), emitted)
+        return
+
     emitted = 0
 
     def env_for(left_row: Optional[dict], right_row: Optional[dict]):

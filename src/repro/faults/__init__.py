@@ -21,6 +21,15 @@ endpoints (so retry policies engage) and :class:`~repro.errors.
 FaultInjected` from kernels (so the degradation ladder engages); a
 ``permanent`` endpoint raises a plain :class:`~repro.errors.
 ExecutionError` that no retry will absorb.
+
+The *crash tier* simulates ``kill -9`` mid-run:
+:class:`~repro.errors.InjectedCrash` derives from ``BaseException``, so
+no retry policy, error-policy channel, or degradation ladder can absorb
+it — exactly like a process death. :class:`CrashingStore` kills the run
+at a chosen checkpoint-save boundary and :class:`CrashingTarget` kills
+it around (or mid-) a target write; the exactly-once suite re-runs the
+job afterwards and asserts the resumed output is byte-identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
@@ -30,7 +39,12 @@ from contextlib import contextmanager
 from typing import Dict, List, Optional
 
 from repro.data.dataset import Dataset, Instance
-from repro.errors import ExecutionError, FaultInjected, TransientError
+from repro.errors import (
+    ExecutionError,
+    FaultInjected,
+    InjectedCrash,
+    TransientError,
+)
 from repro.etl.stages.access import TableSource, TableTarget
 from repro.exec import set_kernel_fault_hook
 
@@ -119,6 +133,49 @@ class FaultPlan:
         """Wrap an ETL table target so its first ``failures`` loads
         raise :class:`TransientError` (every load, when ``permanent``)."""
         return FlakyTarget(target, failures=failures, permanent=permanent)
+
+    def flaky_writes(
+        self, runner, failures: int = 1, permanent: bool = False
+    ) -> None:
+        """Poison a :class:`~repro.deploy.sql.SqliteRunner`'s *batched
+        write* seam (``executemany``-style loads): its first
+        ``failures`` batch inserts raise :class:`TransientError` (every
+        one, when ``permanent``). Query paths are untouched — pair with
+        :meth:`flaky_callable` to poison both."""
+        state = {"remaining": failures}
+
+        def hook(sql, rows):
+            if permanent:
+                raise ExecutionError("injected permanent write failure")
+            if state["remaining"] > 0:
+                state["remaining"] -= 1
+                raise TransientError("injected transient write failure")
+
+        runner.write_hook = hook
+
+    # -- crash tier -----------------------------------------------------------
+
+    def crashing_store(
+        self, store, after_saves: int = 0, persist_first: bool = False
+    ) -> "CrashingStore":
+        """Wrap a :class:`~repro.resilience.CheckpointStore` so the run
+        dies (``InjectedCrash``) at the ``after_saves``-th snapshot
+        boundary — before persisting it, or after when
+        ``persist_first`` (the crash then lands between the fsync and
+        the engine's in-memory bookkeeping)."""
+        return CrashingStore(
+            store, after_saves=after_saves, persist_first=persist_first
+        )
+
+    def crashing_target(
+        self, target: TableTarget, mode: str = "before"
+    ) -> "CrashingTarget":
+        """Wrap an ETL target so its first load crashes the run:
+        ``before`` the write starts, ``after`` it fully lands (but
+        before the stage checkpoint), or ``torn`` — half the bytes hit
+        the file target's path before death, simulating a non-atomic
+        writer."""
+        return CrashingTarget(target, mode=mode)
 
     def flaky_callable(self, fn, failures: int = 1, permanent: bool = False):
         """Wrap any 0+-arg callable the same way (used for e.g. the SQL
@@ -252,8 +309,92 @@ class FlakyTarget(TableTarget):
         return self._inner.load(data, trusted=trusted, errors=errors)
 
 
+class CrashingStore:
+    """A checkpoint-store proxy that raises
+    :class:`~repro.errors.InjectedCrash` at the ``after_saves``-th
+    ``save_stage`` call — before persisting that snapshot, or just
+    after it when ``persist_first``. Reads (``load_frontier``) and
+    ``clear`` pass through untouched, so the post-crash resume run uses
+    the *same wrapped store object* with the crash already spent."""
+
+    def __init__(self, store, after_saves: int = 0, persist_first: bool = False):
+        self._store = store
+        self.after_saves = after_saves
+        self.persist_first = persist_first
+        self.saves = 0
+        self.crashed = False
+
+    def save_stage(self, job, stage_uid, outputs, delivered=None):
+        if not self.crashed and self.saves == self.after_saves:
+            self.crashed = True
+            if self.persist_first:
+                self._store.save_stage(job, stage_uid, outputs, delivered)
+            raise InjectedCrash(
+                f"injected crash at checkpoint save #{self.saves} "
+                f"({stage_uid}, persist_first={self.persist_first})"
+            )
+        self.saves += 1
+        return self._store.save_stage(job, stage_uid, outputs, delivered)
+
+    def load_frontier(self, job):
+        return self._store.load_frontier(job)
+
+    def clear(self, job):
+        return self._store.clear(job)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrashingStore({self._store!r}, after_saves={self.after_saves}, "
+            f"persist_first={self.persist_first})"
+        )
+
+
+class CrashingTarget(TableTarget):
+    """A target whose first load crashes the run with
+    :class:`~repro.errors.InjectedCrash`: ``before`` the write,
+    ``after`` it fully lands (write done, checkpoint not), or ``torn``
+    — half the serialized bytes are forced onto a file target's path
+    before death (simulating a non-atomic writer, so resume must
+    overwrite the torn file). Subsequent loads pass through, so the
+    resume run reuses the same wrapped stage."""
+
+    STAGE_TYPE = "TableTarget"
+    MODES = ("before", "after", "torn")
+
+    def __init__(self, inner: TableTarget, mode: str = "before"):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown mode {mode!r}; expected {self.MODES}")
+        super().__init__(inner.relation, name=inner.name)
+        self._inner = inner
+        self.mode = mode
+        self.crashed = False
+
+    def load(self, data, trusted: bool = False, errors=None):
+        if self.crashed:
+            return self._inner.load(data, trusted=trusted, errors=errors)
+        self.crashed = True
+        if self.mode == "before":
+            raise InjectedCrash("injected crash before target write")
+        if self.mode == "torn":
+            path = getattr(self._inner, "path", None)
+            if path is not None:
+                from repro.data.csvio import dataset_to_csv_text
+
+                result = self._inner.load(
+                    data, trusted=trusted, errors=errors
+                )
+                text = dataset_to_csv_text(result)
+                with open(path, "w", newline="") as handle:
+                    handle.write(text[: max(1, len(text) // 2)])
+            raise InjectedCrash("injected crash mid target write (torn file)")
+        result = self._inner.load(data, trusted=trusted, errors=errors)
+        raise InjectedCrash("injected crash after target write")
+
+
 __all__ = [
     "TIERS",
+    "CrashingStore",
+    "CrashingTarget",
     "FaultPlan",
     "FlakySource",
     "FlakyTarget",

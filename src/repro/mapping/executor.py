@@ -27,7 +27,7 @@ import itertools
 from typing import Dict, List, Optional
 
 from repro.data.dataset import Dataset, Instance, Row
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, RunCancelled
 from repro.exec import (
     ExpressionPlanner,
     block,
@@ -47,6 +47,11 @@ from repro.resilience import (
     ErrorContext,
     rejects_dataset,
     resolve_on_error,
+)
+from repro.supervision import (
+    governed,
+    resolve_memory_budget,
+    resolve_supervisor,
 )
 
 
@@ -75,6 +80,9 @@ class MappingExecutor:
         mode: Optional[str] = None,
         catalog=None,
         fused: Optional[bool] = None,
+        deadline: Optional[float] = None,
+        memory_budget=None,
+        supervisor=None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
@@ -104,6 +112,11 @@ class MappingExecutor:
         #: statistics catalog fed back with per-relation actuals after
         #: every run (None disables the feedback loop).
         self.catalog = catalog
+        #: run supervision: wall-clock deadline / cooperative cancel
+        #: checked at wave and mapping boundaries, and the resident-row
+        #: budget blocking kernels consult (both None = unsupervised).
+        self.supervisor = resolve_supervisor(supervisor, deadline, obs=self._obs)
+        self.memory_budget = resolve_memory_budget(memory_budget)
 
     # -- fault tolerance -----------------------------------------------------------
 
@@ -454,6 +467,8 @@ class MappingExecutor:
             ctx.reset()
             try:
                 return executor.execute_mapping(mapping, working, errors=ctx)
+            except RunCancelled:
+                raise  # cancellation is not a tier failure
             except Exception as exc:  # noqa: BLE001 — ladder decides
                 last_exc = exc
         raise last_exc
@@ -479,9 +494,13 @@ class MappingExecutor:
 
     def _run_impl(self, mappings: MappingSet, instance: Instance):
         metrics = self._obs.metrics
+        if self.supervisor is not None:
+            self.supervisor.start(self._obs)
         if self.mode == "auto":
             n_rows = max((len(d) for d in instance), default=0)
-            tier = self._planner.tune_for(n_rows)
+            tier = self._planner.tune_for(
+                n_rows, memory_budget=self.memory_budget
+            )
             self.batched = self._planner.batched
             self.fused = self._planner.fused
             metrics.count(f"exec.auto.tier.{tier}")
@@ -499,20 +518,27 @@ class MappingExecutor:
             waves = self._mapping_waves(order)
         else:
             waves = [order]
-        for wave in waves:
-            if parallel and len(wave) >= 2:
-                self._run_mapping_wave(
-                    wave, working, tiers, produced, rejected, metrics
-                )
-                continue
-            for mapping in wave:
-                ctx = ErrorContext(mapping.name, self.on_error)
-                result = self._compute_mapping(
-                    mapping, working, tiers, ctx, metrics
-                )
-                self._finish_mapping(
-                    mapping, result, ctx, produced, working, rejected
-                )
+        with governed(self.memory_budget):
+            for wave in waves:
+                if self.supervisor is not None:
+                    self.supervisor.check("wave")
+                if parallel and len(wave) >= 2:
+                    self._run_mapping_wave(
+                        wave, working, tiers, produced, rejected, metrics
+                    )
+                    continue
+                for mapping in wave:
+                    if self.supervisor is not None:
+                        self.supervisor.check(mapping.name)
+                    ctx = ErrorContext(mapping.name, self.on_error)
+                    result = self._compute_mapping(
+                        mapping, working, tiers, ctx, metrics
+                    )
+                    self._finish_mapping(
+                        mapping, result, ctx, produced, working, rejected
+                    )
+                    if self.supervisor is not None:
+                        self.supervisor.committed(mapping.name)
         final_names = set(mappings.final_target_names())
         targets = Instance()
         intermediates: Dict[str, Dataset] = {}
@@ -573,6 +599,8 @@ class MappingExecutor:
                     mapping, working, tiers, ctx, metrics
                 )
 
+            if self.supervisor is not None:
+                return self.supervisor.guard(task)
             return task
 
         pool = self._planner.pool()
@@ -596,6 +624,8 @@ class MappingExecutor:
                 self._finish_mapping(
                     mapping, result, ctx, produced, working, rejected
                 )
+                if self.supervisor is not None:
+                    self.supervisor.committed(mapping.name)
 
 
 def execute_mappings(

@@ -57,7 +57,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance, Row
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, RunCancelled
 from repro.exec import (
     ExpressionPlanner,
     block,
@@ -93,6 +93,11 @@ from repro.resilience import (
     resolve_on_error,
 )
 from repro.schema.model import Relation
+from repro.supervision import (
+    governed,
+    resolve_memory_budget,
+    resolve_supervisor,
+)
 
 
 class OhmExecutor:
@@ -116,6 +121,9 @@ class OhmExecutor:
         mode: Optional[str] = None,
         catalog=None,
         fused: Optional[bool] = None,
+        deadline: Optional[float] = None,
+        memory_budget=None,
+        supervisor=None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
@@ -143,6 +151,12 @@ class OhmExecutor:
         #: ``on_error`` attribute of its own.
         self.on_error = resolve_on_error(on_error)
         self.degrade = degrade
+        #: per-run deadline supervision, or None (no per-boundary work).
+        self.supervisor = resolve_supervisor(
+            supervisor, deadline, obs=self._obs
+        )
+        #: resident-row budget blocking kernels obey during runs, or None.
+        self.memory_budget = resolve_memory_budget(memory_budget)
         #: statistics catalog fed back with per-edge actuals after every
         #: run (None disables the feedback loop).
         self.catalog = catalog
@@ -211,6 +225,8 @@ class OhmExecutor:
             ctx.reset()
             try:
                 return fn(planner)
+            except RunCancelled:
+                raise  # cancellation is not a tier failure — never degrade
             except Exception as exc:  # noqa: BLE001 — ladder decides
                 last_exc = exc
         raise last_exc
@@ -706,9 +722,14 @@ class OhmExecutor:
         tracer = self._obs.tracer
         metrics = self._obs.metrics
         observing = self._obs.enabled
+        supervisor = self.supervisor
+        if supervisor is not None:
+            supervisor.start(self._obs)
         if self.mode == "auto":
             n_rows = max((len(d) for d in instance), default=0)
-            tier = self._planner.tune_for(n_rows)
+            tier = self._planner.tune_for(
+                n_rows, memory_budget=self.memory_budget
+            )
             self.batched = self._planner.batched
             self.fused = self._planner.fused
             metrics.count(f"exec.auto.tier.{tier}")
@@ -730,15 +751,21 @@ class OhmExecutor:
             )
         else:
             waves = [order]
-        with tracer.span("ohm.run", graph=graph.name):
+        with governed(self.memory_budget), tracer.span(
+            "ohm.run", graph=graph.name
+        ):
             for wave in waves:
+                if supervisor is not None:
+                    supervisor.check("wave")
                 if parallel and len(wave) >= 2:
                     self._run_wave(
                         wave, graph, instance, tiers,
-                        targets, by_edge, edge_data, rejected,
+                        targets, by_edge, edge_data, rejected, supervisor,
                     )
                     continue
                 for op in wave:
+                    if supervisor is not None:
+                        supervisor.check(op.uid)
                     inputs = [
                         by_edge[(e.src, e.src_port)]
                         for e in graph.in_edges(op.uid)
@@ -759,6 +786,8 @@ class OhmExecutor:
                             op, inputs, outputs, out_edges, ctx, span, seconds,
                             targets, by_edge, edge_data, rejected,
                         )
+                    if supervisor is not None:
+                        supervisor.committed(op.uid)
         if self.catalog is not None:
             # close the feedback loop: the next estimate_graph over the
             # same edge names re-plans from these actuals
@@ -769,7 +798,7 @@ class OhmExecutor:
 
     def _run_wave(
         self, wave, graph, instance, tiers,
-        targets, by_edge, edge_data, rejected,
+        targets, by_edge, edge_data, rejected, supervisor=None,
     ) -> None:
         """Run one topological wave of mutually-independent operators on
         the planner's worker pool. Compute fans out; bookkeeping (spans,
@@ -798,6 +827,8 @@ class OhmExecutor:
                 )
                 return outputs, perf_counter() - started
 
+            if supervisor is not None:
+                return supervisor.guard(task)
             return task
 
         pool = self._planner.pool()
@@ -828,6 +859,8 @@ class OhmExecutor:
                         op, inputs, outputs, out_edges, ctx, span, seconds,
                         targets, by_edge, edge_data, rejected,
                     )
+                if supervisor is not None:
+                    supervisor.committed(op.uid)
 
 
 def execute(
@@ -840,6 +873,9 @@ def execute(
     batch_size: Optional[int] = None,
     on_error: Optional[str] = None,
     fused: Optional[bool] = None,
+    deadline: Optional[float] = None,
+    memory_budget=None,
+    supervisor=None,
 ) -> Instance:
     """Execute ``graph`` over ``instance``; returns the target datasets."""
     return OhmExecutor(
@@ -850,6 +886,9 @@ def execute(
         batch_size=batch_size,
         on_error=on_error,
         fused=fused,
+        deadline=deadline,
+        memory_budget=memory_budget,
+        supervisor=supervisor,
     ).execute(graph, instance)
 
 
@@ -863,6 +902,9 @@ def execute_with_edges(
     batch_size: Optional[int] = None,
     on_error: Optional[str] = None,
     fused: Optional[bool] = None,
+    deadline: Optional[float] = None,
+    memory_budget=None,
+    supervisor=None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Execute and also return every intermediate edge's data by name."""
     return OhmExecutor(
@@ -873,6 +915,9 @@ def execute_with_edges(
         batch_size=batch_size,
         on_error=on_error,
         fused=fused,
+        deadline=deadline,
+        memory_budget=memory_budget,
+        supervisor=supervisor,
     ).run(graph, instance)
 
 

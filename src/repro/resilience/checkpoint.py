@@ -12,6 +12,11 @@ fingerprint hashes the job's *structure* (stage names, types, configs,
 links), so editing the job invalidates old checkpoints; it does not
 hash the input instance — resuming against different input data is the
 caller's responsibility, as with any restartable ETL tool.
+
+Snapshots are torn-write hardened: each file embeds a sha256 checksum
+of its payload and is fsynced before the atomic rename, and a snapshot
+that fails to parse or to verify is treated as absent (the stage simply
+re-runs) rather than poisoning the resume.
 """
 
 from __future__ import annotations
@@ -50,9 +55,19 @@ def resolve_checkpoint(explicit) -> Optional["CheckpointStore"]:
     if isinstance(explicit, CheckpointStore):
         return explicit
     if explicit is not None:
+        if hasattr(explicit, "save_stage") and hasattr(
+            explicit, "load_frontier"
+        ):
+            # store-like proxy (e.g. the fault harness's CrashingStore)
+            return explicit
         return CheckpointStore(explicit)
     path = default_checkpoint_dir()
     return CheckpointStore(path) if path else None
+
+
+def _checksum(body: str) -> str:
+    """The integrity digest embedded in every snapshot file."""
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 # -- value codec --------------------------------------------------------------
@@ -168,10 +183,14 @@ class CheckpointStore:
                 None if delivered is None else _encode_dataset(delivered)
             ),
         }
+        body = json.dumps(payload, sort_keys=True)
+        record = {"checksum": _checksum(body), "payload": payload}
         path = os.path.join(job_dir, self._stage_file(stage_uid))
         tmp = path + ".tmp"
         with open(tmp, "w") as handle:
-            json.dump(payload, handle)
+            json.dump(record, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
 
     # -- reading --------------------------------------------------------------
@@ -193,7 +212,11 @@ class CheckpointStore:
             path = os.path.join(job_dir, entry)
             try:
                 with open(path, "r") as handle:
-                    payload = json.load(handle)
+                    record = json.load(handle)
+                payload = record["payload"]
+                body = json.dumps(payload, sort_keys=True)
+                if record.get("checksum") != _checksum(body):
+                    continue  # torn or tampered snapshot: re-run the stage
                 stage_uid = payload["stage"]
                 if stage_uid not in known:
                     continue
@@ -206,7 +229,14 @@ class CheckpointStore:
                     if payload.get("delivered") is None
                     else _decode_dataset(payload["delivered"])
                 )
-            except (OSError, ValueError, KeyError, SerializationError):
+            except (
+                OSError,
+                ValueError,
+                KeyError,
+                TypeError,
+                AttributeError,
+                SerializationError,
+            ):
                 continue
             frontier[stage_uid] = (outputs, delivered)
         return frontier

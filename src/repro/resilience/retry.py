@@ -9,10 +9,19 @@ suite — run instantly against a fake clock.
 Only :class:`~repro.errors.TransientError` (and whatever extra types a
 caller lists in ``retry_on``) is retried; a permanent failure
 propagates on the first attempt.
+
+Backoff is deterministic by default (the exact schedule
+``base_delay * multiplier**n`` capped at ``max_delay``). Opting in with
+``jitter=True`` switches to *full jitter*: each pause is drawn
+uniformly from ``[0, scheduled_pause]``, decorrelating a thundering
+herd of workers that all tripped over the same locked endpoint. The
+RNG is injectable (any object with ``uniform``), so seeded tests stay
+deterministic.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Callable, Optional, Tuple, Type
 
@@ -37,6 +46,10 @@ class RetryPolicy:
     at ``max_delay``, at most ``max_retries`` retries, and never past
     ``deadline`` seconds of total elapsed time.
 
+    With ``jitter=True`` each pause becomes ``uniform(0, pause)`` (full
+    jitter); ``rng`` takes any ``random.Random``-like object for
+    deterministic seeded schedules.
+
     :ivar clock: 0-arg callable returning seconds (injectable).
     :ivar sleep: 1-arg callable pausing execution (injectable).
     """
@@ -49,6 +62,8 @@ class RetryPolicy:
         "deadline",
         "clock",
         "sleep",
+        "jitter",
+        "rng",
     )
 
     def __init__(
@@ -60,6 +75,8 @@ class RetryPolicy:
         deadline: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        jitter: bool = False,
+        rng: Optional[random.Random] = None,
     ):
         if max_retries < 0:
             raise ValidationError("max_retries must be >= 0")
@@ -74,9 +91,12 @@ class RetryPolicy:
         self.deadline = deadline
         self.clock = clock
         self.sleep = sleep
+        self.jitter = jitter
+        self.rng = rng if rng is not None else random.Random()
 
     def delays(self) -> Tuple[float, ...]:
-        """The full backoff schedule (handy in tests and docs)."""
+        """The full *scheduled* backoff (jitter, when enabled, draws
+        each actual pause from ``[0, scheduled]`` at call time)."""
         out, delay = [], self.base_delay
         for _ in range(self.max_retries):
             out.append(min(delay, self.max_delay))
@@ -107,6 +127,8 @@ class RetryPolicy:
                 attempt += 1
                 elapsed = self.clock() - start
                 pause = min(delay, self.max_delay)
+                if self.jitter:
+                    pause = self.rng.uniform(0.0, pause)
                 out_of_budget = attempt > self.max_retries
                 past_deadline = (
                     self.deadline is not None

@@ -1,0 +1,131 @@
+"""Memory governance: the resident-row budget blocking operators obey.
+
+A :class:`MemoryBudget` bounds how many rows a blocking operator may
+hold resident at once — hash-join build sides, group-aggregate states,
+and sort buffers. The accounting unit is *rows*, not bytes: every
+execution tier already counts rows (RowBlock lengths, row-list
+lengths), the cost model is calibrated in row-units, and a row count
+needs no platform dependency (no psutil), so budgets stay deterministic
+and testable.
+
+The kernels consult the *active* budget through a module-global hook —
+the same pattern as :func:`repro.exec.set_kernel_fault_hook` — because
+kernel signatures are shared by every tier and threading a budget
+through each call site would churn all of them. Engines install the
+budget around a run with :func:`governed`; when none is installed the
+kernels' hot paths pay a single ``None`` check.
+
+Resolution follows the standard triad: ``memory_budget=`` kwarg >
+:func:`set_default_memory_budget` > ``REPRO_MEMORY_BUDGET`` >
+unbounded. See ``docs/robustness.md`` for the spill design the budget
+triggers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Union
+
+from repro.config import MEMORY_BUDGET
+from repro.errors import ValidationError
+
+
+class MemoryBudget:
+    """A resident-row ceiling for blocking operators.
+
+    :param max_rows: rows a single blocking operator may keep resident;
+        above it the operator spills to temp-file runs.
+    """
+
+    __slots__ = ("max_rows",)
+
+    def __init__(self, max_rows: int):
+        max_rows = int(max_rows)
+        if max_rows < 1:
+            raise ValidationError("memory budget must be >= 1 resident row")
+        self.max_rows = max_rows
+
+    def exceeded(self, resident_rows: int) -> bool:
+        """Whether holding ``resident_rows`` at once breaks the budget."""
+        return resident_rows > self.max_rows
+
+    def runs_for(self, resident_rows: int) -> int:
+        """How many budget-sized runs/partitions ``resident_rows``
+        split into (at least 1)."""
+        return max(
+            1, -(-int(resident_rows) // self.max_rows)  # ceil division
+        )
+
+    def __repr__(self) -> str:
+        return f"MemoryBudget(max_rows={self.max_rows})"
+
+
+_ACTIVE: Optional[MemoryBudget] = None
+
+
+def active_memory_budget() -> Optional[MemoryBudget]:
+    """The budget blocking kernels currently consult (None = unbounded)."""
+    return _ACTIVE
+
+
+def set_active_memory_budget(budget: Optional[MemoryBudget]) -> None:
+    """Install (None: remove) the process-active budget. Engines use
+    :func:`governed`; this bare setter exists for tests."""
+    global _ACTIVE
+    _ACTIVE = budget
+
+
+@contextmanager
+def governed(budget: Optional[MemoryBudget]):
+    """Install ``budget`` for the duration of a run, restoring whatever
+    was active before (nested engine runs keep the outer budget when
+    the inner engine has none)."""
+    global _ACTIVE
+    if budget is None:
+        yield None
+        return
+    previous = _ACTIVE
+    _ACTIVE = budget
+    try:
+        yield budget
+    finally:
+        _ACTIVE = previous
+
+
+# -- the config triad ---------------------------------------------------------
+
+
+def default_memory_budget() -> Optional[int]:
+    """The process-wide budget in rows (setter > env > None)."""
+    return MEMORY_BUDGET.default()
+
+
+def set_default_memory_budget(max_rows: Optional[int]) -> None:
+    """Install (or with None remove) the process-wide resident-row
+    budget."""
+    MEMORY_BUDGET.set(max_rows)
+
+
+def resolve_memory_budget(
+    budget: Union[MemoryBudget, int, None] = None,
+) -> Optional[MemoryBudget]:
+    """The engines' budget resolution: a :class:`MemoryBudget` is used
+    as-is, an int is a ``max_rows`` shorthand, ``None`` consults the
+    setter/``REPRO_MEMORY_BUDGET`` triad."""
+    if isinstance(budget, MemoryBudget):
+        return budget
+    resolved = MEMORY_BUDGET.resolve(budget)
+    if resolved is None:
+        return None
+    return MemoryBudget(resolved)
+
+
+__all__ = [
+    "MemoryBudget",
+    "active_memory_budget",
+    "default_memory_budget",
+    "governed",
+    "resolve_memory_budget",
+    "set_active_memory_budget",
+    "set_default_memory_budget",
+]

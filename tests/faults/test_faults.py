@@ -141,3 +141,124 @@ class TestFlakyEndpoints:
         always = plan.flaky_callable(lambda: "ok", permanent=True)
         with pytest.raises(ExecutionError):
             always()
+
+
+class TestWriteSeam:
+    """flaky_writes poisons the SQL runner's batched-write seam (the
+    executemany path) without touching queries."""
+
+    @staticmethod
+    def _runner():
+        from repro.deploy.sql import SqliteRunner
+
+        instance, _ = generate_faulty_instance(n=5, seed=9)
+        return SqliteRunner(instance)
+
+    def test_transient_write_failures_then_recovery(self):
+        from repro.data.dataset import Dataset
+        from repro.schema.model import relation
+
+        runner = self._runner()
+        FaultPlan(seed=9).flaky_writes(runner, failures=1)
+        rel = relation("T", ("id", "int", False))
+        with pytest.raises(TransientError):
+            runner.load_table(Dataset(rel, [{"id": 1}]))
+        runner.load_table(Dataset(rel, [{"id": 1}]))  # fault spent
+        got = runner.query('SELECT "id" FROM "T"', rel)
+        assert [r["id"] for r in got.rows] == [1]
+        runner.close()
+
+    def test_permanent_write_failures_are_not_transient(self):
+        from repro.data.dataset import Dataset
+        from repro.schema.model import relation
+
+        runner = self._runner()
+        FaultPlan(seed=9).flaky_writes(runner, permanent=True)
+        rel = relation("T", ("id", "int", False))
+        with pytest.raises(ExecutionError) as info:
+            runner.load_table(Dataset(rel, [{"id": 1}]))
+        assert not isinstance(info.value, TransientError)
+        runner.close()
+
+    def test_queries_are_untouched_by_the_write_fault(self):
+        runner = self._runner()
+        FaultPlan(seed=9).flaky_writes(runner, permanent=True)
+        got = runner.query('SELECT "orderID" FROM "Orders"', orders_schema())
+        assert len(got) == 5
+        runner.close()
+
+
+class TestCrashTier:
+    """CrashingStore / CrashingTarget: one-shot kill -9 simulators."""
+
+    def test_crashing_store_kills_the_chosen_boundary(self, tmp_path):
+        from repro.data.dataset import Dataset
+        from repro.errors import InjectedCrash
+        from repro.resilience import CheckpointStore
+        from repro.schema.model import relation
+        from repro.workloads import build_faulty_job
+
+        job = build_faulty_job()
+        first, second, third = (s.uid for s in list(job.stages)[:3])
+        rel = relation("R", ("id", "int", False))
+        data = Dataset(rel, [{"id": 1}])
+        plan = FaultPlan(seed=1)
+        store = plan.crashing_store(
+            CheckpointStore(str(tmp_path)), after_saves=1
+        )
+        store.save_stage(job, first, [("x", data)])  # boundary 0 passes
+        with pytest.raises(InjectedCrash):
+            store.save_stage(job, second, [("y", data)])
+        # the crash landed before persisting boundary 1
+        assert set(store.load_frontier(job)) == {first}
+        # crash spent: subsequent saves pass straight through
+        store.save_stage(job, third, [("z", data)])
+        assert set(store.load_frontier(job)) == {first, third}
+
+    def test_crashing_store_persist_first_lands_the_snapshot(self, tmp_path):
+        from repro.data.dataset import Dataset
+        from repro.errors import InjectedCrash
+        from repro.resilience import CheckpointStore
+        from repro.schema.model import relation
+        from repro.workloads import build_faulty_job
+
+        job = build_faulty_job()
+        first = next(iter(job.stages)).uid
+        data = Dataset(relation("R", ("id", "int", False)), [{"id": 1}])
+        plan = FaultPlan(seed=1)
+        store = plan.crashing_store(
+            CheckpointStore(str(tmp_path)), after_saves=0, persist_first=True
+        )
+        with pytest.raises(InjectedCrash):
+            store.save_stage(job, first, [("x", data)])
+        assert set(store.load_frontier(job)) == {first}
+
+    def test_crashing_target_modes(self, tmp_path):
+        from repro.errors import InjectedCrash
+        from repro.etl.stages import SequentialFileTarget
+
+        plan = FaultPlan(seed=1)
+        with pytest.raises(ValueError):
+            plan.crashing_target(TableTarget(orders_schema()), mode="nope")
+
+        instance, _ = generate_faulty_instance(n=4, seed=1)
+        data = instance.dataset("Orders")
+
+        before = plan.crashing_target(
+            SequentialFileTarget(orders_schema(), str(tmp_path / "b.csv")),
+            mode="before",
+        )
+        with pytest.raises(InjectedCrash):
+            before.load(data)
+        assert not (tmp_path / "b.csv").exists()
+        assert len(before.load(data)) == 4  # crash spent, write lands
+
+        torn = plan.crashing_target(
+            SequentialFileTarget(orders_schema(), str(tmp_path / "t.csv")),
+            mode="torn",
+        )
+        with pytest.raises(InjectedCrash):
+            torn.load(data)
+        half = (tmp_path / "t.csv").read_bytes()
+        torn.load(data)
+        assert len((tmp_path / "t.csv").read_bytes()) > len(half)

@@ -204,3 +204,65 @@ class TestEngineResume:
         resumed_engine = EtlEngine(checkpoint=str(tmp_path))
         resumed_engine.run(edited, instance)
         assert resumed_engine.last_run.restored_stages == []
+
+
+class TestTornWriteHardening:
+    """Snapshots carry a checksum and survive torn writes: any
+    truncated, tampered, or type-mangled file is treated as absent —
+    the stage silently re-runs — never as a parse error."""
+
+    @staticmethod
+    def _dataset(n=3):
+        rel = relation("R", ("id", "int", False), ("v", "float"))
+        return Dataset(rel, [{"id": i, "v": i * 1.5} for i in range(n)])
+
+    def _snapshot_path(self, store, job, tmp_path):
+        job_dir = os.path.join(str(tmp_path), store.fingerprint(job))
+        (entry,) = os.listdir(job_dir)
+        return os.path.join(job_dir, entry)
+
+    def test_truncated_snapshot_is_treated_as_not_done(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        job = build_faulty_job()
+        store.save_stage(job, "ComputeUnit", [("units", self._dataset())])
+        path = self._snapshot_path(store, job, tmp_path)
+        with open(path, "r") as handle:
+            text = handle.read()
+        # tear the file mid-write: keep only the first half of the bytes
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        assert store.load_frontier(job) == {}
+
+    def test_checksum_mismatch_is_treated_as_not_done(self, tmp_path):
+        import json as jsonlib
+
+        store = CheckpointStore(str(tmp_path))
+        job = build_faulty_job()
+        store.save_stage(job, "ComputeUnit", [("units", self._dataset())])
+        path = self._snapshot_path(store, job, tmp_path)
+        with open(path, "r") as handle:
+            record = jsonlib.load(handle)
+        # valid JSON, wrong content: flip a value under the checksum
+        record["payload"]["outputs"][0]["rows"][0]["id"] = 999
+        with open(path, "w") as handle:
+            jsonlib.dump(record, handle)
+        assert store.load_frontier(job) == {}
+
+    def test_non_object_snapshot_is_treated_as_not_done(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        job = build_faulty_job()
+        store.save_stage(job, "ComputeUnit", [("units", self._dataset())])
+        path = self._snapshot_path(store, job, tmp_path)
+        with open(path, "w") as handle:
+            handle.write('["not", "a", "snapshot"]')
+        assert store.load_frontier(job) == {}
+
+    def test_intact_snapshot_still_loads(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        job = build_faulty_job()
+        data = self._dataset()
+        store.save_stage(job, "ComputeUnit", [("units", data)])
+        outputs, _ = store.load_frontier(job)["ComputeUnit"]
+        assert [format_row(r) for r in outputs["units"].rows] == [
+            format_row(r) for r in data.rows
+        ]

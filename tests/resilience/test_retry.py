@@ -255,3 +255,78 @@ class TestSqlRunnerRetry:
         runner = self._runner(None)
         with pytest.raises(ExecutionError):
             runner.query("SELECT * FROM missing_table", orders_schema())
+
+
+class TestFullJitter:
+    """Opt-in full jitter: each pause is drawn uniformly from
+    [0, scheduled_pause] by an injectable RNG, so seeded runs are
+    deterministic and unjittered schedules are unchanged."""
+
+    def test_jitter_defaults_off_and_schedule_is_exact(self):
+        clock = FakeClock()
+        policy = RetryPolicy(
+            max_retries=2, base_delay=0.05, clock=clock, sleep=clock.sleep
+        )
+        assert policy.call(flaky(2)) == "ok"
+        assert clock.sleeps == [0.05, 0.1]
+
+    def test_jittered_pauses_are_bounded_by_the_schedule(self):
+        import random
+
+        clock = FakeClock()
+        policy = RetryPolicy(
+            max_retries=4,
+            base_delay=0.05,
+            clock=clock,
+            sleep=clock.sleep,
+            jitter=True,
+            rng=random.Random(7),
+        )
+        assert policy.call(flaky(4)) == "ok"
+        assert len(clock.sleeps) == 4
+        for pause, scheduled in zip(clock.sleeps, policy.delays()):
+            assert 0.0 <= pause <= scheduled
+
+    def test_seeded_jitter_is_deterministic(self):
+        import random
+
+        def run():
+            clock = FakeClock()
+            policy = RetryPolicy(
+                max_retries=3,
+                base_delay=0.05,
+                clock=clock,
+                sleep=clock.sleep,
+                jitter=True,
+                rng=random.Random(42),
+            )
+            policy.call(flaky(3))
+            return clock.sleeps
+
+        assert run() == run()
+
+    def test_two_seeds_decorrelate(self):
+        import random
+
+        sleeps = []
+        for seed in (1, 2):
+            clock = FakeClock()
+            policy = RetryPolicy(
+                max_retries=3,
+                base_delay=0.05,
+                clock=clock,
+                sleep=clock.sleep,
+                jitter=True,
+                rng=random.Random(seed),
+            )
+            policy.call(flaky(3))
+            sleeps.append(clock.sleeps)
+        assert sleeps[0] != sleeps[1]
+
+    def test_delays_reports_the_unjittered_schedule(self):
+        import random
+
+        policy = RetryPolicy(
+            max_retries=3, base_delay=0.05, jitter=True, rng=random.Random(0)
+        )
+        assert policy.delays() == (0.05, 0.1, 0.2)

@@ -131,7 +131,21 @@ def main(argv=None) -> None:
         help="cancel the run cooperatively after SECONDS of wall clock "
         "(exits 4 with the committed frontier; docs/robustness.md)",
     )
+    parser.add_argument(
+        "--export-job",
+        default=None,
+        metavar="PATH",
+        help="write the example job as DataStage-style XML to PATH and "
+        "exit (feed it to `orchid lint`; see docs/analysis.md)",
+    )
     args = parser.parse_args(argv)
+    if args.export_job is not None:
+        from repro.etl import job_to_xml
+
+        with open(args.export_job, "w") as handle:
+            handle.write(job_to_xml(build_example_job()))
+        print(f"wrote {args.export_job}", file=sys.stderr)
+        return
     if args.interpreted:
         set_default_compiled(False)
     if args.batched:

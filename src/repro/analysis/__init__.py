@@ -1,0 +1,94 @@
+"""repro.analysis — static analysis of plans before any row moves.
+
+The analyzer lints OHM graphs, ETL jobs, and mapping sets *without
+executing them*: expression type inference and three-valued NULL-ness
+over :mod:`repro.schema.types`, structural dataflow lints (cycles,
+dangling ports, unreachable stages, dead columns), and placement lints
+for the pushdown and fusion planners. Findings carry stable ``ORCnnn``
+codes and stage/operator/link/expression locations; ``docs/analysis.md``
+is the catalogue.
+
+Entry points:
+
+* :func:`analyze` / :func:`analyze_job` / :func:`analyze_graph` /
+  :func:`analyze_mappings` — collect every finding into an
+  :class:`AnalysisReport`;
+* :func:`check_plan` — the engines' ``check=True`` pre-run hook:
+  raise :class:`repro.errors.ValidationError` on the first
+  error-severity finding, before a single row is processed;
+* the ``orchid lint`` CLI subcommand renders reports as text or JSON.
+
+Whether engines run the pre-run check resolves through the usual knob
+ladder: explicit ``check=`` argument > :func:`set_default_check` >
+``REPRO_CHECK`` > off.
+"""
+
+from typing import Optional
+
+from repro import config
+from repro.analysis.analyzer import (
+    analyze,
+    analyze_expression,
+    analyze_graph,
+    analyze_job,
+    analyze_mappings,
+    check_plan,
+)
+from repro.analysis.diagnostics import (
+    CODES,
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+    Location,
+)
+from repro.analysis.nullness import (
+    AttributeResolver,
+    infer_nullable,
+    relation_resolver,
+)
+
+
+def default_check() -> bool:
+    """The process-wide pre-run-check default: a
+    :func:`set_default_check` override wins, else ``REPRO_CHECK=1``
+    enables, else False (no static check before running)."""
+    return config.CHECK.default()
+
+
+def set_default_check(value: Optional[bool]) -> None:
+    """Override the process-wide check default (None restores the
+    environment-variable/False resolution)."""
+    config.CHECK.set(value)
+
+
+def resolve_check(value: Optional[bool]) -> bool:
+    """Resolve an engine constructor's ``check`` argument: an explicit
+    True/False wins, None means the process default."""
+    return default_check() if value is None else bool(value)
+
+
+__all__ = [
+    "AnalysisReport",
+    "AttributeResolver",
+    "CODES",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "Location",
+    "SEVERITIES",
+    "WARNING",
+    "analyze",
+    "analyze_expression",
+    "analyze_graph",
+    "analyze_job",
+    "analyze_mappings",
+    "check_plan",
+    "default_check",
+    "infer_nullable",
+    "relation_resolver",
+    "resolve_check",
+    "set_default_check",
+]

@@ -1,0 +1,123 @@
+"""Three-valued NULL-ness propagation through expressions.
+
+``infer_type`` answers *what type* an expression has;
+:func:`infer_nullable` answers *whether it may be NULL* — the second
+half of static type checking under SQL's three-valued logic. The
+analyzer uses it to refine the nullability the schema pass propagates:
+a ``COALESCE(amount, 0)`` derivation is provably NOT NULL even when
+``amount`` is a nullable column, and conversely ``price / qty`` is
+nullable whenever either operand is.
+
+The analysis is deliberately *may*-analysis: ``True`` means "this
+expression can evaluate to NULL for some row", so a ``False`` result is
+a proof and a ``True`` result is only a possibility. Diagnostics built
+on it (``ORC004``) are therefore warnings, never errors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.expr.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.schema.model import Attribute, Relation
+
+#: a resolver maps a column reference to its attribute, or None when the
+#: reference cannot be resolved (the inference then assumes nullable).
+AttributeResolver = Callable[[ColumnRef], Optional[Attribute]]
+
+
+def relation_resolver(relation: Relation) -> AttributeResolver:
+    """An :data:`AttributeResolver` over one relation, honouring the
+    same lookup rules as :class:`repro.expr.typecheck.TypeContext`:
+    unqualified names, names qualified by the relation itself, and the
+    dotted ``qualifier.name`` collision columns a JOIN leaves behind."""
+
+    def resolve(ref: ColumnRef) -> Optional[Attribute]:
+        if ref.qualifier is not None:
+            dotted = f"{ref.qualifier}.{ref.name}"
+            if relation.has_attribute(dotted):
+                return relation.attribute(dotted)
+            if ref.qualifier != relation.name:
+                return None
+        if relation.has_attribute(ref.name):
+            return relation.attribute(ref.name)
+        return None
+
+    return resolve
+
+
+def infer_nullable(expr: Expr, resolve: AttributeResolver) -> bool:
+    """Whether ``expr`` may evaluate to NULL for some row.
+
+    ``resolve`` supplies column nullability; unresolvable references are
+    conservatively treated as nullable."""
+    if isinstance(expr, Literal):
+        return expr.value is None
+    if isinstance(expr, ColumnRef):
+        attr = resolve(expr)
+        return True if attr is None else bool(attr.nullable)
+    if isinstance(expr, BinaryOp):
+        # three-valued logic: AND/OR short-circuits can still yield NULL
+        # whenever either operand can, and every other operator is
+        # NULL-strict — so "either side nullable" covers them all
+        return infer_nullable(expr.left, resolve) or infer_nullable(
+            expr.right, resolve
+        )
+    if isinstance(expr, UnaryOp):
+        return infer_nullable(expr.operand, resolve)
+    if isinstance(expr, FunctionCall):
+        name = expr.name.upper()
+        if name in ("COALESCE", "IFNULL"):
+            # NOT NULL as soon as one fallback is provably NOT NULL
+            return all(infer_nullable(a, resolve) for a in expr.args)
+        if name == "NULLIF":
+            return True
+        # built-ins are NULL-strict; unknown zero-arg functions cannot
+        # depend on a NULL input
+        return any(infer_nullable(a, resolve) for a in expr.args)
+    if isinstance(expr, AggregateCall):
+        if expr.func == "COUNT" or expr.arg is None:
+            return False
+        # groups are non-empty by construction, so an aggregate is NULL
+        # only when its argument can be
+        return infer_nullable(expr.arg, resolve)
+    if isinstance(expr, Case):
+        for _cond, value in expr.whens:
+            if infer_nullable(value, resolve):
+                return True
+        if expr.default is None:
+            return True  # a missing ELSE yields NULL
+        return infer_nullable(expr.default, resolve)
+    if isinstance(expr, IsNull):
+        return False
+    if isinstance(expr, InList):
+        return infer_nullable(expr.operand, resolve) or any(
+            infer_nullable(i, resolve) for i in expr.items
+        )
+    if isinstance(expr, Between):
+        return (
+            infer_nullable(expr.operand, resolve)
+            or infer_nullable(expr.low, resolve)
+            or infer_nullable(expr.high, resolve)
+        )
+    if isinstance(expr, Like):
+        return infer_nullable(expr.operand, resolve) or infer_nullable(
+            expr.pattern, resolve
+        )
+    return True  # unknown node kinds: assume the worst
+
+
+__all__ = ["AttributeResolver", "infer_nullable", "relation_resolver"]

@@ -8,6 +8,12 @@
     orchid pushdown job.xml          # print the hybrid SQL + ETL plan
     orchid optimize job.xml -o job2.xml   # OHM-level rewrites, redeployed
     orchid export-ohm job.xml -o g.json   # persist the abstract layer
+    orchid lint job.xml              # static analysis, no execution
+
+``lint`` reports ORC-coded diagnostics (``docs/analysis.md``) as text or
+``--format json`` and exits 1 on errors (with ``--strict``, on warnings
+too). ``--check`` on any subcommand makes every plan the invocation
+executes pass the same analysis first (equivalent to REPRO_CHECK=1).
 
 Every subcommand additionally accepts ``--trace`` (print the span tree
 of the run), ``--stats {json,text}`` (print the metrics registry),
@@ -40,6 +46,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.analysis import set_default_check
 from repro.config import MODES
 from repro.errors import RunCancelled
 from repro.exec import (
@@ -178,6 +185,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "temp-file runs with identical results (equivalent to "
         "REPRO_MEMORY_BUDGET)",
     )
+    observability.add_argument(
+        "--check",
+        action="store_true",
+        help="statically analyze every plan before running it and refuse "
+        "statically-broken ones (equivalent to REPRO_CHECK=1 — see "
+        "docs/analysis.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser(
@@ -266,6 +280,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("job", help="path to the job XML document")
     p.add_argument("-o", "--output", help="write the OHM JSON here")
 
+    p = sub.add_parser(
+        "lint",
+        parents=[observability],
+        help="statically analyze a job without executing it "
+        "(docs/analysis.md lists the ORC diagnostic codes)",
+    )
+    p.add_argument("job", help="path to the job XML document")
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings too, not just errors",
+    )
+    p.add_argument(
+        "--ohm",
+        action="store_true",
+        help="lint the compiled OHM instance (pushdown-placement lints) "
+        "instead of the ETL job layer",
+    )
+
     args = parser.parse_args(argv)
     obs = Observability(
         trace=bool(args.trace), stats=args.stats is not None
@@ -306,6 +345,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.memory_budget < 1:
             parser.error("--memory-budget must be >= 1 row")
         set_default_memory_budget(args.memory_budget)
+    if args.check:
+        set_default_check(True)
     orchid = Orchid(obs=obs)
     try:
         return _dispatch(args, orchid)
@@ -341,6 +382,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             set_default_deadline(None)
         if args.memory_budget is not None:
             set_default_memory_budget(None)
+        if args.check:
+            set_default_check(None)
         if args.trace:
             sys.stderr.write(obs.tracer.to_text() + "\n")
         if args.stats == "json":
@@ -461,6 +504,34 @@ def _dispatch(args: argparse.Namespace, orchid: Orchid) -> int:
         graph = orchid.import_etl(_read(args.job))
         _write(graph_to_json(graph), args.output)
         return 0
+
+    if args.command == "lint":
+        from repro.analysis import AnalysisReport
+        from repro.errors import MappingError, ParseError, SchemaError
+        from repro.etl.xmlio import job_from_xml
+
+        try:
+            job = job_from_xml(_read(args.job))
+        except (ParseError, SchemaError, MappingError) as exc:
+            # the document never became a plan: a one-diagnostic report
+            report = AnalysisReport(subject=args.job)
+            report.emit("ORC001", str(exc))
+        else:
+            if args.ohm:
+                from repro.analysis import analyze_graph
+
+                report = analyze_graph(
+                    orchid.import_etl(job), registry=job.registry
+                )
+            else:
+                from repro.analysis import analyze_job
+
+                report = analyze_job(job)
+        if args.format == "json":
+            _write(report.to_json(), None)
+        else:
+            _write(report.to_text(), None)
+        return report.exit_code(strict=args.strict)
 
     raise SystemExit(f"unknown command {args.command!r}")
 

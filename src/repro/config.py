@@ -33,6 +33,7 @@ mode               REPRO_MODE                    None (explicit flags)
 deadline           REPRO_DEADLINE                None (unbounded)
 memory_budget      REPRO_MEMORY_BUDGET           None (unbounded)
 breaker            REPRO_BREAKER                 None (breakers off)
+check              REPRO_CHECK                   False (no pre-run lint)
 ================== ============================= =========================
 
 ``parallel_min_rows`` is the one knob whose default is *derived*: with
@@ -449,12 +450,19 @@ BREAKER = register(
         validate=_check_breaker,
     )
 )
+#: whether the engines statically analyze a plan (:mod:`repro.analysis`)
+#: before executing it; error-severity diagnostics then abort the run
+#: before row one.
+CHECK = register(
+    Knob("check", env="REPRO_CHECK", default=False, parse=parse_bool)
+)
 
 
 __all__ = [
     "BATCHED",
     "BATCH_SIZE",
     "BREAKER",
+    "CHECK",
     "CHECKPOINT_DIR",
     "COMPILED",
     "COST_BASED",

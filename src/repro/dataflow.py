@@ -80,6 +80,20 @@ class DataflowGraph(Generic[NodeT]):
     #: what nodes are called in diagnostics ("operator", "stage").
     node_noun = "node"
 
+    def _locate(self, uid: str) -> Dict[str, str]:
+        """The :class:`~repro.errors.GraphError` location kwarg naming
+        ``uid`` under this graph's noun (``stage=`` or ``operator=``)."""
+        field = "stage" if self.node_noun == "stage" else "operator"
+        return {field: uid}
+
+    def _relocate(self, exc: GraphError, uid: str) -> GraphError:
+        """Rebuild a located copy of ``exc`` (same type and message) when
+        it carries no location of its own, so every error escaping a
+        ``validate()`` hook names the node it came from."""
+        if exc.location():
+            return exc
+        return type(exc)(str(exc), **self._locate(uid))
+
     def __init__(self, name: str):
         self.name = name
         self._nodes: Dict[str, NodeT] = {}
@@ -293,12 +307,16 @@ class DataflowGraph(Generic[NodeT]):
             incoming = self.in_edges(uid)
             outgoing = self.out_edges(uid)
             data_out = [e for e in outgoing if not e.is_reject]
-            node.check_port_counts(len(incoming), len(data_out))
+            try:
+                node.check_port_counts(len(incoming), len(data_out))
+            except GraphError as exc:
+                raise self._relocate(exc, uid) from None
             if len(outgoing) != len(data_out) and not getattr(
                 node, "supports_reject_link", False
             ):
                 raise ValidationError(
-                    f"{node.KIND} {uid}: does not support a reject link"
+                    f"{node.KIND} {uid}: does not support a reject link",
+                    **self._locate(uid),
                 )
             for kind, edges, port_of in (
                 ("input", incoming, lambda e: e.dst_port),
@@ -307,7 +325,8 @@ class DataflowGraph(Generic[NodeT]):
                 ports = sorted(port_of(e) for e in edges)
                 if ports != list(range(len(ports))):
                     raise ValidationError(
-                        f"{node.KIND} {uid}: non-contiguous {kind} ports {ports}"
+                        f"{node.KIND} {uid}: non-contiguous {kind} ports {ports}",
+                        **self._locate(uid),
                     )
             for edge in data_out:
                 if any(
@@ -315,7 +334,8 @@ class DataflowGraph(Generic[NodeT]):
                 ):
                     raise ValidationError(
                         f"{node.KIND} {uid}: reject port "
-                        "must follow all data output ports"
+                        "must follow all data output ports",
+                        **self._locate(uid),
                     )
 
     def propagate_schemas(self) -> None:
@@ -329,10 +349,15 @@ class DataflowGraph(Generic[NodeT]):
                 if edge.schema is None:
                     raise GraphError(
                         f"edge {edge!r} has no schema after propagation; "
-                        "graph is not connected to sources"
+                        "graph is not connected to sources",
+                        link=edge.name,
+                        **self._locate(node.uid),
                     )
                 inputs.append(edge.schema)
-            node.validate(inputs)
+            try:
+                node.validate(inputs)
+            except GraphError as exc:
+                raise self._relocate(exc, node.uid) from None
             out_edges = self.out_edges(node.uid)
             if not out_edges:
                 continue

@@ -43,7 +43,61 @@ class EvaluationError(ExpressionError):
 
 
 class GraphError(OrchidError):
-    """An OHM or ETL dataflow graph is structurally invalid."""
+    """An OHM or ETL dataflow graph is structurally invalid.
+
+    Carries structured location fields so graph-shaped failures render
+    identically whether they come from a runtime ``validate()`` hook or
+    from the static analyzer (:mod:`repro.analysis`). All fields are
+    optional; when present they are appended to the message (the
+    original message stays a prefix, so ``pytest.raises(..., match=...)``
+    against it keeps working).
+
+    :ivar stage: name of the ETL stage at fault, if any.
+    :ivar operator: name of the OHM operator at fault, if any.
+    :ivar link: name of the link/edge at fault, if any.
+    :ivar expression: source text of the offending expression, if any.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage: "str | None" = None,
+        operator: "str | None" = None,
+        link: "str | None" = None,
+        expression: "str | None" = None,
+    ):
+        super().__init__(
+            _with_location(message, stage, operator, link, expression)
+        )
+        self.stage = stage
+        self.operator = operator
+        self.link = link
+        self.expression = expression
+
+    def location(self) -> dict:
+        """The structured location as a dict (None entries omitted)."""
+        fields = {
+            "stage": self.stage,
+            "operator": self.operator,
+            "link": self.link,
+            "expression": self.expression,
+        }
+        return {k: v for k, v in fields.items() if v is not None}
+
+
+def _with_location(message, stage, operator, link, expression) -> str:
+    parts = []
+    if stage is not None:
+        parts.append(f"stage={stage!r}")
+    if operator is not None:
+        parts.append(f"operator={operator!r}")
+    if link is not None:
+        parts.append(f"link={link!r}")
+    if expression is not None:
+        parts.append(f"expression={expression!r}")
+    if not parts:
+        return message
+    return f"{message} [{', '.join(parts)}]"
 
 
 class ValidationError(GraphError):
@@ -140,6 +194,22 @@ class FaultInjected(ExecutionError):
 #: their own recovery paths (retry for transient endpoints, the
 #: degradation ladder for kernel faults).
 INFRASTRUCTURE_ERRORS = (TransientError, FaultInjected)
+
+
+#: deterministic semantic failures: a malformed plan, schema, mapping,
+#: or expression — never a bad row and never a flaky endpoint. Row-level
+#: error policies must not absorb them as data errors, and the
+#: degradation ladder must not retry them at a lower tier: they fail
+#: identically at every tier, and :mod:`repro.analysis` can detect them
+#: before row one. (:class:`EvaluationError` is deliberately absent —
+#: evaluating an expression against a concrete row *is* data-dependent.)
+STATIC_ERRORS = (
+    SchemaError,
+    GraphError,
+    ParseError,
+    MappingError,
+    CompilationError,
+)
 
 
 class RunCancelled(OrchidError):

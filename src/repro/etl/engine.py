@@ -38,7 +38,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance
-from repro.errors import ExecutionError, RunCancelled
+from repro.errors import STATIC_ERRORS, ExecutionError, RunCancelled
 from repro.etl.model import Job
 from repro.etl.stages.access import TableSource, TableTarget
 from repro.exec import (
@@ -152,8 +152,16 @@ class EtlEngine:
         memory_budget=None,
         breaker=None,
         supervisor=None,
+        check: Optional[bool] = None,
     ):
         self._obs = obs or NULL_OBS
+        # local import: repro.analysis itself imports the stage/operator
+        # catalogues, so a module-level import here would be circular
+        from repro.analysis import resolve_check
+
+        #: whether :func:`repro.analysis.check_plan` vets the job before
+        #: any row is processed (``REPRO_CHECK`` ladder).
+        self.check = resolve_check(check)
         #: whether stages lower expressions through the compiler
         #: (``False`` falls back to the interpreting oracle; ``None``
         #: at the constructor meant the process default).
@@ -294,6 +302,10 @@ class EtlEngine:
                 return stage.execute(inputs, out_relations, registry, **kwargs)
             except RunCancelled:
                 raise  # cancellation is not a tier failure — never degrade
+            except STATIC_ERRORS:
+                # a plan defect fails identically at every tier: degrading
+                # would only bury the diagnosis under tier noise
+                raise
             except Exception as exc:  # noqa: BLE001 — ladder decides
                 last_exc = exc
         raise last_exc
@@ -427,6 +439,10 @@ class EtlEngine:
         observing = self._obs.enabled
         stats = EtlRunStats()
         instance = instance or Instance()
+        if self.check:
+            from repro.analysis import check_plan
+
+            check_plan(job, registry=job.registry)
         # one planner per run: expressions shared by several stages are
         # lowered once, and the job's own registry is captured
         planner = ExpressionPlanner(
@@ -646,6 +662,7 @@ def run_job(
     deadline: Optional[float] = None,
     memory_budget=None,
     breaker=None,
+    check: Optional[bool] = None,
 ) -> Instance:
     """Convenience: run ``job`` and return the target datasets."""
     return EtlEngine(
@@ -662,6 +679,7 @@ def run_job(
         deadline=deadline,
         memory_budget=memory_budget,
         breaker=breaker,
+        check=check,
     ).execute(job, instance)
 
 
@@ -681,6 +699,7 @@ def run_job_with_links(
     deadline: Optional[float] = None,
     memory_budget=None,
     breaker=None,
+    check: Optional[bool] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Run ``job`` returning targets plus every link's dataset."""
     return EtlEngine(

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.data.dataset import Dataset
-from repro.errors import INFRASTRUCTURE_ERRORS, ValidationError
+from repro.errors import INFRASTRUCTURE_ERRORS, STATIC_ERRORS, ValidationError
 from repro.etl.model import Stage
 from repro.exec import ExpressionPlanner, block, fuse, kernels
 from repro.exec.block import RowBlock, relation_resolver
@@ -167,6 +167,8 @@ class FilterStage(Stage):
                     return results
         except INFRASTRUCTURE_ERRORS:
             raise
+        except STATIC_ERRORS:
+            raise  # a plan defect: row-policy handling must not mask it
         except Exception:
             if not handling:
                 raise
@@ -403,6 +405,8 @@ class SwitchStage(Stage):
                     ]
         except INFRASTRUCTURE_ERRORS:
             raise
+        except STATIC_ERRORS:
+            raise  # a plan defect: row-policy handling must not mask it
         except Exception:
             if not handling:
                 raise

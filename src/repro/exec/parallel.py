@@ -247,13 +247,15 @@ class WorkerPool:
             return self._run_inline(tasks)
         try:
             executor = self._resolve_executor()
-        except Exception as exc:  # noqa: BLE001
+        except (RuntimeError, OSError) as exc:
+            # pool construction can only fail on resource grounds; a
+            # TypeError here would be a harness bug and must surface
             return [(WorkerUnavailable(str(exc)), None)] * len(tasks)
         futures: List[Tuple[Optional[Any], Optional[BaseException]]] = []
         for task in tasks:
             try:
                 futures.append((executor.submit(_flagged(task)), None))
-            except Exception as exc:  # noqa: BLE001 — pool broke down
+            except (RuntimeError, OSError) as exc:  # pool broke down
                 futures.append((None, WorkerUnavailable(str(exc))))
         entries: List[Tuple[Optional[BaseException], Any]] = []
         for future, submit_error in futures:

@@ -16,7 +16,11 @@ import datetime
 import math
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.errors import EvaluationError, ExpressionError
+from repro.errors import (
+    INFRASTRUCTURE_ERRORS,
+    EvaluationError,
+    ExpressionError,
+)
 from repro.schema.types import (
     BOOLEAN,
     DATE,
@@ -84,6 +88,10 @@ class ScalarFunction:
         try:
             return self.impl(*args)
         except EvaluationError:
+            raise
+        except INFRASTRUCTURE_ERRORS:
+            # transients and injected faults drive retry/degradation
+            # machinery by identity — never wrap them
             raise
         except Exception as exc:  # surface with function context
             raise EvaluationError(f"{self.name}{args!r} failed: {exc}") from exc

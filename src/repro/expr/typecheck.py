@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
-from repro.errors import TypeCheckError
+from repro.errors import SchemaError, TypeCheckError
 from repro.expr.ast import (
     AggregateCall,
     Between,
@@ -140,7 +140,7 @@ def _infer(
         if expr.op in ("=", "<>", "<", "<=", ">", ">="):
             try:
                 common_type(left, right)
-            except Exception:
+            except SchemaError:
                 raise TypeCheckError(
                     f"cannot compare {left!r} with {right!r} in {expr.to_sql()}"
                 ) from None
@@ -211,7 +211,7 @@ def _infer(
             item_type = _infer(item, context, registry, allow_aggregates)
             try:
                 common_type(operand, item_type)
-            except Exception:
+            except SchemaError:
                 raise TypeCheckError(
                     f"IN list item {item.to_sql()} has type {item_type!r}, "
                     f"incompatible with {operand!r}"
@@ -223,7 +223,7 @@ def _infer(
             bound_type = _infer(bound, context, registry, allow_aggregates)
             try:
                 common_type(operand, bound_type)
-            except Exception:
+            except SchemaError:
                 raise TypeCheckError(
                     f"BETWEEN bound {bound.to_sql()} incompatible with {operand!r}"
                 ) from None

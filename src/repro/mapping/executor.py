@@ -27,7 +27,7 @@ import itertools
 from typing import Dict, List, Optional
 
 from repro.data.dataset import Dataset, Instance, Row
-from repro.errors import ExecutionError, RunCancelled
+from repro.errors import STATIC_ERRORS, ExecutionError, RunCancelled
 from repro.exec import (
     ExpressionPlanner,
     block,
@@ -83,9 +83,17 @@ class MappingExecutor:
         deadline: Optional[float] = None,
         memory_budget=None,
         supervisor=None,
+        check: Optional[bool] = None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
+        # local import: repro.analysis imports the mapping model, so a
+        # module-level import here would be circular
+        from repro.analysis import resolve_check
+
+        #: whether :func:`repro.analysis.check_plan` vets the mapping
+        #: set before any row is processed (``REPRO_CHECK`` ladder).
+        self.check = resolve_check(check)
         self._planner = ExpressionPlanner(
             self.registry, compiled, batched, batch_size,
             parallel=parallel, workers=workers, mode=mode, fused=fused,
@@ -469,6 +477,10 @@ class MappingExecutor:
                 return executor.execute_mapping(mapping, working, errors=ctx)
             except RunCancelled:
                 raise  # cancellation is not a tier failure
+            except STATIC_ERRORS:
+                # a plan defect fails identically at every tier: degrading
+                # would only bury the diagnosis under tier noise
+                raise
             except Exception as exc:  # noqa: BLE001 — ladder decides
                 last_exc = exc
         raise last_exc
@@ -494,6 +506,10 @@ class MappingExecutor:
 
     def _run_impl(self, mappings: MappingSet, instance: Instance):
         metrics = self._obs.metrics
+        if self.check:
+            from repro.analysis import check_plan
+
+            check_plan(mappings, registry=self.registry)
         if self.supervisor is not None:
             self.supervisor.start(self._obs)
         if self.mode == "auto":
@@ -640,6 +656,7 @@ def execute_mappings(
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
     fused: Optional[bool] = None,
+    check: Optional[bool] = None,
 ) -> Instance:
     """Convenience wrapper over :class:`MappingExecutor`."""
     return MappingExecutor(
@@ -652,6 +669,7 @@ def execute_mappings(
         parallel=parallel,
         workers=workers,
         fused=fused,
+        check=check,
     ).execute(mappings, instance)
 
 

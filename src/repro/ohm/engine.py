@@ -57,7 +57,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.data.dataset import Dataset, Instance, Row
-from repro.errors import ExecutionError, RunCancelled
+from repro.errors import STATIC_ERRORS, ExecutionError, RunCancelled
 from repro.exec import (
     ExpressionPlanner,
     block,
@@ -124,9 +124,17 @@ class OhmExecutor:
         deadline: Optional[float] = None,
         memory_budget=None,
         supervisor=None,
+        check: Optional[bool] = None,
     ):
         self.registry = registry or DEFAULT_REGISTRY
         self._obs = obs or NULL_OBS
+        # local import: repro.analysis imports the operator catalogue,
+        # so a module-level import here would be circular
+        from repro.analysis import resolve_check
+
+        #: whether :func:`repro.analysis.check_plan` vets the graph
+        #: before any row is processed (``REPRO_CHECK`` ladder).
+        self.check = resolve_check(check)
         self._planner = ExpressionPlanner(
             self.registry, compiled, batched, batch_size,
             parallel=parallel, workers=workers, mode=mode, fused=fused,
@@ -227,6 +235,10 @@ class OhmExecutor:
                 return fn(planner)
             except RunCancelled:
                 raise  # cancellation is not a tier failure — never degrade
+            except STATIC_ERRORS:
+                # a plan defect fails identically at every tier: degrading
+                # would only bury the diagnosis under tier noise
+                raise
             except Exception as exc:  # noqa: BLE001 — ladder decides
                 last_exc = exc
         raise last_exc
@@ -722,6 +734,10 @@ class OhmExecutor:
         tracer = self._obs.tracer
         metrics = self._obs.metrics
         observing = self._obs.enabled
+        if self.check:
+            from repro.analysis import check_plan
+
+            check_plan(graph, registry=self.registry)
         supervisor = self.supervisor
         if supervisor is not None:
             supervisor.start(self._obs)
@@ -876,6 +892,7 @@ def execute(
     deadline: Optional[float] = None,
     memory_budget=None,
     supervisor=None,
+    check: Optional[bool] = None,
 ) -> Instance:
     """Execute ``graph`` over ``instance``; returns the target datasets."""
     return OhmExecutor(
@@ -889,6 +906,7 @@ def execute(
         deadline=deadline,
         memory_budget=memory_budget,
         supervisor=supervisor,
+        check=check,
     ).execute(graph, instance)
 
 
@@ -905,6 +923,7 @@ def execute_with_edges(
     deadline: Optional[float] = None,
     memory_budget=None,
     supervisor=None,
+    check: Optional[bool] = None,
 ) -> Tuple[Instance, Dict[str, Dataset]]:
     """Execute and also return every intermediate edge's data by name."""
     return OhmExecutor(
@@ -918,6 +937,7 @@ def execute_with_edges(
         deadline=deadline,
         memory_budget=memory_budget,
         supervisor=supervisor,
+        check=check,
     ).run(graph, instance)
 
 

@@ -26,7 +26,7 @@ from typing import Callable, List, Optional
 from repro import config
 from repro.config import check_policy
 from repro.data.dataset import Dataset
-from repro.errors import INFRASTRUCTURE_ERRORS
+from repro.errors import INFRASTRUCTURE_ERRORS, STATIC_ERRORS
 from repro.schema.model import Relation, relation
 
 FAIL_FAST = "fail_fast"
@@ -172,6 +172,11 @@ class ErrorContext:
     ) -> None:
         if isinstance(exc, INFRASTRUCTURE_ERRORS):
             # not a data error: let retry / the degradation ladder see it
+            raise exc
+        if isinstance(exc, STATIC_ERRORS):
+            # a deterministic plan defect (bad schema, unparseable or
+            # ill-typed expression): absorbing it per row would skip or
+            # reject *every* row — surface it instead
             raise exc
         if self.policy == REJECT:
             self.rejected.append(

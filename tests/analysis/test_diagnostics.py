@@ -1,0 +1,132 @@
+"""The diagnostic model: codes, severities, locations, reports."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+    Location,
+)
+
+
+class TestCatalogue:
+    def test_every_code_has_severity_and_title(self):
+        for code, (severity, title) in CODES.items():
+            assert code.startswith("ORC") and len(code) == 6
+            assert severity in (ERROR, WARNING, INFO)
+            assert title
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="ORC999"):
+            Diagnostic("ORC999", "nope")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="fatal"):
+            Diagnostic("ORC002", "msg", severity="fatal")
+
+    def test_severity_defaults_from_catalogue(self):
+        assert Diagnostic("ORC002", "m").severity == ERROR
+        assert Diagnostic("ORC020", "m").severity == WARNING
+        assert Diagnostic("ORC021", "m").severity == INFO
+
+    def test_explicit_severity_wins(self):
+        assert Diagnostic("ORC020", "m", severity=ERROR).severity == ERROR
+
+
+class TestLocation:
+    def test_empty_location_is_falsy(self):
+        assert not Location()
+        assert Location(stage="x")
+
+    def test_to_dict_omits_none(self):
+        loc = Location(stage="s", link="l")
+        assert loc.to_dict() == {"stage": "s", "link": "l"}
+
+    def test_str(self):
+        assert str(Location(stage="s")) == "stage 's'"
+
+
+class TestRendering:
+    def test_render_with_location_and_hint(self):
+        d = Diagnostic(
+            "ORC002",
+            "bad type",
+            location=Location(stage="s", link="l"),
+            hint="fix it",
+        )
+        line = d.render()
+        assert line.startswith("ORC002 error at stage 's', link 'l': ")
+        assert line.endswith("(fix: fix it)")
+
+    def test_render_without_location(self):
+        assert Diagnostic("ORC010", "cycle").render() == (
+            "ORC010 error: cycle"
+        )
+
+    def test_to_dict_includes_fix_only_when_hinted(self):
+        assert "fix" not in Diagnostic("ORC002", "m").to_dict()
+        assert Diagnostic("ORC002", "m", hint="h").to_dict()["fix"] == "h"
+
+
+class TestReport:
+    def make(self):
+        report = AnalysisReport(subject="job 'j'")
+        report.emit("ORC002", "bad", stage="s")
+        report.emit("ORC020", "dead", link="l")
+        report.emit("ORC021", "push")
+        return report
+
+    def test_severity_buckets(self):
+        report = self.make()
+        assert [d.code for d in report.errors] == ["ORC002"]
+        assert [d.code for d in report.warnings] == ["ORC020"]
+        assert [d.code for d in report.infos] == ["ORC021"]
+        assert not report.ok
+        assert len(report) == 3
+
+    def test_ok_with_warnings_only(self):
+        report = AnalysisReport()
+        report.emit("ORC020", "dead")
+        assert report.ok
+
+    def test_exit_codes(self):
+        clean = AnalysisReport()
+        assert clean.exit_code() == 0
+        assert clean.exit_code(strict=True) == 0
+        warned = AnalysisReport()
+        warned.emit("ORC020", "dead")
+        assert warned.exit_code() == 0
+        assert warned.exit_code(strict=True) == 1
+        assert self.make().exit_code() == 1
+
+    def test_codes_first_report_order(self):
+        assert self.make().codes() == ["ORC002", "ORC020", "ORC021"]
+
+    def test_by_code(self):
+        assert len(self.make().by_code("ORC020")) == 1
+
+    def test_to_text_summary(self):
+        text = self.make().to_text()
+        assert text.splitlines()[-1] == (
+            "job 'j': 1 error(s), 1 warning(s), 1 info(s)"
+        )
+
+    def test_to_json_roundtrips(self):
+        doc = json.loads(self.make().to_json())
+        assert doc["subject"] == "job 'j'"
+        assert doc["ok"] is False
+        assert doc["counts"] == {"error": 1, "warning": 1, "info": 1}
+        assert doc["diagnostics"][0]["code"] == "ORC002"
+        assert doc["diagnostics"][0]["location"] == {"stage": "s"}
+
+    def test_extend_merges(self):
+        a, b = AnalysisReport(), AnalysisReport()
+        a.emit("ORC002", "x")
+        b.emit("ORC020", "y")
+        assert [d.code for d in a.extend(b)] == ["ORC002", "ORC020"]

@@ -1,0 +1,82 @@
+"""Structured locations on :class:`GraphError`/:class:`ValidationError`
+and their population by the graph validation hooks."""
+
+import pytest
+
+from repro.errors import GraphError, ValidationError
+from repro.etl.model import Job
+from repro.etl.stages import (
+    FilterOutput,
+    FilterStage,
+    TableSource,
+    TableTarget,
+)
+from repro.ohm import OhmGraph, Source, Target
+from repro.schema import relation
+
+REL = relation("R", ("id", "int", False), ("name", "string", False))
+
+
+class TestLocationFields:
+    def test_bare_error_has_no_location(self):
+        exc = GraphError("boom")
+        assert exc.location() == {}
+        assert str(exc) == "boom"
+
+    def test_fields_render_into_message(self):
+        exc = ValidationError(
+            "boom", stage="Filter_1", link="b", expression="(id > 0)"
+        )
+        assert exc.stage == "Filter_1"
+        assert exc.link == "b"
+        assert exc.expression == "(id > 0)"
+        assert "stage='Filter_1'" in str(exc)
+        assert "link='b'" in str(exc)
+        assert "expression='(id > 0)'" in str(exc)
+
+    def test_location_dict_drops_empty_fields(self):
+        exc = GraphError("boom", operator="F_1")
+        assert exc.location() == {"operator": "F_1"}
+
+
+class TestValidateHooksPopulateLocations:
+    WIDER = relation(
+        "W", ("id", "int", False), ("name", "string", False),
+        ("ghost", "int", False),
+    )
+
+    def test_etl_validate_names_the_stage(self):
+        job = Job("bad")
+        s = job.add(TableSource(REL))
+        t = job.add(TableTarget(self.WIDER))  # 'ghost' never arrives
+        job.chain(s, t, names=["a"])
+        with pytest.raises(ValidationError) as info:
+            job.propagate_schemas()
+        assert info.value.stage == t.uid
+        assert info.value.operator is None
+
+    def test_ohm_validate_names_the_operator(self):
+        g = OhmGraph("bad")
+        s = g.add(Source(REL))
+        t = g.add(Target(self.WIDER))  # 'ghost' never arrives
+        g.chain(s, t, names=["a"])
+        with pytest.raises(ValidationError) as info:
+            g.propagate_schemas()
+        assert info.value.operator == t.uid
+        assert info.value.stage is None
+
+    def test_port_count_errors_are_located(self):
+        job = Job("dangling")
+        s = job.add(TableSource(REL))
+        f = job.add(FilterStage([FilterOutput(where="id > 0")]))
+        job.link(s, f, name="a")  # the filter's output dangles
+        with pytest.raises(GraphError) as info:
+            job.validate_structure()
+        assert info.value.stage == f.uid
+
+    def test_located_errors_are_not_relocated(self):
+        """An error that already names its stage keeps that location
+        even when the graph machinery re-raises it."""
+        job = Job("j")
+        exc = ValidationError("boom", stage="inner")
+        assert job._relocate(exc, "outer") is exc

@@ -1,0 +1,107 @@
+"""Three-valued NULL-ness inference over expressions."""
+
+import pytest
+
+from repro.analysis import infer_nullable, relation_resolver
+from repro.expr.parser import parse
+from repro.schema import relation
+
+REL = relation(
+    "R",
+    ("id", "int", False),
+    ("opt", "float", True),
+    ("name", "string", False),
+)
+
+
+def nullable(text: str) -> bool:
+    return infer_nullable(parse(text), relation_resolver(REL))
+
+
+class TestLeaves:
+    def test_literal(self):
+        assert not nullable("1")
+        assert not nullable("'x'")
+        assert nullable("NULL")
+
+    def test_columns_follow_schema(self):
+        assert not nullable("id")
+        assert nullable("opt")
+
+    def test_qualified_column(self):
+        assert not nullable("R.id")
+
+    def test_unresolvable_is_conservative(self):
+        assert nullable("mystery_column")
+
+
+class TestOperators:
+    def test_strict_binary_ops(self):
+        assert not nullable("id + 1")
+        assert nullable("opt + 1")
+        assert nullable("id + opt")
+
+    def test_unary(self):
+        assert nullable("-opt")
+        assert not nullable("-id")
+
+    def test_comparison_and_logic(self):
+        assert not nullable("id > 1 AND name = 'x'")
+        assert nullable("opt > 1")
+
+    def test_in_between_like(self):
+        assert not nullable("id IN (1, 2)")
+        assert nullable("opt IN (1, 2)")
+        assert nullable("id BETWEEN 1 AND opt")
+        assert not nullable("name LIKE 'a%'")
+
+
+class TestFunctions:
+    def test_coalesce_proves_not_null(self):
+        assert not nullable("COALESCE(opt, 0)")
+        assert not nullable("IFNULL(opt, 0)")
+
+    def test_coalesce_of_all_nullables_stays_nullable(self):
+        assert nullable("COALESCE(opt, NULL)")
+
+    def test_nullif_always_nullable(self):
+        assert nullable("NULLIF(id, 1)")
+
+    def test_strict_function_follows_args(self):
+        assert not nullable("UPPER(name)")
+        assert nullable("ABS(opt)")
+
+
+class TestCaseAndAggregates:
+    def test_case_without_else_is_nullable(self):
+        assert nullable("CASE WHEN id > 1 THEN 1 END")
+
+    def test_case_with_else_follows_branches(self):
+        assert not nullable("CASE WHEN id > 1 THEN 1 ELSE 2 END")
+        assert nullable("CASE WHEN id > 1 THEN opt ELSE 2 END")
+
+    def test_count_never_null(self):
+        assert not nullable("COUNT(*)")
+        assert not nullable("COUNT(opt)")
+
+    def test_sum_follows_argument(self):
+        assert not nullable("SUM(id)")
+        assert nullable("SUM(opt)")
+
+    def test_is_null_is_boolean_not_null(self):
+        assert not nullable("opt IS NULL")
+
+
+class TestResolver:
+    def test_wrong_qualifier_unresolved(self):
+        resolve = relation_resolver(REL)
+        ref = parse("other.id")
+        assert resolve(ref) is None
+
+    def test_dotted_collision_column(self):
+        joined = relation(
+            "J", ("id", "int", False), ("src.id", "int", True)
+        )
+        resolve = relation_resolver(joined)
+        assert resolve(parse("src.id")).nullable is True
+        assert resolve(parse("id")).nullable is False
